@@ -1,0 +1,83 @@
+//! Criterion bench for experiment E1/E2: per-query latency of each vector
+//! index family at fixed data scale.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use cda_vector::exact::ExactIndex;
+use cda_vector::hnsw::{HnswIndex, HnswParams};
+use cda_vector::ivf::IvfIndex;
+use cda_vector::lsh::{LshIndex, LshParams};
+use cda_vector::progressive::{GuaranteeMode, ProgressiveIndex};
+use cda_vector::{VectorIndex, VectorSet};
+
+const K: usize = 10;
+
+fn bench_ann(c: &mut Criterion) {
+    let (data, _) = VectorSet::gaussian_clusters(20_000, 32, 40, 0.15, 7).unwrap();
+    let queries = data.queries_near(64, 0.05, 11);
+    let mut qi = 0usize;
+    let mut next_query = move || {
+        qi = (qi + 1) % 64;
+        qi
+    };
+
+    let mut group = c.benchmark_group("ann_20k_d32_k10");
+    group.sample_size(30);
+
+    let exact = ExactIndex::build(&data);
+    group.bench_function("exact", |b| {
+        b.iter_batched(
+            &mut next_query,
+            |qi| exact.search(&data, &queries[qi], K),
+            BatchSize::SmallInput,
+        )
+    });
+
+    let ivf = IvfIndex::build(&data, 64, 3).with_nprobe(4);
+    group.bench_function("ivf_nprobe4", |b| {
+        b.iter_batched(
+            &mut next_query,
+            |qi| ivf.search(&data, &queries[qi], K),
+            BatchSize::SmallInput,
+        )
+    });
+
+    let hnsw = HnswIndex::build(&data, HnswParams { m: 12, ef_construction: 80, ef_search: 40, seed: 5 });
+    group.bench_function("hnsw_ef40", |b| {
+        b.iter_batched(
+            &mut next_query,
+            |qi| hnsw.search(&data, &queries[qi], K),
+            BatchSize::SmallInput,
+        )
+    });
+
+    let lsh = LshIndex::build(&data, LshParams { bits: 16, tables: 8, seed: 9 });
+    group.bench_function("lsh_16x8", |b| {
+        b.iter_batched(
+            &mut next_query,
+            |qi| lsh.search(&data, &queries[qi], K),
+            BatchSize::SmallInput,
+        )
+    });
+
+    let prog = ProgressiveIndex::build(&data, 64, 60, K, 3);
+    group.bench_function("progressive_exact", |b| {
+        b.iter_batched(
+            &mut next_query,
+            |qi| prog.search_mode(&data, &queries[qi], K, GuaranteeMode::Deterministic),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("progressive_d10", |b| {
+        b.iter_batched(
+            &mut next_query,
+            |qi| {
+                prog.search_mode(&data, &queries[qi], K, GuaranteeMode::Probabilistic { delta: 0.1 })
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ann);
+criterion_main!(benches);

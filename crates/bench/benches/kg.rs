@@ -1,0 +1,48 @@
+//! Criterion bench for experiment E12: triple-store scans, BGP joins, and
+//! reasoning.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cda_kg::query::{Bgp, Pattern, Term};
+use cda_kg::reason::Reasoner;
+use cda_kg::TripleStore;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn build(n: usize) -> TripleStore {
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut kg = TripleStore::new();
+    for c in 1..32 {
+        kg.insert(&format!("class_{c}"), "subClassOf", &format!("class_{}", c / 2));
+    }
+    for e in 0..n {
+        let entity = format!("e{e}");
+        kg.insert(&entity, "type", &format!("class_{}", rng.gen_range(0..32)));
+        kg.insert(&entity, "relatedTo", &format!("e{}", rng.gen_range(0..n)));
+    }
+    kg
+}
+
+fn bench_kg(c: &mut Criterion) {
+    let kg = build(100_000);
+    let mut group = c.benchmark_group("kg_100k_entities");
+    group.sample_size(20);
+
+    group.bench_function("scan_by_predicate_object", |b| {
+        b.iter(|| kg.scan_str(None, Some("type"), Some("class_3")).len())
+    });
+
+    let bgp2 = Bgp::new(vec![
+        Pattern::new(Term::var("x"), Term::iri("type"), Term::iri("class_3")),
+        Pattern::new(Term::var("x"), Term::iri("relatedTo"), Term::var("y")),
+    ]);
+    group.bench_function("bgp_two_pattern_join", |b| b.iter(|| bgp2.evaluate(&kg).len()));
+
+    group.bench_function("reasoner_snapshot", |b| b.iter(|| Reasoner::new(&kg)));
+
+    let reasoner = Reasoner::new(&kg);
+    group.bench_function("types_of_with_inference", |b| b.iter(|| reasoner.types_of("e42")));
+    group.finish();
+}
+
+criterion_group!(benches, bench_kg);
+criterion_main!(benches);

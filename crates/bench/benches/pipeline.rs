@@ -1,0 +1,70 @@
+//! Criterion bench for experiment E9: full conversation turns through the
+//! compound system, per turn type, plus the soundness-layer cost knob.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use cda_core::demo::{demo_system, FIGURE1_TURNS};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_turn");
+    group.sample_size(20);
+
+    // fresh system per iteration so the dialogue state is identical
+    group.bench_function("discovery_turn", |b| {
+        b.iter_batched(
+            || demo_system(1),
+            |mut cda| cda.process(FIGURE1_TURNS[0]),
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("seasonality_turn", |b| {
+        b.iter_batched(
+            || {
+                let mut cda = demo_system(1);
+                for t in &FIGURE1_TURNS[..3] {
+                    cda.process(t);
+                }
+                cda
+            },
+            |mut cda| cda.process(FIGURE1_TURNS[3]),
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("nl2sql_turn_k7", |b| {
+        b.iter_batched(
+            || demo_system(1),
+            |mut cda| cda.process("What is the total employees in employment_by_type per canton?"),
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("nl2sql_turn_k1", |b| {
+        b.iter_batched(
+            || {
+                let mut cda = demo_system(1);
+                cda.config.uq_samples = 1;
+                cda
+            },
+            |mut cda| cda.process("What is the total employees in employment_by_type per canton?"),
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("full_figure1_conversation", |b| {
+        b.iter_batched(
+            || demo_system(1),
+            |mut cda| {
+                for t in FIGURE1_TURNS {
+                    cda.process(t);
+                }
+                cda.lineage.len()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Criterion bench for experiment E4: provenance machinery costs —
+//! semiring algebra, losslessness replay, invertibility recomputation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cda_dataframe::kernels::AggKind;
+use cda_dataframe::{Column, DataType, Field, RowId, Schema, Table};
+use cda_provenance::checks::{check_invertibility, check_losslessness};
+use cda_provenance::semiring::{from_lineage, HowPolynomial};
+use cda_sql::{execute, Catalog};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn catalog(rows: usize) -> Catalog {
+    let mut rng = StdRng::seed_from_u64(5);
+    let groups = ["a", "b", "c", "d"];
+    let gs: Vec<&str> = (0..rows).map(|_| groups[rng.gen_range(0..groups.len())]).collect();
+    let xs: Vec<i64> = (0..rows).map(|_| rng.gen_range(0..100)).collect();
+    let t = Table::from_columns(
+        Schema::new(vec![Field::new("g", DataType::Str), Field::new("x", DataType::Int)]),
+        vec![Column::from_strs(&gs), Column::from_ints(&xs)],
+    )
+    .unwrap();
+    let mut c = Catalog::new();
+    c.register("t", t).unwrap();
+    c
+}
+
+fn bench_provenance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("provenance");
+    group.sample_size(20);
+
+    // semiring algebra on polynomials with 64 variables
+    let polys: Vec<HowPolynomial> = (0..8)
+        .map(|i| {
+            let vars: Vec<RowId> = (0..8).map(|j| RowId::new(1, i * 8 + j)).collect();
+            from_lineage(&vars, true)
+        })
+        .collect();
+    group.bench_function("polynomial_product_8x8", |b| {
+        b.iter(|| {
+            polys
+                .iter()
+                .fold(HowPolynomial::one(), |acc, p| acc.times(p))
+                .monomials()
+                .len()
+        })
+    });
+    group.bench_function("polynomial_sum_and_why", |b| {
+        b.iter(|| {
+            let s = polys.iter().fold(HowPolynomial::zero(), |acc, p| acc.plus(p));
+            s.why().len()
+        })
+    });
+
+    // verification costs on a 2k-row aggregate
+    let catalog = catalog(2_000);
+    let sql = "SELECT g, SUM(x) AS s FROM t GROUP BY g ORDER BY g";
+    let result = execute(&catalog, sql).unwrap();
+    group.bench_function("losslessness_check_one_row", |b| {
+        b.iter(|| check_losslessness(&catalog, sql, &result.table, 0).unwrap())
+    });
+    group.bench_function("invertibility_check_one_row", |b| {
+        b.iter(|| {
+            check_invertibility(&catalog, &result.table, 0, 1, AggKind::Sum, "t", "x").unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_provenance);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Criterion bench for experiment E11: SQL engine throughput with and
+//! without optimizer rules / lineage tracking.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cda_dataframe::{Column, DataType, Field, Schema, Table};
+use cda_sql::{execute_with_options, Catalog, ExecOptions, OptimizerRules};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn catalog(rows: usize) -> Catalog {
+    let mut rng = StdRng::seed_from_u64(3);
+    let groups = ["a", "b", "c", "d", "e", "f", "g", "h"];
+    let gs: Vec<&str> = (0..rows).map(|_| groups[rng.gen_range(0..groups.len())]).collect();
+    let xs: Vec<i64> = (0..rows).map(|_| rng.gen_range(0..1000)).collect();
+    let ys: Vec<f64> = (0..rows).map(|_| rng.gen_range(0.0..1.0)).collect();
+    let t = Table::from_columns(
+        Schema::new(vec![
+            Field::new("g", DataType::Str),
+            Field::new("x", DataType::Int),
+            Field::new("y", DataType::Float),
+        ]),
+        vec![Column::from_strs(&gs), Column::from_ints(&xs), Column::from_floats(&ys)],
+    )
+    .unwrap();
+    let mut c = Catalog::new();
+    c.register("t", t).unwrap();
+    let dim = Table::from_columns(
+        Schema::new(vec![Field::new("g", DataType::Str), Field::new("label", DataType::Str)]),
+        vec![
+            Column::from_strs(&groups),
+            Column::from_strs(&["A", "B", "C", "D", "E", "F", "G", "H"]),
+        ],
+    )
+    .unwrap();
+    c.register("dim", dim).unwrap();
+    c
+}
+
+fn bench_sql(c: &mut Criterion) {
+    let catalog = catalog(8_000);
+    let mut group = c.benchmark_group("sql_8k_rows");
+    group.sample_size(20);
+
+    let agg = "SELECT g, COUNT(*) AS n, SUM(x) AS s, AVG(y) AS a FROM t GROUP BY g ORDER BY s DESC";
+    group.bench_function("aggregate_optimized", |b| {
+        b.iter(|| execute_with_options(&catalog, agg, ExecOptions::default()).unwrap())
+    });
+    group.bench_function("aggregate_naive", |b| {
+        b.iter(|| {
+            execute_with_options(
+                &catalog,
+                agg,
+                ExecOptions { rules: OptimizerRules::none(), track_lineage: true },
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("aggregate_no_lineage", |b| {
+        b.iter(|| {
+            execute_with_options(
+                &catalog,
+                agg,
+                ExecOptions { rules: OptimizerRules::all(), track_lineage: false },
+            )
+            .unwrap()
+        })
+    });
+
+    let join =
+        "SELECT d.label, SUM(t.x) AS s FROM t JOIN dim d ON t.g = d.g WHERE t.x > 900 GROUP BY d.label";
+    group.bench_function("join_optimized", |b| {
+        b.iter(|| execute_with_options(&catalog, join, ExecOptions::default()).unwrap())
+    });
+    group.bench_function("join_naive", |b| {
+        b.iter(|| {
+            execute_with_options(
+                &catalog,
+                join,
+                ExecOptions { rules: OptimizerRules::none(), track_lineage: true },
+            )
+            .unwrap()
+        })
+    });
+
+    group.bench_function("parse_and_plan_only", |b| {
+        b.iter(|| {
+            let select = cda_sql::parser::parse(join).unwrap();
+            cda_sql::planner::plan_select(&catalog, &select).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sql);
+criterion_main!(benches);

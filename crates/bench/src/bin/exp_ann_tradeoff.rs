@@ -1,0 +1,153 @@
+//! **E1** — P1 efficiency: latency/recall trade-off of the index families.
+//!
+//! Reproduces the paper's claim that existing retrieval methods are "either
+//! fast and do not provide guarantees, or provide quality guarantees and are
+//! relatively slow", and that a progressive index with guarantees can beat
+//! exact scan. Expected shape: exact = recall 1.0, slowest full-scan cost;
+//! IVF/HNSW/LSH = fast, recall < 1 without guarantees; progressive-exact =
+//! recall 1.0 with (often far) fewer distance evaluations; progressive-δ =
+//! recall ≥ 1−δ, cheaper still.
+
+use cda_bench::{f, header, mean, row, timed};
+use cda_vector::eval::{ground_truth, recall_at_k};
+use cda_vector::exact::ExactIndex;
+use cda_vector::hnsw::{HnswIndex, HnswParams};
+use cda_vector::ivf::IvfIndex;
+use cda_vector::lsh::{LshIndex, LshParams};
+use cda_vector::progressive::{GuaranteeMode, ProgressiveIndex};
+use cda_vector::{Neighbor, VectorSet};
+
+const K: usize = 10;
+const QUERIES: usize = 50;
+
+fn main() {
+    header("E1", "ANN latency/recall trade-off (who has guarantees, who is fast)");
+    for (n, dim, clusters) in [(20_000usize, 32usize, 40usize), (50_000, 64, 60)] {
+        println!("\ndataset: n={n} d={dim} ({clusters} gaussian clusters), k={K}, {QUERIES} queries");
+        row(&[
+            "method".into(),
+            "recall@10".into(),
+            "avg dist evals".into(),
+            "avg query time".into(),
+            "guarantee".into(),
+        ]);
+        let (data, _) = VectorSet::gaussian_clusters(n, dim, clusters, 0.15, 7).unwrap();
+        let queries = data.queries_near(QUERIES, 0.05, 11);
+        let truth = ground_truth(&data, &queries, K);
+
+        // exact
+        let exact = ExactIndex::build(&data);
+        run(
+            "exact",
+            "exact",
+            &data,
+            &queries,
+            &truth,
+            |q| exact.search_with_stats(&data, q, K),
+        );
+
+        // IVF at two probe levels
+        let ivf = IvfIndex::build(&data, 64, 3);
+        for nprobe in [2usize, 8] {
+            let ivf = ivf.clone().with_nprobe(nprobe);
+            run(
+                &format!("ivf(nprobe={nprobe})"),
+                "none",
+                &data,
+                &queries,
+                &truth,
+                |q| ivf.search_with_stats(&data, q, K),
+            );
+        }
+
+        // HNSW at two beam widths
+        let hnsw = HnswIndex::build(&data, HnswParams { m: 12, ef_construction: 80, ef_search: 0, seed: 5 });
+        for ef in [20usize, 80] {
+            run(
+                &format!("hnsw(ef={ef})"),
+                "none",
+                &data,
+                &queries,
+                &truth,
+                |q| hnsw.search_with_stats(&data, q, K, ef),
+            );
+        }
+
+        // LSH
+        let lsh = LshIndex::build(&data, LshParams { bits: 16, tables: 8, seed: 9 });
+        run("lsh(16x8)", "distributional", &data, &queries, &truth, |q| {
+            lsh.search_with_stats(&data, q, K)
+        });
+
+        // progressive: deterministic + probabilistic
+        let prog = ProgressiveIndex::build(&data, 64, 60, K, 3);
+        run("prog-exact", "per-query exact", &data, &queries, &truth, |q| {
+            prog.search_mode(&data, q, K, GuaranteeMode::Deterministic)
+        });
+        for delta in [0.1f64, 0.25] {
+            run(
+                &format!("prog(d={delta})"),
+                &format!("P(exact)>={}", 1.0 - delta),
+                &data,
+                &queries,
+                &truth,
+                |q| prog.search_mode(&data, q, K, GuaranteeMode::Probabilistic { delta }),
+            );
+        }
+        for epsilon in [0.2f64, 0.5] {
+            run(
+                &format!("prog(e={epsilon})"),
+                &format!("kth<={}x true", 1.0 + epsilon),
+                &data,
+                &queries,
+                &truth,
+                |q| prog.search_mode(&data, q, K, GuaranteeMode::Approximate { epsilon }),
+            );
+        }
+
+        // build cost and memory footprint (the Evaluation paragraph's
+        // "memory consumption" metric)
+        println!("
+build time and index memory:");
+        row(&["method".into(), "build time".into(), "index bytes".into()]);
+        let (ivf2, t_ivf) = cda_bench::timed(|| IvfIndex::build(&data, 64, 3));
+        row(&["ivf(64)".into(), cda_bench::us(t_ivf), format!("{}", ivf2.heap_bytes())]);
+        let (hnsw2, t_hnsw) = cda_bench::timed(|| {
+            HnswIndex::build(&data, HnswParams { m: 12, ef_construction: 80, ef_search: 0, seed: 5 })
+        });
+        row(&["hnsw(m=12)".into(), cda_bench::us(t_hnsw), format!("{}", hnsw2.heap_bytes())]);
+        let (lsh2, t_lsh) =
+            cda_bench::timed(|| LshIndex::build(&data, LshParams { bits: 16, tables: 8, seed: 9 }));
+        row(&["lsh(16x8)".into(), cda_bench::us(t_lsh), format!("{}", lsh2.heap_bytes())]);
+        let (prog2, t_prog) = cda_bench::timed(|| ProgressiveIndex::build(&data, 64, 60, K, 3));
+        row(&["progressive(64)".into(), cda_bench::us(t_prog), format!("{}", prog2.heap_bytes())]);
+    }
+}
+
+fn run(
+    name: &str,
+    guarantee: &str,
+    data: &VectorSet,
+    queries: &[Vec<f32>],
+    truth: &[Vec<Neighbor>],
+    mut search: impl FnMut(&[f32]) -> (Vec<Neighbor>, cda_vector::SearchStats),
+) {
+    let mut results = Vec::with_capacity(queries.len());
+    let mut evals = Vec::with_capacity(queries.len());
+    let (_, elapsed) = timed(|| {
+        for q in queries {
+            let (hits, stats) = search(q);
+            evals.push(stats.distance_evals as f64);
+            results.push(hits);
+        }
+    });
+    let recall = recall_at_k(truth, &results, K);
+    let _ = data;
+    row(&[
+        name.into(),
+        f(recall),
+        format!("{:.0}", mean(&evals)),
+        cda_bench::us(elapsed / queries.len() as u32),
+        guarantee.into(),
+    ]);
+}

@@ -1,0 +1,132 @@
+//! **E5** — P4 soundness: calibration of consistency-based UQ vs the LM's
+//! own token-probability confidence, swept over hallucination rates.
+//!
+//! Reproduces the paper's core soundness observation: "when relying solely
+//! on an LLM, confidence scores may not accurately reflect the true
+//! probability of correctness". Expected shape: naive confidence stays high
+//! (≈0.8) regardless of the true error rate → ECE explodes as hallucination
+//! grows; consistency confidence tracks accuracy → ECE stays low and AUROC
+//! stays well above 0.5.
+
+use cda_bench::{f, header, mean, row};
+use cda_dataframe::{Column, DataType, Field, Schema, Table};
+use cda_nlmodel::lm::{Nl2SqlPrompt, SimLm, SimLmConfig};
+use cda_nlmodel::nl2sql::{Workload, WorkloadTable};
+use cda_soundness::consistency::consistency_confidence;
+use cda_soundness::verify::execution_accuracy;
+use cda_soundness::{auroc, brier_score, expected_calibration_error};
+use cda_sql::Catalog;
+
+fn catalog() -> (Catalog, Vec<WorkloadTable>) {
+    let t = Table::from_columns(
+        Schema::new(vec![
+            Field::new("canton", DataType::Str),
+            Field::new("sector", DataType::Str),
+            Field::new("jobs", DataType::Int),
+            Field::new("rate", DataType::Float),
+        ]),
+        vec![
+            Column::from_strs(&["ZH", "ZH", "GE", "GE", "VD", "VD", "BE", "TI"]),
+            Column::from_strs(&["it", "fin", "it", "gov", "it", "fin", "gov", "it"]),
+            Column::from_ints(&[100, 200, 50, 80, 30, 60, 40, 70]),
+            Column::from_floats(&[0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8]),
+        ],
+    )
+    .unwrap();
+    let mut c = Catalog::new();
+    let schema = t.schema().clone();
+    c.register("emp", t).unwrap();
+    let tables = vec![WorkloadTable {
+        name: "emp".into(),
+        schema,
+        string_values: vec![
+            ("canton".into(), vec!["ZH".into(), "GE".into(), "VD".into()]),
+            ("sector".into(), vec!["it".into(), "fin".into()]),
+        ],
+    }];
+    (c, tables)
+}
+
+const TASKS: usize = 80;
+const K: usize = 7;
+
+fn main() {
+    header("E5", "calibration: consistency-UQ vs naive LM confidence (k=7 samples)");
+    let (catalog, tables) = catalog();
+    let workload = Workload::generate(&tables, TASKS, 13);
+    row(&[
+        "halluc rate".into(),
+        "accuracy".into(),
+        "naive conf".into(),
+        "naive ECE".into(),
+        "naive AUROC".into(),
+        "cons conf".into(),
+        "cons ECE".into(),
+        "cons AUROC".into(),
+        "cons Brier".into(),
+    ]);
+    for h in [0.0f64, 0.1, 0.2, 0.3, 0.4, 0.5, 0.65, 0.8] {
+        let lm = SimLm::new(SimLmConfig { hallucination_rate: h, overconfidence: 1.0, seed: 17 });
+        let mut cons = Vec::new();
+        let mut naive = Vec::new();
+        let mut correct = Vec::new();
+        for t in &workload.tasks {
+            let prompt = Nl2SqlPrompt {
+                task: t.task.clone(),
+                schema: tables[0].schema.clone(),
+                other_tables: vec![],
+            };
+            let report = consistency_confidence(&lm, &prompt, &catalog, K, 1.0).unwrap();
+            let Some(sql) = report.chosen_sql else {
+                cons.push(0.0);
+                naive.push(report.naive_confidence);
+                correct.push(false);
+                continue;
+            };
+            cons.push(report.confidence);
+            naive.push(report.naive_confidence);
+            correct.push(execution_accuracy(&catalog, &sql, &t.gold_sql));
+        }
+        let acc = correct.iter().filter(|c| **c).count() as f64 / correct.len() as f64;
+        row(&[
+            f(h),
+            f(acc),
+            f(mean(&naive)),
+            f(expected_calibration_error(&naive, &correct, 10).unwrap()),
+            f(auroc(&naive, &correct).unwrap()),
+            f(mean(&cons)),
+            f(expected_calibration_error(&cons, &correct, 10).unwrap()),
+            f(auroc(&cons, &correct).unwrap()),
+            f(brier_score(&cons, &correct).unwrap()),
+        ]);
+    }
+
+    println!("\nablation: consistency sample count k at hallucination 0.4:");
+    row(&["k".into(), "cons ECE".into(), "cons AUROC".into(), "LM calls".into()]);
+    let lm = SimLm::new(SimLmConfig { hallucination_rate: 0.4, overconfidence: 1.0, seed: 17 });
+    for k in [3usize, 5, 7, 11, 15] {
+        let mut cons = Vec::new();
+        let mut correct = Vec::new();
+        for t in &workload.tasks {
+            let prompt = Nl2SqlPrompt {
+                task: t.task.clone(),
+                schema: tables[0].schema.clone(),
+                other_tables: vec![],
+            };
+            let report = consistency_confidence(&lm, &prompt, &catalog, k, 1.0).unwrap();
+            let Some(sql) = report.chosen_sql else {
+                cons.push(0.0);
+                correct.push(false);
+                continue;
+            };
+            cons.push(report.confidence);
+            correct.push(execution_accuracy(&catalog, &sql, &t.gold_sql));
+        }
+        row(&[
+            format!("{k}"),
+            f(expected_calibration_error(&cons, &correct, 10).unwrap()),
+            f(auroc(&cons, &correct).unwrap()),
+            format!("{}", k * TASKS),
+        ]);
+    }
+}

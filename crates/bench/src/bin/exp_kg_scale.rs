@@ -1,0 +1,104 @@
+//! **E12** — KG query and reasoning latency at scale, materialization vs
+//! query-time inference.
+//!
+//! Expected shape: BGP queries stay sub-millisecond up to 10^6 triples
+//! thanks to the index range scans; materialization pays a large one-off
+//! cost and extra triples but answers `type?` lookups fastest; the
+//! query-time reasoner trades per-query overhead for zero storage.
+
+use cda_bench::{header, row, timed, timed_avg, us};
+use cda_kg::query::{Bgp, Pattern, Term};
+use cda_kg::reason::{materialize, Reasoner};
+use cda_kg::TripleStore;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generate a synthetic KG: `n` entities across `classes` classes arranged
+/// in a 4-deep taxonomy, each entity with `links` random relations.
+fn build_kg(n: usize, classes: usize, links: usize, seed: u64) -> TripleStore {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut kg = TripleStore::new();
+    // taxonomy: class_i subClassOf class_{i/2}
+    for c in 1..classes {
+        kg.insert(&format!("class_{c}"), "subClassOf", &format!("class_{}", c / 2));
+    }
+    for e in 0..n {
+        let c = rng.gen_range(0..classes);
+        let entity = format!("e{e}");
+        kg.insert(&entity, "type", &format!("class_{c}"));
+        for _ in 0..links {
+            let other = rng.gen_range(0..n);
+            kg.insert(&entity, "relatedTo", &format!("e{other}"));
+        }
+    }
+    kg
+}
+
+fn main() {
+    header("E12", "KG scale: BGP latency + materialization vs query-time reasoning");
+    row(&[
+        "entities".into(),
+        "triples".into(),
+        "1-pattern".into(),
+        "2-pattern join".into(),
+        "3-pattern join".into(),
+    ]);
+    for n in [10_000usize, 100_000, 300_000] {
+        let kg = build_kg(n, 32, 2, 5);
+        let q1 = Bgp::new(vec![Pattern::new(
+            Term::var("x"),
+            Term::iri("type"),
+            Term::iri("class_3"),
+        )]);
+        let q2 = Bgp::new(vec![
+            Pattern::new(Term::var("x"), Term::iri("type"), Term::iri("class_3")),
+            Pattern::new(Term::var("x"), Term::iri("relatedTo"), Term::var("y")),
+        ]);
+        let q3 = Bgp::new(vec![
+            Pattern::new(Term::var("x"), Term::iri("type"), Term::iri("class_3")),
+            Pattern::new(Term::var("x"), Term::iri("relatedTo"), Term::var("y")),
+            Pattern::new(Term::var("y"), Term::iri("type"), Term::var("c")),
+        ]);
+        let (r1, t1) = timed_avg(3, || q1.evaluate(&kg));
+        let (r2, t2) = timed_avg(3, || q2.evaluate(&kg));
+        let (r3, t3) = timed_avg(3, || q3.evaluate(&kg));
+        row(&[
+            format!("{n}"),
+            format!("{}", kg.len()),
+            format!("{} ({} rows)", us(t1), r1.len()),
+            format!("{} ({} rows)", us(t2), r2.len()),
+            format!("{} ({} rows)", us(t3), r3.len()),
+        ]);
+    }
+
+    println!("\ninference strategies (100k entities, 32-class taxonomy):");
+    let base = build_kg(100_000, 32, 1, 9);
+    row(&[
+        "strategy".into(),
+        "setup time".into(),
+        "extra triples".into(),
+        "per-query time".into(),
+    ]);
+    // materialization
+    let mut mat = base.clone();
+    let before = mat.len();
+    let (added, setup) = timed(|| materialize(&mut mat));
+    let (_, q_mat) = timed_avg(5, || mat.objects("e42", "type"));
+    row(&[
+        "materialize".into(),
+        us(setup),
+        format!("{added} (+{:.0}%)", 100.0 * added as f64 / before as f64),
+        us(q_mat),
+    ]);
+    // query-time reasoning
+    let (reasoner, setup) = timed(|| Reasoner::new(&base));
+    let (_, q_virt) = timed_avg(5, || reasoner.types_of("e42"));
+    row(&["query-time".into(), us(setup), "0".into(), us(q_virt)]);
+    // sanity: both agree
+    let mut a = mat.objects("e42", "type");
+    let mut b = reasoner.types_of("e42");
+    a.sort();
+    b.sort();
+    assert_eq!(a, b, "materialization and query-time reasoning disagree");
+    println!("\n(consistency check passed: both strategies infer identical types)");
+}

@@ -1,0 +1,73 @@
+//! **E9** — end-to-end interactive latency: per-layer time breakdown of each
+//! Figure-1 turn type through the full pipeline.
+//!
+//! Expected shape: every turn completes in interactive time (well under
+//! 100 ms at demo scale); the NL2SQL turn is dominated by the soundness
+//! layer (k UQ samples each executing a candidate query), which is exactly
+//! the efficiency/soundness trade-off Figure 2 draws (P1 → enables → P4).
+
+use cda_bench::{header, row, us};
+use cda_core::demo::{demo_system, FIGURE1_TURNS};
+use std::time::Duration;
+
+fn main() {
+    header("E9", "per-layer latency of one conversation turn (mean of 20 runs)");
+    let turns: Vec<(&str, &str)> = vec![
+        ("discovery", FIGURE1_TURNS[0]),
+        ("description", FIGURE1_TURNS[1]),
+        ("selection", FIGURE1_TURNS[2]),
+        ("seasonality", FIGURE1_TURNS[3]),
+        ("nl2sql", "What is the total employees in employment_by_type per canton?"),
+    ];
+    row(&[
+        "turn".into(),
+        "nl model".into(),
+        "infra".into(),
+        "soundness".into(),
+        "explain".into(),
+        "guidance".into(),
+        "total (measured)".into(),
+    ]);
+    const RUNS: usize = 20;
+    for (label, _) in &turns {
+        let mut sums = [Duration::ZERO; 6];
+        for run in 0..RUNS {
+            // fresh system per run; replay prior turns to reach this state
+            let mut cda = demo_system(run as u64);
+            for (prior_label, prior_text) in &turns {
+                let a = cda.process(prior_text);
+                if prior_label == label {
+                    sums[0] += a.timings.nl_model;
+                    sums[1] += a.timings.infrastructure;
+                    sums[2] += a.timings.soundness;
+                    sums[3] += a.timings.explainability;
+                    sums[4] += a.timings.guidance;
+                    sums[5] += a.timings.total();
+                    break;
+                }
+            }
+        }
+        row(&[
+            (*label).into(),
+            us(sums[0] / RUNS as u32),
+            us(sums[1] / RUNS as u32),
+            us(sums[2] / RUNS as u32),
+            us(sums[3] / RUNS as u32),
+            us(sums[4] / RUNS as u32),
+            us(sums[5] / RUNS as u32),
+        ]);
+    }
+
+    println!("\nsoundness cost scales with UQ sample count k (nl2sql turn):");
+    row(&["k".into(), "soundness time".into()]);
+    for k in [1usize, 3, 7, 15] {
+        let mut total = Duration::ZERO;
+        for run in 0..RUNS {
+            let mut cda = demo_system(run as u64);
+            cda.config.uq_samples = k;
+            let a = cda.process("What is the total employees in employment_by_type per canton?");
+            total += a.timings.soundness;
+        }
+        row(&[format!("{k}"), us(total / RUNS as u32)]);
+    }
+}

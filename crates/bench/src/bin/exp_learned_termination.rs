@@ -1,0 +1,99 @@
+//! **E2** — P1: learning-augmented pruning (learned adaptive early
+//! termination vs fixed `ef`, per Li et al. \[34\]).
+//!
+//! The workload mixes *easy* queries (perturbed dataset points) with *hard*
+//! ones (uniform random points far from the data), which is where a fixed
+//! `ef` wastes work: it must be sized for the hard tail. The learned policy
+//! predicts a per-query expansion budget from the query's entry-point
+//! distance. Expected shape: at matched recall, the learned policy spends
+//! fewer distance evaluations on the easy majority and more on the hard
+//! tail, beating every fixed setting on the cost/recall frontier.
+
+use cda_bench::{f, header, mean, row};
+use cda_vector::eval::{ground_truth, recall_at_k};
+use cda_vector::hnsw::{HnswIndex, HnswParams};
+use cda_vector::learned::{LearnedTermination, StagnationPolicy};
+use cda_vector::{Neighbor, VectorSet};
+
+const K: usize = 10;
+
+/// 70% easy queries (tightly perturbed data points — the answer is right at
+/// the entry region) and 30% hard ones (strongly perturbed — solvable, but
+/// the graph must search much further).
+fn mixed_queries(data: &VectorSet, n: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut out = data.queries_near(n * 7 / 10, 0.02, seed ^ 1);
+    out.extend(data.queries_near(n - out.len(), 0.35, seed ^ 2));
+    out
+}
+
+fn main() {
+    header("E2", "learned adaptive early termination vs fixed ef (HNSW, mixed difficulty)");
+    let (data, _) = VectorSet::gaussian_clusters(30_000, 32, 50, 0.15, 21).unwrap();
+    let queries = mixed_queries(&data, 60, 22);
+    let truth = ground_truth(&data, &queries, K);
+    let params = HnswParams { m: 12, ef_construction: 80, ef_search: 0, seed: 2 };
+    let hnsw = HnswIndex::build(&data, params);
+
+    row(&["policy".into(), "recall@10".into(), "avg dist evals".into(), "p95 evals".into()]);
+
+    for ef in [20usize, 40, 80, 160, 320] {
+        let mut evals = Vec::new();
+        let results: Vec<Vec<Neighbor>> = queries
+            .iter()
+            .map(|q| {
+                let (hits, stats) = hnsw.search_with_stats(&data, q, K, ef);
+                evals.push(stats.distance_evals as f64);
+                hits
+            })
+            .collect();
+        report(&format!("fixed ef={ef}"), &truth, &results, &evals);
+    }
+
+    // train on a *separate* mixed sample so the evaluation is held-out
+    let train_queries = mixed_queries(&data, 80, 77);
+    for target in [0.8f64, 0.9, 0.95] {
+        let model =
+            LearnedTermination::train_on_queries(&hnsw, &data, &train_queries, K, target);
+        let mut evals = Vec::new();
+        let results: Vec<Vec<Neighbor>> = queries
+            .iter()
+            .map(|q| {
+                let (hits, stats) = model.search_with_stats(&hnsw, &data, q, K);
+                evals.push(stats.distance_evals as f64);
+                hits
+            })
+            .collect();
+        report(&format!("budget t={target}"), &truth, &results, &evals);
+    }
+    for target in [0.8f64, 0.9, 0.95] {
+        let policy =
+            StagnationPolicy::train_on_queries(&hnsw, &data, &train_queries, K, target);
+        let mut evals = Vec::new();
+        let results: Vec<Vec<Neighbor>> = queries
+            .iter()
+            .map(|q| {
+                let (hits, stats) = policy.search_with_stats(&hnsw, &data, q, K);
+                evals.push(stats.distance_evals as f64);
+                hits
+            })
+            .collect();
+        report(
+            &format!("patience t={target} (T={})", policy.patience),
+            &truth,
+            &results,
+            &evals,
+        );
+    }
+}
+
+fn report(label: &str, truth: &[Vec<Neighbor>], results: &[Vec<Neighbor>], evals: &[f64]) {
+    let mut sorted = evals.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let p95 = sorted[(sorted.len() as f64 * 0.95) as usize - 1];
+    row(&[
+        label.into(),
+        f(recall_at_k(truth, results, K)),
+        format!("{:.0}", mean(evals)),
+        format!("{p95:.0}"),
+    ]);
+}

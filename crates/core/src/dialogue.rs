@@ -1,0 +1,907 @@
+//! Multi-turn dialogue processing — layer ⓐ, the orchestrator.
+//!
+//! [`CdaSystem::process`] routes each utterance through intent
+//! classification and the per-intent handlers, each of which exercises the
+//! reliability mechanisms its answer needs: grounding before retrieval,
+//! consistency-UQ before claiming, provenance before explaining, abstention
+//! below threshold, and guidance suggestions after answering. Every step is
+//! recorded in the lineage and conversation graphs.
+
+use crate::answer::{AnswerStatus, AnswerTurn, PropertyTag};
+use crate::system::CdaSystem;
+use cda_guidance::graph::{EdgeKind, NodeRole};
+use cda_guidance::planner::{Action, SpeculativePlanner};
+use cda_kg::linking::LinkerConfig;
+use cda_nlmodel::generation;
+use cda_nlmodel::intent::{classify_intent, Intent};
+use cda_nlmodel::lm::Nl2SqlPrompt;
+use cda_nlmodel::nl2sql::{parse_question, refine_task, WorkloadTable};
+use cda_provenance::checks::check_losslessness;
+use cda_provenance::lineage::NodeKind;
+use cda_provenance::Explanation;
+use cda_soundness::consistency::consistency_confidence;
+use cda_timeseries::seasonality::detect_seasonality;
+use cda_timeseries::decompose::decompose;
+use std::time::Instant;
+
+/// The window (observations) analyzed when a series is longer — the
+/// Figure-1 move of "only reporting data for the last 10 years" (120 monthly
+/// observations).
+pub const ANALYSIS_WINDOW: usize = 120;
+
+impl CdaSystem {
+    /// Process one user utterance and produce the annotated system turn.
+    pub fn process(&mut self, utterance: &str) -> AnswerTurn {
+        let turn = self.state.turn;
+        self.state.turn += 1;
+        self.profile.observe(utterance);
+        let user_node = self.conversation.add_node(NodeRole::User, utterance, turn);
+        let utt_lin = self
+            .lineage
+            .add(NodeKind::Utterance(utterance.to_owned()), &[])
+            .expect("no parents");
+
+        let t_nl = Instant::now();
+        let intent = classify_intent(utterance, !self.state.offered.is_empty());
+        let nl_elapsed = t_nl.elapsed();
+        let intent_lin = self
+            .lineage
+            .add(
+                NodeKind::ModelCall(format!(
+                    "intent={} confidence={:.2}",
+                    intent.intent.label(),
+                    intent.confidence
+                )),
+                &[utt_lin],
+            )
+            .expect("utterance exists");
+
+        let mut answer = match intent.intent {
+            Intent::DatasetDiscovery => self.handle_discovery(utterance, intent_lin),
+            Intent::DatasetDescription => self.handle_description(utterance, intent_lin),
+            Intent::Selection => self.handle_selection(utterance, intent_lin),
+            Intent::TimeSeriesInsight => self.handle_timeseries(intent_lin),
+            Intent::Analysis => self.handle_analysis(utterance, intent_lin),
+            Intent::Unclear => self.handle_unclear(intent_lin),
+        };
+        answer.timings.nl_model += nl_elapsed;
+
+        // Conversation graph bookkeeping, including alternatives (P5).
+        let sys_node = self.conversation.add_node(
+            NodeRole::System,
+            answer.text.chars().take(80).collect::<String>(),
+            turn,
+        );
+        let _ = self.conversation.add_edge(
+            user_node,
+            sys_node,
+            EdgeKind::Utterance,
+            answer.confidence.unwrap_or(1.0),
+        );
+        for (i, s) in answer.suggestions.iter().enumerate() {
+            let alt = self.conversation.add_node(NodeRole::Answer, s.clone(), turn);
+            let conf = 0.9 - 0.1 * i as f64;
+            let _ = self.conversation.add_edge(sys_node, alt, EdgeKind::Alternative, conf);
+        }
+        // Query log (layer ⓓ): the session's own history is a data source.
+        self.query_log.record(crate::log::LogEntry {
+            turn,
+            utterance: utterance.to_owned(),
+            intent: intent.intent.label().to_owned(),
+            code: answer.executed_sql.clone(),
+            outcome: match answer.status {
+                AnswerStatus::Answered => crate::log::LoggedOutcome::Answered,
+                AnswerStatus::AskedClarification => crate::log::LoggedOutcome::Clarified,
+                AnswerStatus::Abstained(_) => crate::log::LoggedOutcome::Abstained,
+            },
+            confidence: answer.confidence,
+        });
+        answer
+    }
+
+    /// Ground the utterance's terminology (P2): returns (assumption text,
+    /// expanded query, grounding confidence).
+    fn ground(&self, utterance: &str) -> (Option<String>, String, f64) {
+        if !self.config.grounding {
+            return (None, utterance.to_owned(), 0.5);
+        }
+        let tokens = cda_kg::vocab::tokenize(utterance);
+        // try multiword spans first, longest match
+        let mut best: Option<(cda_kg::vocab::Disambiguation, String)> = None;
+        for n in (1..=3usize).rev() {
+            for window in tokens.windows(n) {
+                let term = window.join(" ");
+                if !self.vocab.knows(&term) {
+                    continue;
+                }
+                let cands = self.vocab.disambiguate(&term, utterance);
+                if let Some(top) = cands.into_iter().next() {
+                    let better = best
+                        .as_ref()
+                        .is_none_or(|(b, _)| top.confidence > b.confidence);
+                    if better {
+                        best = Some((top, term));
+                    }
+                }
+            }
+            if best.is_some() {
+                break;
+            }
+        }
+        match best {
+            Some((d, term)) => {
+                let assumption = format!(
+                    "data about {} (reading {:?} as {})",
+                    d.concept.domains.join(" / "),
+                    term,
+                    d.concept.id.replace('_', " ")
+                );
+                let expanded = format!(
+                    "{utterance} {} {}",
+                    d.concept.id.replace('_', " "),
+                    d.concept.domains.join(" ")
+                );
+                (Some(assumption), expanded, d.confidence)
+            }
+            None => (None, utterance.to_owned(), 0.5),
+        }
+    }
+
+    fn handle_discovery(&mut self, utterance: &str, parent: usize) -> AnswerTurn {
+        let t_nl = Instant::now();
+        let (assumption, expanded, ground_conf) = self.ground(utterance);
+        let nl_elapsed = t_nl.elapsed();
+        let t_infra = Instant::now();
+        let hits = self.catalog.discover_with_threshold(
+            &expanded,
+            2,
+            self.config.efficiency,
+            self.config.discovery_threshold,
+        );
+        let infra_elapsed = t_infra.elapsed();
+        if hits.is_empty() {
+            let mut a = AnswerTurn::answered(
+                "I could not find any dataset matching your request. Could you rephrase?",
+            );
+            a.status = AnswerStatus::AskedClarification;
+            a.tag(PropertyTag::Guidance);
+            a.tag(PropertyTag::Soundness); // an honest empty set, not a guess
+            a.timings.nl_model += nl_elapsed;
+            a.timings.infrastructure += infra_elapsed;
+            return a;
+        }
+        let options: Vec<(String, String)> = hits
+            .iter()
+            .filter_map(|h| {
+                self.catalog
+                    .get(&h.name)
+                    .ok()
+                    .map(|d| (d.name.clone(), d.description.clone()))
+            })
+            .collect();
+        self.state.offered = options.iter().map(|(n, _)| n.clone()).collect();
+        self.state.assumption = assumption.clone();
+        let text = generation::discovery_answer(
+            assumption.as_deref().unwrap_or(""),
+            &options,
+        );
+        let confidence = if self.config.grounding {
+            0.5 * ground_conf + 0.5 * hits[0].score
+        } else {
+            hits[0].score
+        };
+        // lineage: datasets consulted + answer
+        let mut parents = vec![parent];
+        for (name, _) in &options {
+            if let Ok(id) = self.lineage.add(NodeKind::Dataset(name.clone()), &[]) {
+                parents.push(id);
+            }
+        }
+        let _ = self.lineage.add(NodeKind::Answer("dataset options offered".into()), &parents);
+        let mut a = AnswerTurn::answered(text).with_confidence(confidence);
+        a.timings.nl_model += nl_elapsed;
+        a.timings.infrastructure += infra_elapsed;
+        a.status = AnswerStatus::AskedClarification;
+        a.tag(PropertyTag::Efficiency);
+        if self.config.grounding && assumption.is_some() {
+            a.tag(PropertyTag::Grounding);
+            a.tag(PropertyTag::Explainability); // the assumption is stated
+        }
+        a.tag(PropertyTag::Guidance); // ends with a follow-up question
+        a
+    }
+
+    fn handle_description(&mut self, utterance: &str, parent: usize) -> AnswerTurn {
+        let t_nl = Instant::now();
+        let candidates = if self.config.grounding {
+            let mentions = self.linker.extract(utterance);
+            mentions
+                .iter()
+                .flat_map(|m| self.linker.link(&m.surface, utterance, LinkerConfig::default()))
+                .collect::<Vec<_>>()
+        } else {
+            Vec::new()
+        };
+        let nl_elapsed = t_nl.elapsed();
+        // map the best-linked entity to a dataset; fall back to name matching
+        let (target, confidence) = candidates
+            .first()
+            .and_then(|c| self.catalog.get(&c.entity_id).ok().map(|d| (d.name.clone(), c.score)))
+            .or_else(|| {
+                let lower = utterance.to_lowercase();
+                self.catalog
+                    .datasets()
+                    .iter()
+                    .find(|d| {
+                        d.keywords.iter().any(|k| lower.contains(k.as_str()))
+                            || lower.contains(&d.name.replace('_', " "))
+                    })
+                    .map(|d| (d.name.clone(), 0.6))
+            })
+            .unzip();
+        let Some(name) = target else {
+            let mut a = AnswerTurn::answered(
+                "I do not have a dataset by that name. You can ask for an overview of the \
+                 available data sources.",
+            );
+            a.status = AnswerStatus::AskedClarification;
+            a.tag(PropertyTag::Guidance);
+            return a;
+        };
+        let dataset = self.catalog.get(&name).expect("linked dataset exists");
+        let (rows, cols) = dataset
+            .table
+            .as_ref()
+            .map_or((dataset.series.as_ref().map_or(0, |s| s.len()), 1), |t| {
+                (t.num_rows(), t.num_columns())
+            });
+        let mut text =
+            generation::describe_dataset(&dataset.name, &dataset.description, rows, cols);
+        if !dataset.source_url.is_empty() {
+            text.push_str(&format!("\nSource: {}", dataset.source_url));
+        }
+        let ds_lin = self.lineage.add(NodeKind::Dataset(name.clone()), &[]).expect("root");
+        let _ = self
+            .lineage
+            .add(NodeKind::Answer(format!("description of {name}")), &[parent, ds_lin]);
+        let suggestions = self.suggest(Some(&name));
+        let mut a = AnswerTurn::answered(text)
+            .with_confidence(confidence.unwrap_or(0.6))
+            .with_suggestions(suggestions);
+        a.timings.nl_model += nl_elapsed;
+        a.tag(PropertyTag::Soundness); // provenance: source cited
+        if self.config.grounding {
+            a.tag(PropertyTag::Grounding);
+        }
+        a
+    }
+
+    fn handle_selection(&mut self, utterance: &str, parent: usize) -> AnswerTurn {
+        let lower = utterance.to_lowercase();
+        let tokens = cda_kg::vocab::tokenize(&lower);
+        let chosen = self
+            .state
+            .offered
+            .iter()
+            .find(|name| {
+                let words: Vec<String> = name.split('_').map(str::to_owned).collect();
+                words.iter().any(|w| tokens.contains(w))
+                    || self.catalog.get(name).is_ok_and(|d| {
+                        d.keywords.iter().any(|k| tokens.contains(k))
+                    })
+            })
+            .cloned()
+            .or_else(|| self.state.offered.first().cloned());
+        let Some(name) = chosen else {
+            let mut a = AnswerTurn::answered(
+                "I have not offered any options yet — ask for an overview first.",
+            );
+            a.status = AnswerStatus::AskedClarification;
+            a.tag(PropertyTag::Guidance);
+            return a;
+        };
+        self.state.focused = Some(name.clone());
+        self.state.offered.clear();
+        let dataset = self.catalog.get(&name).expect("offered dataset exists");
+        let t_infra = Instant::now();
+        let mut text = format!("Here is an overview of {}.\n", name.replace('_', " "));
+        // data rotting (Sec. 3.1): stale data carries a P4 caveat
+        let rot_caveat = dataset.freshness.caveat(self.catalog.clock());
+        if let Some(table) = &dataset.table {
+            text.push_str(&generation::tabular_answer(table, &dataset.source_url, 5));
+        } else if let Some(series) = &dataset.series {
+            text.push_str(&format!(
+                "{} observations, mean {:.2}, standard deviation {:.2}.\n",
+                series.len(),
+                series.mean(),
+                series.std_dev()
+            ));
+            if !dataset.source_url.is_empty() {
+                text.push_str(&format!("Source: {}\n", dataset.source_url));
+            }
+        }
+        if let Some(caveat) = rot_caveat {
+            text.push_str(&caveat);
+            text.push('\n');
+        }
+        let infra_elapsed = t_infra.elapsed();
+        let ds_lin = self.lineage.add(NodeKind::Dataset(name.clone()), &[]).expect("root");
+        let _ = self
+            .lineage
+            .add(NodeKind::Answer(format!("overview of {name}")), &[parent, ds_lin]);
+        let suggestions = self.suggest(Some(&name));
+        let stale = text.contains("overdue");
+        let mut a = AnswerTurn::answered(text).with_suggestions(suggestions);
+        a.timings.infrastructure += infra_elapsed;
+        a.tag(PropertyTag::Explainability); // source cited
+        if stale {
+            a.tag(PropertyTag::Soundness); // the staleness caveat is a P4 act
+        }
+        a
+    }
+
+    fn handle_timeseries(&mut self, parent: usize) -> AnswerTurn {
+        // choose the focused dataset if it has a series, else any series
+        let name = self
+            .state
+            .focused
+            .clone()
+            .filter(|n| self.catalog.get(n).is_ok_and(|d| d.series.is_some()))
+            .or_else(|| {
+                self.catalog
+                    .datasets()
+                    .iter()
+                    .find(|d| d.series.is_some())
+                    .map(|d| d.name.clone())
+            });
+        let Some(name) = name else {
+            let mut a = AnswerTurn::answered(
+                "I have no time-series dataset in focus. Ask for an overview first.",
+            );
+            a.status = AnswerStatus::AskedClarification;
+            a.tag(PropertyTag::Guidance);
+            return a;
+        };
+        let dataset = self.catalog.get(&name).expect("series dataset exists");
+        let series = dataset.series.clone().expect("series present");
+        let source = dataset.source_url.clone();
+        let t_infra = Instant::now();
+        // sufficiency gate (P4)
+        if series.len() < self.config.min_observations {
+            let text = generation::insufficient_answer(
+                "seasonality insights",
+                self.config.min_observations,
+                series.len(),
+            );
+            let mut a = AnswerTurn::answered(text);
+            a.status = AnswerStatus::Abstained("insufficient data".into());
+            a.tag(PropertyTag::Soundness);
+            a.timings.infrastructure += t_infra.elapsed();
+            return a;
+        }
+        // trim to the analysis window (the "last 10 years" move)
+        let (analyzed, span_note) = if series.len() > ANALYSIS_WINDOW {
+            (
+                series.slice(series.len() - ANALYSIS_WINDOW, series.len()),
+                Some(format!(
+                    "I am only reporting the most recent {ANALYSIS_WINDOW} observations since \
+                     there is no sufficient data earlier."
+                )),
+            )
+        } else {
+            (series.clone(), None)
+        };
+        let detection = detect_seasonality(&analyzed, self.config.min_observations);
+        let infra_elapsed = t_infra.elapsed();
+        match detection {
+            Err(e) => {
+                let mut a = AnswerTurn::answered(format!(
+                    "I could not establish a reliable seasonal pattern ({e}). I would rather \
+                     not guess."
+                ));
+                a.status = AnswerStatus::Abstained(e.to_string());
+                a.tag(PropertyTag::Soundness);
+                a.timings.infrastructure += infra_elapsed;
+                a
+            }
+            Ok(result) => {
+                if self.config.soundness && result.confidence < self.config.answer_threshold {
+                    let mut a = AnswerTurn::answered(format!(
+                        "The best seasonal-period candidate is {} but my confidence ({:.0}%) is \
+                         below my reporting threshold, so I will not state it as a finding.",
+                        result.period,
+                        result.confidence * 100.0
+                    ));
+                    a.status = AnswerStatus::Abstained("confidence below threshold".into());
+                    a.tag(PropertyTag::Soundness);
+                    a.timings.infrastructure += infra_elapsed;
+                    return a;
+                }
+                let code = generation::decomposition_snippet(&name, "value", result.period);
+                let mut text = generation::seasonality_answer(
+                    result.period,
+                    result.confidence,
+                    span_note.as_deref(),
+                    &code,
+                );
+                let t_expl = Instant::now();
+                let explanation = if self.config.explainability {
+                    let trend = decompose(&analyzed, result.period)
+                        .map(|d| d.trend_slope())
+                        .unwrap_or(0.0);
+                    text.push_str(&format!(
+                        "\nOverall trend: {} ({:+.3} per observation).",
+                        if trend > 0.0 { "increasing" } else { "decreasing" },
+                        trend
+                    ));
+                    let ds_lin =
+                        self.lineage.add(NodeKind::Dataset(name.clone()), &[]).expect("root");
+                    let comp_lin = self
+                        .lineage
+                        .add(
+                            NodeKind::Computation(format!(
+                                "seasonal decomposition period={}",
+                                result.period
+                            )),
+                            &[parent, ds_lin],
+                        )
+                        .expect("parents exist");
+                    let _ = self.lineage.add(
+                        NodeKind::Answer(format!(
+                            "seasonality period={} confidence={:.2}",
+                            result.period, result.confidence
+                        )),
+                        &[comp_lin],
+                    );
+                    Some(
+                        Explanation::new(format!(
+                            "Seasonality of {name}: period {} detected from {} observations",
+                            result.period,
+                            analyzed.len()
+                        ))
+                        .with_sources(vec![source])
+                        .with_code(code)
+                        .with_confidence(result.confidence),
+                    )
+                } else {
+                    None
+                };
+                let expl_elapsed = t_expl.elapsed();
+                let suggestions = self.suggest(Some(&name));
+                let mut a = AnswerTurn::answered(text)
+                    .with_confidence(result.confidence)
+                    .with_suggestions(suggestions);
+                if let Some(e) = explanation {
+                    a = a.with_explanation(e);
+                }
+                a.timings.infrastructure += infra_elapsed;
+                a.timings.explainability += expl_elapsed;
+                a
+            }
+        }
+    }
+
+    fn handle_analysis(&mut self, utterance: &str, parent: usize) -> AnswerTurn {
+        let tables = self.workload_tables();
+        let t_nl = Instant::now();
+        // full parse first; else treat the utterance as an iterative
+        // refinement of the previous task ("and per sector?", "only ZH")
+        let parsed = parse_question(utterance, &tables).or_else(|| {
+            self.state
+                .last_task
+                .as_ref()
+                .and_then(|prev| refine_task(prev, utterance, &tables))
+        });
+        let Some(task) = parsed else {
+            return self.handle_unclear(parent);
+        };
+        let schema = self
+            .catalog
+            .sql()
+            .get(&task.table)
+            .map(|e| e.table.schema().clone())
+            .unwrap_or_default();
+        let other_tables: Vec<String> = self
+            .catalog
+            .sql()
+            .table_names()
+            .into_iter()
+            .filter(|n| *n != task.table)
+            .collect();
+        let prompt = Nl2SqlPrompt { task: task.clone(), schema, other_tables };
+        let nl_elapsed = t_nl.elapsed();
+
+        // Soundness: consistency UQ chooses the SQL and its confidence.
+        let t_sound = Instant::now();
+        let (sql, confidence) = if self.config.soundness {
+            match consistency_confidence(
+                &self.lm,
+                &prompt,
+                self.catalog.sql(),
+                self.config.uq_samples,
+                self.config.temperature,
+            ) {
+                Ok(report) => match report.chosen_sql {
+                    Some(sql) => (sql, report.confidence),
+                    None => {
+                        let mut a = AnswerTurn::answered(
+                            "None of my candidate queries executed successfully, so I cannot \
+                             answer this reliably.",
+                        );
+                        a.status = AnswerStatus::Abstained("no executable candidate".into());
+                        a.tag(PropertyTag::Soundness);
+                        return a;
+                    }
+                },
+                Err(_) => (prompt.task.to_sql(), 0.0),
+            }
+        } else {
+            let g = self.lm.generate_sql(&prompt, self.config.temperature, 0);
+            (g.sql.clone(), g.naive_confidence())
+        };
+        let sound_elapsed = t_sound.elapsed();
+        if self.config.soundness && confidence < self.config.answer_threshold {
+            let mut a = AnswerTurn::answered(format!(
+                "My candidate queries disagree (consistency {:.0}%), which usually means I am \
+                 about to hallucinate. Could you rephrase or confirm the table and columns?",
+                confidence * 100.0
+            ));
+            a.status = AnswerStatus::Abstained("low consistency".into());
+            a.tag(PropertyTag::Soundness);
+            a.tag(PropertyTag::Guidance);
+            a.timings.soundness += sound_elapsed;
+            return a;
+        }
+        let t_infra = Instant::now();
+        let executed = cda_sql::execute(self.catalog.sql(), &sql);
+        let infra_elapsed = t_infra.elapsed();
+        let Ok(result) = executed else {
+            let mut a = AnswerTurn::answered(
+                "The generated query failed to execute; I will not fabricate a result.",
+            );
+            a.status = AnswerStatus::Abstained("execution failure".into());
+            a.tag(PropertyTag::Soundness);
+            a.timings.soundness += sound_elapsed;
+            a.timings.infrastructure += infra_elapsed;
+            return a;
+        };
+        let source = self
+            .catalog
+            .get(&task.table)
+            .map(|d| d.source_url.clone())
+            .unwrap_or_default();
+        let text = generation::tabular_answer(&result.table, &source, 10);
+        // Explainability: provenance + losslessness verification.
+        let t_expl = Instant::now();
+        let explanation = if self.config.explainability {
+            let lossless = (result.table.num_rows() > 0)
+                .then(|| check_losslessness(self.catalog.sql(), &sql, &result.table, 0).ok())
+                .flatten();
+            let cited = result
+                .table
+                .lineages()
+                .iter()
+                .flatten()
+                .copied()
+                .collect::<std::collections::BTreeSet<_>>()
+                .into_iter()
+                .collect::<Vec<_>>();
+            let ds_lin =
+                self.lineage.add(NodeKind::Dataset(task.table.clone()), &[]).expect("root");
+            let q_lin = self
+                .lineage
+                .add(NodeKind::Query(sql.clone()), &[parent, ds_lin])
+                .expect("parents exist");
+            let _ = self.lineage.add(
+                NodeKind::Answer(format!("{} result rows", result.table.num_rows())),
+                &[q_lin],
+            );
+            Some(
+                Explanation::new(format!("Executed against {}", task.table))
+                    .with_sources(vec![task.table.clone()])
+                    .with_rows(cited)
+                    .with_plan(result.plan.explain())
+                    .with_code(sql.clone())
+                    .with_confidence(confidence)
+                    .with_verification(lossless, None),
+            )
+        } else {
+            None
+        };
+        let expl_elapsed = t_expl.elapsed();
+        let t_guide = Instant::now();
+        let suggestions = self.suggest(Some(&task.table));
+        let guide_elapsed = t_guide.elapsed();
+        self.state.last_task = Some(task.clone());
+        let mut a = AnswerTurn::answered(text)
+            .with_confidence(confidence)
+            .with_suggestions(suggestions);
+        a.executed_sql = Some(sql.clone());
+        if let Some(e) = explanation {
+            a = a.with_explanation(e);
+        }
+        a.tag(PropertyTag::Efficiency);
+        a.timings.nl_model += nl_elapsed;
+        a.timings.soundness += sound_elapsed;
+        a.timings.infrastructure += infra_elapsed;
+        a.timings.explainability += expl_elapsed;
+        a.timings.guidance += guide_elapsed;
+        a
+    }
+
+    fn handle_unclear(&mut self, parent: usize) -> AnswerTurn {
+        let _ = self.lineage.add(NodeKind::Answer("clarification requested".into()), &[parent]);
+        if !self.config.guidance {
+            let mut a = AnswerTurn::answered("I did not understand the request.");
+            a.status = AnswerStatus::AskedClarification;
+            return a;
+        }
+        let names: Vec<String> = self
+            .catalog
+            .datasets()
+            .iter()
+            .map(|d| d.name.replace('_', " "))
+            .collect();
+        let mut a = AnswerTurn::answered(format!(
+            "I did not quite understand. I can (a) give an overview of available datasets \
+             ({}), (b) describe one of them, (c) run aggregate queries, or (d) analyze trends \
+             and seasonality. What would you like?",
+            names.join(", ")
+        ));
+        a.status = AnswerStatus::AskedClarification;
+        a.tag(PropertyTag::Guidance);
+        a
+    }
+
+    /// Rank follow-up suggestions with the speculative planner (P5).
+    fn suggest(&self, dataset: Option<&str>) -> Vec<String> {
+        if !self.config.guidance {
+            return Vec::new();
+        }
+        let Some(name) = dataset else {
+            return Vec::new();
+        };
+        let Ok(ds) = self.catalog.get(name) else {
+            return Vec::new();
+        };
+        let mut actions = Vec::new();
+        if ds.series.is_some() {
+            actions.push(Action::leaf(
+                "seasonality",
+                format!("ask for seasonality insights of {}", name.replace('_', " ")),
+            ));
+            actions.push(Action::leaf(
+                "trend",
+                format!("ask for the overall trend of {}", name.replace('_', " ")),
+            ));
+        }
+        if let Some(table) = &ds.table {
+            let numeric = table
+                .schema()
+                .fields()
+                .iter()
+                .find(|f| f.data_type().is_numeric())
+                .map(|f| f.name().to_owned());
+            let string_col = table
+                .schema()
+                .fields()
+                .iter()
+                .find(|f| f.data_type() == cda_dataframe::DataType::Str)
+                .map(|f| f.name().to_owned());
+            if let (Some(m), Some(g)) = (numeric, string_col) {
+                actions.push(Action::leaf(
+                    "aggregate",
+                    format!("ask for the total {m} in {name} per {g}"),
+                ));
+            }
+        }
+        if actions.is_empty() {
+            return Vec::new();
+        }
+        let planner = SpeculativePlanner::default();
+        let score = |a: &Action| match a.id.as_str() {
+            "seasonality" => 0.9,
+            "aggregate" => 0.8,
+            "trend" => 0.7,
+            _ => 0.5,
+        };
+        planner
+            .rank(&actions, &score)
+            .map(|ranked| ranked.into_iter().take(2).map(|r| r.action.description).collect())
+            .unwrap_or_default()
+    }
+
+    /// Schemas + example string values of all SQL tables, for the parser.
+    pub fn workload_tables(&self) -> Vec<WorkloadTable> {
+        self.catalog
+            .sql()
+            .table_names()
+            .into_iter()
+            .filter_map(|name| {
+                let entry = self.catalog.sql().get(&name).ok()?;
+                let schema = entry.table.schema().clone();
+                let mut string_values = Vec::new();
+                for (i, f) in schema.fields().iter().enumerate() {
+                    if f.data_type() == cda_dataframe::DataType::Str {
+                        let mut vals: Vec<String> = Vec::new();
+                        if let Ok(col) = entry.table.column(i) {
+                            for v in col.iter().take(100) {
+                                if let cda_dataframe::Value::Str(s) = v {
+                                    if !vals.contains(&s) {
+                                        vals.push(s);
+                                    }
+                                }
+                                if vals.len() >= 20 {
+                                    break;
+                                }
+                            }
+                        }
+                        string_values.push((f.name().to_owned(), vals));
+                    }
+                }
+                Some(WorkloadTable { name, schema, string_values })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demo::{demo_system, FIGURE1_TURNS};
+    use crate::reliability::CdaConfig;
+
+    #[test]
+    fn figure1_turn1_discovery_offers_options() {
+        let mut s = demo_system(1);
+        let a = s.process(FIGURE1_TURNS[0]);
+        assert_eq!(a.status, AnswerStatus::AskedClarification);
+        assert!(a.text.contains("I am assuming"));
+        assert!(a.text.to_lowercase().contains("barometer"));
+        assert!(a.properties.contains(&PropertyTag::Grounding));
+        assert!(a.properties.contains(&PropertyTag::Efficiency));
+        assert!(a.properties.contains(&PropertyTag::Guidance));
+        assert!(a.confidence.unwrap() > 0.3);
+    }
+
+    #[test]
+    fn figure1_turn2_describes_barometer_with_source() {
+        let mut s = demo_system(1);
+        s.process(FIGURE1_TURNS[0]);
+        let a = s.process(FIGURE1_TURNS[1]);
+        assert!(a.text.contains("monthly leading indicator"));
+        assert!(a.text.contains("arbeit.swiss"));
+        assert!(a.properties.contains(&PropertyTag::Soundness));
+    }
+
+    #[test]
+    fn figure1_turn3_selection_focuses_barometer() {
+        let mut s = demo_system(1);
+        s.process(FIGURE1_TURNS[0]);
+        s.process(FIGURE1_TURNS[1]);
+        let a = s.process(FIGURE1_TURNS[2]);
+        assert_eq!(s.state.focused.as_deref(), Some("labour_barometer"));
+        assert!(a.text.contains("overview"));
+    }
+
+    #[test]
+    fn figure1_turn4_seasonality_with_confidence_and_code() {
+        let mut s = demo_system(1);
+        for t in &FIGURE1_TURNS[..3] {
+            s.process(t);
+        }
+        let a = s.process(FIGURE1_TURNS[3]);
+        assert_eq!(a.status, AnswerStatus::Answered, "{}", a.text);
+        assert!(a.text.contains("best fitted seasonal period is 6"), "{}", a.text);
+        assert!(a.text.contains("seasonal_decompose"));
+        assert!(a.text.contains("recent 120 observations"));
+        assert!(a.confidence.unwrap() >= 0.5);
+        assert!(a.explanation.is_some());
+        assert!(a.properties.contains(&PropertyTag::Explainability));
+        assert!(a.properties.contains(&PropertyTag::Soundness));
+    }
+
+    #[test]
+    fn analysis_turn_executes_sql_with_provenance() {
+        let mut s = demo_system(1);
+        let a = s.process("What is the total employees in employment_by_type per canton?");
+        assert_eq!(a.status, AnswerStatus::Answered, "{}", a.text);
+        assert!(a.confidence.is_some());
+        let e = a.explanation.as_ref().unwrap();
+        assert!(e.code.contains("SUM(employees)"));
+        assert!(!e.cited_rows.is_empty());
+        assert!(e.lossless.as_ref().unwrap().lossless);
+    }
+
+    #[test]
+    fn follow_up_refinement_regroups_previous_task() {
+        let mut s = demo_system(1);
+        let a = s.process("What is the total employees in employment_by_type per canton?");
+        assert_eq!(a.status, AnswerStatus::Answered, "{}", a.text);
+        // iterative refinement (the paper's follow-up questions): regroup
+        let a = s.process("and per type instead?");
+        assert_eq!(a.status, AnswerStatus::Answered, "{}", a.text);
+        let sql = a.executed_sql.as_deref().unwrap_or_default();
+        assert!(sql.contains("GROUP BY type"), "{sql}");
+        assert!(sql.contains("SUM(employees)"), "{sql}");
+        // then narrow with a filter
+        let a = s.process("only for canton is ZH please, how many records?");
+        assert_eq!(a.status, AnswerStatus::Answered, "{}", a.text);
+        let sql = a.executed_sql.as_deref().unwrap_or_default();
+        assert!(sql.contains("canton = 'ZH'"), "{sql}");
+    }
+
+    #[test]
+    fn off_topic_discovery_returns_honest_empty_set() {
+        // P1's "return an empty set" requirement surfaced conversationally:
+        // an off-topic request must not be answered with irrelevant datasets
+        let mut s = demo_system(1);
+        let a = s.process("Give me an overview of quantum fluxberry trajectories");
+        assert_eq!(a.status, AnswerStatus::AskedClarification);
+        assert!(a.text.contains("could not find"), "{}", a.text);
+        assert!(a.properties.contains(&PropertyTag::Soundness));
+    }
+
+    #[test]
+    fn unclear_turn_asks_for_clarification() {
+        let mut s = demo_system(1);
+        let a = s.process("qwerty zxcv");
+        assert_eq!(a.status, AnswerStatus::AskedClarification);
+        assert!(a.text.contains("overview"));
+    }
+
+    #[test]
+    fn guidance_off_removes_suggestions_and_help() {
+        let mut s = demo_system(1).with_config(CdaConfig::without(PropertyTag::Guidance));
+        let a = s.process("qwerty zxcv");
+        assert!(!a.text.contains("seasonality"));
+        let a = s.process("What is the total employees in employment_by_type per canton?");
+        assert!(a.suggestions.is_empty());
+    }
+
+    #[test]
+    fn soundness_off_skips_abstention() {
+        // with a maximally hallucinating LM, soundness-off answers anyway or
+        // fails loudly, never abstains on low consistency
+        let mut s = demo_system(1).with_config(CdaConfig::without(PropertyTag::Soundness));
+        let a = s.process("What is the total employees in employment_by_type per canton?");
+        assert!(!matches!(a.status, AnswerStatus::Abstained(ref r) if r == "low consistency"));
+    }
+
+    #[test]
+    fn explainability_off_drops_explanations() {
+        let mut s = demo_system(1).with_config(CdaConfig::without(PropertyTag::Explainability));
+        let a = s.process("What is the total employees in employment_by_type per canton?");
+        assert!(a.explanation.is_none());
+    }
+
+    #[test]
+    fn lineage_grows_across_turns() {
+        let mut s = demo_system(1);
+        s.process(FIGURE1_TURNS[0]);
+        let after_one = s.lineage.len();
+        s.process(FIGURE1_TURNS[1]);
+        assert!(s.lineage.len() > after_one);
+        assert!(s.conversation.len() >= 4);
+    }
+
+    #[test]
+    fn timings_are_recorded() {
+        let mut s = demo_system(1);
+        let a = s.process("What is the total employees in employment_by_type per canton?");
+        assert!(a.timings.total().as_nanos() > 0);
+    }
+
+    #[test]
+    fn workload_tables_extract_string_values() {
+        let s = demo_system(1);
+        let tables = s.workload_tables();
+        let emp = tables.iter().find(|t| t.name == "employment_by_type").unwrap();
+        let (_, cantons) = emp
+            .string_values
+            .iter()
+            .find(|(c, _)| c == "canton")
+            .unwrap();
+        assert!(!cantons.is_empty());
+    }
+}

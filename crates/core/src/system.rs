@@ -1,0 +1,134 @@
+//! The compound CDA system: state and construction.
+//!
+//! [`CdaSystem`] owns one instance of every layer (Figure 1-right) plus the
+//! session-level records: the cross-component lineage graph (P3), the
+//! conversation graph (P5), and the user profile. Turn processing lives in
+//! [`crate::dialogue`].
+
+use crate::catalog::DatasetCatalog;
+use crate::log::QueryLog;
+use crate::reliability::CdaConfig;
+use cda_guidance::graph::ConversationGraph;
+use cda_guidance::profile::UserProfile;
+use cda_kg::linking::Linker;
+use cda_kg::vocab::Vocabulary;
+use cda_kg::TripleStore;
+use cda_nlmodel::lm::{SimLm, SimLmConfig};
+use cda_provenance::lineage::LineageGraph;
+
+/// Mutable per-conversation state.
+#[derive(Debug, Clone, Default)]
+pub struct DialogueState {
+    /// Turn counter.
+    pub turn: usize,
+    /// The dataset the conversation is currently focused on.
+    pub focused: Option<String>,
+    /// Options offered in the previous system turn (for Selection intent).
+    pub offered: Vec<String>,
+    /// The grounding assumption stated in the previous turn, if any.
+    pub assumption: Option<String>,
+    /// The last successfully executed analytic task (iterative refinement).
+    pub last_task: Option<cda_nlmodel::nl2sql::AnalyticTask>,
+}
+
+/// The compound Conversational Data Analytics system.
+#[derive(Debug, Clone)]
+pub struct CdaSystem {
+    /// Dataset catalog (ⓑ + ⓓ).
+    pub catalog: DatasetCatalog,
+    /// Domain knowledge graph (ⓓ).
+    pub kg: TripleStore,
+    /// Domain vocabulary (P2).
+    pub vocab: Vocabulary,
+    /// Entity linker (P2).
+    pub linker: Linker,
+    /// The (simulated) language model (ⓒ).
+    pub lm: SimLm,
+    /// Active reliability configuration.
+    pub config: CdaConfig,
+    /// Cross-component lineage of the session (P3).
+    pub lineage: LineageGraph,
+    /// Conversation graph with alternatives (P5).
+    pub conversation: ConversationGraph,
+    /// User expertise profile (P5).
+    pub profile: UserProfile,
+    /// Dialogue state.
+    pub state: DialogueState,
+    /// The session query log (itself a queryable data source, layer ⓓ).
+    pub query_log: QueryLog,
+}
+
+impl CdaSystem {
+    /// Assemble a system over a catalog and domain knowledge.
+    pub fn new(
+        catalog: DatasetCatalog,
+        kg: TripleStore,
+        vocab: Vocabulary,
+        linker: Linker,
+        lm_config: SimLmConfig,
+        config: CdaConfig,
+    ) -> Self {
+        Self {
+            catalog,
+            kg,
+            vocab,
+            linker,
+            lm: SimLm::new(lm_config),
+            config,
+            lineage: LineageGraph::new(),
+            conversation: ConversationGraph::new(),
+            profile: UserProfile::new(),
+            state: DialogueState::default(),
+            query_log: QueryLog::new(),
+        }
+    }
+
+    /// Replace the reliability configuration (used by the F2 ablation).
+    pub fn with_config(mut self, config: CdaConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Reset conversation state while keeping data and knowledge.
+    pub fn reset_conversation(&mut self) {
+        self.lineage = LineageGraph::new();
+        self.conversation = ConversationGraph::new();
+        self.profile = UserProfile::new();
+        self.state = DialogueState::default();
+        self.query_log = QueryLog::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demo::demo_system;
+
+    #[test]
+    fn demo_system_assembles() {
+        let s = demo_system(1);
+        assert!(s.catalog.len() >= 3);
+        assert!(!s.kg.is_empty());
+        assert!(!s.vocab.is_empty());
+        assert_eq!(s.state.turn, 0);
+    }
+
+    #[test]
+    fn reset_clears_session_state() {
+        let mut s = demo_system(1);
+        let _ = s.process("Give me an overview of the working force in Switzerland");
+        assert!(s.state.turn > 0);
+        assert!(!s.lineage.is_empty());
+        s.reset_conversation();
+        assert_eq!(s.state.turn, 0);
+        assert!(s.lineage.is_empty());
+        // data survives
+        assert!(s.catalog.len() >= 3);
+    }
+
+    #[test]
+    fn with_config_swaps_configuration() {
+        let s = demo_system(1).with_config(CdaConfig::none());
+        assert!(!s.config.soundness);
+    }
+}

@@ -1,0 +1,102 @@
+//! Error type for the dataframe substrate.
+
+use std::fmt;
+
+/// Errors produced by table construction, access, and kernels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataFrameError {
+    /// A column name was not found in the schema.
+    ColumnNotFound(String),
+    /// A positional index (row or column) was out of bounds.
+    IndexOutOfBounds {
+        /// What kind of index overflowed ("row" or "column").
+        kind: &'static str,
+        /// The offending index.
+        index: usize,
+        /// The container length.
+        len: usize,
+    },
+    /// Columns of a table disagreed in length.
+    LengthMismatch {
+        /// Expected length (from the first column / schema).
+        expected: usize,
+        /// Actual length encountered.
+        actual: usize,
+    },
+    /// Schema arity and column count disagree.
+    ArityMismatch {
+        /// Number of fields in the schema.
+        fields: usize,
+        /// Number of columns supplied.
+        columns: usize,
+    },
+    /// A value had the wrong type for its column.
+    TypeMismatch {
+        /// The expected data type.
+        expected: String,
+        /// The value actually provided, rendered.
+        actual: String,
+    },
+    /// CSV input could not be parsed.
+    CsvParse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// Two schemas were expected to be identical but differ.
+    SchemaMismatch(String),
+    /// Operation is not defined for the given data type.
+    UnsupportedType {
+        /// The operation attempted.
+        op: &'static str,
+        /// The data type it was attempted on.
+        ty: String,
+    },
+}
+
+impl fmt::Display for DataFrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ColumnNotFound(name) => write!(f, "column not found: {name:?}"),
+            Self::IndexOutOfBounds { kind, index, len } => {
+                write!(f, "{kind} index {index} out of bounds for length {len}")
+            }
+            Self::LengthMismatch { expected, actual } => {
+                write!(f, "column length mismatch: expected {expected}, got {actual}")
+            }
+            Self::ArityMismatch { fields, columns } => {
+                write!(f, "schema has {fields} fields but {columns} columns were supplied")
+            }
+            Self::TypeMismatch { expected, actual } => {
+                write!(f, "type mismatch: expected {expected}, got {actual}")
+            }
+            Self::CsvParse { line, message } => write!(f, "CSV parse error at line {line}: {message}"),
+            Self::SchemaMismatch(msg) => write!(f, "schema mismatch: {msg}"),
+            Self::UnsupportedType { op, ty } => write!(f, "operation {op} unsupported for type {ty}"),
+        }
+    }
+}
+
+impl std::error::Error for DataFrameError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = DataFrameError::ColumnNotFound("salary".into());
+        assert!(e.to_string().contains("salary"));
+        let e = DataFrameError::IndexOutOfBounds { kind: "row", index: 9, len: 3 };
+        assert!(e.to_string().contains('9') && e.to_string().contains('3'));
+        let e = DataFrameError::CsvParse { line: 4, message: "bad quote".into() };
+        assert!(e.to_string().contains("line 4"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err<E: std::error::Error>(_e: E) {}
+        takes_err(DataFrameError::SchemaMismatch("x".into()));
+    }
+}

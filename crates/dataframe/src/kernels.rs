@@ -1,0 +1,350 @@
+//! Vectorized compute kernels: sort, group, aggregate primitives.
+//!
+//! Kernels operate on whole tables/columns and return index vectors or masks,
+//! which callers feed to [`Table::take`] / [`Table::filter`]. Keeping the
+//! kernels index-based preserves lineage for free (P3) and avoids copying
+//! string payloads during intermediate steps (perf-book: avoid allocations on
+//! hot paths).
+
+use crate::table::Table;
+use crate::value::Value;
+use crate::Result;
+use std::collections::HashMap;
+
+/// Sort direction for one key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortOrder {
+    /// Ascending (NULLs first, per `Value::total_cmp`).
+    Asc,
+    /// Descending.
+    Desc,
+}
+
+/// One sort key: column index + direction.
+#[derive(Debug, Clone, Copy)]
+pub struct SortKey {
+    /// Column position in the table.
+    pub column: usize,
+    /// Direction.
+    pub order: SortOrder,
+}
+
+/// Compute the row permutation that sorts `table` by the given keys
+/// (stable; later keys break ties left to right as in SQL `ORDER BY`).
+pub fn sort_indices(table: &Table, keys: &[SortKey]) -> Result<Vec<usize>> {
+    // Materialize key values once; O(n·k) Values but avoids re-extracting
+    // per comparison.
+    let mut key_cols: Vec<Vec<Value>> = Vec::with_capacity(keys.len());
+    for k in keys {
+        let col = table.column(k.column)?;
+        key_cols.push(col.iter().collect());
+    }
+    let mut idx: Vec<usize> = (0..table.num_rows()).collect();
+    idx.sort_by(|&a, &b| {
+        for (k, col) in keys.iter().zip(&key_cols) {
+            let ord = col[a].total_cmp(&col[b]);
+            let ord = match k.order {
+                SortOrder::Asc => ord,
+                SortOrder::Desc => ord.reverse(),
+            };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    Ok(idx)
+}
+
+/// Hash-partition rows by the values of `key_columns`.
+///
+/// Returns `(group_keys, group_rows)` where `group_rows[g]` lists the row
+/// indices belonging to group `g`, in first-seen order (deterministic).
+pub fn group_indices(
+    table: &Table,
+    key_columns: &[usize],
+) -> Result<(Vec<Vec<Value>>, Vec<Vec<usize>>)> {
+    let mut map: HashMap<Vec<Value>, usize> = HashMap::new();
+    let mut keys: Vec<Vec<Value>> = Vec::new();
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for row in 0..table.num_rows() {
+        let mut key = Vec::with_capacity(key_columns.len());
+        for &c in key_columns {
+            key.push(table.value(row, c)?);
+        }
+        let g = *map.entry(key.clone()).or_insert_with(|| {
+            keys.push(key);
+            groups.push(Vec::new());
+            groups.len() - 1
+        });
+        groups[g].push(row);
+    }
+    Ok((keys, groups))
+}
+
+/// Aggregate function kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggKind {
+    /// COUNT(*) or COUNT(col) (nulls excluded when a column is given).
+    Count,
+    /// SUM of a numeric column (nulls skipped).
+    Sum,
+    /// Arithmetic mean (nulls skipped).
+    Avg,
+    /// Minimum (SQL semantics: nulls skipped).
+    Min,
+    /// Maximum.
+    Max,
+    /// Population standard deviation.
+    StdDev,
+    /// COUNT(DISTINCT col): number of distinct non-null values.
+    CountDistinct,
+}
+
+impl AggKind {
+    /// SQL name of the aggregate.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggKind::Count => "COUNT",
+            AggKind::Sum => "SUM",
+            AggKind::Avg => "AVG",
+            AggKind::Min => "MIN",
+            AggKind::Max => "MAX",
+            AggKind::StdDev => "STDDEV",
+            AggKind::CountDistinct => "COUNT_DISTINCT",
+        }
+    }
+}
+
+/// Apply an aggregate over the rows `rows` of column `col` in `table`.
+/// `col = None` means `COUNT(*)`.
+pub fn aggregate(table: &Table, rows: &[usize], kind: AggKind, col: Option<usize>) -> Result<Value> {
+    let Some(c) = col else {
+        return Ok(Value::Int(rows.len() as i64));
+    };
+    let column = table.column(c)?;
+    match kind {
+        AggKind::Count => {
+            let n = rows.iter().filter(|&&r| column.is_valid(r)).count();
+            Ok(Value::Int(n as i64))
+        }
+        AggKind::CountDistinct => {
+            let mut distinct = std::collections::HashSet::new();
+            for &r in rows {
+                let v = column.value(r)?;
+                if !v.is_null() {
+                    distinct.insert(v);
+                }
+            }
+            Ok(Value::Int(distinct.len() as i64))
+        }
+        AggKind::Sum | AggKind::Avg | AggKind::StdDev => {
+            let mut vals: Vec<f64> = Vec::new();
+            let mut all_int = true;
+            for &r in rows {
+                let v = column.value(r)?;
+                if v.is_null() {
+                    continue;
+                }
+                if !matches!(v, Value::Int(_)) {
+                    all_int = false;
+                }
+                match v.as_f64() {
+                    Some(x) => vals.push(x),
+                    None => {
+                        return Err(crate::DataFrameError::UnsupportedType {
+                            op: kind.name(),
+                            ty: column.data_type().to_string(),
+                        })
+                    }
+                }
+            }
+            if vals.is_empty() {
+                return Ok(Value::Null);
+            }
+            let sum: f64 = vals.iter().sum();
+            Ok(match kind {
+                AggKind::Sum => {
+                    if all_int {
+                        Value::Int(sum as i64)
+                    } else {
+                        Value::Float(sum)
+                    }
+                }
+                AggKind::Avg => Value::Float(sum / vals.len() as f64),
+                AggKind::StdDev => {
+                    let mean = sum / vals.len() as f64;
+                    let var =
+                        vals.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / vals.len() as f64;
+                    Value::Float(var.sqrt())
+                }
+                _ => unreachable!(),
+            })
+        }
+        AggKind::Min | AggKind::Max => {
+            let mut best: Option<Value> = None;
+            for &r in rows {
+                let v = column.value(r)?;
+                if v.is_null() {
+                    continue;
+                }
+                best = Some(match best {
+                    None => v,
+                    Some(b) => {
+                        let keep_new = match kind {
+                            AggKind::Min => v.total_cmp(&b) == std::cmp::Ordering::Less,
+                            _ => v.total_cmp(&b) == std::cmp::Ordering::Greater,
+                        };
+                        if keep_new {
+                            v
+                        } else {
+                            b
+                        }
+                    }
+                });
+            }
+            Ok(best.unwrap_or(Value::Null))
+        }
+    }
+}
+
+/// Distinct row indices of `table` over `key_columns` (first occurrence kept).
+pub fn distinct_indices(table: &Table, key_columns: &[usize]) -> Result<Vec<usize>> {
+    let (_, groups) = group_indices(table, key_columns)?;
+    Ok(groups.into_iter().map(|g| g[0]).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+    use crate::schema::{Field, Schema};
+    use crate::value::DataType;
+
+    fn demo() -> Table {
+        let schema = Schema::new(vec![
+            Field::new("g", DataType::Str),
+            Field::new("x", DataType::Int),
+            Field::new("y", DataType::Float),
+        ]);
+        Table::from_columns(
+            schema,
+            vec![
+                Column::from_strs(&["a", "b", "a", "b", "a"]),
+                Column::from_ints(&[3, 1, 2, 5, 4]),
+                Column::from_opt_floats(&[Some(1.0), None, Some(3.0), Some(2.0), None]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn sort_single_key_asc_desc() {
+        let t = demo();
+        let idx = sort_indices(&t, &[SortKey { column: 1, order: SortOrder::Asc }]).unwrap();
+        assert_eq!(idx, vec![1, 2, 0, 4, 3]);
+        let idx = sort_indices(&t, &[SortKey { column: 1, order: SortOrder::Desc }]).unwrap();
+        assert_eq!(idx, vec![3, 4, 0, 2, 1]);
+    }
+
+    #[test]
+    fn sort_multi_key_breaks_ties() {
+        let t = demo();
+        let idx = sort_indices(
+            &t,
+            &[
+                SortKey { column: 0, order: SortOrder::Asc },
+                SortKey { column: 1, order: SortOrder::Desc },
+            ],
+        )
+        .unwrap();
+        // group "a" first (rows 0,2,4 by x desc: 4,0,2), then "b" (3,1)
+        assert_eq!(idx, vec![4, 0, 2, 3, 1]);
+    }
+
+    #[test]
+    fn sort_nulls_first_ascending() {
+        let t = demo();
+        let idx = sort_indices(&t, &[SortKey { column: 2, order: SortOrder::Asc }]).unwrap();
+        // rows 1 and 4 are NULL, stable order
+        assert_eq!(&idx[..2], &[1, 4]);
+    }
+
+    #[test]
+    fn grouping_is_deterministic_first_seen() {
+        let t = demo();
+        let (keys, groups) = group_indices(&t, &[0]).unwrap();
+        assert_eq!(keys, vec![vec![Value::from("a")], vec![Value::from("b")]]);
+        assert_eq!(groups, vec![vec![0, 2, 4], vec![1, 3]]);
+    }
+
+    #[test]
+    fn count_star_vs_count_col() {
+        let t = demo();
+        assert_eq!(aggregate(&t, &[0, 1, 2, 3, 4], AggKind::Count, None).unwrap(), Value::Int(5));
+        // y has 2 nulls
+        assert_eq!(aggregate(&t, &[0, 1, 2, 3, 4], AggKind::Count, Some(2)).unwrap(), Value::Int(3));
+    }
+
+    #[test]
+    fn sum_avg_min_max_stddev() {
+        let t = demo();
+        let all = [0usize, 1, 2, 3, 4];
+        assert_eq!(aggregate(&t, &all, AggKind::Sum, Some(1)).unwrap(), Value::Int(15));
+        assert_eq!(aggregate(&t, &all, AggKind::Avg, Some(1)).unwrap(), Value::Float(3.0));
+        assert_eq!(aggregate(&t, &all, AggKind::Min, Some(1)).unwrap(), Value::Int(1));
+        assert_eq!(aggregate(&t, &all, AggKind::Max, Some(1)).unwrap(), Value::Int(5));
+        let sd = aggregate(&t, &all, AggKind::StdDev, Some(1)).unwrap();
+        let sd = sd.as_f64().unwrap();
+        assert!((sd - 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregates_skip_nulls_and_handle_empty() {
+        let t = demo();
+        let all = [0usize, 1, 2, 3, 4];
+        // y sums over non-null {1,3,2}
+        assert_eq!(aggregate(&t, &all, AggKind::Sum, Some(2)).unwrap(), Value::Float(6.0));
+        // empty row set → SUM NULL, COUNT 0
+        assert_eq!(aggregate(&t, &[], AggKind::Sum, Some(1)).unwrap(), Value::Null);
+        assert_eq!(aggregate(&t, &[], AggKind::Count, Some(1)).unwrap(), Value::Int(0));
+        assert_eq!(aggregate(&t, &[], AggKind::Min, Some(1)).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn sum_of_strings_is_an_error() {
+        let t = demo();
+        assert!(aggregate(&t, &[0], AggKind::Sum, Some(0)).is_err());
+    }
+
+    #[test]
+    fn min_max_work_on_strings() {
+        let t = demo();
+        assert_eq!(aggregate(&t, &[0, 1], AggKind::Min, Some(0)).unwrap(), Value::from("a"));
+        assert_eq!(aggregate(&t, &[0, 1], AggKind::Max, Some(0)).unwrap(), Value::from("b"));
+    }
+
+    #[test]
+    fn count_distinct_kernel() {
+        let t = demo();
+        let all = [0usize, 1, 2, 3, 4];
+        // g column has values a,b,a,b,a → 2 distinct
+        assert_eq!(aggregate(&t, &all, AggKind::CountDistinct, Some(0)).unwrap(), Value::Int(2));
+        // y has nulls at rows 1 and 4; distinct over {1.0, 3.0, 2.0} = 3
+        assert_eq!(aggregate(&t, &all, AggKind::CountDistinct, Some(2)).unwrap(), Value::Int(3));
+        assert_eq!(aggregate(&t, &[], AggKind::CountDistinct, Some(0)).unwrap(), Value::Int(0));
+    }
+
+    #[test]
+    fn distinct_keeps_first_occurrence() {
+        let t = demo();
+        let idx = distinct_indices(&t, &[0]).unwrap();
+        assert_eq!(idx, vec![0, 1]);
+    }
+
+    #[test]
+    fn agg_kind_names() {
+        assert_eq!(AggKind::Sum.name(), "SUM");
+        assert_eq!(AggKind::StdDev.name(), "STDDEV");
+    }
+}

@@ -1,0 +1,212 @@
+//! Schemas: named, typed, documented fields.
+//!
+//! A [`Schema`] describes the columns of a [`crate::Table`]. Fields carry an
+//! optional human-readable description used by the grounding layer (P2) when
+//! the NL model needs to explain what a column means — the paper's point that
+//! "the model should be able to access a description of the schema of the
+//! data sources".
+
+use crate::value::DataType;
+use std::fmt;
+
+/// A named, typed column descriptor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    name: String,
+    data_type: DataType,
+    nullable: bool,
+    description: Option<String>,
+}
+
+impl Field {
+    /// Create a nullable field with no description.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Self { name: name.into(), data_type, nullable: true, description: None }
+    }
+
+    /// Builder: mark the field non-nullable.
+    pub fn non_nullable(mut self) -> Self {
+        self.nullable = false;
+        self
+    }
+
+    /// Builder: attach a human-readable description (used for grounding).
+    pub fn with_description(mut self, desc: impl Into<String>) -> Self {
+        self.description = Some(desc.into());
+        self
+    }
+
+    /// Field name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Field data type.
+    pub fn data_type(&self) -> DataType {
+        self.data_type
+    }
+
+    /// Whether nulls are allowed.
+    pub fn is_nullable(&self) -> bool {
+        self.nullable
+    }
+
+    /// Optional human-readable description.
+    pub fn description(&self) -> Option<&str> {
+        self.description.as_deref()
+    }
+}
+
+impl fmt::Display for Field {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.name, self.data_type)?;
+        if !self.nullable {
+            f.write_str(" NOT NULL")?;
+        }
+        Ok(())
+    }
+}
+
+/// An ordered collection of [`Field`]s.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Create a schema from fields.
+    pub fn new(fields: Vec<Field>) -> Self {
+        Self { fields }
+    }
+
+    /// Empty schema (zero columns).
+    pub fn empty() -> Self {
+        Self { fields: Vec::new() }
+    }
+
+    /// The fields, in column order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True if the schema has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Position of the field with the given name (case-insensitive, as in SQL).
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name.eq_ignore_ascii_case(name))
+    }
+
+    /// The field with the given name, if any.
+    pub fn field(&self, name: &str) -> Option<&Field> {
+        self.index_of(name).map(|i| &self.fields[i])
+    }
+
+    /// The field at a position.
+    pub fn field_at(&self, index: usize) -> Option<&Field> {
+        self.fields.get(index)
+    }
+
+    /// A new schema containing only the fields at `indices`, in that order.
+    pub fn project(&self, indices: &[usize]) -> Self {
+        Self { fields: indices.iter().filter_map(|&i| self.fields.get(i).cloned()).collect() }
+    }
+
+    /// Concatenate two schemas (used by joins). Duplicate names are allowed
+    /// and disambiguated by position; SQL layers qualify with table aliases.
+    pub fn join(&self, other: &Schema) -> Self {
+        let mut fields = self.fields.clone();
+        fields.extend(other.fields.iter().cloned());
+        Self { fields }
+    }
+
+    /// Render as `name TYPE, name TYPE, ...` — used in prompts describing
+    /// schemas to the NL model (cf. Trummer \[57\] in the paper).
+    pub fn describe(&self) -> String {
+        self.fields.iter().map(|f| f.to_string()).collect::<Vec<_>>().join(", ")
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({})", self.describe())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::new(vec![
+            Field::new("id", DataType::Int).non_nullable(),
+            Field::new("name", DataType::Str).with_description("canton name"),
+            Field::new("rate", DataType::Float),
+        ])
+    }
+
+    #[test]
+    fn index_lookup_is_case_insensitive() {
+        let s = sample();
+        assert_eq!(s.index_of("NAME"), Some(1));
+        assert_eq!(s.index_of("Rate"), Some(2));
+        assert_eq!(s.index_of("missing"), None);
+    }
+
+    #[test]
+    fn field_accessors() {
+        let s = sample();
+        let f = s.field("name").unwrap();
+        assert_eq!(f.data_type(), DataType::Str);
+        assert!(f.is_nullable());
+        assert_eq!(f.description(), Some("canton name"));
+        assert!(!s.field("id").unwrap().is_nullable());
+    }
+
+    #[test]
+    fn projection_keeps_order() {
+        let s = sample().project(&[2, 0]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.field_at(0).unwrap().name(), "rate");
+        assert_eq!(s.field_at(1).unwrap().name(), "id");
+    }
+
+    #[test]
+    fn projection_ignores_out_of_range() {
+        let s = sample().project(&[0, 99]);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn join_concatenates() {
+        let a = sample();
+        let b = Schema::new(vec![Field::new("id", DataType::Int)]);
+        let j = a.join(&b);
+        assert_eq!(j.len(), 4);
+        // index_of finds the first occurrence
+        assert_eq!(j.index_of("id"), Some(0));
+    }
+
+    #[test]
+    fn describe_renders_nullability() {
+        let s = sample();
+        let d = s.describe();
+        assert!(d.contains("id INT NOT NULL"));
+        assert!(d.contains("rate FLOAT"));
+        assert_eq!(s.to_string(), format!("({d})"));
+    }
+
+    #[test]
+    fn empty_schema() {
+        let s = Schema::empty();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+    }
+}

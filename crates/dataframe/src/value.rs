@@ -1,0 +1,350 @@
+//! Scalar value model and data types.
+//!
+//! [`Value`] is the dynamically-typed scalar exchanged at the boundaries of
+//! the engine (row construction, literals in SQL, results handed to the NL
+//! layer). Inside kernels, data stays in typed columnar buffers; `Value` only
+//! appears on per-row paths.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// The data types supported by the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE-754 float.
+    Float,
+    /// UTF-8 string.
+    Str,
+    /// Boolean.
+    Bool,
+    /// Seconds since the Unix epoch (timestamps in demo data are coarse).
+    Timestamp,
+}
+
+impl DataType {
+    /// Human-readable name of the type.
+    pub fn name(self) -> &'static str {
+        match self {
+            DataType::Int => "INT",
+            DataType::Float => "FLOAT",
+            DataType::Str => "STR",
+            DataType::Bool => "BOOL",
+            DataType::Timestamp => "TIMESTAMP",
+        }
+    }
+
+    /// Whether values of this type are numeric (usable in arithmetic and
+    /// aggregate kernels such as SUM/AVG).
+    pub fn is_numeric(self) -> bool {
+        matches!(self, DataType::Int | DataType::Float | DataType::Timestamp)
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A dynamically typed scalar value, including SQL-style `Null`.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// SQL NULL (absent value of any type).
+    Null,
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+    /// Seconds since the Unix epoch.
+    Timestamp(i64),
+}
+
+impl Value {
+    /// The data type of this value, or `None` for `Null`.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Str(_) => Some(DataType::Str),
+            Value::Bool(_) => Some(DataType::Bool),
+            Value::Timestamp(_) => Some(DataType::Timestamp),
+        }
+    }
+
+    /// True if the value is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view of the value as `f64`, if it is numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Float(v) => Some(*v),
+            Value::Timestamp(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// Integer view, if the value is an `Int` or `Timestamp`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) | Value::Timestamp(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// String view, if the value is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean view, if the value is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// SQL-style three-valued comparison. `Null` compared with anything is
+    /// `None` (unknown); numeric types compare cross-type (INT vs FLOAT).
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            (a, b) => {
+                let (x, y) = (a.as_f64()?, b.as_f64()?);
+                x.partial_cmp(&y)
+            }
+        }
+    }
+
+    /// Rank used to order values of different type classes, making
+    /// [`Value::total_cmp`] a genuine total order even across types:
+    /// `Null < Bool < numeric < Str`.
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) | Value::Float(_) | Value::Timestamp(_) => 2,
+            Value::Str(_) => 3,
+        }
+    }
+
+    /// Total ordering used by ORDER BY and sort kernels: `Null` sorts first,
+    /// NaN sorts last among floats, cross-numeric comparison as in
+    /// [`Value::sql_cmp`], and values of incomparable type classes ordered
+    /// by a fixed type rank (`Null < Bool < numeric < Str`).
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        let rank = self.type_rank().cmp(&other.type_rank());
+        if rank != Ordering::Equal {
+            return rank;
+        }
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (a, b) => {
+                let x = a.as_f64().unwrap_or(f64::NAN);
+                let y = b.as_f64().unwrap_or(f64::NAN);
+                x.total_cmp(&y)
+            }
+        }
+    }
+
+    /// SQL equality (`Null = anything` is unknown → `None`).
+    pub fn sql_eq(&self, other: &Value) -> Option<bool> {
+        self.sql_cmp(other).map(|o| o == Ordering::Equal)
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        // Structural equality (used by tests and group-by keys): Null == Null,
+        // floats compared bitwise via total_cmp so NaN == NaN.
+        self.total_cmp(other) == Ordering::Equal
+            && match (self, other) {
+                // Do not conflate 1 (Int) with 1.0 (Float) for grouping keys
+                // unless both are numeric of the same class.
+                (Value::Str(_), Value::Str(_))
+                | (Value::Bool(_), Value::Bool(_))
+                | (Value::Null, Value::Null) => true,
+                (a, b) => a.as_f64().is_some() && b.as_f64().is_some(),
+            }
+    }
+}
+
+impl Eq for Value {}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            Value::Str(s) => {
+                1u8.hash(state);
+                s.hash(state);
+            }
+            Value::Bool(b) => {
+                2u8.hash(state);
+                b.hash(state);
+            }
+            // All numerics hash through their f64 image so Int(1), Float(1.0)
+            // and Timestamp(1) land in the same bucket, consistent with
+            // cross-numeric equality above.
+            v => {
+                3u8.hash(state);
+                let x = v.as_f64().unwrap_or(f64::NAN);
+                x.to_bits().hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("NULL"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => {
+                if v.fract() == 0.0 && v.is_finite() && v.abs() < 1e15 {
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            Value::Str(s) => f.write_str(s),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Timestamp(v) => write!(f, "@{v}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Self {
+        v.map_or(Value::Null, Into::into)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    fn h(v: &Value) -> u64 {
+        let mut s = DefaultHasher::new();
+        v.hash(&mut s);
+        s.finish()
+    }
+
+    #[test]
+    fn data_type_names() {
+        assert_eq!(DataType::Int.name(), "INT");
+        assert_eq!(DataType::Timestamp.to_string(), "TIMESTAMP");
+        assert!(DataType::Float.is_numeric());
+        assert!(!DataType::Str.is_numeric());
+    }
+
+    #[test]
+    fn null_propagates_in_sql_cmp() {
+        assert_eq!(Value::Null.sql_cmp(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).sql_eq(&Value::Null), None);
+    }
+
+    #[test]
+    fn cross_numeric_comparison() {
+        assert_eq!(Value::Int(2).sql_cmp(&Value::Float(2.0)), Some(Ordering::Equal));
+        assert_eq!(Value::Float(1.5).sql_cmp(&Value::Int(2)), Some(Ordering::Less));
+        assert_eq!(Value::Timestamp(5).sql_cmp(&Value::Int(4)), Some(Ordering::Greater));
+    }
+
+    #[test]
+    fn strings_and_bools_compare() {
+        assert_eq!(Value::from("a").sql_cmp(&Value::from("b")), Some(Ordering::Less));
+        assert_eq!(Value::Bool(true).sql_cmp(&Value::Bool(false)), Some(Ordering::Greater));
+    }
+
+    #[test]
+    fn incompatible_types_do_not_compare() {
+        assert_eq!(Value::from("a").sql_cmp(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn total_cmp_sorts_null_first() {
+        let mut vals = vec![Value::Int(3), Value::Null, Value::Int(1)];
+        vals.sort_by(|a, b| a.total_cmp(b));
+        assert!(vals[0].is_null());
+        assert_eq!(vals[1], Value::Int(1));
+    }
+
+    #[test]
+    fn total_cmp_handles_nan() {
+        let nan = Value::Float(f64::NAN);
+        assert_eq!(nan.total_cmp(&nan), Ordering::Equal);
+        assert_eq!(Value::Float(1.0).total_cmp(&nan), Ordering::Less);
+    }
+
+    #[test]
+    fn equality_and_hash_agree_across_numeric_types() {
+        assert_eq!(Value::Int(1), Value::Float(1.0));
+        assert_eq!(h(&Value::Int(1)), h(&Value::Float(1.0)));
+        assert_ne!(Value::Int(1), Value::from("1"));
+    }
+
+    #[test]
+    fn null_equals_null_structurally() {
+        assert_eq!(Value::Null, Value::Null);
+        assert_eq!(h(&Value::Null), h(&Value::Null));
+    }
+
+    #[test]
+    fn display_round_trips_floats_with_point() {
+        assert_eq!(Value::Float(2.0).to_string(), "2.0");
+        assert_eq!(Value::Float(2.5).to_string(), "2.5");
+        assert_eq!(Value::Int(7).to_string(), "7");
+        assert_eq!(Value::Null.to_string(), "NULL");
+    }
+
+    #[test]
+    fn from_option() {
+        assert_eq!(Value::from(Some(3i64)), Value::Int(3));
+        assert!(Value::from(Option::<i64>::None).is_null());
+    }
+}

@@ -1,0 +1,140 @@
+//! User expertise profiling.
+//!
+//! "The systems, through profiling, should determine the level of expertise
+//! of the user and interact differently according to the inferred
+//! expertise." The profiler accumulates lightweight signals from utterances
+//! (technical vocabulary, explicit SQL, question length) and maps the
+//! running score to an [`ExpertiseLevel`] that the answer renderer uses to
+//! pick verbosity and whether to show code.
+
+/// Inferred user expertise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ExpertiseLevel {
+    /// Prefers plain-language answers, no code, extra guidance.
+    Novice,
+    /// Comfortable with tables and light terminology.
+    Intermediate,
+    /// Show SQL, plans, and provenance details by default.
+    Expert,
+}
+
+impl ExpertiseLevel {
+    /// Whether raw code/SQL should be included in answers.
+    pub fn show_code(self) -> bool {
+        self >= ExpertiseLevel::Intermediate
+    }
+
+    /// Whether plan/provenance internals should be expanded by default.
+    pub fn show_internals(self) -> bool {
+        self == ExpertiseLevel::Expert
+    }
+}
+
+const TECHNICAL_TERMS: &[&str] = &[
+    "sql", "select", "join", "group", "aggregate", "regression", "seasonality", "decomposition",
+    "residual", "confidence", "interval", "provenance", "schema", "index", "quantile", "stddev",
+    "autocorrelation", "percentile",
+];
+
+/// Accumulating expertise profile.
+#[derive(Debug, Clone, Default)]
+pub struct UserProfile {
+    utterances: usize,
+    technical_hits: usize,
+    sql_utterances: usize,
+}
+
+impl UserProfile {
+    /// Fresh profile (unknown user starts as novice).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ingest one utterance.
+    pub fn observe(&mut self, utterance: &str) {
+        self.utterances += 1;
+        let lower = utterance.to_lowercase();
+        self.technical_hits += TECHNICAL_TERMS
+            .iter()
+            .filter(|t| lower.contains(*t))
+            .count();
+        if lower.contains("select ") && lower.contains(" from ") {
+            self.sql_utterances += 1;
+        }
+    }
+
+    /// Number of observed utterances.
+    pub fn utterances(&self) -> usize {
+        self.utterances
+    }
+
+    /// Current expertise estimate.
+    pub fn level(&self) -> ExpertiseLevel {
+        if self.utterances == 0 {
+            return ExpertiseLevel::Novice;
+        }
+        let density = self.technical_hits as f64 / self.utterances as f64;
+        if self.sql_utterances > 0 || density >= 1.5 {
+            ExpertiseLevel::Expert
+        } else if density >= 0.5 {
+            ExpertiseLevel::Intermediate
+        } else {
+            ExpertiseLevel::Novice
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_profile_is_novice() {
+        let p = UserProfile::new();
+        assert_eq!(p.level(), ExpertiseLevel::Novice);
+        assert!(!p.level().show_code());
+    }
+
+    #[test]
+    fn plain_language_stays_novice() {
+        let mut p = UserProfile::new();
+        p.observe("give me an overview of the working force in switzerland");
+        p.observe("i am interested in the barometer");
+        assert_eq!(p.level(), ExpertiseLevel::Novice);
+    }
+
+    #[test]
+    fn technical_vocabulary_raises_level() {
+        let mut p = UserProfile::new();
+        p.observe("show the seasonality and residual after decomposition");
+        assert_eq!(p.level(), ExpertiseLevel::Expert); // 3 terms in 1 utterance
+        let mut p = UserProfile::new();
+        p.observe("what is the confidence here");
+        p.observe("nice weather today");
+        assert_eq!(p.level(), ExpertiseLevel::Intermediate);
+    }
+
+    #[test]
+    fn raw_sql_makes_expert_immediately() {
+        let mut p = UserProfile::new();
+        p.observe("SELECT canton FROM employment WHERE jobs > 10");
+        assert_eq!(p.level(), ExpertiseLevel::Expert);
+        assert!(p.level().show_code());
+        assert!(p.level().show_internals());
+    }
+
+    #[test]
+    fn utterance_counter() {
+        let mut p = UserProfile::new();
+        p.observe("a");
+        p.observe("b");
+        assert_eq!(p.utterances(), 2);
+    }
+
+    #[test]
+    fn level_ordering() {
+        assert!(ExpertiseLevel::Expert > ExpertiseLevel::Novice);
+        assert!(ExpertiseLevel::Intermediate.show_code());
+        assert!(!ExpertiseLevel::Intermediate.show_internals());
+    }
+}

@@ -1,0 +1,92 @@
+//! Experiment **F1**: end-to-end replay of the paper's Figure-1 conversation,
+//! asserting that every property annotation the figure shows actually fires.
+
+use cda_core::answer::{AnswerStatus, PropertyTag};
+use cda_core::demo::{demo_system, FIGURE1_TURNS};
+
+#[test]
+fn figure1_full_conversation_replays_with_all_annotations() {
+    let mut cda = demo_system(42);
+
+    // Turn 1: discovery with grounding assumption, two options, follow-up.
+    let t1 = cda.process(FIGURE1_TURNS[0]);
+    assert_eq!(t1.status, AnswerStatus::AskedClarification);
+    assert!(t1.text.contains("I am assuming"), "grounding assumption stated");
+    assert!(t1.text.to_lowercase().contains("employment type distribution"));
+    assert!(t1.text.to_lowercase().contains("barometer"));
+    assert!(t1.text.ends_with("Which would you prefer?"));
+    for p in [
+        PropertyTag::Efficiency,
+        PropertyTag::Grounding,
+        PropertyTag::Explainability,
+        PropertyTag::Soundness,
+        PropertyTag::Guidance,
+    ] {
+        assert!(t1.properties.contains(&p), "turn 1 missing {p}");
+    }
+    let c1 = t1.confidence.expect("turn 1 carries confidence");
+    assert!(c1 > 0.5 && c1 <= 1.0, "confidence {c1}");
+
+    // Turn 2: description with source provenance (P4 soundness by provenance).
+    let t2 = cda.process(FIGURE1_TURNS[1]);
+    assert!(t2.text.contains("monthly leading indicator"));
+    assert!(t2.text.contains("Source: https://www.arbeit.swiss"), "{}", t2.text);
+    assert!(t2.properties.contains(&PropertyTag::Soundness));
+
+    // Turn 3: selection focuses the barometer and shows an overview.
+    let t3 = cda.process(FIGURE1_TURNS[2]);
+    assert_eq!(cda.state.focused.as_deref(), Some("labour_barometer"));
+    assert!(t3.text.contains("overview"));
+    assert!(!t3.suggestions.is_empty(), "guidance suggests next steps");
+
+    // Turn 4: the seasonality insight — period 6, confidence, caveat, code.
+    let t4 = cda.process(FIGURE1_TURNS[3]);
+    assert_eq!(t4.status, AnswerStatus::Answered, "{}", t4.text);
+    assert!(t4.text.contains("best fitted seasonal period is 6"), "{}", t4.text);
+    assert!(t4.text.contains("recent 120 observations"), "sufficiency caveat");
+    assert!(t4.text.contains("seasonal_decompose"), "code snippet attached");
+    let c4 = t4.confidence.expect("turn 4 carries confidence");
+    assert!(c4 >= 0.5, "confidence {c4}");
+    assert!(t4.properties.contains(&PropertyTag::Explainability));
+    assert!(t4.properties.contains(&PropertyTag::Soundness));
+    let explanation = t4.explanation.expect("explanation bundle present");
+    assert!(explanation.sources.iter().any(|s| s.contains("arbeit.swiss")));
+    assert!(explanation.code.contains("period=6"));
+
+    // Session-level records: the lineage graph spans all layers.
+    assert!(cda.lineage.len() >= 10, "lineage nodes: {}", cda.lineage.len());
+    let rendered = cda.lineage.to_string();
+    assert!(rendered.contains("[utterance]"));
+    assert!(rendered.contains("[model-call]"));
+    assert!(rendered.contains("[dataset]"));
+    assert!(rendered.contains("[computation]"));
+    assert!(rendered.contains("[answer]"));
+    // The conversation graph captured user/system turns plus alternatives.
+    assert!(cda.conversation.len() >= 8);
+}
+
+#[test]
+fn figure1_is_deterministic_given_a_seed() {
+    let run = |seed: u64| -> Vec<String> {
+        let mut cda = demo_system(seed);
+        FIGURE1_TURNS.iter().map(|t| cda.process(t).text).collect()
+    };
+    assert_eq!(run(42), run(42));
+    // a different seed changes the synthetic data but not the conversation's
+    // shape
+    let other = run(43);
+    assert!(other[3].contains("best fitted seasonal period is 6"));
+}
+
+#[test]
+fn figure1_confidences_are_in_the_papers_range() {
+    // the figure annotates 87–93% confidences; our reproduction must land in
+    // a credible high-confidence band for the same turns (>50%)
+    let mut cda = demo_system(42);
+    for turn in FIGURE1_TURNS {
+        let a = cda.process(turn);
+        if let Some(c) = a.confidence {
+            assert!((0.5..=1.0).contains(&c), "confidence {c} out of band for {turn:?}");
+        }
+    }
+}

@@ -1,0 +1,364 @@
+//! Property-based tests over the core invariants of the substrates.
+
+use cda_dataframe::{Column, DataType, Field, Schema, Table, Value};
+use cda_provenance::semiring::HowPolynomial;
+use cda_sql::{execute_with_options, Catalog, ExecOptions, OptimizerRules};
+use cda_vector::exact::{ExactIndex, TopK};
+use cda_vector::progressive::{GuaranteeMode, ProgressiveIndex};
+use cda_vector::{Neighbor, VectorIndex, VectorSet};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------- helpers
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        3 => (-1000i64..1000).prop_map(Value::Int),
+        3 => (-100.0f64..100.0).prop_map(Value::Float),
+        2 => "[a-z]{0,6}".prop_map(Value::from),
+        1 => any::<bool>().prop_map(Value::Bool),
+        1 => Just(Value::Null),
+    ]
+}
+
+fn table_strategy() -> impl Strategy<Value = Table> {
+    // three columns: group (string), x (int), y (float with nulls)
+    (1usize..40).prop_flat_map(|n| {
+        (
+            proptest::collection::vec("[a-c]", n..=n),
+            proptest::collection::vec(-50i64..50, n..=n),
+            proptest::collection::vec(proptest::option::of(-10.0f64..10.0), n..=n),
+        )
+            .prop_map(|(groups, xs, ys)| {
+                let schema = Schema::new(vec![
+                    Field::new("g", DataType::Str),
+                    Field::new("x", DataType::Int),
+                    Field::new("y", DataType::Float),
+                ]);
+                let gs: Vec<&str> = groups.iter().map(String::as_str).collect();
+                Table::from_columns(
+                    schema,
+                    vec![
+                        Column::from_strs(&gs),
+                        Column::from_ints(&xs),
+                        Column::from_opt_floats(&ys),
+                    ],
+                )
+                .expect("consistent columns")
+            })
+    })
+}
+
+// ------------------------------------------------------------- dataframe
+
+proptest! {
+    #[test]
+    fn filter_then_concat_partitions_table(t in table_strategy(), pivot in -50i64..50) {
+        // rows with x < pivot plus rows with x >= pivot = all rows
+        let xs = t.column_by_name("x").unwrap();
+        let lt: Vec<bool> = (0..t.num_rows())
+            .map(|i| xs.value(i).unwrap().as_i64().unwrap() < pivot)
+            .collect();
+        let ge: Vec<bool> = lt.iter().map(|b| !b).collect();
+        let a = t.filter(&lt).unwrap();
+        let b = t.filter(&ge).unwrap();
+        prop_assert_eq!(a.num_rows() + b.num_rows(), t.num_rows());
+    }
+
+    #[test]
+    fn take_preserves_values_and_lineage(t in table_strategy()) {
+        let idx: Vec<usize> = (0..t.num_rows()).rev().collect();
+        let rev = t.take(&idx).unwrap();
+        for (new, &old) in idx.iter().enumerate() {
+            prop_assert_eq!(rev.row(new).unwrap(), t.row(old).unwrap());
+            prop_assert_eq!(rev.lineage(new).unwrap(), t.lineage(old).unwrap());
+        }
+    }
+
+    #[test]
+    fn value_total_cmp_is_a_total_order(a in value_strategy(), b in value_strategy(), c in value_strategy()) {
+        use std::cmp::Ordering;
+        // antisymmetry
+        prop_assert_eq!(a.total_cmp(&b), b.total_cmp(&a).reverse());
+        // transitivity (check one direction)
+        if a.total_cmp(&b) != Ordering::Greater && b.total_cmp(&c) != Ordering::Greater {
+            prop_assert_ne!(a.total_cmp(&c), Ordering::Greater);
+        }
+    }
+}
+
+// ------------------------------------------------------------------- sql
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn optimizer_never_changes_results(t in table_strategy(), pivot in -50i64..50) {
+        let mut catalog = Catalog::new();
+        catalog.register("t", t).unwrap();
+        let sql = format!(
+            "SELECT g, COUNT(*) AS n, SUM(x) AS sx FROM t WHERE x >= {pivot} GROUP BY g ORDER BY g"
+        );
+        let full = execute_with_options(&catalog, &sql, ExecOptions::default()).unwrap();
+        let naive = execute_with_options(
+            &catalog,
+            &sql,
+            ExecOptions { rules: OptimizerRules::none(), track_lineage: true },
+        )
+        .unwrap();
+        prop_assert_eq!(full.table.num_rows(), naive.table.num_rows());
+        for r in 0..full.table.num_rows() {
+            prop_assert_eq!(full.table.row(r).unwrap(), naive.table.row(r).unwrap());
+        }
+    }
+
+    #[test]
+    fn sql_sum_matches_manual_computation(t in table_strategy()) {
+        let manual: i64 = {
+            let xs = t.column_by_name("x").unwrap();
+            (0..t.num_rows()).map(|i| xs.value(i).unwrap().as_i64().unwrap()).sum()
+        };
+        let n = t.num_rows();
+        let mut catalog = Catalog::new();
+        catalog.register("t", t).unwrap();
+        let r = execute_with_options(&catalog, "SELECT SUM(x), COUNT(*) FROM t", ExecOptions::default()).unwrap();
+        prop_assert_eq!(r.table.value(0, 0).unwrap(), Value::Int(manual));
+        prop_assert_eq!(r.table.value(0, 1).unwrap(), Value::Int(n as i64));
+    }
+
+    #[test]
+    fn aggregate_lineage_covers_exactly_the_groups_rows(t in table_strategy()) {
+        let mut catalog = Catalog::new();
+        let groups: Vec<String> = {
+            let g = t.column_by_name("g").unwrap();
+            (0..t.num_rows()).map(|i| g.value(i).unwrap().as_str().unwrap().to_owned()).collect()
+        };
+        catalog.register("t", t).unwrap();
+        let tag = catalog.get("t").unwrap().tag;
+        let r = execute_with_options(&catalog, "SELECT g, COUNT(*) FROM t GROUP BY g", ExecOptions::default()).unwrap();
+        for row in 0..r.table.num_rows() {
+            let key = r.table.value(row, 0).unwrap().as_str().unwrap().to_owned();
+            let expected: Vec<u64> = groups
+                .iter()
+                .enumerate()
+                .filter(|(_, g)| **g == key)
+                .map(|(i, _)| i as u64)
+                .collect();
+            let lineage: Vec<u64> = r
+                .table
+                .lineage(row)
+                .unwrap()
+                .iter()
+                .filter(|rid| rid.table == tag)
+                .map(|rid| rid.row)
+                .collect();
+            prop_assert_eq!(lineage, expected);
+        }
+    }
+}
+
+// ---------------------------------------------------------------- vector
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn topk_matches_full_sort(dists in proptest::collection::vec(0.0f32..100.0, 1..60), k in 1usize..10) {
+        let mut topk = TopK::new(k);
+        for (i, &d) in dists.iter().enumerate() {
+            topk.push(Neighbor::new(i, d));
+        }
+        let got: Vec<usize> = topk.into_sorted().iter().map(|n| n.id).collect();
+        let mut want: Vec<(usize, f32)> = dists.iter().copied().enumerate().collect();
+        want.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        let want: Vec<usize> = want.into_iter().take(k).map(|(i, _)| i).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn progressive_deterministic_equals_exact(seed in 0u64..500) {
+        let data = VectorSet::uniform(300, 8, seed).unwrap();
+        let index = ProgressiveIndex::build(&data, 8, 0, 5, seed);
+        let exact = ExactIndex::build(&data);
+        let queries = data.queries_near(3, 0.1, seed ^ 1);
+        for q in queries {
+            let got: Vec<usize> = index
+                .search_mode(&data, &q, 5, GuaranteeMode::Deterministic)
+                .0
+                .iter()
+                .map(|n| n.id)
+                .collect();
+            let want: Vec<usize> = exact.search(&data, &q, 5).iter().map(|n| n.id).collect();
+            prop_assert_eq!(got, want);
+        }
+    }
+}
+
+// ------------------------------------------------------------- provenance
+
+fn poly_strategy() -> impl Strategy<Value = HowPolynomial> {
+    proptest::collection::vec((0u64..6, 0u64..6), 0..4).prop_map(|pairs| {
+        pairs.into_iter().fold(HowPolynomial::zero(), |acc, (a, b)| {
+            let m = HowPolynomial::var(cda_dataframe::RowId::new(1, a))
+                .times(&HowPolynomial::var(cda_dataframe::RowId::new(1, b)));
+            acc.plus(&m)
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn semiring_laws_hold(p in poly_strategy(), q in poly_strategy(), r in poly_strategy()) {
+        // commutativity
+        prop_assert_eq!(p.plus(&q), q.plus(&p));
+        prop_assert_eq!(p.times(&q), q.times(&p));
+        // associativity
+        prop_assert_eq!(p.plus(&q).plus(&r), p.plus(&q.plus(&r)));
+        prop_assert_eq!(p.times(&q).times(&r), p.times(&q.times(&r)));
+        // distributivity
+        prop_assert_eq!(p.times(&q.plus(&r)), p.times(&q).plus(&p.times(&r)));
+        // identities
+        prop_assert_eq!(p.plus(&HowPolynomial::zero()), p.clone());
+        prop_assert_eq!(p.times(&HowPolynomial::one()), p.clone());
+        prop_assert!(p.times(&HowPolynomial::zero()).is_zero());
+    }
+
+    #[test]
+    fn evaluation_is_a_homomorphism(p in poly_strategy(), q in poly_strategy()) {
+        // eval(p + q) = eval(p) + eval(q); eval(p * q) = eval(p) * eval(q)
+        let val = |rid: cda_dataframe::RowId| (rid.row as f64) + 1.5;
+        let sum = p.plus(&q).evaluate(&val);
+        prop_assert!((sum - (p.evaluate(&val) + q.evaluate(&val))).abs() < 1e-6 * (1.0 + sum.abs()));
+        let prod = p.times(&q).evaluate(&val);
+        prop_assert!((prod - p.evaluate(&val) * q.evaluate(&val)).abs() < 1e-6 * (1.0 + prod.abs()));
+    }
+}
+
+// ---------------------------------------------------------------- kg + ts
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn triple_store_scan_agrees_with_contains(
+        triples in proptest::collection::vec(("[a-d]", "[p-r]", "[x-z]"), 1..30)
+    ) {
+        let mut kg = cda_kg::TripleStore::new();
+        for (s, p, o) in &triples {
+            kg.insert(s, p, o);
+        }
+        for (s, p, o) in &triples {
+            prop_assert!(kg.contains(s, p, o));
+            // every scan pattern that binds (s, p) must include this triple
+            let hits = kg.scan_str(Some(s), Some(p), None);
+            prop_assert!(hits.iter().any(|(_, _, oo)| oo == o));
+        }
+        // total count equals distinct triples
+        let mut distinct = triples.clone();
+        distinct.sort();
+        distinct.dedup();
+        prop_assert_eq!(kg.len(), distinct.len());
+    }
+
+    #[test]
+    fn seasonality_detection_recovers_planted_period(
+        period in prop_oneof![Just(4usize), Just(6), Just(12)],
+        seed in 0u64..200
+    ) {
+        let ts = cda_timeseries::TimeSeries::synthetic_seasonal(144, period, 8.0, 0.05, 0.5, seed);
+        let r = cda_timeseries::seasonality::detect_seasonality(&ts, 24).unwrap();
+        prop_assert_eq!(r.period, period);
+    }
+}
+
+// ------------------------------------------------------ round-trip laws
+
+/// Reference LIKE implementation via dynamic programming (independent of the
+/// recursive matcher in cda-sql).
+fn like_reference(s: &str, p: &str) -> bool {
+    let s: Vec<char> = s.chars().collect();
+    let p: Vec<char> = p.chars().collect();
+    let mut dp = vec![vec![false; p.len() + 1]; s.len() + 1];
+    dp[0][0] = true;
+    for j in 1..=p.len() {
+        dp[0][j] = p[j - 1] == '%' && dp[0][j - 1];
+    }
+    for i in 1..=s.len() {
+        for j in 1..=p.len() {
+            dp[i][j] = match p[j - 1] {
+                '%' => dp[i][j - 1] || dp[i - 1][j],
+                '_' => dp[i - 1][j - 1],
+                c => c == s[i - 1] && dp[i - 1][j - 1],
+            };
+        }
+    }
+    dp[s.len()][p.len()]
+}
+
+proptest! {
+    #[test]
+    fn like_matches_reference_dp(s in "[ab%_]{0,8}", p in "[ab%_]{0,6}") {
+        prop_assert_eq!(
+            cda_sql::plan::like_match(&s, &p),
+            like_reference(&s, &p),
+            "s={:?} p={:?}", s, p
+        );
+    }
+
+    #[test]
+    fn sql_display_reparses_to_same_ast(
+        seed in 0u64..300,
+    ) {
+        // generate a task via the workload generator, render SQL, parse,
+        // display, re-parse: the two ASTs must be identical
+        use cda_nlmodel::nl2sql::{Workload, WorkloadTable};
+        use cda_dataframe::{DataType, Field, Schema};
+        let tables = vec![WorkloadTable {
+            name: "t".into(),
+            schema: Schema::new(vec![
+                Field::new("g", DataType::Str),
+                Field::new("x", DataType::Int),
+                Field::new("y", DataType::Float),
+            ]),
+            string_values: vec![("g".into(), vec!["a".into(), "b".into()])],
+        }];
+        let w = Workload::generate(&tables, 3, seed);
+        for task in &w.tasks {
+            let ast1 = cda_sql::parser::parse(&task.gold_sql).unwrap();
+            let rendered = ast1.to_string();
+            let ast2 = cda_sql::parser::parse(&rendered).unwrap();
+            prop_assert_eq!(&ast1, &ast2, "sql: {}", task.gold_sql);
+        }
+    }
+
+    #[test]
+    fn csv_round_trips_table_values(t in table_strategy()) {
+        // render the table as CSV and parse it back; values must agree
+        let mut csv = String::from("g,x,y\n");
+        for r in 0..t.num_rows() {
+            let row = t.row(r).unwrap();
+            let cell = |v: &Value| match v {
+                Value::Null => String::new(),
+                Value::Str(s) => format!("\"{}\"", s.replace('"', "\"\"")),
+                other => other.to_string(),
+            };
+            csv.push_str(&format!("{},{},{}\n", cell(&row[0]), cell(&row[1]), cell(&row[2])));
+        }
+        let parsed = cda_dataframe::csv::parse_csv(&csv, &Default::default()).unwrap();
+        prop_assert_eq!(parsed.num_rows(), t.num_rows());
+        for r in 0..t.num_rows() {
+            let orig = t.row(r).unwrap();
+            let back = parsed.row(r).unwrap();
+            for (a, b) in orig.iter().zip(&back) {
+                match (a, b) {
+                    (Value::Null, Value::Null) => {}
+                    (Value::Str(x), Value::Str(y)) => prop_assert_eq!(x, y),
+                    (x, y) => prop_assert_eq!(
+                        x.as_f64().map(|v| (v * 1e9).round()),
+                        y.as_f64().map(|v| (v * 1e9).round()),
+                        "row {} {:?} vs {:?}", r, x, y
+                    ),
+                }
+            }
+        }
+    }
+}

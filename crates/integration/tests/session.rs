@@ -1,0 +1,72 @@
+//! Session-level data-layer features: the query log as a queryable data
+//! source, bias screening of conversation logs, and data rotting.
+
+use cda_core::demo::{demo_system, FIGURE1_TURNS};
+use cda_core::rot::Freshness;
+use cda_nlmodel::bias::BiasScreen;
+use cda_sql::execute;
+
+#[test]
+fn query_log_records_the_session_and_is_sql_queryable() {
+    let mut cda = demo_system(3);
+    for t in FIGURE1_TURNS {
+        cda.process(t);
+    }
+    cda.process("What is the total employees in employment_by_type per canton?");
+    assert_eq!(cda.query_log.len(), 5);
+    // the log registers like any dataset and is queryable with the engine
+    let mut catalog = cda_sql::Catalog::new();
+    catalog.register("query_log", cda.query_log.to_table()).unwrap();
+    let r = execute(
+        &catalog,
+        "SELECT intent, COUNT(*) AS n FROM query_log GROUP BY intent ORDER BY n DESC, intent",
+    )
+    .unwrap();
+    assert!(r.table.num_rows() >= 4, "{}", r.table.render(10));
+    // the analysis turn logged its executed SQL
+    assert!(cda
+        .query_log
+        .entries()
+        .iter()
+        .any(|e| e.code.as_deref().is_some_and(|c| c.contains("SUM(employees)"))));
+}
+
+#[test]
+fn bias_screen_runs_over_the_session_log() {
+    let mut cda = demo_system(3);
+    for t in FIGURE1_TURNS {
+        cda.process(t);
+    }
+    // benign conversation: no findings
+    let screen = BiasScreen::new(vec!["foreigners", "women"]);
+    let utterances = cda.query_log.utterances();
+    assert!(screen.screen(&utterances).unwrap().is_empty());
+}
+
+#[test]
+fn rotten_datasets_are_demoted_in_discovery() {
+    use cda_core::catalog::{Dataset, DatasetCatalog};
+    let ds = |name: &str, fresh: Freshness| Dataset {
+        name: name.into(),
+        description: "swiss labour market employment statistics".into(),
+        source_url: String::new(),
+        table: None,
+        series: None,
+        keywords: vec!["labour".into(), "employment".into()],
+        freshness: fresh,
+    };
+    let mut catalog = DatasetCatalog::new();
+    // identical content; only freshness differs
+    catalog.register(ds("fresh_stats", Freshness::periodic(100, 30))).unwrap();
+    catalog.register(ds("rotten_stats", Freshness::periodic(0, 10))).unwrap();
+    catalog.set_clock(120);
+    assert_eq!(catalog.clock(), 120);
+    let hits = catalog.discover("labour employment", 2, false);
+    assert_eq!(hits[0].name, "fresh_stats", "{hits:?}");
+    assert!(hits[0].score > hits[1].score);
+    // the rotten one is flagged
+    let rotten = catalog.rotten(0.5);
+    assert_eq!(rotten.len(), 1);
+    assert_eq!(rotten[0].name, "rotten_stats");
+    assert!(rotten[0].freshness.caveat(120).unwrap().contains("overdue"));
+}

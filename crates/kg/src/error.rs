@@ -1,0 +1,37 @@
+//! Error type for the knowledge-graph substrate.
+
+use std::fmt;
+
+/// Errors from KG operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KgError {
+    /// A query used an unbound variable where a binding was required.
+    UnboundVariable(String),
+    /// A BGP with no patterns was evaluated.
+    EmptyPattern,
+    /// An identifier exceeded the dictionary capacity.
+    DictionaryFull,
+}
+
+impl fmt::Display for KgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnboundVariable(v) => write!(f, "unbound variable ?{v}"),
+            Self::EmptyPattern => write!(f, "empty basic graph pattern"),
+            Self::DictionaryFull => write!(f, "dictionary full (u32 ids exhausted)"),
+        }
+    }
+}
+
+impl std::error::Error for KgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(KgError::UnboundVariable("x".into()).to_string(), "unbound variable ?x");
+        assert!(KgError::EmptyPattern.to_string().contains("empty"));
+    }
+}

@@ -1,0 +1,56 @@
+//! # cda-kg
+//!
+//! A native knowledge-graph substrate for **P2 Grounding**: the paper argues
+//! a CDA system must "query and perform reasoning over" domain knowledge
+//! encoded in "Knowledge Graphs and similar complex taxonomies and
+//! ontologies", and ground user terminology before answering.
+//!
+//! Components:
+//!
+//! * [`store`] — a dictionary-encoded triple store with SPO/POS/OSP indexes
+//!   supporting pattern scans over any bound/unbound combination;
+//! * [`query`] — basic-graph-pattern (BGP) queries with variables, evaluated
+//!   by selectivity-ordered backtracking joins (a small SPARQL core);
+//! * [`reason`] — RDFS-style inference (`subClassOf` / `subPropertyOf`
+//!   transitivity, type inheritance, domain/range typing), available both as
+//!   up-front materialization and as query-time expansion (experiment E12
+//!   compares the two);
+//! * [`vocab`] — domain vocabulary with synonyms, definitions, and
+//!   context-scored term disambiguation;
+//! * [`linking`] — entity extraction (gazetteer maximal matching) and entity
+//!   linking that combines lexical, embedding, and popularity evidence
+//!   (experiment E3 ablates these signals).
+//!
+//! ## Example
+//!
+//! ```
+//! use cda_kg::store::TripleStore;
+//! use cda_kg::query::{Bgp, Pattern, Term};
+//!
+//! let mut kg = TripleStore::new();
+//! kg.insert("barometer", "type", "Indicator");
+//! kg.insert("barometer", "measures", "labour_market");
+//! let bgp = Bgp::new(vec![
+//!     Pattern::new(Term::var("x"), Term::iri("type"), Term::iri("Indicator")),
+//!     Pattern::new(Term::var("x"), Term::iri("measures"), Term::var("what")),
+//! ]);
+//! let rows = bgp.evaluate(&kg);
+//! assert_eq!(rows.len(), 1);
+//! assert_eq!(rows[0].get("what"), Some("labour_market"));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod error;
+pub mod linking;
+pub mod query;
+pub mod reason;
+pub mod store;
+pub mod vocab;
+
+pub use error::KgError;
+pub use store::TripleStore;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, KgError>;

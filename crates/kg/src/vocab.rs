@@ -1,0 +1,219 @@
+//! Domain vocabulary and term disambiguation.
+//!
+//! The paper's grounding property requires "access to the relevant terms and
+//! definitions specific to a domain" and the ability to disambiguate user
+//! terminology in context (the Figure-1 move of reading "working force" as
+//! the labour market). A [`Vocabulary`] maps surface terms and synonyms to
+//! [`Concept`]s; [`Vocabulary::disambiguate`] scores candidate concepts by
+//! contextual overlap and returns a *grounding confidence* alongside the
+//! winner, which the core system surfaces to the user (P3/P4).
+
+use std::collections::HashMap;
+
+/// A domain concept a term can resolve to.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Concept {
+    /// Canonical identifier (also a KG node name).
+    pub id: String,
+    /// Short natural-language definition.
+    pub definition: String,
+    /// Topical domain tags (e.g. "employment", "finance").
+    pub domains: Vec<String>,
+}
+
+impl Concept {
+    /// Construct a concept.
+    pub fn new(
+        id: impl Into<String>,
+        definition: impl Into<String>,
+        domains: Vec<&str>,
+    ) -> Self {
+        Self {
+            id: id.into(),
+            definition: definition.into(),
+            domains: domains.into_iter().map(str::to_owned).collect(),
+        }
+    }
+}
+
+/// A scored disambiguation candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Disambiguation {
+    /// The winning concept.
+    pub concept: Concept,
+    /// Normalized confidence in `[0, 1]` (softmax-free mass of this
+    /// candidate's score over all candidates).
+    pub confidence: f64,
+}
+
+/// Lowercase alphanumeric tokens of a text.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for ch in text.chars() {
+        if ch.is_alphanumeric() {
+            cur.extend(ch.to_lowercase());
+        } else if !cur.is_empty() {
+            out.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// The vocabulary: term (and synonym) → candidate concepts.
+#[derive(Debug, Clone, Default)]
+pub struct Vocabulary {
+    entries: HashMap<String, Vec<Concept>>,
+}
+
+impl Vocabulary {
+    /// Empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a concept under a surface term (case-insensitive). A term may
+    /// map to several concepts (ambiguity); a concept may be registered under
+    /// several terms (synonymy).
+    pub fn register(&mut self, term: &str, concept: Concept) {
+        self.entries.entry(term.to_lowercase()).or_default().push(concept);
+    }
+
+    /// Candidate concepts for a term.
+    pub fn candidates(&self, term: &str) -> &[Concept] {
+        self.entries.get(&term.to_lowercase()).map_or(&[], Vec::as_slice)
+    }
+
+    /// Whether the vocabulary knows the term.
+    pub fn knows(&self, term: &str) -> bool {
+        self.entries.contains_key(&term.to_lowercase())
+    }
+
+    /// Number of distinct surface terms.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no terms are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Disambiguate `term` in `context`, returning ranked candidates with
+    /// normalized confidences (best first). Unknown terms return an empty
+    /// vector — the caller should then ask the user (P5 Guidance).
+    pub fn disambiguate(&self, term: &str, context: &str) -> Vec<Disambiguation> {
+        let candidates = self.candidates(term);
+        if candidates.is_empty() {
+            return Vec::new();
+        }
+        let ctx_tokens: Vec<String> = tokenize(context);
+        let mut scored: Vec<(f64, &Concept)> = candidates
+            .iter()
+            .map(|c| {
+                let def_tokens = tokenize(&c.definition);
+                let overlap = ctx_tokens
+                    .iter()
+                    .filter(|t| def_tokens.contains(t) || c.domains.iter().any(|d| d == *t))
+                    .count() as f64;
+                // +1 smoothing keeps single-candidate terms at confidence 1.0
+                (overlap + 1.0, c)
+            })
+            .collect();
+        let total: f64 = scored.iter().map(|(s, _)| s).sum();
+        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        scored
+            .into_iter()
+            .map(|(s, c)| Disambiguation { concept: c.clone(), confidence: s / total })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vocab() -> Vocabulary {
+        let mut v = Vocabulary::new();
+        v.register(
+            "workforce",
+            Concept::new("labour_market", "people available for employment and labour", vec![
+                "employment",
+                "labour",
+            ]),
+        );
+        v.register(
+            "working force",
+            Concept::new("labour_market", "people available for employment and labour", vec![
+                "employment",
+            ]),
+        );
+        v.register(
+            "barometer",
+            Concept::new("swiss_labour_barometer", "monthly leading indicator of the labour market based on a survey", vec!["employment"]),
+        );
+        v.register(
+            "barometer",
+            Concept::new("weather_barometer", "instrument measuring atmospheric pressure for weather", vec!["meteorology"]),
+        );
+        v
+    }
+
+    #[test]
+    fn tokenizer_lowers_and_splits() {
+        assert_eq!(tokenize("The Swiss Labour-Market!"), vec!["the", "swiss", "labour", "market"]);
+        assert!(tokenize("  ").is_empty());
+    }
+
+    #[test]
+    fn single_candidate_has_full_confidence() {
+        let v = vocab();
+        let d = v.disambiguate("workforce", "overview of switzerland");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].concept.id, "labour_market");
+        assert!((d[0].confidence - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn context_steers_ambiguous_terms() {
+        let v = vocab();
+        let d = v.disambiguate("barometer", "employment and labour market survey");
+        assert_eq!(d[0].concept.id, "swiss_labour_barometer");
+        assert!(d[0].confidence > d[1].confidence);
+        let d = v.disambiguate("barometer", "atmospheric pressure and weather forecast");
+        assert_eq!(d[0].concept.id, "weather_barometer");
+    }
+
+    #[test]
+    fn no_context_splits_confidence() {
+        let v = vocab();
+        let d = v.disambiguate("barometer", "");
+        assert_eq!(d.len(), 2);
+        assert!((d[0].confidence - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_term_is_empty() {
+        let v = vocab();
+        assert!(v.disambiguate("flux capacitor", "anything").is_empty());
+        assert!(!v.knows("flux capacitor"));
+        assert!(v.knows("WORKFORCE"));
+    }
+
+    #[test]
+    fn confidences_sum_to_one() {
+        let v = vocab();
+        let d = v.disambiguate("barometer", "labour");
+        let total: f64 = d.iter().map(|x| x.confidence).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multiword_terms_supported() {
+        let v = vocab();
+        assert_eq!(v.candidates("Working Force").len(), 1);
+    }
+}

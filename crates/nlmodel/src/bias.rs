@@ -1,0 +1,258 @@
+//! Bias screening of conversation logs (Sec. 3.2, Grounding).
+//!
+//! The paper: "the system needs to counteract the effect of any bias present
+//! in these logs … We propose identifying such cases using approaches such
+//! as CADS (Corpus Assisted Discourse Analysis) and sentiment analysis",
+//! with "automatic methods for, at least partial, output evaluation".
+//!
+//! Two transparent instruments, in the corpus-linguistics tradition the
+//! paper cites:
+//!
+//! * [`sentiment_score`] — a lexicon-based polarity score with negation
+//!   handling, the classic building block of sentiment analysis \[53\];
+//! * [`keyness`] — CADS-style keyness analysis: log-odds ratios (with
+//!   Haldane–Anscombe smoothing) of word frequencies between a target
+//!   corpus and a reference corpus, surfacing the terms that
+//!   over-associate with a group mention — the quantitative half of the
+//!   quant/qual workflow the paper describes;
+//! * [`BiasScreen`] — combines both: flags group mentions whose co-occurring
+//!   sentiment is significantly more negative than the corpus baseline.
+
+use crate::Result;
+use cda_kg::vocab::tokenize;
+use std::collections::HashMap;
+
+const POSITIVE: &[&str] = &[
+    "good", "great", "excellent", "reliable", "skilled", "strong", "successful", "honest",
+    "productive", "qualified", "competent", "diligent", "trustworthy", "capable", "innovative",
+];
+const NEGATIVE: &[&str] = &[
+    "bad", "poor", "lazy", "unreliable", "weak", "criminal", "dishonest", "incompetent",
+    "unqualified", "dangerous", "inferior", "useless", "corrupt", "violent", "stupid",
+];
+const NEGATIONS: &[&str] = &["not", "no", "never", "hardly", "without"];
+
+/// Lexicon-based sentiment of a text in `[-1, 1]` (0 = neutral). A negation
+/// token flips the polarity of the following sentiment word.
+pub fn sentiment_score(text: &str) -> f64 {
+    let tokens = tokenize(text);
+    let mut score = 0.0f64;
+    let mut hits = 0usize;
+    let mut negated = false;
+    for t in &tokens {
+        if NEGATIONS.contains(&t.as_str()) {
+            negated = true;
+            continue;
+        }
+        let polarity = if POSITIVE.contains(&t.as_str()) {
+            Some(1.0)
+        } else if NEGATIVE.contains(&t.as_str()) {
+            Some(-1.0)
+        } else {
+            None
+        };
+        if let Some(p) = polarity {
+            score += if negated { -p } else { p };
+            hits += 1;
+        }
+        negated = false;
+    }
+    if hits == 0 {
+        0.0
+    } else {
+        (score / hits as f64).clamp(-1.0, 1.0)
+    }
+}
+
+/// One keyness result: a term over-represented in the target corpus.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KeyTerm {
+    /// The term.
+    pub term: String,
+    /// Smoothed log-odds ratio (positive = over-represented in target).
+    pub log_odds: f64,
+    /// Occurrences in the target corpus.
+    pub target_count: usize,
+    /// Occurrences in the reference corpus.
+    pub reference_count: usize,
+}
+
+/// CADS-style keyness: terms ranked by smoothed log-odds of appearing in
+/// `target` vs `reference`. Only terms with `min_count` target occurrences
+/// are reported.
+pub fn keyness(target: &[&str], reference: &[&str], min_count: usize) -> Vec<KeyTerm> {
+    let count = |texts: &[&str]| -> (HashMap<String, usize>, usize) {
+        let mut m: HashMap<String, usize> = HashMap::new();
+        let mut total = 0usize;
+        for t in texts {
+            for tok in tokenize(t) {
+                *m.entry(tok).or_insert(0) += 1;
+                total += 1;
+            }
+        }
+        (m, total)
+    };
+    let (tc, t_total) = count(target);
+    let (rc, r_total) = count(reference);
+    let mut out: Vec<KeyTerm> = tc
+        .iter()
+        .filter(|(_, &c)| c >= min_count.max(1))
+        .map(|(term, &c)| {
+            let r = rc.get(term).copied().unwrap_or(0);
+            // Haldane–Anscombe smoothing (+0.5 everywhere)
+            let odds_t = (c as f64 + 0.5) / (t_total as f64 - c as f64 + 0.5);
+            let odds_r = (r as f64 + 0.5) / (r_total.max(1) as f64 - r as f64 + 0.5);
+            KeyTerm {
+                term: term.clone(),
+                log_odds: (odds_t / odds_r).ln(),
+                target_count: c,
+                reference_count: r,
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| b.log_odds.partial_cmp(&a.log_odds).unwrap_or(std::cmp::Ordering::Equal));
+    out
+}
+
+/// A flagged group-association finding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BiasFinding {
+    /// The monitored group term.
+    pub group: String,
+    /// Mean sentiment of log entries mentioning the group.
+    pub group_sentiment: f64,
+    /// Mean sentiment of the whole corpus.
+    pub baseline_sentiment: f64,
+    /// Negative terms that over-associate with the group (keyness > 0).
+    pub associated_negative_terms: Vec<String>,
+    /// Number of log entries mentioning the group.
+    pub mentions: usize,
+}
+
+/// Screens conversation logs for biased associations with monitored groups.
+#[derive(Debug, Clone, Default)]
+pub struct BiasScreen {
+    groups: Vec<String>,
+    /// Minimum sentiment gap (baseline − group) before flagging.
+    pub sentiment_gap: f64,
+    /// Minimum mentions before a group is evaluated at all.
+    pub min_mentions: usize,
+}
+
+impl BiasScreen {
+    /// Monitor the given group terms.
+    pub fn new(groups: Vec<&str>) -> Self {
+        Self {
+            groups: groups.into_iter().map(str::to_owned).collect(),
+            sentiment_gap: 0.3,
+            min_mentions: 3,
+        }
+    }
+
+    /// Screen a log of utterances; returns findings for groups whose
+    /// co-occurring language is significantly more negative than baseline.
+    pub fn screen(&self, log: &[&str]) -> Result<Vec<BiasFinding>> {
+        let baseline =
+            log.iter().map(|t| sentiment_score(t)).sum::<f64>() / log.len().max(1) as f64;
+        let mut findings = Vec::new();
+        for group in &self.groups {
+            let mentioning: Vec<&str> = log
+                .iter()
+                .copied()
+                .filter(|t| tokenize(t).contains(group))
+                .collect();
+            if mentioning.len() < self.min_mentions {
+                continue;
+            }
+            let group_sentiment = mentioning.iter().map(|t| sentiment_score(t)).sum::<f64>()
+                / mentioning.len() as f64;
+            if baseline - group_sentiment < self.sentiment_gap {
+                continue;
+            }
+            let rest: Vec<&str> = log
+                .iter()
+                .copied()
+                .filter(|t| !tokenize(t).contains(group))
+                .collect();
+            let associated_negative_terms: Vec<String> = keyness(&mentioning, &rest, 2)
+                .into_iter()
+                .filter(|k| k.log_odds > 0.0 && NEGATIVE.contains(&k.term.as_str()))
+                .map(|k| k.term)
+                .collect();
+            findings.push(BiasFinding {
+                group: group.clone(),
+                group_sentiment,
+                baseline_sentiment: baseline,
+                associated_negative_terms,
+                mentions: mentioning.len(),
+            });
+        }
+        Ok(findings)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sentiment_polarity_and_negation() {
+        assert!(sentiment_score("the skilled and reliable workforce") > 0.5);
+        assert!(sentiment_score("lazy and unreliable") < -0.5);
+        assert!(sentiment_score("not reliable at all") < 0.0);
+        assert!(sentiment_score("never lazy") > 0.0);
+        assert_eq!(sentiment_score("the canton of zurich"), 0.0);
+    }
+
+    #[test]
+    fn keyness_finds_overrepresented_terms() {
+        let target = ["lazy workers again", "lazy and slow service", "so lazy today"];
+        let reference = ["great workers", "fine service today", "workers did well"];
+        let keys = keyness(&target, &reference, 2);
+        assert_eq!(keys.first().map(|k| k.term.as_str()), Some("lazy"));
+        assert!(keys[0].log_odds > 1.0);
+        assert_eq!(keys[0].target_count, 3);
+        assert_eq!(keys[0].reference_count, 0);
+    }
+
+    #[test]
+    fn keyness_min_count_filters() {
+        let keys = keyness(&["one two", "two"], &["three"], 2);
+        assert_eq!(keys.len(), 1);
+        assert_eq!(keys[0].term, "two");
+    }
+
+    #[test]
+    fn screen_flags_biased_group_language() {
+        let screen = BiasScreen::new(vec!["foreigners"]);
+        let log: Vec<&str> = vec![
+            "the foreigners are lazy and unreliable",
+            "foreigners are criminal",
+            "those lazy foreigners again",
+            "the workforce is skilled and productive",
+            "excellent and reliable employment data",
+            "the cantons report strong numbers",
+        ];
+        let findings = screen.screen(&log).unwrap();
+        assert_eq!(findings.len(), 1);
+        let f = &findings[0];
+        assert_eq!(f.group, "foreigners");
+        assert!(f.group_sentiment < f.baseline_sentiment);
+        assert!(f.associated_negative_terms.contains(&"lazy".to_owned()));
+        assert_eq!(f.mentions, 3);
+    }
+
+    #[test]
+    fn screen_ignores_neutral_groups_and_rare_mentions() {
+        let screen = BiasScreen::new(vec!["students", "pilots"]);
+        let log: Vec<&str> = vec![
+            "students are skilled and diligent",
+            "the students did excellent work",
+            "students remain productive",
+            "pilots are lazy", // only one mention: below min_mentions
+            "great weather today",
+        ];
+        let findings = screen.screen(&log).unwrap();
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+}

@@ -1,0 +1,152 @@
+//! Template-based natural-language generation.
+//!
+//! The NL model layer must "generate natural language explanations of
+//! results or summaries of data sources". Generation here is deliberately
+//! template-driven: deterministic, auditable, and — crucially for P3 —
+//! structurally unable to assert anything that is not in its inputs. Every
+//! renderer takes the data *and its provenance* and cites sources inline,
+//! which is the paper's "answer, confidence score, and provenance data"
+//! output contract (layer ⓔ).
+
+use cda_dataframe::Table;
+
+/// Render a one-line summary of a dataset for discovery answers.
+pub fn describe_dataset(name: &str, description: &str, rows: usize, columns: usize) -> String {
+    format!("{name}: {description} ({rows} rows × {columns} columns)")
+}
+
+/// Render a discovery answer offering candidate datasets, with the
+/// clarifying question Figure 1's first turn ends with (P5 Guidance).
+pub fn discovery_answer(assumption: &str, options: &[(String, String)]) -> String {
+    let mut out = String::new();
+    if !assumption.is_empty() {
+        out.push_str(&format!("I am assuming you are interested in {assumption}.\n"));
+    }
+    out.push_str("Our data sources contain ");
+    let descs: Vec<String> =
+        options.iter().map(|(name, desc)| format!("{desc} ({name})")).collect();
+    out.push_str(&descs.join(", or "));
+    out.push_str(". Which would you prefer?");
+    out
+}
+
+/// Render a tabular answer with source citation.
+pub fn tabular_answer(table: &Table, source: &str, max_rows: usize) -> String {
+    let mut out = table.render(max_rows);
+    if !source.is_empty() {
+        out.push_str(&format!("Source: {source}\n"));
+    }
+    out
+}
+
+/// Render a seasonality-insight answer in the Figure-1 style: the claim, the
+/// confidence, the sufficiency caveat, and the code that produced it.
+pub fn seasonality_answer(
+    period: usize,
+    confidence: f64,
+    span_note: Option<&str>,
+    code: &str,
+) -> String {
+    let mut out = format!(
+        "Given the statistics, there is a seasonality in the data; the best fitted seasonal \
+         period is {period} (confidence {:.0}%).",
+        confidence * 100.0
+    );
+    if let Some(note) = span_note {
+        out.push(' ');
+        out.push_str(note);
+    }
+    out.push_str(
+        "\nHere are the trend, seasonality and residual components, with the code that \
+         produced them:\n",
+    );
+    out.push_str(code);
+    out
+}
+
+/// Render the refusal used when data is insufficient (P4: "refrain from
+/// producing answers when unable to produce any answer with sufficient
+/// certainty").
+pub fn insufficient_answer(what: &str, required: usize, available: usize) -> String {
+    format!(
+        "I cannot reliably compute {what}: it needs at least {required} observations but only \
+         {available} are available. I would rather not guess — could you broaden the time range \
+         or pick another dataset?"
+    )
+}
+
+/// Render an analysis code snippet (the "corresponding python snippet" of
+/// Figure 1) for a seasonal decomposition.
+pub fn decomposition_snippet(dataset: &str, column: &str, period: usize) -> String {
+    format!(
+        "import pandas as pd\n\
+         from statsmodels.tsa.seasonal import seasonal_decompose\n\
+         df = load_dataset(\"{dataset}\")\n\
+         result = seasonal_decompose(df[\"{column}\"], model=\"additive\", period={period})\n\
+         result.plot()\n"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cda_dataframe::{Column, DataType, Field, Schema};
+
+    #[test]
+    fn dataset_description() {
+        let s = describe_dataset("barometer", "monthly labour-market indicator", 120, 2);
+        assert!(s.contains("barometer"));
+        assert!(s.contains("120 rows"));
+    }
+
+    #[test]
+    fn discovery_answer_lists_options_and_asks() {
+        let s = discovery_answer(
+            "data about employment or the labour market",
+            &[
+                ("employment_by_type".into(), "employment type distribution".into()),
+                ("barometer".into(), "the Swiss Labour Market Barometer".into()),
+            ],
+        );
+        assert!(s.contains("I am assuming"));
+        assert!(s.contains("employment type distribution"));
+        assert!(s.contains("Barometer"));
+        assert!(s.ends_with("Which would you prefer?"));
+    }
+
+    #[test]
+    fn tabular_answer_cites_source() {
+        let t = Table::from_columns(
+            Schema::new(vec![Field::new("x", DataType::Int)]),
+            vec![Column::from_ints(&[1, 2])],
+        )
+        .unwrap();
+        let s = tabular_answer(&t, "https://example.org/data", 10);
+        assert!(s.contains("Source: https://example.org/data"));
+        assert!(s.contains('x'));
+    }
+
+    #[test]
+    fn seasonality_answer_matches_figure1_shape() {
+        let code = decomposition_snippet("barometer", "value", 6);
+        let s = seasonality_answer(
+            6,
+            0.90,
+            Some("I am only reporting data for the last 10 years since there is no sufficient data earlier."),
+            &code,
+        );
+        assert!(s.contains("best fitted seasonal period is 6"));
+        assert!(s.contains("confidence 90%"));
+        assert!(s.contains("last 10 years"));
+        assert!(s.contains("seasonal_decompose"));
+        assert!(s.contains("period=6"));
+    }
+
+    #[test]
+    fn refusal_names_the_gap() {
+        let s = insufficient_answer("seasonality insights", 24, 7);
+        assert!(s.contains("24"));
+        assert!(s.contains('7'));
+        assert!(s.contains("rather not guess"));
+    }
+}

@@ -1,0 +1,178 @@
+//! Intent classification with confidence.
+//!
+//! The conversational layer needs to decide what the user wants before any
+//! translation happens: discover datasets, describe one, run an analytical
+//! query, request a time-series insight, or continue/clarify. The classifier
+//! is a transparent rule scorer (interpretable-by-design, per the paper's
+//! preference for "inherently interpretable models over post-hoc
+//! explanations of opaque-box models" \[48\]); its normalized score doubles as
+//! the grounding confidence surfaced to the user.
+
+use cda_kg::vocab::tokenize;
+
+/// The user's intent for one utterance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Intent {
+    /// Find relevant datasets ("overview of X", "what data do you have").
+    DatasetDiscovery,
+    /// Describe a specific dataset ("what is the barometer?").
+    DatasetDescription,
+    /// Run an aggregate/analytic query ("total jobs per canton").
+    Analysis,
+    /// Time-series insight ("trend", "seasonality", "forecast").
+    TimeSeriesInsight,
+    /// Pick one of the options the system just offered.
+    Selection,
+    /// None of the above — the system should ask for clarification.
+    Unclear,
+}
+
+impl Intent {
+    /// Stable label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Intent::DatasetDiscovery => "dataset-discovery",
+            Intent::DatasetDescription => "dataset-description",
+            Intent::Analysis => "analysis",
+            Intent::TimeSeriesInsight => "timeseries-insight",
+            Intent::Selection => "selection",
+            Intent::Unclear => "unclear",
+        }
+    }
+}
+
+/// A classification outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntentResult {
+    /// The winning intent.
+    pub intent: Intent,
+    /// Normalized confidence over all scored intents.
+    pub confidence: f64,
+    /// The full score distribution (intent label → normalized score).
+    pub distribution: Vec<(Intent, f64)>,
+}
+
+const DISCOVERY_CUES: &[&str] = &[
+    "overview", "data", "datasets", "sources", "available", "about", "information", "find",
+    "looking",
+];
+const DESCRIPTION_CUES: &[&str] =
+    &["what", "describe", "explain", "mean", "definition", "tell"];
+const ANALYSIS_CUES: &[&str] = &[
+    "total", "sum", "average", "count", "number", "per", "group", "maximum", "minimum", "top",
+    "highest", "lowest", "how", "many", "much", "variability", "entries", "records",
+];
+const TS_CUES: &[&str] = &[
+    "trend", "seasonality", "seasonal", "forecast", "over", "time", "monthly", "yearly",
+    "insights", "pattern", "residual", "decomposition",
+];
+const SELECTION_CUES: &[&str] =
+    &["interested", "first", "second", "former", "latter", "that", "one", "prefer", "choose",
+      "pick", "yes"];
+
+fn score(tokens: &[String], cues: &[&str]) -> f64 {
+    tokens.iter().filter(|t| cues.contains(&t.as_str())).count() as f64
+}
+
+/// Classify an utterance, optionally biased by whether the system just
+/// offered options (`offered_options` strengthens Selection).
+pub fn classify_intent(utterance: &str, offered_options: bool) -> IntentResult {
+    let tokens = tokenize(utterance);
+    let mut raw = vec![
+        (Intent::DatasetDiscovery, score(&tokens, DISCOVERY_CUES)),
+        (Intent::DatasetDescription, score(&tokens, DESCRIPTION_CUES)),
+        // aggregate vocabulary is the most specific signal → highest weight
+        (Intent::Analysis, score(&tokens, ANALYSIS_CUES) * 1.75),
+        (Intent::TimeSeriesInsight, score(&tokens, TS_CUES) * 1.5),
+        (
+            Intent::Selection,
+            score(&tokens, SELECTION_CUES) * if offered_options { 2.0 } else { 0.5 },
+        ),
+    ];
+    // "what is X?" outweighs generic discovery when both fire — but an
+    // aggregate question ("what is the total … per …") stays Analysis
+    if tokens.first().map(String::as_str) == Some("what")
+        && tokens.get(1).map(String::as_str) == Some("is")
+        && raw[2].1 == 0.0
+    {
+        raw[1].1 += 2.0;
+    }
+    let total: f64 = raw.iter().map(|(_, s)| s).sum();
+    if total == 0.0 {
+        return IntentResult {
+            intent: Intent::Unclear,
+            confidence: 0.0,
+            distribution: vec![(Intent::Unclear, 1.0)],
+        };
+    }
+    let mut distribution: Vec<(Intent, f64)> =
+        raw.iter().map(|&(i, s)| (i, s / total)).collect();
+    distribution.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    let (intent, confidence) = distribution[0];
+    IntentResult { intent, confidence, distribution }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_turn1_is_discovery() {
+        let r = classify_intent("Give me an overview of the working force in Switzerland", false);
+        assert_eq!(r.intent, Intent::DatasetDiscovery);
+        assert!(r.confidence > 0.3);
+    }
+
+    #[test]
+    fn figure1_turn2_is_description() {
+        let r = classify_intent("What is the Swiss workforce barometer?", false);
+        assert_eq!(r.intent, Intent::DatasetDescription);
+    }
+
+    #[test]
+    fn figure1_turn3_is_selection() {
+        let r = classify_intent("I am interested in the barometer", true);
+        assert_eq!(r.intent, Intent::Selection);
+        // without offered options the same words lean elsewhere
+        let r2 = classify_intent("I am interested in the barometer", false);
+        assert!(r2.confidence <= r.confidence || r2.intent != Intent::Selection);
+    }
+
+    #[test]
+    fn figure1_turn4_is_timeseries() {
+        let r = classify_intent(
+            "Can you please give me the seasonality insights, such as overall trend",
+            false,
+        );
+        assert_eq!(r.intent, Intent::TimeSeriesInsight);
+    }
+
+    #[test]
+    fn aggregate_question_is_analysis() {
+        let r = classify_intent("total jobs per canton, highest first", false);
+        assert_eq!(r.intent, Intent::Analysis);
+    }
+
+    #[test]
+    fn gibberish_is_unclear_with_zero_confidence() {
+        let r = classify_intent("qwerty zxcvb", false);
+        assert_eq!(r.intent, Intent::Unclear);
+        assert_eq!(r.confidence, 0.0);
+    }
+
+    #[test]
+    fn distribution_is_normalized_and_sorted() {
+        let r = classify_intent("show me the trend of the average number over time", false);
+        let total: f64 = r.distribution.iter().map(|(_, s)| s).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        for w in r.distribution.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(Intent::Analysis.label(), "analysis");
+        assert_eq!(Intent::Unclear.label(), "unclear");
+    }
+}

@@ -1,0 +1,91 @@
+//! # cda-nlmodel
+//!
+//! The **NL Model layer** (ⓒ in Figure 1-right): intent understanding,
+//! NL→SQL translation, natural-language answer generation, and the
+//! inference-time *output-control* machinery the paper's Soundness section
+//! prescribes (rejection sampling, grammar-constrained decoding, reward-
+//! guided reranking).
+//!
+//! ## The simulated language model (documented substitution)
+//!
+//! The paper assumes hosted LLMs. This reproduction replaces them with
+//! [`lm::SimLm`], a deterministic, seedable generator with a **controllable
+//! error process**: given the oracle analytic task (known, because our
+//! workloads are synthetic), it emits the correct SQL with probability
+//! `1 − h` and a realistic *hallucination* — wrong column, wrong table,
+//! dropped filter, wrong aggregate, inverted comparison, or malformed
+//! syntax — with probability `h`. Its token log-probabilities are
+//! deliberately **miscalibrated** (overconfident), reproducing the paper's
+//! observation that "confidence scores may not accurately reflect the true
+//! probability of correctness". Because ground truth is known, the soundness
+//! experiments (E5–E7) can measure calibration exactly — something
+//! impossible against a black-box LLM.
+//!
+//! Modules:
+//! * [`lm`] — the simulated LM: sampling, token log-probs, hallucination
+//!   operators;
+//! * [`intent`] — rule-scored intent classification with confidence;
+//! * [`nl2sql`] — the analytic-task IR, NL phrasing generator, oracle
+//!   parser, and SQL rendering (the workload generator of E5/E7);
+//! * [`constrained`] — grammar-constrained decoding, rejection sampling, and
+//!   reward-model reranking over LM candidates;
+//! * [`generation`] — template-based NL answer/summary generation with
+//!   provenance citations.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bias;
+pub mod constrained;
+pub mod generation;
+pub mod intent;
+pub mod lm;
+pub mod nl2sql;
+
+pub use intent::{classify_intent, Intent};
+pub use lm::{Generation, HallucinationKind, SimLm, SimLmConfig};
+pub use nl2sql::{AnalyticTask, Nl2SqlTask, Workload};
+
+use std::fmt;
+
+/// Errors from the NL model layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NlError {
+    /// The request could not be mapped to a known task shape.
+    Unparseable(String),
+    /// Generation exhausted its sampling budget without an accepted output.
+    BudgetExhausted {
+        /// Samples drawn.
+        attempts: usize,
+    },
+    /// A referenced schema element does not exist.
+    UnknownSchemaElement(String),
+}
+
+impl fmt::Display for NlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Unparseable(q) => write!(f, "could not parse request: {q:?}"),
+            Self::BudgetExhausted { attempts } => {
+                write!(f, "no acceptable output after {attempts} samples")
+            }
+            Self::UnknownSchemaElement(e) => write!(f, "unknown schema element {e:?}"),
+        }
+    }
+}
+
+impl std::error::Error for NlError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, NlError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        assert!(NlError::BudgetExhausted { attempts: 5 }.to_string().contains('5'));
+        assert!(NlError::Unparseable("hm".into()).to_string().contains("hm"));
+    }
+}

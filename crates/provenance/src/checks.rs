@@ -1,0 +1,376 @@
+//! Executable losslessness and invertibility checks.
+//!
+//! The paper proposes **losslessness** ("an answer explanation is indeed
+//! representative of the calculations and source data used to generate it")
+//! and **invertibility** ("recover individual calculations from an
+//! explanation") as new, testable properties of explanations. Both are
+//! implemented here as *decision procedures*, not aspirations:
+//!
+//! * [`check_losslessness`] — replay the query against a catalog restricted
+//!   to **only the rows the explanation cites**; the cited rows are lossless
+//!   iff the explained answer row reappears unchanged.
+//! * [`check_invertibility`] — recompute an aggregate cell from its
+//!   how-provenance valuation and compare with the reported value.
+
+use crate::semiring::from_lineage;
+use crate::{ProvenanceError, Result};
+use cda_dataframe::kernels::AggKind;
+use cda_dataframe::{RowId, Table, Value};
+use cda_sql::{execute, Catalog};
+
+/// Outcome of a losslessness check for one answer row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LosslessReport {
+    /// Whether the cited rows reproduce the answer row.
+    pub lossless: bool,
+    /// Rows cited by the explanation.
+    pub cited_rows: usize,
+    /// Rows in the restricted replay's result.
+    pub replay_rows: usize,
+}
+
+/// Check losslessness of the explanation of result row `row` of `sql`:
+/// restrict every base table to the rows in that row's lineage, re-execute,
+/// and require the original answer row to appear in the replay.
+pub fn check_losslessness(
+    catalog: &Catalog,
+    sql: &str,
+    result: &Table,
+    row: usize,
+) -> Result<LosslessReport> {
+    if row >= result.num_rows() {
+        return Err(ProvenanceError::RowOutOfRange { row, len: result.num_rows() });
+    }
+    let lineage = result
+        .lineage(row)
+        .map_err(|e| ProvenanceError::Replay(e.to_string()))?;
+    let restricted = restrict_catalog(catalog, lineage)?;
+    let replay = execute(&restricted, sql).map_err(|e| ProvenanceError::Replay(e.to_string()))?;
+    let target = result.row(row).map_err(|e| ProvenanceError::Replay(e.to_string()))?;
+    let mut found = false;
+    for r in 0..replay.table.num_rows() {
+        let cand = replay.table.row(r).map_err(|e| ProvenanceError::Replay(e.to_string()))?;
+        if cand == target {
+            found = true;
+            break;
+        }
+    }
+    Ok(LosslessReport {
+        lossless: found,
+        cited_rows: lineage.len(),
+        replay_rows: replay.table.num_rows(),
+    })
+}
+
+/// Build a catalog whose tables contain only the cited rows (other tables
+/// keep their full contents only if they are never cited; cited tables are
+/// restricted).
+fn restrict_catalog(catalog: &Catalog, lineage: &[RowId]) -> Result<Catalog> {
+    let mut out = Catalog::new();
+    // Collect cited rows per tag.
+    let mut by_tag: std::collections::HashMap<u32, Vec<usize>> = std::collections::HashMap::new();
+    for rid in lineage {
+        by_tag.entry(rid.table).or_default().push(rid.row as usize);
+    }
+    // Re-register in a stable order so tags are deterministic.
+    let mut names: Vec<&str> = catalog.iter().map(|(n, _)| n).collect();
+    names.sort_unstable();
+    for name in names {
+        let entry = catalog.get(name).map_err(|e| ProvenanceError::Replay(e.to_string()))?;
+        let table = match by_tag.get(&entry.tag) {
+            Some(rows) => {
+                let mut rows = rows.clone();
+                rows.sort_unstable();
+                rows.dedup();
+                entry.table.take(&rows).map_err(|e| ProvenanceError::Replay(e.to_string()))?
+            }
+            None => entry.table.clone(),
+        };
+        out.register(name, table).map_err(|e| ProvenanceError::Replay(e.to_string()))?;
+    }
+    Ok(out)
+}
+
+/// Outcome of an invertibility check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InvertReport {
+    /// Whether the provenance evaluation reproduced the reported value.
+    pub invertible: bool,
+    /// The value recomputed from provenance.
+    pub recomputed: f64,
+    /// The value the result table reports.
+    pub reported: f64,
+}
+
+/// Check invertibility of an aggregate cell: rebuild the aggregate from the
+/// lineage of result row `row` by looking up each cited base row's value of
+/// `source_column` in `source_table`, applying `agg`, and comparing with the
+/// reported cell `(row, col)` of `result`.
+pub fn check_invertibility(
+    catalog: &Catalog,
+    result: &Table,
+    row: usize,
+    col: usize,
+    agg: AggKind,
+    source_table: &str,
+    source_column: &str,
+) -> Result<InvertReport> {
+    if row >= result.num_rows() {
+        return Err(ProvenanceError::RowOutOfRange { row, len: result.num_rows() });
+    }
+    let entry = catalog.get(source_table).map_err(|e| ProvenanceError::Replay(e.to_string()))?;
+    let col_idx = entry
+        .table
+        .schema()
+        .index_of(source_column)
+        .ok_or_else(|| ProvenanceError::Replay(format!("unknown column {source_column:?}")))?;
+    let lineage: Vec<RowId> = result
+        .lineage(row)
+        .map_err(|e| ProvenanceError::Replay(e.to_string()))?
+        .iter()
+        .filter(|rid| rid.table == entry.tag)
+        .copied()
+        .collect();
+    // Build the how-polynomial (sum over group members) and evaluate it under
+    // the base-table valuation.
+    let poly = from_lineage(&lineage, true);
+    let values: std::collections::HashMap<RowId, f64> = lineage
+        .iter()
+        .map(|rid| {
+            let v = entry
+                .table
+                .value(rid.row as usize, col_idx)
+                .ok()
+                .and_then(|v| v.as_f64())
+                .unwrap_or(0.0);
+            (*rid, v)
+        })
+        .collect();
+    let recomputed = match agg {
+        AggKind::Sum => poly.evaluate(&|rid| values.get(&rid).copied().unwrap_or(0.0)),
+        AggKind::Count => poly.count() as f64,
+        AggKind::CountDistinct => {
+            let distinct: std::collections::HashSet<u64> =
+                values.values().map(|v| v.to_bits()).collect();
+            distinct.len() as f64
+        }
+        AggKind::Avg => {
+            let sum = poly.evaluate(&|rid| values.get(&rid).copied().unwrap_or(0.0));
+            if lineage.is_empty() {
+                0.0
+            } else {
+                sum / lineage.len() as f64
+            }
+        }
+        AggKind::Min => values.values().copied().fold(f64::INFINITY, f64::min),
+        AggKind::Max => values.values().copied().fold(f64::NEG_INFINITY, f64::max),
+        AggKind::StdDev => {
+            let n = lineage.len() as f64;
+            if n == 0.0 {
+                0.0
+            } else {
+                let mean = values.values().sum::<f64>() / n;
+                (values.values().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n).sqrt()
+            }
+        }
+    };
+    let reported = result
+        .value(row, col)
+        .ok()
+        .and_then(|v| v.as_f64())
+        .unwrap_or(f64::NAN);
+    let invertible = (recomputed - reported).abs() < 1e-6 * (1.0 + reported.abs());
+    Ok(InvertReport { invertible, recomputed, reported })
+}
+
+/// Convenience: check every row of a grouped-aggregate result and return the
+/// fraction that is lossless and invertible (the rates experiment E4 plots).
+#[allow(clippy::too_many_arguments)]
+pub fn verification_rates(
+    catalog: &Catalog,
+    sql: &str,
+    result: &Table,
+    agg_col: usize,
+    agg: AggKind,
+    source_table: &str,
+    source_column: &str,
+) -> Result<(f64, f64)> {
+    let n = result.num_rows();
+    if n == 0 {
+        return Ok((1.0, 1.0));
+    }
+    let mut lossless = 0usize;
+    let mut invertible = 0usize;
+    for row in 0..n {
+        if check_losslessness(catalog, sql, result, row)?.lossless {
+            lossless += 1;
+        }
+        if check_invertibility(catalog, result, row, agg_col, agg, source_table, source_column)?
+            .invertible
+        {
+            invertible += 1;
+        }
+    }
+    Ok((lossless as f64 / n as f64, invertible as f64 / n as f64))
+}
+
+/// The residual of Value: PartialEq is structural; rows compare as vectors.
+#[allow(dead_code)]
+fn rows_equal(a: &[Value], b: &[Value]) -> bool {
+    a == b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cda_dataframe::{Column, DataType, Field, Schema};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        let emp = Table::from_columns(
+            Schema::new(vec![
+                Field::new("canton", DataType::Str),
+                Field::new("sector", DataType::Str),
+                Field::new("jobs", DataType::Int),
+            ]),
+            vec![
+                Column::from_strs(&["ZH", "ZH", "GE", "GE", "VD"]),
+                Column::from_strs(&["it", "fin", "it", "gov", "it"]),
+                Column::from_ints(&[100, 200, 50, 80, 30]),
+            ],
+        )
+        .unwrap();
+        c.register("emp", emp).unwrap();
+        let reg = Table::from_columns(
+            Schema::new(vec![
+                Field::new("canton", DataType::Str),
+                Field::new("region", DataType::Str),
+            ]),
+            vec![Column::from_strs(&["ZH", "GE"]), Column::from_strs(&["east", "west"])],
+        )
+        .unwrap();
+        c.register("regions", reg).unwrap();
+        c
+    }
+
+    #[test]
+    fn aggregate_rows_are_lossless() {
+        let c = catalog();
+        let sql = "SELECT canton, SUM(jobs) AS total FROM emp GROUP BY canton ORDER BY canton";
+        let r = execute(&c, sql).unwrap();
+        for row in 0..r.table.num_rows() {
+            let report = check_losslessness(&c, sql, &r.table, row).unwrap();
+            assert!(report.lossless, "row {row}: {report:?}");
+            assert!(report.cited_rows >= 1);
+        }
+    }
+
+    #[test]
+    fn join_rows_are_lossless() {
+        let c = catalog();
+        let sql = "SELECT e.canton, r.region FROM emp e JOIN regions r ON e.canton = r.canton \
+                   WHERE e.jobs > 60";
+        let r = execute(&c, sql).unwrap();
+        assert!(r.table.num_rows() > 0);
+        for row in 0..r.table.num_rows() {
+            assert!(check_losslessness(&c, sql, &r.table, row).unwrap().lossless);
+        }
+    }
+
+    #[test]
+    fn fabricated_lineage_fails_losslessness() {
+        let c = catalog();
+        let sql = "SELECT canton, SUM(jobs) AS total FROM emp GROUP BY canton ORDER BY canton";
+        let r = execute(&c, sql).unwrap();
+        // Forge a result with wrong lineage (cites only row 4, canton VD)
+        let tag = c.get("emp").unwrap().tag;
+        let forged = Table::with_lineage(
+            r.table.schema().clone(),
+            r.table.columns().to_vec(),
+            vec![vec![RowId::new(tag, 4)]; r.table.num_rows()],
+        )
+        .unwrap();
+        // the GE row cannot be reproduced from VD's row alone
+        let ge_row = (0..forged.num_rows())
+            .find(|&i| forged.value(i, 0).unwrap() == Value::from("GE"))
+            .unwrap();
+        let report = check_losslessness(&c, sql, &forged, ge_row).unwrap();
+        assert!(!report.lossless);
+    }
+
+    #[test]
+    fn sum_and_count_invert() {
+        let c = catalog();
+        let sql = "SELECT canton, SUM(jobs) AS total, COUNT(*) AS n FROM emp GROUP BY canton \
+                   ORDER BY canton";
+        let r = execute(&c, sql).unwrap();
+        for row in 0..r.table.num_rows() {
+            let inv =
+                check_invertibility(&c, &r.table, row, 1, AggKind::Sum, "emp", "jobs").unwrap();
+            assert!(inv.invertible, "SUM row {row}: {inv:?}");
+            let inv =
+                check_invertibility(&c, &r.table, row, 2, AggKind::Count, "emp", "jobs").unwrap();
+            assert!(inv.invertible, "COUNT row {row}: {inv:?}");
+        }
+    }
+
+    #[test]
+    fn avg_min_max_invert() {
+        let c = catalog();
+        let sql = "SELECT canton, AVG(jobs) AS a, MIN(jobs) AS mn, MAX(jobs) AS mx FROM emp \
+                   GROUP BY canton ORDER BY canton";
+        let r = execute(&c, sql).unwrap();
+        for row in 0..r.table.num_rows() {
+            assert!(check_invertibility(&c, &r.table, row, 1, AggKind::Avg, "emp", "jobs")
+                .unwrap()
+                .invertible);
+            assert!(check_invertibility(&c, &r.table, row, 2, AggKind::Min, "emp", "jobs")
+                .unwrap()
+                .invertible);
+            assert!(check_invertibility(&c, &r.table, row, 3, AggKind::Max, "emp", "jobs")
+                .unwrap()
+                .invertible);
+        }
+    }
+
+    #[test]
+    fn tampered_value_fails_invertibility() {
+        let c = catalog();
+        let sql = "SELECT canton, SUM(jobs) AS total FROM emp GROUP BY canton ORDER BY canton";
+        let r = execute(&c, sql).unwrap();
+        // tamper with the reported total of row 0
+        let mut cols = r.table.columns().to_vec();
+        let mut tampered = Column::with_capacity(DataType::Int, r.table.num_rows());
+        for i in 0..r.table.num_rows() {
+            let v = cols[1].value(i).unwrap().as_i64().unwrap();
+            tampered.push(Value::Int(if i == 0 { v + 1 } else { v })).unwrap();
+        }
+        cols[1] = tampered;
+        let forged =
+            Table::with_lineage(r.table.schema().clone(), cols, r.table.lineages().to_vec())
+                .unwrap();
+        let inv = check_invertibility(&c, &forged, 0, 1, AggKind::Sum, "emp", "jobs").unwrap();
+        assert!(!inv.invertible);
+        assert_eq!(inv.recomputed + 1.0, inv.reported);
+    }
+
+    #[test]
+    fn rates_are_one_for_honest_results() {
+        let c = catalog();
+        let sql = "SELECT canton, SUM(jobs) AS total FROM emp GROUP BY canton ORDER BY canton";
+        let r = execute(&c, sql).unwrap();
+        let (lossless, invertible) =
+            verification_rates(&c, sql, &r.table, 1, AggKind::Sum, "emp", "jobs").unwrap();
+        assert_eq!(lossless, 1.0);
+        assert_eq!(invertible, 1.0);
+    }
+
+    #[test]
+    fn out_of_range_row_rejected() {
+        let c = catalog();
+        let sql = "SELECT COUNT(*) FROM emp";
+        let r = execute(&c, sql).unwrap();
+        assert!(check_losslessness(&c, sql, &r.table, 5).is_err());
+        assert!(check_invertibility(&c, &r.table, 5, 0, AggKind::Count, "emp", "jobs").is_err());
+    }
+}

@@ -1,0 +1,199 @@
+//! User-facing explanation assembly.
+//!
+//! An [`Explanation`] bundles everything the paper says an answer must carry
+//! (layer ⓔ: "Answer, Confidence Score, and Provenance Data"): the cited
+//! sources, the executed plan, the code, the NL summary, and the outcome of
+//! the losslessness/invertibility verification. Explanations are *consistent*
+//! by construction: rendering is a pure function of the bundle, so equivalent
+//! outcomes produce equivalent explanations (one of the paper's explicitly
+//! stated requirements).
+
+use crate::checks::{InvertReport, LosslessReport};
+use cda_dataframe::RowId;
+use std::fmt;
+
+/// A complete explanation bundle for one answer.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Explanation {
+    /// Short NL restatement of what was computed.
+    pub summary: String,
+    /// Source datasets (names) the answer draws on.
+    pub sources: Vec<String>,
+    /// Base rows cited (where-from provenance).
+    pub cited_rows: Vec<RowId>,
+    /// The executed logical plan, pretty-printed.
+    pub plan: String,
+    /// The query or code that produced the answer.
+    pub code: String,
+    /// Confidence attached to the answer, if any.
+    pub confidence: Option<f64>,
+    /// Losslessness verification outcome, if run.
+    pub lossless: Option<LosslessReport>,
+    /// Invertibility verification outcome, if run.
+    pub invertible: Option<InvertReport>,
+}
+
+impl Explanation {
+    /// Start an explanation with a summary.
+    pub fn new(summary: impl Into<String>) -> Self {
+        Self { summary: summary.into(), ..Default::default() }
+    }
+
+    /// Builder: attach sources.
+    pub fn with_sources(mut self, sources: Vec<String>) -> Self {
+        self.sources = sources;
+        self
+    }
+
+    /// Builder: attach cited rows.
+    pub fn with_rows(mut self, rows: Vec<RowId>) -> Self {
+        self.cited_rows = rows;
+        self
+    }
+
+    /// Builder: attach the plan text.
+    pub fn with_plan(mut self, plan: impl Into<String>) -> Self {
+        self.plan = plan.into();
+        self
+    }
+
+    /// Builder: attach code.
+    pub fn with_code(mut self, code: impl Into<String>) -> Self {
+        self.code = code.into();
+        self
+    }
+
+    /// Builder: attach a confidence score.
+    pub fn with_confidence(mut self, confidence: f64) -> Self {
+        self.confidence = Some(confidence);
+        self
+    }
+
+    /// Builder: attach verification outcomes.
+    pub fn with_verification(
+        mut self,
+        lossless: Option<LosslessReport>,
+        invertible: Option<InvertReport>,
+    ) -> Self {
+        self.lossless = lossless;
+        self.invertible = invertible;
+        self
+    }
+
+    /// Whether every verification that was run passed.
+    pub fn verified(&self) -> bool {
+        self.lossless.as_ref().is_none_or(|l| l.lossless)
+            && self.invertible.as_ref().is_none_or(|i| i.invertible)
+    }
+
+    /// Render a concise, user-facing text block.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.summary);
+        out.push('\n');
+        if let Some(c) = self.confidence {
+            out.push_str(&format!("Confidence: {:.0}%\n", c * 100.0));
+        }
+        if !self.sources.is_empty() {
+            out.push_str(&format!("Sources: {}\n", self.sources.join(", ")));
+        }
+        if !self.cited_rows.is_empty() {
+            let shown: Vec<String> =
+                self.cited_rows.iter().take(8).map(|r| r.to_string()).collect();
+            out.push_str(&format!(
+                "Cited rows ({}): {}{}\n",
+                self.cited_rows.len(),
+                shown.join(", "),
+                if self.cited_rows.len() > 8 { ", …" } else { "" }
+            ));
+        }
+        match (&self.lossless, &self.invertible) {
+            (None, None) => {}
+            (l, i) => {
+                let l_txt = l.as_ref().map_or("not checked".to_owned(), |r| {
+                    if r.lossless { "passed".to_owned() } else { "FAILED".to_owned() }
+                });
+                let i_txt = i.as_ref().map_or("not checked".to_owned(), |r| {
+                    if r.invertible { "passed".to_owned() } else { "FAILED".to_owned() }
+                });
+                out.push_str(&format!("Verification: losslessness {l_txt}, invertibility {i_txt}\n"));
+            }
+        }
+        if !self.code.is_empty() {
+            out.push_str("Code:\n");
+            out.push_str(&self.code);
+            if !self.code.ends_with('\n') {
+                out.push('\n');
+            }
+        }
+        if !self.plan.is_empty() {
+            out.push_str("Plan:\n");
+            out.push_str(&self.plan);
+        }
+        out
+    }
+}
+
+impl fmt::Display for Explanation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Explanation {
+        Explanation::new("Total jobs per canton")
+            .with_sources(vec!["emp".into()])
+            .with_rows(vec![RowId::new(1, 0), RowId::new(1, 1)])
+            .with_plan("Aggregate\n  Scan emp\n")
+            .with_code("SELECT canton, SUM(jobs) FROM emp GROUP BY canton")
+            .with_confidence(0.93)
+    }
+
+    #[test]
+    fn render_contains_all_sections() {
+        let text = sample().render();
+        assert!(text.contains("Total jobs per canton"));
+        assert!(text.contains("Confidence: 93%"));
+        assert!(text.contains("Sources: emp"));
+        assert!(text.contains("Cited rows (2): t1:r0, t1:r1"));
+        assert!(text.contains("SELECT canton"));
+        assert!(text.contains("Scan emp"));
+        assert_eq!(sample().to_string(), text);
+    }
+
+    #[test]
+    fn long_citations_are_elided() {
+        let rows: Vec<RowId> = (0..20).map(|i| RowId::new(1, i)).collect();
+        let text = Explanation::new("x").with_rows(rows).render();
+        assert!(text.contains("Cited rows (20)"));
+        assert!(text.contains('…'));
+    }
+
+    #[test]
+    fn verification_states_render() {
+        let e = sample().with_verification(
+            Some(LosslessReport { lossless: true, cited_rows: 2, replay_rows: 1 }),
+            Some(InvertReport { invertible: false, recomputed: 1.0, reported: 2.0 }),
+        );
+        let text = e.render();
+        assert!(text.contains("losslessness passed"));
+        assert!(text.contains("invertibility FAILED"));
+        assert!(!e.verified());
+    }
+
+    #[test]
+    fn verified_is_vacuously_true_without_checks() {
+        assert!(sample().verified());
+    }
+
+    #[test]
+    fn rendering_is_deterministic_consistency_property() {
+        // equivalent bundles render identically — the paper's "explanations
+        // of equivalent outcomes should be equivalent"
+        assert_eq!(sample().render(), sample().render());
+    }
+}

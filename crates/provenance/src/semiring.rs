@@ -1,0 +1,294 @@
+//! Provenance semirings.
+//!
+//! Following the provenance-semiring framework (Green, Karvounarakis,
+//! Tannen; surveyed in the paper's reference \[21\]): each source row is a
+//! variable; alternative derivations add (`+`), joint derivations multiply
+//! (`×`). Specializing the polynomial recovers the classical notions:
+//! dropping coefficients/exponents gives why-provenance (witness sets);
+//! evaluating under `x ↦ 1` gives the counting semiring (derivation counts);
+//! evaluating under `x ↦ value(x)` lets an aggregate be *recomputed from its
+//! provenance* — the basis of the invertibility check.
+
+use cda_dataframe::RowId;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A monomial: coefficient × product of row-variables (with exponents).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Monomial {
+    /// Variable → exponent, sorted (BTreeMap keeps canonical form).
+    pub vars: BTreeMap<RowId, u32>,
+    /// Natural coefficient.
+    pub coefficient: u64,
+}
+
+impl Monomial {
+    /// The monomial `1` (empty product).
+    pub fn one() -> Self {
+        Self { vars: BTreeMap::new(), coefficient: 1 }
+    }
+
+    /// A single variable `x`.
+    pub fn var(x: RowId) -> Self {
+        let mut vars = BTreeMap::new();
+        vars.insert(x, 1);
+        Self { vars, coefficient: 1 }
+    }
+
+    /// Product of two monomials (coefficients multiply, exponents add).
+    pub fn times(&self, other: &Monomial) -> Monomial {
+        let mut vars = self.vars.clone();
+        for (&v, &e) in &other.vars {
+            *vars.entry(v).or_insert(0) += e;
+        }
+        Monomial { vars, coefficient: self.coefficient * other.coefficient }
+    }
+
+    /// The witness set (variables, exponents dropped).
+    pub fn witness(&self) -> BTreeSet<RowId> {
+        self.vars.keys().copied().collect()
+    }
+}
+
+impl fmt::Display for Monomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.coefficient != 1 || self.vars.is_empty() {
+            write!(f, "{}", self.coefficient)?;
+            if !self.vars.is_empty() {
+                f.write_str("·")?;
+            }
+        }
+        let parts: Vec<String> = self
+            .vars
+            .iter()
+            .map(|(v, e)| if *e == 1 { format!("{v}") } else { format!("{v}^{e}") })
+            .collect();
+        f.write_str(&parts.join("·"))
+    }
+}
+
+/// A how-provenance polynomial: a sum of monomials in canonical form.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HowPolynomial {
+    monomials: Vec<Monomial>,
+}
+
+impl HowPolynomial {
+    /// The zero polynomial (no derivations).
+    pub fn zero() -> Self {
+        Self { monomials: Vec::new() }
+    }
+
+    /// The unit polynomial.
+    pub fn one() -> Self {
+        Self { monomials: vec![Monomial::one()] }
+    }
+
+    /// A single source-row variable.
+    pub fn var(x: RowId) -> Self {
+        Self { monomials: vec![Monomial::var(x)] }
+    }
+
+    /// Whether this is the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.monomials.is_empty()
+    }
+
+    /// The monomials in canonical order.
+    pub fn monomials(&self) -> &[Monomial] {
+        &self.monomials
+    }
+
+    /// Sum (alternative derivations). Like monomials merge coefficients.
+    pub fn plus(&self, other: &HowPolynomial) -> HowPolynomial {
+        let mut merged: BTreeMap<BTreeMap<RowId, u32>, u64> = BTreeMap::new();
+        for m in self.monomials.iter().chain(&other.monomials) {
+            *merged.entry(m.vars.clone()).or_insert(0) += m.coefficient;
+        }
+        HowPolynomial {
+            monomials: merged
+                .into_iter()
+                .filter(|(_, c)| *c > 0)
+                .map(|(vars, coefficient)| Monomial { vars, coefficient })
+                .collect(),
+        }
+    }
+
+    /// Product (joint derivation).
+    pub fn times(&self, other: &HowPolynomial) -> HowPolynomial {
+        let mut out = HowPolynomial::zero();
+        for a in &self.monomials {
+            for b in &other.monomials {
+                out = out.plus(&HowPolynomial { monomials: vec![a.times(b)] });
+            }
+        }
+        out
+    }
+
+    /// Why-provenance: the set of minimal witness sets (each monomial's
+    /// variable set, with supersets of other witnesses removed).
+    pub fn why(&self) -> Vec<BTreeSet<RowId>> {
+        let mut sets: Vec<BTreeSet<RowId>> = self.monomials.iter().map(Monomial::witness).collect();
+        sets.sort_by_key(BTreeSet::len);
+        let mut minimal: Vec<BTreeSet<RowId>> = Vec::new();
+        for s in sets {
+            if !minimal.iter().any(|m| m.is_subset(&s)) {
+                minimal.push(s);
+            }
+        }
+        minimal
+    }
+
+    /// Counting semiring: number of derivations (evaluate at `x ↦ 1`).
+    pub fn count(&self) -> u64 {
+        self.monomials.iter().map(|m| m.coefficient).sum()
+    }
+
+    /// Evaluate under a valuation `x ↦ value(x)` (invertibility: recompute a
+    /// result from its provenance). Missing variables evaluate as 0.
+    pub fn evaluate(&self, valuation: &impl Fn(RowId) -> f64) -> f64 {
+        self.monomials
+            .iter()
+            .map(|m| {
+                let prod: f64 = m
+                    .vars
+                    .iter()
+                    .map(|(&v, &e)| valuation(v).powi(e as i32))
+                    .product();
+                m.coefficient as f64 * prod
+            })
+            .sum()
+    }
+
+    /// All source rows mentioned anywhere in the polynomial.
+    pub fn support(&self) -> BTreeSet<RowId> {
+        self.monomials.iter().flat_map(Monomial::witness).collect()
+    }
+}
+
+impl fmt::Display for HowPolynomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.monomials.is_empty() {
+            return f.write_str("0");
+        }
+        let parts: Vec<String> = self.monomials.iter().map(|m| m.to_string()).collect();
+        f.write_str(&parts.join(" + "))
+    }
+}
+
+/// Build the how-provenance of one output row of a query from its lineage:
+/// a filter/scan row is its variable; a join row is the **product** of its
+/// witnesses; an aggregate row is the **sum** of its group's products. Since
+/// the executor stores flat witness lists per row, we reconstruct: rows with
+/// one witness → `x`; joins → `x·y`; aggregates get one monomial per
+/// contributing base row (sum), which is exact for single-table aggregates.
+pub fn from_lineage(witnesses: &[RowId], aggregated: bool) -> HowPolynomial {
+    if witnesses.is_empty() {
+        return HowPolynomial::one();
+    }
+    if aggregated {
+        witnesses
+            .iter()
+            .fold(HowPolynomial::zero(), |acc, &w| acc.plus(&HowPolynomial::var(w)))
+    } else {
+        witnesses
+            .iter()
+            .fold(HowPolynomial::one(), |acc, &w| acc.times(&HowPolynomial::var(w)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: u64) -> RowId {
+        RowId::new(1, i)
+    }
+
+    #[test]
+    fn monomial_product_merges_exponents() {
+        let m = Monomial::var(r(1)).times(&Monomial::var(r(1))).times(&Monomial::var(r(2)));
+        assert_eq!(m.vars.get(&r(1)), Some(&2));
+        assert_eq!(m.vars.get(&r(2)), Some(&1));
+        assert_eq!(m.to_string(), "t1:r1^2·t1:r2");
+    }
+
+    #[test]
+    fn plus_merges_like_terms() {
+        let p = HowPolynomial::var(r(1)).plus(&HowPolynomial::var(r(1)));
+        assert_eq!(p.monomials().len(), 1);
+        assert_eq!(p.monomials()[0].coefficient, 2);
+        assert_eq!(p.to_string(), "2·t1:r1");
+    }
+
+    #[test]
+    fn distributive_law() {
+        // (x + y) * z = xz + yz
+        let x = HowPolynomial::var(r(1));
+        let y = HowPolynomial::var(r(2));
+        let z = HowPolynomial::var(r(3));
+        let lhs = x.plus(&y).times(&z);
+        let rhs = x.times(&z).plus(&y.times(&z));
+        assert_eq!(lhs, rhs);
+        assert_eq!(lhs.monomials().len(), 2);
+    }
+
+    #[test]
+    fn zero_and_one_laws() {
+        let x = HowPolynomial::var(r(1));
+        assert_eq!(x.plus(&HowPolynomial::zero()), x);
+        assert_eq!(x.times(&HowPolynomial::one()), x);
+        assert!(x.times(&HowPolynomial::zero()).is_zero());
+        assert_eq!(HowPolynomial::zero().to_string(), "0");
+    }
+
+    #[test]
+    fn why_provenance_is_minimal() {
+        // x + x·y: witness {x} subsumes {x, y}
+        let x = HowPolynomial::var(r(1));
+        let xy = x.times(&HowPolynomial::var(r(2)));
+        let p = x.plus(&xy);
+        let why = p.why();
+        assert_eq!(why.len(), 1);
+        assert!(why[0].contains(&r(1)));
+        assert_eq!(why[0].len(), 1);
+    }
+
+    #[test]
+    fn counting_evaluation() {
+        let p = HowPolynomial::var(r(1))
+            .plus(&HowPolynomial::var(r(2)))
+            .plus(&HowPolynomial::var(r(2)));
+        assert_eq!(p.count(), 3);
+    }
+
+    #[test]
+    fn numeric_evaluation_recovers_sum() {
+        // SUM over rows 0..3 with values 10, 20, 30
+        let p = from_lineage(&[r(0), r(1), r(2)], true);
+        let value = p.evaluate(&|id: RowId| (id.row as f64 + 1.0) * 10.0);
+        assert_eq!(value, 60.0);
+    }
+
+    #[test]
+    fn join_lineage_is_a_product() {
+        let p = from_lineage(&[r(0), RowId::new(2, 5)], false);
+        assert_eq!(p.monomials().len(), 1);
+        assert_eq!(p.monomials()[0].witness().len(), 2);
+        // count of derivations through a single join path is 1
+        assert_eq!(p.count(), 1);
+    }
+
+    #[test]
+    fn support_collects_all_vars() {
+        let p = from_lineage(&[r(0), r(1)], true);
+        let s = p.support();
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(&r(0)));
+    }
+
+    #[test]
+    fn empty_lineage_is_unit() {
+        assert_eq!(from_lineage(&[], true), HowPolynomial::one());
+    }
+}

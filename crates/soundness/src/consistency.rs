@@ -1,0 +1,195 @@
+//! Consistency-based black-box uncertainty quantification for text-to-SQL.
+//!
+//! Implements the method of the paper's reference \[7\] (Bhattacharjya et al.,
+//! "Consistency-based Black-box Uncertainty Quantification for Text-to-SQL",
+//! NeurIPS 2024): draw k samples from the model at non-zero temperature,
+//! execute each candidate, group candidates whose executions agree
+//! (execution equivalence), and report the **mass of the cluster containing
+//! the returned answer** as its confidence. Unlike token log-probabilities,
+//! this signal needs no access to model internals and — because hallucinated
+//! variants rarely agree with each other — tracks true correctness far
+//! better (experiment E5 quantifies the gap).
+
+use crate::verify::execution_signature;
+use crate::{Result, SoundnessError};
+use cda_nlmodel::lm::{Nl2SqlPrompt, SimLm};
+use cda_sql::Catalog;
+use std::collections::HashMap;
+
+/// The outcome of one consistency-UQ round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConsistencyReport {
+    /// The SQL chosen (representative of the largest executing cluster), or
+    /// `None` when no sample executed.
+    pub chosen_sql: Option<String>,
+    /// Confidence = |majority cluster| / k.
+    pub confidence: f64,
+    /// Number of samples drawn.
+    pub samples: usize,
+    /// Number of distinct execution-equivalence clusters among executing
+    /// samples.
+    pub clusters: usize,
+    /// Number of samples that failed to execute.
+    pub failed: usize,
+    /// The naive mean LM confidence over the samples (the miscalibrated
+    /// baseline E5 compares against).
+    pub naive_confidence: f64,
+}
+
+/// Run consistency-based UQ: sample `k` candidates at `temperature`, cluster
+/// by execution signature, return the majority representative + confidence.
+pub fn consistency_confidence(
+    lm: &SimLm,
+    prompt: &Nl2SqlPrompt,
+    catalog: &Catalog,
+    k: usize,
+    temperature: f64,
+) -> Result<ConsistencyReport> {
+    if k == 0 {
+        return Err(SoundnessError::NoSamples);
+    }
+    let gens = lm.sample_k(prompt, temperature, k);
+    let naive_confidence =
+        gens.iter().map(cda_nlmodel::lm::Generation::naive_confidence).sum::<f64>() / k as f64;
+    let mut clusters: HashMap<String, Vec<usize>> = HashMap::new();
+    let mut failed = 0usize;
+    for (i, g) in gens.iter().enumerate() {
+        match execution_signature(catalog, &g.sql) {
+            Some(sig) => clusters.entry(sig).or_default().push(i),
+            None => failed += 1,
+        }
+    }
+    if clusters.is_empty() {
+        return Ok(ConsistencyReport {
+            chosen_sql: None,
+            confidence: 0.0,
+            samples: k,
+            clusters: 0,
+            failed,
+            naive_confidence,
+        });
+    }
+    // Majority cluster; ties broken deterministically by signature order.
+    let mut entries: Vec<(&String, &Vec<usize>)> = clusters.iter().collect();
+    entries.sort_by(|a, b| b.1.len().cmp(&a.1.len()).then(a.0.cmp(b.0)));
+    let (_, members) = entries[0];
+    let representative = gens[members[0]].sql.clone();
+    Ok(ConsistencyReport {
+        chosen_sql: Some(representative),
+        confidence: members.len() as f64 / k as f64,
+        samples: k,
+        clusters: clusters.len(),
+        failed,
+        naive_confidence,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cda_dataframe::kernels::AggKind;
+    use cda_dataframe::{Column, DataType, Field, Schema, Table};
+    use cda_nlmodel::lm::SimLmConfig;
+    use cda_nlmodel::nl2sql::AnalyticTask;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        let t = Table::from_columns(
+            Schema::new(vec![
+                Field::new("canton", DataType::Str),
+                Field::new("sector", DataType::Str),
+                Field::new("jobs", DataType::Int),
+            ]),
+            vec![
+                Column::from_strs(&["ZH", "ZH", "GE", "VD"]),
+                Column::from_strs(&["it", "fin", "it", "it"]),
+                Column::from_ints(&[100, 200, 50, 30]),
+            ],
+        )
+        .unwrap();
+        c.register("employment", t).unwrap();
+        c
+    }
+
+    fn prompt() -> Nl2SqlPrompt {
+        Nl2SqlPrompt {
+            task: AnalyticTask {
+                table: "employment".into(),
+                agg: AggKind::Sum,
+                metric: Some("jobs".into()),
+                group_by: Some("canton".into()),
+                filters: vec![],
+                order_desc: false,
+                limit: None,
+            },
+            schema: Schema::new(vec![
+                Field::new("canton", DataType::Str),
+                Field::new("sector", DataType::Str),
+                Field::new("jobs", DataType::Int),
+            ]),
+            other_tables: vec![],
+        }
+    }
+
+    #[test]
+    fn clean_model_yields_full_confidence() {
+        let lm = SimLm::new(SimLmConfig { hallucination_rate: 0.0, ..Default::default() });
+        let r = consistency_confidence(&lm, &prompt(), &catalog(), 8, 1.0).unwrap();
+        assert_eq!(r.confidence, 1.0);
+        assert_eq!(r.clusters, 1);
+        assert_eq!(r.failed, 0);
+        assert_eq!(r.chosen_sql.as_deref(), Some(prompt().task.to_sql().as_str()));
+    }
+
+    #[test]
+    fn noisy_model_reduces_consistency_confidence() {
+        let clean = SimLm::new(SimLmConfig { hallucination_rate: 0.0, seed: 1, ..Default::default() });
+        let noisy = SimLm::new(SimLmConfig { hallucination_rate: 0.7, seed: 1, ..Default::default() });
+        let rc = consistency_confidence(&clean, &prompt(), &catalog(), 10, 1.0).unwrap();
+        let rn = consistency_confidence(&noisy, &prompt(), &catalog(), 10, 1.0).unwrap();
+        assert!(rn.confidence < rc.confidence, "{} vs {}", rn.confidence, rc.confidence);
+        assert!(rn.clusters > 1);
+    }
+
+    #[test]
+    fn naive_confidence_stays_high_while_consistency_drops() {
+        // the paper's core soundness observation, in miniature
+        let noisy = SimLm::new(SimLmConfig {
+            hallucination_rate: 0.8,
+            overconfidence: 1.0,
+            seed: 2,
+        });
+        let r = consistency_confidence(&noisy, &prompt(), &catalog(), 12, 1.0).unwrap();
+        assert!(r.naive_confidence > 0.7, "naive {}", r.naive_confidence);
+        assert!(r.confidence < r.naive_confidence, "consistency should be lower");
+    }
+
+    #[test]
+    fn zero_samples_is_an_error() {
+        let lm = SimLm::new(SimLmConfig::default());
+        assert!(matches!(
+            consistency_confidence(&lm, &prompt(), &catalog(), 0, 1.0),
+            Err(SoundnessError::NoSamples)
+        ));
+    }
+
+    #[test]
+    fn all_failing_samples_yield_zero_confidence() {
+        // a prompt against a missing table never executes
+        let mut p = prompt();
+        p.task.table = "missing".into();
+        let lm = SimLm::new(SimLmConfig { hallucination_rate: 0.0, ..Default::default() });
+        let r = consistency_confidence(&lm, &p, &catalog(), 5, 1.0).unwrap();
+        assert_eq!(r.chosen_sql, None);
+        assert_eq!(r.confidence, 0.0);
+        assert_eq!(r.failed, 5);
+    }
+
+    #[test]
+    fn report_is_deterministic() {
+        let lm = SimLm::new(SimLmConfig { hallucination_rate: 0.5, seed: 7, ..Default::default() });
+        let a = consistency_confidence(&lm, &prompt(), &catalog(), 9, 1.0).unwrap();
+        let b = consistency_confidence(&lm, &prompt(), &catalog(), 9, 1.0).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,523 @@
+//! Abstract syntax tree for the supported SQL subset.
+
+use cda_dataframe::kernels::AggKind;
+use cda_dataframe::Value;
+use std::fmt;
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinaryOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `=`
+    Eq,
+    /// `<>` / `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+}
+
+impl BinaryOp {
+    /// SQL rendering of the operator.
+    pub fn sql(self) -> &'static str {
+        match self {
+            BinaryOp::Add => "+",
+            BinaryOp::Sub => "-",
+            BinaryOp::Mul => "*",
+            BinaryOp::Div => "/",
+            BinaryOp::Mod => "%",
+            BinaryOp::Eq => "=",
+            BinaryOp::NotEq => "<>",
+            BinaryOp::Lt => "<",
+            BinaryOp::LtEq => "<=",
+            BinaryOp::Gt => ">",
+            BinaryOp::GtEq => ">=",
+            BinaryOp::And => "AND",
+            BinaryOp::Or => "OR",
+        }
+    }
+
+    /// True for comparison operators (result is BOOL).
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Eq | BinaryOp::NotEq | BinaryOp::Lt | BinaryOp::LtEq | BinaryOp::Gt | BinaryOp::GtEq
+        )
+    }
+}
+
+/// A scalar or boolean expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Literal value.
+    Literal(Value),
+    /// Column reference, optionally qualified: `table.column` or `column`.
+    Column {
+        /// Optional table/alias qualifier.
+        table: Option<String>,
+        /// Column name.
+        name: String,
+    },
+    /// Binary operation.
+    Binary {
+        /// Left operand.
+        left: Box<Expr>,
+        /// Operator.
+        op: BinaryOp,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Unary negation (`-x`).
+    Neg(Box<Expr>),
+    /// Logical NOT.
+    Not(Box<Expr>),
+    /// `expr IS NULL` / `expr IS NOT NULL`.
+    IsNull {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// True for `IS NOT NULL`.
+        negated: bool,
+    },
+    /// `expr IN (v1, v2, ...)`.
+    InList {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Candidate values.
+        list: Vec<Expr>,
+        /// True for `NOT IN`.
+        negated: bool,
+    },
+    /// `expr BETWEEN low AND high`.
+    Between {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Lower bound (inclusive).
+        low: Box<Expr>,
+        /// Upper bound (inclusive).
+        high: Box<Expr>,
+        /// True for `NOT BETWEEN`.
+        negated: bool,
+    },
+    /// `expr LIKE 'pattern'` with `%` and `_` wildcards.
+    Like {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Pattern literal.
+        pattern: String,
+        /// True for `NOT LIKE`.
+        negated: bool,
+    },
+    /// `CASE WHEN cond THEN val [WHEN ...] [ELSE val] END`.
+    Case {
+        /// (condition, result) arms.
+        branches: Vec<(Expr, Expr)>,
+        /// Optional ELSE result.
+        else_expr: Option<Box<Expr>>,
+    },
+    /// Aggregate call. `arg == None` encodes `COUNT(*)`.
+    Aggregate {
+        /// Aggregate kind.
+        kind: AggKind,
+        /// Argument expression (None for `COUNT(*)`).
+        arg: Option<Box<Expr>>,
+    },
+}
+
+impl Expr {
+    /// Convenience: column reference without qualifier.
+    pub fn col(name: impl Into<String>) -> Self {
+        Expr::Column { table: None, name: name.into() }
+    }
+
+    /// Convenience: literal.
+    pub fn lit(v: impl Into<Value>) -> Self {
+        Expr::Literal(v.into())
+    }
+
+    /// Convenience: binary expression.
+    pub fn binary(left: Expr, op: BinaryOp, right: Expr) -> Self {
+        Expr::Binary { left: Box::new(left), op, right: Box::new(right) }
+    }
+
+    /// Does this expression (transitively) contain an aggregate call?
+    pub fn contains_aggregate(&self) -> bool {
+        match self {
+            Expr::Aggregate { .. } => true,
+            Expr::Literal(_) | Expr::Column { .. } => false,
+            Expr::Binary { left, right, .. } => left.contains_aggregate() || right.contains_aggregate(),
+            Expr::Neg(e) | Expr::Not(e) => e.contains_aggregate(),
+            Expr::IsNull { expr, .. } => expr.contains_aggregate(),
+            Expr::InList { expr, list, .. } => {
+                expr.contains_aggregate() || list.iter().any(Expr::contains_aggregate)
+            }
+            Expr::Between { expr, low, high, .. } => {
+                expr.contains_aggregate() || low.contains_aggregate() || high.contains_aggregate()
+            }
+            Expr::Like { expr, .. } => expr.contains_aggregate(),
+            Expr::Case { branches, else_expr } => {
+                branches.iter().any(|(c, v)| c.contains_aggregate() || v.contains_aggregate())
+                    || else_expr.as_ref().is_some_and(|e| e.contains_aggregate())
+            }
+        }
+    }
+
+    /// Collect all column references into `out`.
+    pub fn collect_columns<'a>(&'a self, out: &mut Vec<(&'a Option<String>, &'a str)>) {
+        match self {
+            Expr::Column { table, name } => out.push((table, name)),
+            Expr::Literal(_) => {}
+            Expr::Binary { left, right, .. } => {
+                left.collect_columns(out);
+                right.collect_columns(out);
+            }
+            Expr::Neg(e) | Expr::Not(e) => e.collect_columns(out),
+            Expr::IsNull { expr, .. } => expr.collect_columns(out),
+            Expr::InList { expr, list, .. } => {
+                expr.collect_columns(out);
+                for e in list {
+                    e.collect_columns(out);
+                }
+            }
+            Expr::Between { expr, low, high, .. } => {
+                expr.collect_columns(out);
+                low.collect_columns(out);
+                high.collect_columns(out);
+            }
+            Expr::Like { expr, .. } => expr.collect_columns(out),
+            Expr::Case { branches, else_expr } => {
+                for (c, v) in branches {
+                    c.collect_columns(out);
+                    v.collect_columns(out);
+                }
+                if let Some(e) = else_expr {
+                    e.collect_columns(out);
+                }
+            }
+            Expr::Aggregate { arg, .. } => {
+                if let Some(a) = arg {
+                    a.collect_columns(out);
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Literal(Value::Str(s)) => write!(f, "'{}'", s.replace('\'', "''")),
+            Expr::Literal(v) => write!(f, "{v}"),
+            Expr::Column { table: Some(t), name } => write!(f, "{t}.{name}"),
+            Expr::Column { table: None, name } => write!(f, "{name}"),
+            Expr::Binary { left, op, right } => write!(f, "({left} {} {right})", op.sql()),
+            Expr::Neg(e) => write!(f, "(-{e})"),
+            Expr::Not(e) => write!(f, "(NOT {e})"),
+            Expr::IsNull { expr, negated } => {
+                write!(f, "({expr} IS {}NULL)", if *negated { "NOT " } else { "" })
+            }
+            Expr::InList { expr, list, negated } => {
+                let items: Vec<String> = list.iter().map(|e| e.to_string()).collect();
+                write!(
+                    f,
+                    "({expr} {}IN ({}))",
+                    if *negated { "NOT " } else { "" },
+                    items.join(", ")
+                )
+            }
+            Expr::Between { expr, low, high, negated } => {
+                write!(f, "({expr} {}BETWEEN {low} AND {high})", if *negated { "NOT " } else { "" })
+            }
+            Expr::Like { expr, pattern, negated } => {
+                write!(f, "({expr} {}LIKE '{pattern}')", if *negated { "NOT " } else { "" })
+            }
+            Expr::Case { branches, else_expr } => {
+                f.write_str("CASE")?;
+                for (c, v) in branches {
+                    write!(f, " WHEN {c} THEN {v}")?;
+                }
+                if let Some(e) = else_expr {
+                    write!(f, " ELSE {e}")?;
+                }
+                f.write_str(" END")
+            }
+            Expr::Aggregate { kind, arg } => match (kind, arg) {
+                (AggKind::CountDistinct, Some(a)) => write!(f, "COUNT(DISTINCT {a})"),
+                (_, Some(a)) => write!(f, "{}({a})", kind.name()),
+                (_, None) => write!(f, "{}(*)", kind.name()),
+            },
+        }
+    }
+}
+
+/// One item in the SELECT list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*` — all columns of all tables in scope.
+    Wildcard,
+    /// `expr [AS alias]`.
+    Expr {
+        /// The projected expression.
+        expr: Expr,
+        /// Optional output name.
+        alias: Option<String>,
+    },
+}
+
+/// A base table reference with optional alias.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    /// Catalog name of the table.
+    pub name: String,
+    /// Optional alias.
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    /// The name this table is known by in scope (alias if present).
+    pub fn scope_name(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.name)
+    }
+}
+
+/// Join type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    /// INNER JOIN (default).
+    Inner,
+    /// LEFT OUTER JOIN.
+    Left,
+}
+
+/// A JOIN clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Join {
+    /// Joined table.
+    pub table: TableRef,
+    /// Join type.
+    pub kind: JoinKind,
+    /// ON condition.
+    pub on: Expr,
+}
+
+/// Sort direction in ORDER BY.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OrderDirection {
+    /// Ascending.
+    Asc,
+    /// Descending.
+    Desc,
+}
+
+/// One ORDER BY key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderByItem {
+    /// The key expression (may be an output-column name or a 1-based ordinal).
+    pub expr: Expr,
+    /// Direction.
+    pub direction: OrderDirection,
+}
+
+/// A parsed SELECT statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Select {
+    /// DISTINCT flag.
+    pub distinct: bool,
+    /// SELECT-list items.
+    pub items: Vec<SelectItem>,
+    /// FROM table.
+    pub from: TableRef,
+    /// JOIN clauses, in order.
+    pub joins: Vec<Join>,
+    /// WHERE predicate.
+    pub where_clause: Option<Expr>,
+    /// GROUP BY keys.
+    pub group_by: Vec<Expr>,
+    /// HAVING predicate.
+    pub having: Option<Expr>,
+    /// ORDER BY keys.
+    pub order_by: Vec<OrderByItem>,
+    /// LIMIT row count.
+    pub limit: Option<usize>,
+    /// OFFSET row count.
+    pub offset: Option<usize>,
+}
+
+impl fmt::Display for Select {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SELECT ")?;
+            if self.distinct {
+                f.write_str("DISTINCT ")?;
+            }
+            let items: Vec<String> = self
+                .items
+                .iter()
+                .map(|i| match i {
+                    SelectItem::Wildcard => "*".to_owned(),
+                    SelectItem::Expr { expr, alias: Some(a) } => format!("{expr} AS {a}"),
+                    SelectItem::Expr { expr, alias: None } => expr.to_string(),
+                })
+                .collect();
+            write!(f, "{} FROM {}", items.join(", "), self.from.name)?;
+            if let Some(a) = &self.from.alias {
+                write!(f, " {a}")?;
+            }
+            for j in &self.joins {
+                let kw = match j.kind {
+                    JoinKind::Inner => "JOIN",
+                    JoinKind::Left => "LEFT JOIN",
+                };
+                write!(f, " {kw} {}", j.table.name)?;
+                if let Some(a) = &j.table.alias {
+                    write!(f, " {a}")?;
+                }
+                write!(f, " ON {}", j.on)?;
+            }
+            if let Some(w) = &self.where_clause {
+                write!(f, " WHERE {w}")?;
+            }
+            if !self.group_by.is_empty() {
+                let keys: Vec<String> = self.group_by.iter().map(|e| e.to_string()).collect();
+                write!(f, " GROUP BY {}", keys.join(", "))?;
+            }
+            if let Some(h) = &self.having {
+                write!(f, " HAVING {h}")?;
+            }
+            if !self.order_by.is_empty() {
+                let keys: Vec<String> = self
+                    .order_by
+                    .iter()
+                    .map(|o| {
+                        format!(
+                            "{}{}",
+                            o.expr,
+                            match o.direction {
+                                OrderDirection::Asc => "",
+                                OrderDirection::Desc => " DESC",
+                            }
+                        )
+                    })
+                    .collect();
+                write!(f, " ORDER BY {}", keys.join(", "))?;
+            }
+            if let Some(l) = self.limit {
+                write!(f, " LIMIT {l}")?;
+            }
+        if let Some(o) = self.offset {
+            write!(f, " OFFSET {o}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_builders_and_display() {
+        let e = Expr::binary(Expr::col("x"), BinaryOp::GtEq, Expr::lit(10i64));
+        assert_eq!(e.to_string(), "(x >= 10)");
+        let e = Expr::Column { table: Some("t".into()), name: "y".into() };
+        assert_eq!(e.to_string(), "t.y");
+    }
+
+    #[test]
+    fn string_literals_escaped_in_display() {
+        let e = Expr::lit("it's");
+        assert_eq!(e.to_string(), "'it''s'");
+    }
+
+    #[test]
+    fn contains_aggregate_recurses() {
+        let agg = Expr::Aggregate { kind: AggKind::Sum, arg: Some(Box::new(Expr::col("x"))) };
+        let e = Expr::binary(agg, BinaryOp::Gt, Expr::lit(5i64));
+        assert!(e.contains_aggregate());
+        assert!(!Expr::col("x").contains_aggregate());
+        let case = Expr::Case {
+            branches: vec![(
+                Expr::lit(true),
+                Expr::Aggregate { kind: AggKind::Count, arg: None },
+            )],
+            else_expr: None,
+        };
+        assert!(case.contains_aggregate());
+    }
+
+    #[test]
+    fn collect_columns_finds_all() {
+        let e = Expr::Between {
+            expr: Box::new(Expr::col("a")),
+            low: Box::new(Expr::col("b")),
+            high: Box::new(Expr::lit(3i64)),
+            negated: false,
+        };
+        let mut cols = Vec::new();
+        e.collect_columns(&mut cols);
+        let names: Vec<&str> = cols.iter().map(|(_, n)| *n).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn select_display_round_trip_shape() {
+        let s = Select {
+            distinct: true,
+            items: vec![
+                SelectItem::Expr { expr: Expr::col("a"), alias: Some("x".into()) },
+                SelectItem::Wildcard,
+            ],
+            from: TableRef { name: "t".into(), alias: Some("u".into()) },
+            joins: vec![Join {
+                table: TableRef { name: "s".into(), alias: None },
+                kind: JoinKind::Left,
+                on: Expr::binary(
+                    Expr::Column { table: Some("u".into()), name: "id".into() },
+                    BinaryOp::Eq,
+                    Expr::Column { table: Some("s".into()), name: "id".into() },
+                ),
+            }],
+            where_clause: Some(Expr::binary(Expr::col("a"), BinaryOp::Lt, Expr::lit(1i64))),
+            group_by: vec![Expr::col("a")],
+            having: None,
+            order_by: vec![OrderByItem { expr: Expr::col("x"), direction: OrderDirection::Desc }],
+            limit: Some(10),
+            offset: Some(2),
+        };
+        let text = s.to_string();
+        assert!(text.starts_with("SELECT DISTINCT a AS x, *"));
+        assert!(text.contains("LEFT JOIN s ON (u.id = s.id)"));
+        assert!(text.contains("ORDER BY x DESC LIMIT 10 OFFSET 2"));
+    }
+
+    #[test]
+    fn table_ref_scope_name() {
+        let t = TableRef { name: "employment".into(), alias: Some("e".into()) };
+        assert_eq!(t.scope_name(), "e");
+        let t = TableRef { name: "employment".into(), alias: None };
+        assert_eq!(t.scope_name(), "employment");
+    }
+
+    #[test]
+    fn binary_op_helpers() {
+        assert!(BinaryOp::LtEq.is_comparison());
+        assert!(!BinaryOp::Add.is_comparison());
+        assert_eq!(BinaryOp::NotEq.sql(), "<>");
+    }
+}

@@ -1,0 +1,81 @@
+//! Error type for the SQL engine.
+
+use std::fmt;
+
+/// Errors from lexing, parsing, planning, or executing SQL.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlError {
+    /// Lexical error with character position.
+    Lex {
+        /// Byte offset in the input.
+        position: usize,
+        /// Description.
+        message: String,
+    },
+    /// Syntax error with approximate token position.
+    Parse {
+        /// Token index where the error occurred.
+        position: usize,
+        /// Description.
+        message: String,
+    },
+    /// Name binding failed (unknown table / column / ambiguous reference).
+    Binding(String),
+    /// Semantic error (e.g., aggregate nested in aggregate).
+    Semantic(String),
+    /// Runtime evaluation error (type error, division by zero …).
+    Eval(String),
+    /// Error bubbled up from the dataframe substrate.
+    DataFrame(cda_dataframe::DataFrameError),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Lex { position, message } => write!(f, "lex error at byte {position}: {message}"),
+            Self::Parse { position, message } => {
+                write!(f, "parse error near token {position}: {message}")
+            }
+            Self::Binding(m) => write!(f, "binding error: {m}"),
+            Self::Semantic(m) => write!(f, "semantic error: {m}"),
+            Self::Eval(m) => write!(f, "evaluation error: {m}"),
+            Self::DataFrame(e) => write!(f, "dataframe error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::DataFrame(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<cda_dataframe::DataFrameError> for SqlError {
+    fn from(e: cda_dataframe::DataFrameError) -> Self {
+        Self::DataFrame(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = SqlError::Parse { position: 3, message: "expected FROM".into() };
+        assert!(e.to_string().contains("expected FROM"));
+        let e = SqlError::Binding("unknown column x".into());
+        assert!(e.to_string().contains("unknown column"));
+    }
+
+    #[test]
+    fn dataframe_error_converts_and_sources() {
+        use std::error::Error;
+        let inner = cda_dataframe::DataFrameError::ColumnNotFound("z".into());
+        let e: SqlError = inner.into();
+        assert!(e.source().is_some());
+    }
+}

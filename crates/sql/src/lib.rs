@@ -1,0 +1,69 @@
+//! # cda-sql
+//!
+//! A self-contained SQL engine over [`cda_dataframe`] tables: the query
+//! substrate of the CDA reproduction (layer ⓑ of Figure 1-right).
+//!
+//! Pipeline: [`lexer`] → [`parser`] (AST in [`ast`]) → [`planner`] (logical
+//! plan in [`plan`]) → [`optimizer`] → [`exec`].
+//!
+//! Two design points distinguish it from a generic toy engine and tie it to
+//! the paper:
+//!
+//! 1. **Provenance-annotated execution (P3/P4).** Every operator propagates
+//!    per-row lineage (`RowId` sets); aggregate rows carry the union of their
+//!    inputs' lineage. The provenance crate turns these into why-/how-
+//!    provenance explanations; the soundness crate uses execution results to
+//!    verify NL-generated queries.
+//! 2. **An inspectable optimizer.** Rules (constant folding, predicate
+//!    pushdown, projection pruning) can be toggled individually so experiment
+//!    E11 can measure each rule's effect — the paper's "holistic optimizer"
+//!    argument made concrete at small scale.
+//!
+//! ## Supported SQL subset
+//!
+//! `SELECT [DISTINCT] expr [AS name], ... FROM table [alias]
+//! [JOIN table [alias] ON expr]* [WHERE expr]
+//! [GROUP BY expr, ...] [HAVING expr]
+//! [ORDER BY expr [ASC|DESC], ...] [LIMIT n [OFFSET m]]`
+//!
+//! Expressions: literals, (qualified) column refs, `+ - * / %`, comparisons,
+//! `AND OR NOT`, `IN (list)`, `BETWEEN`, `LIKE` (`%`/`_`), `IS [NOT] NULL`,
+//! `CASE WHEN`, unary minus, and the aggregates `COUNT(*) COUNT SUM AVG MIN
+//! MAX STDDEV`.
+//!
+//! ## Example
+//!
+//! ```
+//! use cda_sql::{Catalog, execute};
+//! use cda_dataframe::{Table, Schema, Field, DataType, Column};
+//!
+//! let mut catalog = Catalog::new();
+//! let t = Table::from_columns(
+//!     Schema::new(vec![Field::new("canton", DataType::Str), Field::new("jobs", DataType::Int)]),
+//!     vec![Column::from_strs(&["ZH", "GE", "ZH"]), Column::from_ints(&[10, 20, 30])],
+//! ).unwrap();
+//! catalog.register("employment", t).unwrap();
+//! let result = execute(&catalog, "SELECT canton, SUM(jobs) AS total FROM employment GROUP BY canton ORDER BY total DESC").unwrap();
+//! assert_eq!(result.table.num_rows(), 2);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ast;
+pub mod catalog;
+pub mod error;
+pub mod exec;
+pub mod lexer;
+pub mod optimizer;
+pub mod parser;
+pub mod plan;
+pub mod planner;
+
+pub use catalog::Catalog;
+pub use error::SqlError;
+pub use exec::{execute, execute_with_options, ExecOptions, QueryResult};
+pub use optimizer::OptimizerRules;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, SqlError>;

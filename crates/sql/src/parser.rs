@@ -1,0 +1,646 @@
+//! Recursive-descent SQL parser.
+//!
+//! Grammar (classic precedence climbing for expressions):
+//!
+//! ```text
+//! select     := SELECT [DISTINCT] items FROM table_ref join* [WHERE expr]
+//!               [GROUP BY expr_list] [HAVING expr]
+//!               [ORDER BY order_list] [LIMIT int [OFFSET int]] [;]
+//! expr       := or_expr
+//! or_expr    := and_expr (OR and_expr)*
+//! and_expr   := not_expr (AND not_expr)*
+//! not_expr   := NOT not_expr | predicate
+//! predicate  := additive [comparison | IN | BETWEEN | LIKE | IS NULL]
+//! additive   := multiplicative ((+|-) multiplicative)*
+//! mult       := unary ((*|/|%) unary)*
+//! unary      := - unary | primary
+//! primary    := literal | column | aggregate | CASE | ( expr )
+//! ```
+
+use crate::ast::*;
+use crate::error::SqlError;
+use crate::lexer::{tokenize, Token};
+use crate::Result;
+use cda_dataframe::kernels::AggKind;
+use cda_dataframe::Value;
+
+/// Parse a single SELECT statement.
+pub fn parse(sql: &str) -> Result<Select> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let select = p.parse_select()?;
+    p.eat_symbol(";");
+    if !p.at_end() {
+        return Err(p.error("unexpected trailing tokens"));
+    }
+    Ok(select)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, message: impl Into<String>) -> SqlError {
+        SqlError::Parse { position: self.pos, message: message.into() }
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Keyword(k)) if k == kw)
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.peek_keyword(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {kw}, found {}", self.describe_current())))
+        }
+    }
+
+    fn peek_symbol(&self, s: &str) -> bool {
+        matches!(self.peek(), Some(Token::Symbol(sym)) if *sym == s)
+    }
+
+    fn eat_symbol(&mut self, s: &str) -> bool {
+        if self.peek_symbol(s) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_symbol(&mut self, s: &str) -> Result<()> {
+        if self.eat_symbol(s) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {s:?}, found {}", self.describe_current())))
+        }
+    }
+
+    fn describe_current(&self) -> String {
+        self.peek().map_or_else(|| "end of input".to_owned(), |t| format!("{t}"))
+    }
+
+    fn parse_ident(&mut self) -> Result<String> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => {
+                self.pos = self.pos.saturating_sub(usize::from(other.is_some()));
+                Err(self.error(format!("expected identifier, found {}", self.describe_current())))
+            }
+        }
+    }
+
+    fn parse_select(&mut self) -> Result<Select> {
+        self.expect_keyword("SELECT")?;
+        let distinct = self.eat_keyword("DISTINCT");
+        let mut items = vec![self.parse_select_item()?];
+        while self.eat_symbol(",") {
+            items.push(self.parse_select_item()?);
+        }
+        self.expect_keyword("FROM")?;
+        let from = self.parse_table_ref()?;
+        let mut joins = Vec::new();
+        loop {
+            let kind = if self.eat_keyword("JOIN") {
+                JoinKind::Inner
+            } else if self.eat_keyword("INNER") {
+                self.expect_keyword("JOIN")?;
+                JoinKind::Inner
+            } else if self.eat_keyword("LEFT") {
+                self.expect_keyword("JOIN")?;
+                JoinKind::Left
+            } else {
+                break;
+            };
+            let table = self.parse_table_ref()?;
+            self.expect_keyword("ON")?;
+            let on = self.parse_expr()?;
+            joins.push(Join { table, kind, on });
+        }
+        let where_clause = if self.eat_keyword("WHERE") { Some(self.parse_expr()?) } else { None };
+        let mut group_by = Vec::new();
+        if self.eat_keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            group_by.push(self.parse_expr()?);
+            while self.eat_symbol(",") {
+                group_by.push(self.parse_expr()?);
+            }
+        }
+        let having = if self.eat_keyword("HAVING") { Some(self.parse_expr()?) } else { None };
+        let mut order_by = Vec::new();
+        if self.eat_keyword("ORDER") {
+            self.expect_keyword("BY")?;
+            loop {
+                let expr = self.parse_expr()?;
+                let direction = if self.eat_keyword("DESC") {
+                    OrderDirection::Desc
+                } else {
+                    self.eat_keyword("ASC");
+                    OrderDirection::Asc
+                };
+                order_by.push(OrderByItem { expr, direction });
+                if !self.eat_symbol(",") {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_keyword("LIMIT") { Some(self.parse_usize()?) } else { None };
+        let offset = if self.eat_keyword("OFFSET") { Some(self.parse_usize()?) } else { None };
+        Ok(Select {
+            distinct,
+            items,
+            from,
+            joins,
+            where_clause,
+            group_by,
+            having,
+            order_by,
+            limit,
+            offset,
+        })
+    }
+
+    fn parse_usize(&mut self) -> Result<usize> {
+        match self.next() {
+            Some(Token::Int(v)) if v >= 0 => Ok(v as usize),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.error("expected a non-negative integer"))
+            }
+        }
+    }
+
+    fn parse_select_item(&mut self) -> Result<SelectItem> {
+        if self.eat_symbol("*") {
+            return Ok(SelectItem::Wildcard);
+        }
+        let expr = self.parse_expr()?;
+        let alias = if self.eat_keyword("AS") {
+            Some(self.parse_ident()?)
+        } else if let Some(Token::Ident(_)) = self.peek() {
+            // bare alias: SELECT a b FROM ...
+            Some(self.parse_ident()?)
+        } else {
+            None
+        };
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    fn parse_table_ref(&mut self) -> Result<TableRef> {
+        let name = self.parse_ident()?;
+        let alias = match self.peek() {
+            Some(Token::Ident(_)) => Some(self.parse_ident()?),
+            Some(Token::Keyword(k)) if k == "AS" => {
+                self.pos += 1;
+                Some(self.parse_ident()?)
+            }
+            _ => None,
+        };
+        Ok(TableRef { name, alias })
+    }
+
+    /// Entry point for expressions.
+    pub(crate) fn parse_expr(&mut self) -> Result<Expr> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr> {
+        let mut left = self.parse_and()?;
+        while self.eat_keyword("OR") {
+            let right = self.parse_and()?;
+            left = Expr::binary(left, BinaryOp::Or, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr> {
+        let mut left = self.parse_not()?;
+        while self.eat_keyword("AND") {
+            let right = self.parse_not()?;
+            left = Expr::binary(left, BinaryOp::And, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_not(&mut self) -> Result<Expr> {
+        if self.eat_keyword("NOT") {
+            Ok(Expr::Not(Box::new(self.parse_not()?)))
+        } else {
+            self.parse_predicate()
+        }
+    }
+
+    fn parse_predicate(&mut self) -> Result<Expr> {
+        let expr = self.parse_additive()?;
+        // optional postfix predicates
+        let negated = self.eat_keyword("NOT");
+        if self.eat_keyword("IN") {
+            self.expect_symbol("(")?;
+            let mut list = vec![self.parse_expr()?];
+            while self.eat_symbol(",") {
+                list.push(self.parse_expr()?);
+            }
+            self.expect_symbol(")")?;
+            return Ok(Expr::InList { expr: Box::new(expr), list, negated });
+        }
+        if self.eat_keyword("BETWEEN") {
+            let low = self.parse_additive()?;
+            self.expect_keyword("AND")?;
+            let high = self.parse_additive()?;
+            return Ok(Expr::Between {
+                expr: Box::new(expr),
+                low: Box::new(low),
+                high: Box::new(high),
+                negated,
+            });
+        }
+        if self.eat_keyword("LIKE") {
+            let pattern = match self.next() {
+                Some(Token::Str(s)) => s,
+                _ => {
+                    self.pos = self.pos.saturating_sub(1);
+                    return Err(self.error("LIKE expects a string literal pattern"));
+                }
+            };
+            return Ok(Expr::Like { expr: Box::new(expr), pattern, negated });
+        }
+        if negated {
+            return Err(self.error("expected IN, BETWEEN, or LIKE after NOT"));
+        }
+        if self.eat_keyword("IS") {
+            let negated = self.eat_keyword("NOT");
+            self.expect_keyword("NULL")?;
+            return Ok(Expr::IsNull { expr: Box::new(expr), negated });
+        }
+        // comparisons
+        let op = if self.eat_symbol("=") {
+            Some(BinaryOp::Eq)
+        } else if self.eat_symbol("<>") || self.eat_symbol("!=") {
+            Some(BinaryOp::NotEq)
+        } else if self.eat_symbol("<=") {
+            Some(BinaryOp::LtEq)
+        } else if self.eat_symbol(">=") {
+            Some(BinaryOp::GtEq)
+        } else if self.eat_symbol("<") {
+            Some(BinaryOp::Lt)
+        } else if self.eat_symbol(">") {
+            Some(BinaryOp::Gt)
+        } else {
+            None
+        };
+        if let Some(op) = op {
+            let right = self.parse_additive()?;
+            return Ok(Expr::binary(expr, op, right));
+        }
+        Ok(expr)
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr> {
+        let mut left = self.parse_multiplicative()?;
+        loop {
+            let op = if self.eat_symbol("+") {
+                BinaryOp::Add
+            } else if self.eat_symbol("-") {
+                BinaryOp::Sub
+            } else {
+                break;
+            };
+            let right = self.parse_multiplicative()?;
+            left = Expr::binary(left, op, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Expr> {
+        let mut left = self.parse_unary()?;
+        loop {
+            let op = if self.eat_symbol("*") {
+                BinaryOp::Mul
+            } else if self.eat_symbol("/") {
+                BinaryOp::Div
+            } else if self.eat_symbol("%") {
+                BinaryOp::Mod
+            } else {
+                break;
+            };
+            let right = self.parse_unary()?;
+            left = Expr::binary(left, op, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr> {
+        if self.eat_symbol("-") {
+            return Ok(Expr::Neg(Box::new(self.parse_unary()?)));
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr> {
+        match self.next() {
+            Some(Token::Int(v)) => Ok(Expr::Literal(Value::Int(v))),
+            Some(Token::Float(v)) => Ok(Expr::Literal(Value::Float(v))),
+            Some(Token::Str(s)) => Ok(Expr::Literal(Value::Str(s))),
+            Some(Token::Keyword(k)) if k == "TRUE" => Ok(Expr::Literal(Value::Bool(true))),
+            Some(Token::Keyword(k)) if k == "FALSE" => Ok(Expr::Literal(Value::Bool(false))),
+            Some(Token::Keyword(k)) if k == "NULL" => Ok(Expr::Literal(Value::Null)),
+            Some(Token::Keyword(k)) if k == "CASE" => self.parse_case(),
+            Some(Token::Keyword(k)) if is_aggregate(&k) => self.parse_aggregate(&k),
+            Some(Token::Symbol("(")) => {
+                let e = self.parse_expr()?;
+                self.expect_symbol(")")?;
+                Ok(e)
+            }
+            Some(Token::Ident(first)) => {
+                if self.eat_symbol(".") {
+                    let name = self.parse_ident()?;
+                    Ok(Expr::Column { table: Some(first), name })
+                } else {
+                    Ok(Expr::Column { table: None, name: first })
+                }
+            }
+            other => {
+                self.pos = self.pos.saturating_sub(usize::from(other.is_some()));
+                Err(self.error(format!("expected expression, found {}", self.describe_current())))
+            }
+        }
+    }
+
+    fn parse_case(&mut self) -> Result<Expr> {
+        let mut branches = Vec::new();
+        while self.eat_keyword("WHEN") {
+            let cond = self.parse_expr()?;
+            self.expect_keyword("THEN")?;
+            let val = self.parse_expr()?;
+            branches.push((cond, val));
+        }
+        if branches.is_empty() {
+            return Err(self.error("CASE requires at least one WHEN branch"));
+        }
+        let else_expr =
+            if self.eat_keyword("ELSE") { Some(Box::new(self.parse_expr()?)) } else { None };
+        self.expect_keyword("END")?;
+        Ok(Expr::Case { branches, else_expr })
+    }
+
+    fn parse_aggregate(&mut self, kw: &str) -> Result<Expr> {
+        let kind = match kw {
+            "COUNT" => AggKind::Count,
+            "SUM" => AggKind::Sum,
+            "AVG" => AggKind::Avg,
+            "MIN" => AggKind::Min,
+            "MAX" => AggKind::Max,
+            "STDDEV" => AggKind::StdDev,
+            _ => return Err(self.error("unknown aggregate")),
+        };
+        self.expect_symbol("(")?;
+        let arg = if self.eat_symbol("*") {
+            if kind != AggKind::Count {
+                return Err(self.error("only COUNT accepts *"));
+            }
+            None
+        } else {
+            let distinct = self.eat_keyword("DISTINCT");
+            if distinct && kind != AggKind::Count {
+                return Err(self.error("DISTINCT inside an aggregate is only supported for COUNT"));
+            }
+            let kind_changed = distinct;
+            let inner = Box::new(self.parse_expr()?);
+            if kind_changed {
+                self.expect_symbol(")")?;
+                return Ok(Expr::Aggregate { kind: AggKind::CountDistinct, arg: Some(inner) });
+            }
+            Some(inner)
+        };
+        self.expect_symbol(")")?;
+        Ok(Expr::Aggregate { kind, arg })
+    }
+}
+
+fn is_aggregate(kw: &str) -> bool {
+    matches!(kw, "COUNT" | "SUM" | "AVG" | "MIN" | "MAX" | "STDDEV")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_select() {
+        let s = parse("SELECT a FROM t").unwrap();
+        assert_eq!(s.items.len(), 1);
+        assert_eq!(s.from.name, "t");
+        assert!(!s.distinct);
+    }
+
+    #[test]
+    fn select_distinct_wildcard() {
+        let s = parse("SELECT DISTINCT * FROM t;").unwrap();
+        assert!(s.distinct);
+        assert_eq!(s.items, vec![SelectItem::Wildcard]);
+    }
+
+    #[test]
+    fn aliases_as_and_bare() {
+        let s = parse("SELECT a AS x, b y FROM t u").unwrap();
+        match &s.items[0] {
+            SelectItem::Expr { alias, .. } => assert_eq!(alias.as_deref(), Some("x")),
+            _ => panic!(),
+        }
+        match &s.items[1] {
+            SelectItem::Expr { alias, .. } => assert_eq!(alias.as_deref(), Some("y")),
+            _ => panic!(),
+        }
+        assert_eq!(s.from.alias.as_deref(), Some("u"));
+    }
+
+    #[test]
+    fn operator_precedence() {
+        let s = parse("SELECT a FROM t WHERE a + b * 2 > 10 AND c = 'x' OR d").unwrap();
+        let w = s.where_clause.unwrap().to_string();
+        assert_eq!(w, "((((a + (b * 2)) > 10) AND (c = 'x')) OR d)");
+    }
+
+    #[test]
+    fn comparison_chain_and_unary_minus() {
+        let s = parse("SELECT a FROM t WHERE -a <= -2.5").unwrap();
+        assert_eq!(s.where_clause.unwrap().to_string(), "((-a) <= (-2.5))");
+    }
+
+    #[test]
+    fn in_between_like_is_null() {
+        let s = parse(
+            "SELECT a FROM t WHERE a IN (1, 2) AND b NOT IN (3) AND c BETWEEN 1 AND 5 \
+             AND d LIKE 'Z%' AND e IS NOT NULL AND f IS NULL",
+        )
+        .unwrap();
+        let w = s.where_clause.unwrap().to_string();
+        assert!(w.contains("a IN (1, 2)"));
+        assert!(w.contains("b NOT IN (3)"));
+        assert!(w.contains("c BETWEEN 1 AND 5"));
+        assert!(w.contains("d LIKE 'Z%'"));
+        assert!(w.contains("e IS NOT NULL"));
+        assert!(w.contains("f IS NULL"));
+    }
+
+    #[test]
+    fn not_between() {
+        let s = parse("SELECT a FROM t WHERE a NOT BETWEEN 1 AND 2").unwrap();
+        assert!(s.where_clause.unwrap().to_string().contains("NOT BETWEEN"));
+    }
+
+    #[test]
+    fn aggregates_and_group_by_having() {
+        let s = parse(
+            "SELECT g, COUNT(*), SUM(x) AS s FROM t GROUP BY g HAVING COUNT(*) > 1",
+        )
+        .unwrap();
+        assert_eq!(s.group_by.len(), 1);
+        assert!(s.having.unwrap().contains_aggregate());
+        match &s.items[1] {
+            SelectItem::Expr { expr: Expr::Aggregate { kind: AggKind::Count, arg: None }, .. } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn count_star_only_for_count() {
+        assert!(parse("SELECT SUM(*) FROM t").is_err());
+    }
+
+    #[test]
+    fn count_distinct_parses_and_renders() {
+        let s = parse("SELECT COUNT(DISTINCT a) FROM t").unwrap();
+        match &s.items[0] {
+            SelectItem::Expr { expr: e @ Expr::Aggregate { kind: AggKind::CountDistinct, arg: Some(_) }, .. } => {
+                assert_eq!(e.to_string(), "COUNT(DISTINCT a)");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse("SELECT AVG(DISTINCT a) FROM t").is_err());
+        // rendered form re-parses
+        let again = parse(&s.to_string()).unwrap();
+        assert_eq!(s, again);
+    }
+
+    #[test]
+    fn joins_inner_and_left() {
+        let s = parse(
+            "SELECT * FROM a JOIN b ON a.id = b.id LEFT JOIN c x ON b.id = x.id WHERE a.v > 0",
+        )
+        .unwrap();
+        assert_eq!(s.joins.len(), 2);
+        assert_eq!(s.joins[0].kind, JoinKind::Inner);
+        assert_eq!(s.joins[1].kind, JoinKind::Left);
+        assert_eq!(s.joins[1].table.alias.as_deref(), Some("x"));
+    }
+
+    #[test]
+    fn order_limit_offset() {
+        let s = parse("SELECT a FROM t ORDER BY a DESC, b ASC LIMIT 10 OFFSET 5").unwrap();
+        assert_eq!(s.order_by.len(), 2);
+        assert_eq!(s.order_by[0].direction, OrderDirection::Desc);
+        assert_eq!(s.order_by[1].direction, OrderDirection::Asc);
+        assert_eq!(s.limit, Some(10));
+        assert_eq!(s.offset, Some(5));
+    }
+
+    #[test]
+    fn order_by_ordinal() {
+        let s = parse("SELECT a, b FROM t ORDER BY 2").unwrap();
+        assert_eq!(s.order_by[0].expr, Expr::lit(2i64));
+    }
+
+    #[test]
+    fn case_expression() {
+        let s = parse(
+            "SELECT CASE WHEN x > 0 THEN 'pos' WHEN x < 0 THEN 'neg' ELSE 'zero' END FROM t",
+        )
+        .unwrap();
+        match &s.items[0] {
+            SelectItem::Expr { expr: Expr::Case { branches, else_expr }, .. } => {
+                assert_eq!(branches.len(), 2);
+                assert!(else_expr.is_some());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse("SELECT CASE END FROM t").is_err());
+    }
+
+    #[test]
+    fn literals() {
+        let s = parse("SELECT TRUE, FALSE, NULL, 'str', 1, 2.5 FROM t").unwrap();
+        assert_eq!(s.items.len(), 6);
+    }
+
+    #[test]
+    fn error_messages_are_positioned() {
+        let e = parse("SELECT FROM t").unwrap_err();
+        assert!(matches!(e, SqlError::Parse { .. }));
+        let e = parse("SELECT a t").unwrap_err();
+        assert!(e.to_string().contains("expected FROM"));
+        assert!(parse("SELECT a FROM t extra junk +").is_err());
+    }
+
+    #[test]
+    fn trailing_tokens_rejected() {
+        assert!(parse("SELECT a FROM t; SELECT b FROM u").is_err());
+    }
+
+    #[test]
+    fn qualified_columns() {
+        let s = parse("SELECT t.a FROM t WHERE t.b = u.c").unwrap();
+        match &s.items[0] {
+            SelectItem::Expr { expr: Expr::Column { table: Some(t), name }, .. } => {
+                assert_eq!(t, "t");
+                assert_eq!(name, "a");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parenthesized_boolean_grouping() {
+        let s = parse("SELECT a FROM t WHERE (a OR b) AND c").unwrap();
+        assert_eq!(s.where_clause.unwrap().to_string(), "((a OR b) AND c)");
+    }
+
+    #[test]
+    fn nested_aggregate_arg_expression() {
+        let s = parse("SELECT SUM(x * 2 + 1) FROM t").unwrap();
+        match &s.items[0] {
+            SelectItem::Expr { expr: Expr::Aggregate { arg: Some(a), .. }, .. } => {
+                assert_eq!(a.to_string(), "((x * 2) + 1)");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! The time-series container and synthetic generators.
+
+use crate::{Result, TsError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An evenly-spaced univariate time series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeSeries {
+    /// Timestamps (seconds since epoch or abstract ticks), strictly increasing.
+    timestamps: Vec<i64>,
+    /// Observed values.
+    values: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Construct from parallel vectors.
+    pub fn new(timestamps: Vec<i64>, values: Vec<f64>) -> Result<Self> {
+        if timestamps.len() != values.len() {
+            return Err(TsError::LengthMismatch);
+        }
+        Ok(Self { timestamps, values })
+    }
+
+    /// Construct from values with tick timestamps `0..n`.
+    pub fn from_values(values: Vec<f64>) -> Self {
+        let timestamps = (0..values.len() as i64).collect();
+        Self { timestamps, values }
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if there are no observations.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The timestamps.
+    pub fn timestamps(&self) -> &[i64] {
+        &self.timestamps
+    }
+
+    /// Mean of the values (0 for the empty series).
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().sum::<f64>() / self.values.len() as f64
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        let m = self.mean();
+        (self.values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / self.values.len() as f64)
+            .sqrt()
+    }
+
+    /// The suffix of the series starting at observation `start`.
+    pub fn slice(&self, start: usize, end: usize) -> Self {
+        let end = end.min(self.len());
+        let start = start.min(end);
+        Self {
+            timestamps: self.timestamps[start..end].to_vec(),
+            values: self.values[start..end].to_vec(),
+        }
+    }
+
+    /// Sufficiency check (P4): at least `min_obs` observations. Returns the
+    /// error the soundness layer converts into a user-visible caveat.
+    pub fn require(&self, min_obs: usize) -> Result<()> {
+        if self.len() < min_obs {
+            return Err(TsError::InsufficientData { required: min_obs, available: self.len() });
+        }
+        Ok(())
+    }
+
+    /// Generate a synthetic series
+    /// `value[t] = base + slope·t + amplitude·sin(2πt/period) + noise·N(0,1)`
+    /// — the workload generator of experiment E10.
+    pub fn synthetic_seasonal(
+        n: usize,
+        period: usize,
+        amplitude: f64,
+        slope: f64,
+        noise: f64,
+        seed: u64,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let values: Vec<f64> = (0..n)
+            .map(|t| {
+                let seasonal = if period > 0 {
+                    amplitude * (2.0 * std::f64::consts::PI * t as f64 / period as f64).sin()
+                } else {
+                    0.0
+                };
+                100.0 + slope * t as f64 + seasonal + noise * gaussian(&mut rng)
+            })
+            .collect();
+        Self::from_values(values)
+    }
+}
+
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_checks_lengths() {
+        assert!(TimeSeries::new(vec![0, 1], vec![1.0]).is_err());
+        let ts = TimeSeries::new(vec![0, 1], vec![1.0, 2.0]).unwrap();
+        assert_eq!(ts.len(), 2);
+    }
+
+    #[test]
+    fn from_values_assigns_ticks() {
+        let ts = TimeSeries::from_values(vec![5.0, 6.0, 7.0]);
+        assert_eq!(ts.timestamps(), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn mean_and_std() {
+        let ts = TimeSeries::from_values(vec![2.0, 4.0, 6.0]);
+        assert_eq!(ts.mean(), 4.0);
+        assert!((ts.std_dev() - (8.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(TimeSeries::from_values(vec![]).mean(), 0.0);
+        assert_eq!(TimeSeries::from_values(vec![]).std_dev(), 0.0);
+    }
+
+    #[test]
+    fn slicing_clamps() {
+        let ts = TimeSeries::from_values(vec![1.0, 2.0, 3.0, 4.0]);
+        let s = ts.slice(1, 3);
+        assert_eq!(s.values(), &[2.0, 3.0]);
+        assert_eq!(s.timestamps(), &[1, 2]);
+        assert_eq!(ts.slice(2, 99).len(), 2);
+        assert_eq!(ts.slice(5, 2).len(), 0);
+    }
+
+    #[test]
+    fn sufficiency_gate() {
+        let ts = TimeSeries::from_values(vec![1.0; 10]);
+        assert!(ts.require(10).is_ok());
+        assert!(matches!(
+            ts.require(11),
+            Err(TsError::InsufficientData { required: 11, available: 10 })
+        ));
+    }
+
+    #[test]
+    fn synthetic_series_has_expected_shape() {
+        let ts = TimeSeries::synthetic_seasonal(120, 12, 10.0, 0.1, 0.0, 1);
+        assert_eq!(ts.len(), 120);
+        // noise-free: value at t and t+12 differ only by trend 12*0.1
+        let diff = ts.values()[20 + 12] - ts.values()[20];
+        assert!((diff - 1.2).abs() < 1e-9, "diff {diff}");
+    }
+
+    #[test]
+    fn synthetic_is_seeded() {
+        let a = TimeSeries::synthetic_seasonal(50, 6, 5.0, 0.0, 1.0, 9);
+        let b = TimeSeries::synthetic_seasonal(50, 6, 5.0, 0.0, 1.0, 9);
+        assert_eq!(a, b);
+        let c = TimeSeries::synthetic_seasonal(50, 6, 5.0, 0.0, 1.0, 10);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,46 @@
+//! Error type for the vector-search substrate.
+
+use std::fmt;
+
+/// Errors from dataset construction and index building.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VectorError {
+    /// Rows of differing dimensionality were supplied.
+    DimensionMismatch {
+        /// Expected dimensionality.
+        expected: usize,
+        /// Offending dimensionality.
+        actual: usize,
+    },
+    /// An empty dataset or zero dimension was supplied where data is required.
+    EmptyInput(&'static str),
+    /// Invalid parameter (message explains the constraint).
+    InvalidParameter(String),
+}
+
+impl fmt::Display for VectorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+            Self::EmptyInput(what) => write!(f, "empty input: {what}"),
+            Self::InvalidParameter(m) => write!(f, "invalid parameter: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for VectorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(VectorError::DimensionMismatch { expected: 3, actual: 2 }
+            .to_string()
+            .contains("expected 3"));
+        assert!(VectorError::EmptyInput("rows").to_string().contains("rows"));
+    }
+}

@@ -1,0 +1,91 @@
+//! Guided exploration: active clarification by expected information gain,
+//! speculative planning of next steps, and expertise-adaptive interaction.
+//!
+//! Run with: `cargo run -p cda-core --example guided_exploration`
+
+use cda_guidance::clarify::{best_question, simulate_dialogue, ClarificationQuestion, GoalBelief};
+use cda_guidance::planner::{Action, SpeculativePlanner};
+use cda_guidance::profile::UserProfile;
+
+fn main() {
+    // --- Active clarification (P5) --------------------------------------
+    let goals = ["employment_stats", "barometer_trend", "wage_analysis", "unemployment_rate"];
+    let questions = vec![
+        ClarificationQuestion::new(
+            "Are you interested in levels or trends?",
+            vec![
+                ("employment_stats", "levels"),
+                ("wage_analysis", "levels"),
+                ("barometer_trend", "trends"),
+                ("unemployment_rate", "trends"),
+            ],
+        ),
+        ClarificationQuestion::new(
+            "Is this about wages specifically?",
+            vec![
+                ("employment_stats", "no"),
+                ("wage_analysis", "yes"),
+                ("barometer_trend", "no"),
+                ("unemployment_rate", "no"),
+            ],
+        ),
+        ClarificationQuestion::new(
+            "Survey-based or registry-based data?",
+            vec![
+                ("employment_stats", "registry"),
+                ("wage_analysis", "survey"),
+                ("barometer_trend", "survey"),
+                ("unemployment_rate", "registry"),
+            ],
+        ),
+    ];
+    let belief = GoalBelief::uniform(&goals).expect("goals non-empty");
+    println!("Prior entropy over user goals: {:.2} bits", belief.entropy());
+    let (q, gain) = best_question(&belief, &questions).expect("questions non-empty");
+    println!("Best first question (EIG {gain:.2} bits): {}\n", q.text);
+
+    println!("Turns-to-goal, EIG policy vs fixed order:");
+    for goal in goals {
+        let (eig_turns, _) = simulate_dialogue(&belief, &questions, goal, 0.95, true);
+        let (fixed_turns, _) = simulate_dialogue(&belief, &questions, goal, 0.95, false);
+        println!("  goal {goal:<20} eig={eig_turns}  fixed={fixed_turns}");
+    }
+
+    // --- Speculative planning --------------------------------------------
+    println!("\nSpeculative plan over next actions (simulated soundness scores):");
+    let actions = vec![
+        Action::leaf("drill_down", "Break the barometer down by canton"),
+        Action::leaf("seasonality", "Analyze seasonality of the barometer")
+            .with_follow_ups(vec![Action::leaf("forecast", "Forecast the next 12 months")]),
+        Action::leaf("export", "Export the raw table"),
+    ];
+    let planner = SpeculativePlanner::default();
+    let score = |a: &Action| match a.id.as_str() {
+        "seasonality" => 0.9,
+        "forecast" => 0.8,
+        "drill_down" => 0.7,
+        _ => 0.3,
+    };
+    for r in planner.rank(&actions, &score).expect("actions non-empty") {
+        println!(
+            "  {:<12} immediate={:.2} lookahead={:.2} total={:.2} — {}",
+            r.action.id, r.immediate, r.lookahead, r.total, r.action.description
+        );
+    }
+
+    // --- Expertise profiling ----------------------------------------------
+    println!("\nExpertise profiling adapts the interaction:");
+    let mut novice = UserProfile::new();
+    novice.observe("give me an overview of the working force");
+    let mut expert = UserProfile::new();
+    expert.observe("SELECT canton FROM employment_by_type WHERE employees > 10000");
+    for (label, profile) in [("novice utterances", novice), ("raw-SQL user", expert)] {
+        let level = profile.level();
+        println!(
+            "  {label:<18} -> {:?} (show code: {}, show internals: {})",
+            level,
+            level.show_code(),
+            level.show_internals()
+        );
+    }
+}

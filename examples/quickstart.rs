@@ -1,0 +1,32 @@
+//! Quickstart: replay the paper's Figure-1 conversation end-to-end.
+//!
+//! Run with: `cargo run -p cda-core --example quickstart`
+//!
+//! The four scripted user turns exercise all five reliability properties:
+//! grounded discovery (P1/P2), provenance-cited description (P3/P4),
+//! selection with guidance (P5), and the seasonality insight with
+//! confidence, sufficiency caveat, and generated code (P3/P4).
+
+use cda_core::demo::{demo_system, FIGURE1_TURNS};
+
+fn main() {
+    let mut cda = demo_system(42);
+    println!("=== Reliable Conversational Data Analytics — Figure 1 replay ===\n");
+    for (i, user_turn) in FIGURE1_TURNS.iter().enumerate() {
+        println!("User ({}): {user_turn}", i + 1);
+        let answer = cda.process(user_turn);
+        println!("System:\n{}", indent(&answer.render()));
+        if let Some(explanation) = &answer.explanation {
+            println!("  -- explanation --\n{}", indent(&explanation.render()));
+        }
+        println!();
+    }
+    println!("=== Session lineage (where-from, all components) ===");
+    println!("{}", cda.lineage);
+    println!("=== Conversation graph (with alternatives) ===");
+    println!("{}", cda.conversation);
+}
+
+fn indent(text: &str) -> String {
+    text.lines().map(|l| format!("  {l}")).collect::<Vec<_>>().join("\n")
+}

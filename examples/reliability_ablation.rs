@@ -1,0 +1,85 @@
+//! Reliability ablation (a fast preview of experiment F2): disable each
+//! property in turn and measure the composite reliability score over a
+//! scripted workload with known ground truth.
+//!
+//! Run with: `cargo run -p cda-core --example reliability_ablation`
+
+use cda_core::answer::{AnswerStatus, PropertyTag};
+use cda_core::demo::{demo_catalog, demo_kg, demo_linker, demo_vocabulary};
+use cda_core::reliability::SessionOutcome;
+use cda_core::{CdaConfig, CdaSystem};
+use cda_nlmodel::lm::SimLmConfig;
+use cda_nlmodel::nl2sql::Workload;
+use cda_soundness::verify::execution_accuracy;
+
+fn build(config: CdaConfig) -> CdaSystem {
+    CdaSystem::new(
+        demo_catalog(11),
+        demo_kg(),
+        demo_vocabulary(),
+        demo_linker(),
+        SimLmConfig { hallucination_rate: 0.3, overconfidence: 0.9, seed: 11 },
+        config,
+    )
+}
+
+fn evaluate(config: CdaConfig, label: &str) {
+    let mut cda = build(config);
+    let tables = cda.workload_tables();
+    let workload = Workload::generate(&tables, 40, 5);
+    let mut outcome = SessionOutcome::default();
+    let mut confidences = Vec::new();
+    let mut correct_flags = Vec::new();
+    for task in &workload.tasks {
+        let a = cda.process(&task.question);
+        match a.status {
+            AnswerStatus::Answered => {
+                let correct = a
+                    .executed_sql
+                    .as_ref()
+                    .map(|sql| execution_accuracy(cda.catalog.sql(), sql, &task.gold_sql))
+                    .unwrap_or(false);
+                if correct {
+                    outcome.correct_answers += 1;
+                } else {
+                    outcome.wrong_answers += 1;
+                }
+                if let Some(c) = a.confidence {
+                    confidences.push(c);
+                    correct_flags.push(correct);
+                }
+                if let Some(e) = &a.explanation {
+                    outcome.explained += 1;
+                    if e.verified() {
+                        outcome.verified += 1;
+                    }
+                }
+            }
+            _ => outcome.abstentions += 1,
+        }
+    }
+    outcome.ece = cda_soundness::expected_calibration_error(&confidences, &correct_flags, 10)
+        .unwrap_or(1.0);
+    println!(
+        "{label:<22} reliability={:.3}  acc@answered={:.2}  coverage={:.2}  ece={:.2}",
+        outcome.reliability_score(),
+        outcome.answered_accuracy(),
+        outcome.coverage(),
+        outcome.ece
+    );
+}
+
+fn main() {
+    println!("Composite reliability under single-property ablation (40 NL2SQL tasks):\n");
+    evaluate(CdaConfig::default(), "all properties");
+    for p in [
+        PropertyTag::Efficiency,
+        PropertyTag::Grounding,
+        PropertyTag::Explainability,
+        PropertyTag::Soundness,
+        PropertyTag::Guidance,
+    ] {
+        evaluate(CdaConfig::without(p), &format!("without {} ({p})", format!("{p:?}").to_lowercase()));
+    }
+    evaluate(CdaConfig::none(), "none (status quo)");
+}

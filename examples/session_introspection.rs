@@ -1,0 +1,86 @@
+//! Session introspection: the system analyzing itself.
+//!
+//! Run with: `cargo run -p cda-core --example session_introspection`
+//!
+//! Demonstrates three data-layer mechanisms the paper proposes for layer ⓓ:
+//! the **query log** as a first-class, SQL-queryable data source; **bias
+//! screening** of conversation logs (CADS + sentiment); and **data rotting**
+//! — stale datasets demoted in discovery and flagged with caveats.
+
+use cda_core::catalog::{Dataset, DatasetCatalog};
+use cda_core::demo::{demo_system, FIGURE1_TURNS};
+use cda_core::rot::Freshness;
+use cda_nlmodel::bias::{keyness, sentiment_score, BiasScreen};
+use cda_sql::execute;
+
+fn main() {
+    // --- 1. run a session, then query its own log with SQL ----------------
+    let mut cda = demo_system(42);
+    for t in FIGURE1_TURNS {
+        cda.process(t);
+    }
+    cda.process("What is the total employees in employment_by_type per canton?");
+    cda.process("and per type instead?");
+
+    println!("=== the session's query log, queried with the session's own engine ===");
+    let mut catalog = cda_sql::Catalog::new();
+    catalog.register("query_log", cda.query_log.to_table()).expect("fresh catalog");
+    let r = execute(
+        &catalog,
+        "SELECT intent, outcome, COUNT(*) AS n FROM query_log GROUP BY intent, outcome \
+         ORDER BY n DESC, intent",
+    )
+    .expect("log query executes");
+    println!("{}", r.table.render(10));
+    println!("answer rate: {:.0}%\n", cda.query_log.answer_rate() * 100.0);
+
+    // --- 2. bias screening over a (synthetic) problematic log -------------
+    println!("=== bias screen over a problematic conversation log ===");
+    let log: Vec<&str> = vec![
+        "the foreigners are lazy and unreliable",
+        "foreigners are criminal, look at the numbers",
+        "those lazy foreigners again in the statistics",
+        "the workforce is skilled and productive overall",
+        "excellent and reliable employment data this month",
+        "the cantons report strong and trustworthy numbers",
+    ];
+    for entry in &log {
+        println!("  {:>5.2}  {entry}", sentiment_score(entry));
+    }
+    let screen = BiasScreen::new(vec!["foreigners", "students"]);
+    for finding in screen.screen(&log).expect("screen runs") {
+        println!(
+            "\nFLAGGED group {:?}: sentiment {:.2} vs baseline {:.2} over {} mentions",
+            finding.group, finding.group_sentiment, finding.baseline_sentiment, finding.mentions
+        );
+        println!("  over-associated negative terms: {:?}", finding.associated_negative_terms);
+    }
+    println!("\nkeyness (CADS) of the group-mentioning sub-corpus:");
+    let target: Vec<&str> = log[..3].to_vec();
+    let reference: Vec<&str> = log[3..].to_vec();
+    for k in keyness(&target, &reference, 2).into_iter().take(4) {
+        println!("  {:<12} log-odds {:+.2} ({} vs {})", k.term, k.log_odds, k.target_count, k.reference_count);
+    }
+
+    // --- 3. data rotting ---------------------------------------------------
+    println!("\n=== data rotting: stale datasets are demoted and flagged ===");
+    let ds = |name: &str, fresh: Freshness| Dataset {
+        name: name.into(),
+        description: "swiss labour market employment statistics".into(),
+        source_url: String::new(),
+        table: None,
+        series: None,
+        keywords: vec!["labour".into(), "employment".into()],
+        freshness: fresh,
+    };
+    let mut catalog = DatasetCatalog::new();
+    catalog.register(ds("fresh_stats", Freshness::periodic(100, 30))).expect("fresh");
+    catalog.register(ds("rotten_stats", Freshness::periodic(0, 10))).expect("fresh");
+    catalog.set_clock(120);
+    for h in catalog.discover("labour employment", 2, true) {
+        println!("  discovery: {:<14} score {:.3}", h.name, h.score);
+    }
+    for d in catalog.rotten(0.5) {
+        println!("  rotten: {} — {}", d.name, d.freshness.caveat(120).unwrap_or_default());
+    }
+}

@@ -1,0 +1,77 @@
+//! Workforce analysis scenario: aggregate questions over the demo catalog,
+//! with verification, provenance, and abstention in action.
+//!
+//! Run with: `cargo run -p cda-core --example workforce_analysis`
+//!
+//! The second half of the example swaps in an unreliable language model
+//! (60% hallucination rate) to show the soundness machinery abstaining
+//! instead of hallucinating — the paper's core P4 behaviour.
+
+use cda_core::answer::AnswerStatus;
+use cda_core::demo::{demo_catalog, demo_kg, demo_linker, demo_system, demo_vocabulary};
+use cda_core::{CdaConfig, CdaSystem};
+use cda_nlmodel::lm::SimLmConfig;
+
+const QUESTIONS: [&str; 4] = [
+    "What is the total employees in employment_by_type per canton, highest first?",
+    "What is the average median_wage in wage_stats per sector?",
+    "How many entries are in employment_by_type where type is part_time?",
+    "What is the maximum value in labour_barometer?",
+];
+
+fn run_session(cda: &mut CdaSystem, label: &str) {
+    println!("--- {label} ---");
+    for q in QUESTIONS {
+        println!("User: {q}");
+        let a = cda.process(q);
+        match &a.status {
+            AnswerStatus::Answered => {
+                println!("System (confidence {:.0}%):", a.confidence.unwrap_or(0.0) * 100.0);
+                println!("{}", a.text);
+                if let Some(e) = &a.explanation {
+                    let verified = if e.verified() { "verified" } else { "FAILED verification" };
+                    println!(
+                        "  provenance: {} cited rows from {}, {verified}",
+                        e.cited_rows.len(),
+                        e.sources.join(", ")
+                    );
+                }
+            }
+            AnswerStatus::Abstained(reason) => {
+                println!("System ABSTAINED ({reason}): {}", a.text);
+            }
+            AnswerStatus::AskedClarification => {
+                println!("System asked for clarification: {}", a.text);
+            }
+        }
+        println!();
+    }
+}
+
+fn main() {
+    // A mildly unreliable model: soundness mostly passes.
+    let mut cda = demo_system(7);
+    run_session(&mut cda, "reliable model (15% hallucination rate)");
+
+    // A badly unreliable model: consistency collapses, the system abstains.
+    let mut cda = CdaSystem::new(
+        demo_catalog(7),
+        demo_kg(),
+        demo_vocabulary(),
+        demo_linker(),
+        SimLmConfig { hallucination_rate: 0.6, overconfidence: 1.0, seed: 7 },
+        CdaConfig::default(),
+    );
+    run_session(&mut cda, "unreliable model (60% hallucination, fully overconfident)");
+
+    // The same unreliable model with soundness disabled: answers anyway.
+    let mut cda = CdaSystem::new(
+        demo_catalog(7),
+        demo_kg(),
+        demo_vocabulary(),
+        demo_linker(),
+        SimLmConfig { hallucination_rate: 0.6, overconfidence: 1.0, seed: 7 },
+        CdaConfig { soundness: false, ..CdaConfig::default() },
+    );
+    run_session(&mut cda, "unreliable model, soundness OFF (the paper's status quo)");
+}
