@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Offline CI for the CDA workspace.
+#
+# Everything runs with zero network access and zero crates-io dependencies:
+# the in-tree `cda-testkit` crate provides the PRNG, property-test harness,
+# and bench harness. Run from anywhere; works from a clean checkout.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== deps: workspace must be fully self-contained (no registry deps)"
+if cargo metadata --format-version 1 --no-deps -q >/dev/null 2>&1; then :; fi
+if cargo metadata --format-version 1 2>/dev/null | grep -q '"source":"registry'; then
+  echo "FAIL: external registry dependency found in cargo metadata" >&2
+  exit 1
+fi
+
+echo "== tier-1: release build"
+cargo build --release --workspace
+
+echo "== tier-1: full test suite (unit + doc)"
+cargo test -q --workspace
+
+echo "== integration suites (figure1, pipeline, properties, session, edge_cases, determinism)"
+cargo test -q -p cda-integration
+
+echo "== testkit self-tests (PRNG reference vectors, shrinking, bench JSON)"
+cargo test -q -p cda-testkit
+
+echo "== examples"
+cargo build --examples
+
+echo "== lint (warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== bench harness smoke (2 samples per bench, JSON artifacts)"
+CDA_BENCH_FAST=1 cargo bench -p cda-bench --bench sql
+test -f target/cda-bench/BENCH_sql_8k_rows.json || {
+  echo "FAIL: bench artifact missing" >&2
+  exit 1
+}
+
+echo "CI OK"

@@ -1,7 +1,8 @@
 //! Criterion bench for experiment E1/E2: per-query latency of each vector
 //! index family at fixed data scale.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use cda_testkit::bench::{BatchSize, Criterion};
+use cda_testkit::{criterion_group, criterion_main};
 use cda_vector::exact::ExactIndex;
 use cda_vector::hnsw::{HnswIndex, HnswParams};
 use cda_vector::ivf::IvfIndex;

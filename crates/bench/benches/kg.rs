@@ -1,12 +1,12 @@
 //! Criterion bench for experiment E12: triple-store scans, BGP joins, and
 //! reasoning.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use cda_testkit::bench::Criterion;
+use cda_testkit::{criterion_group, criterion_main};
 use cda_kg::query::{Bgp, Pattern, Term};
 use cda_kg::reason::Reasoner;
 use cda_kg::TripleStore;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cda_testkit::rng::StdRng;
 
 fn build(n: usize) -> TripleStore {
     let mut rng = StdRng::seed_from_u64(5);

@@ -1,7 +1,8 @@
 //! Criterion bench for experiment E9: full conversation turns through the
 //! compound system, per turn type, plus the soundness-layer cost knob.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use cda_testkit::bench::{BatchSize, Criterion};
+use cda_testkit::{criterion_group, criterion_main};
 use cda_core::demo::{demo_system, FIGURE1_TURNS};
 
 fn bench_pipeline(c: &mut Criterion) {

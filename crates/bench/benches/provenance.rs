@@ -1,14 +1,14 @@
 //! Criterion bench for experiment E4: provenance machinery costs —
 //! semiring algebra, losslessness replay, invertibility recomputation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use cda_testkit::bench::Criterion;
+use cda_testkit::{criterion_group, criterion_main};
 use cda_dataframe::kernels::AggKind;
 use cda_dataframe::{Column, DataType, Field, RowId, Schema, Table};
 use cda_provenance::checks::{check_invertibility, check_losslessness};
 use cda_provenance::semiring::{from_lineage, HowPolynomial};
 use cda_sql::{execute, Catalog};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cda_testkit::rng::StdRng;
 
 fn catalog(rows: usize) -> Catalog {
     let mut rng = StdRng::seed_from_u64(5);
@@ -29,14 +29,16 @@ fn bench_provenance(c: &mut Criterion) {
     let mut group = c.benchmark_group("provenance");
     group.sample_size(20);
 
-    // semiring algebra on polynomials with 64 variables
-    let polys: Vec<HowPolynomial> = (0..8)
+    // semiring algebra: product of 6 aggregate polynomials of 4 variables
+    // each expands to 4^6 = 4096 monomials — a realistic multi-join blowup
+    // that still completes in milliseconds with the single-merge `times`.
+    let polys: Vec<HowPolynomial> = (0..6)
         .map(|i| {
-            let vars: Vec<RowId> = (0..8).map(|j| RowId::new(1, i * 8 + j)).collect();
+            let vars: Vec<RowId> = (0..4).map(|j| RowId::new(1, i * 4 + j)).collect();
             from_lineage(&vars, true)
         })
         .collect();
-    group.bench_function("polynomial_product_8x8", |b| {
+    group.bench_function("polynomial_product_6x4", |b| {
         b.iter(|| {
             polys
                 .iter()

@@ -1,11 +1,11 @@
 //! Criterion bench for experiment E11: SQL engine throughput with and
 //! without optimizer rules / lineage tracking.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use cda_testkit::bench::Criterion;
+use cda_testkit::{criterion_group, criterion_main};
 use cda_dataframe::{Column, DataType, Field, Schema, Table};
 use cda_sql::{execute_with_options, Catalog, ExecOptions, OptimizerRules};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cda_testkit::rng::StdRng;
 
 fn catalog(rows: usize) -> Catalog {
     let mut rng = StdRng::seed_from_u64(3);

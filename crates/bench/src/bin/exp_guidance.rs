@@ -9,8 +9,7 @@ use cda_bench::{f, header, mean, row};
 use cda_guidance::clarify::{simulate_dialogue, ClarificationQuestion, GoalBelief};
 use cda_guidance::planner::{Action, SpeculativePlanner};
 use cda_vector::eval::ndcg_at_k;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cda_testkit::rng::StdRng;
 
 /// Build a goal universe of size 2^bits with one binary question per bit
 /// plus some redundant, unbalanced questions.

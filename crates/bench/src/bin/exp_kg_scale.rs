@@ -10,8 +10,7 @@ use cda_bench::{header, row, timed, timed_avg, us};
 use cda_kg::query::{Bgp, Pattern, Term};
 use cda_kg::reason::{materialize, Reasoner};
 use cda_kg::TripleStore;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cda_testkit::rng::StdRng;
 
 /// Generate a synthetic KG: `n` entities across `classes` classes arranged
 /// in a 4-deep taxonomy, each entity with `links` random relations.

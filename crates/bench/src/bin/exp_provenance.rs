@@ -11,8 +11,7 @@ use cda_dataframe::kernels::AggKind;
 use cda_dataframe::{Column, DataType, Field, Schema, Table};
 use cda_provenance::checks::verification_rates;
 use cda_sql::{execute_with_options, Catalog, ExecOptions, OptimizerRules};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cda_testkit::rng::StdRng;
 
 fn build_catalog(rows: usize, seed: u64) -> Catalog {
     let mut rng = StdRng::seed_from_u64(seed);

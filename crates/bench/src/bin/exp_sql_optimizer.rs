@@ -8,8 +8,7 @@
 use cda_bench::{header, row, timed_avg, us};
 use cda_dataframe::{Column, DataType, Field, Schema, Table};
 use cda_sql::{execute_with_options, Catalog, ExecOptions, OptimizerRules};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cda_testkit::rng::StdRng;
 
 fn build_catalog(rows: usize, wide_cols: usize, seed: u64) -> Catalog {
     let mut rng = StdRng::seed_from_u64(seed);

@@ -215,9 +215,11 @@ mod tests {
 
     #[test]
     fn timings_total() {
-        let mut t = TurnTimings::default();
-        t.nl_model = Duration::from_millis(2);
-        t.infrastructure = Duration::from_millis(3);
+        let t = TurnTimings {
+            nl_model: Duration::from_millis(2),
+            infrastructure: Duration::from_millis(3),
+            ..TurnTimings::default()
+        };
         assert_eq!(t.total(), Duration::from_millis(5));
     }
 

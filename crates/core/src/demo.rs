@@ -19,8 +19,7 @@ use cda_kg::vocab::{Concept, Vocabulary};
 use cda_kg::TripleStore;
 use cda_nlmodel::lm::SimLmConfig;
 use cda_timeseries::TimeSeries;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cda_testkit::rng::StdRng;
 
 /// The four user turns of the Figure-1 conversation.
 pub const FIGURE1_TURNS: [&str; 4] = [

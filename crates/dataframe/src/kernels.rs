@@ -56,6 +56,11 @@ pub fn sort_indices(table: &Table, keys: &[SortKey]) -> Result<Vec<usize>> {
     Ok(idx)
 }
 
+/// Distinct key tuples in first-seen order, one per group.
+pub type GroupKeys = Vec<Vec<Value>>;
+/// Row indices belonging to each group, parallel to [`GroupKeys`].
+pub type GroupRows = Vec<Vec<usize>>;
+
 /// Hash-partition rows by the values of `key_columns`.
 ///
 /// Returns `(group_keys, group_rows)` where `group_rows[g]` lists the row
@@ -63,7 +68,7 @@ pub fn sort_indices(table: &Table, keys: &[SortKey]) -> Result<Vec<usize>> {
 pub fn group_indices(
     table: &Table,
     key_columns: &[usize],
-) -> Result<(Vec<Vec<Value>>, Vec<Vec<usize>>)> {
+) -> Result<(GroupKeys, GroupRows)> {
     let mut map: HashMap<Vec<Value>, usize> = HashMap::new();
     let mut keys: Vec<Vec<Value>> = Vec::new();
     let mut groups: Vec<Vec<usize>> = Vec::new();

@@ -308,7 +308,7 @@ mod tests {
 
     #[test]
     fn total_cmp_sorts_null_first() {
-        let mut vals = vec![Value::Int(3), Value::Null, Value::Int(1)];
+        let mut vals = [Value::Int(3), Value::Null, Value::Int(1)];
         vals.sort_by(|a, b| a.total_cmp(b));
         assert!(vals[0].is_null());
         assert_eq!(vals[1], Value::Int(1));

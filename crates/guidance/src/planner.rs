@@ -80,7 +80,7 @@ impl SpeculativePlanner {
                 let lookahead = a
                     .follow_ups
                     .iter()
-                    .map(|f| score(f))
+                    .map(score)
                     .fold(0.0f64, f64::max)
                     * self.discount;
                 Recommendation { action: a.clone(), immediate, lookahead, total: immediate + lookahead }

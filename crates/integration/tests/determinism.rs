@@ -1,0 +1,69 @@
+//! P4 Soundness determinism guard: the Figure-1 demo conversation must
+//! replay **byte-identically** under a fixed seed — across fresh system
+//! instances within one process and, because every random draw flows
+//! through `cda-testkit`'s pinned xoshiro256++/SplitMix64 streams, across
+//! processes and machines too.
+
+use cda_core::demo::{demo_system, FIGURE1_TURNS};
+
+/// Serialize one full conversation into a golden transcript: rendered
+/// turns (text, confidence, property tags, suggestions), machine metadata
+/// (status, executed SQL, explanation bundle), and the session lineage
+/// graph. Everything except wall-clock timings.
+fn golden_transcript(seed: u64) -> String {
+    let mut cda = demo_system(seed);
+    let mut out = String::new();
+    for (i, turn) in FIGURE1_TURNS.iter().enumerate() {
+        let a = cda.process(turn);
+        out.push_str(&format!("=== turn {i}: {turn}\n"));
+        out.push_str(&a.render());
+        out.push_str(&format!("status: {:?}\n", a.status));
+        out.push_str(&format!("confidence: {:?}\n", a.confidence));
+        out.push_str(&format!("executed_sql: {:?}\n", a.executed_sql));
+        if let Some(e) = &a.explanation {
+            out.push_str(&format!("explanation.sources: {:?}\n", e.sources));
+            out.push_str(&format!("explanation.code: {:?}\n", e.code));
+        }
+    }
+    out.push_str("=== lineage\n");
+    out.push_str(&cda.lineage.to_string());
+    out
+}
+
+#[test]
+fn figure1_transcript_replays_byte_identically() {
+    let first = golden_transcript(42);
+    let second = golden_transcript(42);
+    assert!(!first.is_empty());
+    assert_eq!(first, second, "same seed must produce the identical transcript");
+}
+
+#[test]
+fn figure1_transcript_is_seed_sensitive_in_data_but_stable_in_shape() {
+    // A different seed regenerates the synthetic tables, so numbers may
+    // move — but the conversation structure (turn count, clarification
+    // then answers) must be preserved, and the run must stay
+    // self-consistent under replay.
+    let a1 = golden_transcript(7);
+    let a2 = golden_transcript(7);
+    assert_eq!(a1, a2);
+    for t in 0..FIGURE1_TURNS.len() {
+        assert!(a1.contains(&format!("=== turn {t}:")), "turn {t} present");
+    }
+}
+
+#[test]
+fn demo_tables_regenerate_identically() {
+    use cda_core::demo::{barometer_series, employment_table, wage_table};
+    let (e1, e2) = (employment_table(42), employment_table(42));
+    assert_eq!(e1.num_rows(), e2.num_rows());
+    for r in 0..e1.num_rows() {
+        assert_eq!(e1.row(r).unwrap(), e2.row(r).unwrap());
+    }
+    let (w1, w2) = (wage_table(42), wage_table(42));
+    for r in 0..w1.num_rows() {
+        assert_eq!(w1.row(r).unwrap(), w2.row(r).unwrap());
+    }
+    let (b1, b2) = (barometer_series(42), barometer_series(42));
+    assert_eq!(b1.values(), b2.values());
+}

@@ -62,14 +62,11 @@ pub fn reward(catalog: &Catalog, sql: &str) -> f64 {
         return r;
     }
     r += 1.0;
-    match execute(catalog, sql) {
-        Ok(result) => {
-            r += 2.0;
-            if result.table.num_rows() > 0 {
-                r += 0.5;
-            }
+    if let Ok(result) = execute(catalog, sql) {
+        r += 2.0;
+        if result.table.num_rows() > 0 {
+            r += 0.5;
         }
-        Err(_) => {}
     }
     r
 }
@@ -112,7 +109,7 @@ pub fn decode(
             let mut best: Option<(f64, usize)> = None;
             for (i, g) in gens.iter().enumerate() {
                 let score = reward(catalog, &g.sql) + g.mean_logprob.exp() * 0.1;
-                if best.map_or(true, |(b, _)| score > b) {
+                if best.is_none_or(|(b, _)| score > b) {
                     best = Some((score, i));
                 }
             }

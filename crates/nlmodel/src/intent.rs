@@ -78,7 +78,7 @@ fn score(tokens: &[String], cues: &[&str]) -> f64 {
 /// offered options (`offered_options` strengthens Selection).
 pub fn classify_intent(utterance: &str, offered_options: bool) -> IntentResult {
     let tokens = tokenize(utterance);
-    let mut raw = vec![
+    let mut raw = [
         (Intent::DatasetDiscovery, score(&tokens, DISCOVERY_CUES)),
         (Intent::DatasetDescription, score(&tokens, DESCRIPTION_CUES)),
         // aggregate vocabulary is the most specific signal → highest weight

@@ -11,8 +11,7 @@
 use crate::nl2sql::{AnalyticTask, CmpOp, TaskFilter};
 use cda_dataframe::kernels::AggKind;
 use cda_dataframe::{Schema, Value};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cda_testkit::rng::StdRng;
 
 /// The kinds of hallucination the simulator can inject.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

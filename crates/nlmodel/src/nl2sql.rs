@@ -9,8 +9,7 @@
 
 use cda_dataframe::kernels::AggKind;
 use cda_dataframe::{DataType, Schema, Value};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cda_testkit::rng::StdRng;
 use std::fmt;
 
 /// Comparison operator in a task filter.
@@ -219,9 +218,7 @@ impl Workload {
                 4 => AggKind::Max,
                 _ => AggKind::StdDev,
             };
-            let metric = if agg == AggKind::Count && rng.gen_bool(0.5) {
-                None
-            } else if numeric.is_empty() {
+            let metric = if (agg == AggKind::Count && rng.gen_bool(0.5)) || numeric.is_empty() {
                 None
             } else {
                 Some(numeric[rng.gen_range(0..numeric.len())].to_owned())
@@ -415,12 +412,11 @@ pub fn refine_task(previous: &AnalyticTask, text: &str, tables: &[WorkloadTable]
     // regroup: "per <col>" / "by <col>"
     for f in wt.schema.fields() {
         let name = f.name().to_lowercase();
-        if lower.contains(&format!("per {name}")) || lower.contains(&format!("by {name}")) {
-            if task.group_by.as_deref() != Some(f.name()) {
+        if (lower.contains(&format!("per {name}")) || lower.contains(&format!("by {name}")))
+            && task.group_by.as_deref() != Some(f.name()) {
                 task.group_by = Some(f.name().to_owned());
                 changed = true;
             }
-        }
     }
     // drop grouping: "overall" / "in total" / "without grouping"
     if (lower.contains("overall") || lower.contains("in total") || lower.contains("without grouping"))

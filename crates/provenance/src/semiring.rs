@@ -115,14 +115,25 @@ impl HowPolynomial {
     }
 
     /// Product (joint derivation).
+    ///
+    /// Merges like monomials once at the end rather than re-normalising the
+    /// accumulator per product term (the latter is quadratic in the output
+    /// size, which made large aggregate products intractable).
     pub fn times(&self, other: &HowPolynomial) -> HowPolynomial {
-        let mut out = HowPolynomial::zero();
+        let mut merged: BTreeMap<BTreeMap<RowId, u32>, u64> = BTreeMap::new();
         for a in &self.monomials {
             for b in &other.monomials {
-                out = out.plus(&HowPolynomial { monomials: vec![a.times(b)] });
+                let m = a.times(b);
+                *merged.entry(m.vars).or_insert(0) += m.coefficient;
             }
         }
-        out
+        HowPolynomial {
+            monomials: merged
+                .into_iter()
+                .filter(|(_, c)| *c > 0)
+                .map(|(vars, coefficient)| Monomial { vars, coefficient })
+                .collect(),
+        }
     }
 
     /// Why-provenance: the set of minimal witness sets (each monomial's

@@ -234,8 +234,8 @@ fn join(
             for (c, v) in lrow.into_iter().enumerate() {
                 columns[c].push(v)?;
             }
-            for c in l.num_columns()..schema.len() {
-                columns[c].push(Value::Null)?;
+            for col in columns.iter_mut().take(schema.len()).skip(l.num_columns()) {
+                col.push(Value::Null)?;
             }
             lineage.push(if opts.track_lineage { l.lineage(li)?.to_vec() } else { Vec::new() });
         }

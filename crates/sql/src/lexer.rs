@@ -242,10 +242,10 @@ mod tests {
 
     #[test]
     fn numbers_int_float_exponent() {
-        let toks = tokenize("42 3.14 1e3 2.5E-2").unwrap();
+        let toks = tokenize("42 3.25 1e3 2.5E-2").unwrap();
         assert_eq!(
             toks,
-            vec![Token::Int(42), Token::Float(3.14), Token::Float(1000.0), Token::Float(0.025)]
+            vec![Token::Int(42), Token::Float(3.25), Token::Float(1000.0), Token::Float(0.025)]
         );
     }
 

@@ -366,9 +366,7 @@ fn eval_binary(l: &Value, op: BinaryOp, r: &Value) -> Result<Value> {
         }
         _ => unreachable!(),
     };
-    if both_int && op != Div {
-        Ok(Value::Int(result as i64))
-    } else if both_int && result.fract() == 0.0 {
+    if both_int && (op != Div || result.fract() == 0.0) {
         Ok(Value::Int(result as i64))
     } else {
         Ok(Value::Float(result))

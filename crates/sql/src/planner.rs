@@ -80,6 +80,11 @@ struct Planner<'a> {
     catalog: &'a Catalog,
 }
 
+/// Output of [`Planner::plan_aggregate`]: the aggregate plan node, the bound
+/// SELECT-item expressions over its output, their fields, and the aggregate
+/// binding context used later by ORDER BY resolution.
+type AggregatePlan = (Plan, Vec<BoundExpr>, Vec<Field>, Option<AggContext>);
+
 impl Planner<'_> {
     fn plan(&self, select: &Select) -> Result<Plan> {
         // 1. FROM and JOINs build the scope and the base plan.
@@ -198,7 +203,7 @@ impl Planner<'_> {
         select: &Select,
         input: Plan,
         scope: &Scope,
-    ) -> Result<(Plan, Vec<BoundExpr>, Vec<Field>, Option<AggContext>)> {
+    ) -> Result<AggregatePlan> {
         let input_schema = input.schema();
         // Bind group keys.
         let mut group_bound = Vec::new();

@@ -1,0 +1,358 @@
+//! Micro-benchmark harness replacing `criterion` for the `cargo bench`
+//! targets in `crates/bench/benches/`: warmup, N timed samples, median/p99,
+//! and one `BENCH_<group>.json` artifact per benchmark group (written under
+//! `target/cda-bench/`) so experiment trajectories can be diffed across
+//! commits.
+//!
+//! The API mirrors the slice of criterion the repo uses — [`Criterion`],
+//! `benchmark_group`, `sample_size`, `bench_function`, [`Bencher::iter`],
+//! [`Bencher::iter_batched`], [`BatchSize`], and the
+//! [`crate::criterion_group!`]/[`crate::criterion_main!`] macros — so bench
+//! files port by swapping the `use` line.
+
+use crate::json::Json;
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Batch sizing hint, accepted for criterion-compatibility. The harness
+/// always runs setup once per sample, so the variants coincide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small input per iteration.
+    SmallInput,
+    /// Large input per iteration.
+    LargeInput,
+    /// One setup per iteration (our behavior for all variants).
+    PerIteration,
+}
+
+/// Statistics for one bench function, in nanoseconds per iteration.
+#[derive(Debug, Clone)]
+pub struct BenchStats {
+    /// Bench function name.
+    pub name: String,
+    /// Number of samples taken.
+    pub samples: usize,
+    /// Median ns/iter.
+    pub median_ns: f64,
+    /// 99th-percentile ns/iter.
+    pub p99_ns: f64,
+    /// Mean ns/iter.
+    pub mean_ns: f64,
+    /// Fastest sample ns/iter.
+    pub min_ns: f64,
+    /// Slowest sample ns/iter.
+    pub max_ns: f64,
+}
+
+impl BenchStats {
+    fn from_samples(name: &str, mut ns: Vec<f64>) -> Self {
+        assert!(!ns.is_empty());
+        ns.sort_by(|a, b| a.total_cmp(b));
+        let pick = |q: f64| ns[((ns.len() - 1) as f64 * q).round() as usize];
+        BenchStats {
+            name: name.to_owned(),
+            samples: ns.len(),
+            median_ns: pick(0.5),
+            p99_ns: pick(0.99),
+            mean_ns: ns.iter().sum::<f64>() / ns.len() as f64,
+            min_ns: ns[0],
+            max_ns: ns[ns.len() - 1],
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::Str(self.name.clone())),
+            ("samples", Json::Num(self.samples as f64)),
+            ("median_ns", Json::Num(self.median_ns)),
+            ("p99_ns", Json::Num(self.p99_ns)),
+            ("mean_ns", Json::Num(self.mean_ns)),
+            ("min_ns", Json::Num(self.min_ns)),
+            ("max_ns", Json::Num(self.max_ns)),
+        ])
+    }
+}
+
+/// Harness entry point; holds nothing but default configuration.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            results: Vec::new(),
+            finished: false,
+        }
+    }
+}
+
+/// A group of related bench functions sharing a sample size; on
+/// [`finish`](BenchmarkGroup::finish) the group prints a summary and writes
+/// its JSON artifact.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    results: Vec<BenchStats>,
+    finished: bool,
+}
+
+impl BenchmarkGroup {
+    /// Set the number of timed samples per bench function.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Run one bench function and record its statistics.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher { sample_size: effective_sample_size(self.sample_size), samples: Vec::new() };
+        f(&mut b);
+        assert!(
+            !b.samples.is_empty(),
+            "bench function {name} never called Bencher::iter/iter_batched"
+        );
+        let stats = BenchStats::from_samples(name, b.samples);
+        println!(
+            "bench {:<40} median {:>12}  p99 {:>12}  ({} samples)",
+            format!("{}/{}", self.name, stats.name),
+            fmt_ns(stats.median_ns),
+            fmt_ns(stats.p99_ns),
+            stats.samples,
+        );
+        self.results.push(stats);
+        self
+    }
+
+    /// Finish the group: write `target/cda-bench/BENCH_<group>.json`.
+    pub fn finish(mut self) {
+        self.flush();
+    }
+
+    /// Results recorded so far (exposed for harness self-tests).
+    pub fn results(&self) -> &[BenchStats] {
+        &self.results
+    }
+
+    /// Render the group's JSON artifact.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("group", Json::Str(self.name.clone())),
+            ("sample_size", Json::Num(self.sample_size as f64)),
+            ("benches", Json::Arr(self.results.iter().map(BenchStats::to_json).collect())),
+        ])
+    }
+
+    fn flush(&mut self) {
+        if self.finished || self.results.is_empty() {
+            return;
+        }
+        self.finished = true;
+        let dir = artifact_dir();
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("cda-bench: cannot create {}: {e}", dir.display());
+            return;
+        }
+        let sanitized: String = self
+            .name
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
+            .collect();
+        let path = dir.join(format!("BENCH_{sanitized}.json"));
+        match std::fs::write(&path, format!("{}\n", self.to_json())) {
+            Ok(()) => println!("bench group {} -> {}", self.name, path.display()),
+            Err(e) => eprintln!("cda-bench: cannot write {}: {e}", path.display()),
+        }
+    }
+}
+
+impl Drop for BenchmarkGroup {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// Where `BENCH_*.json` artifacts land: `$CARGO_TARGET_DIR/cda-bench`, or
+/// the nearest enclosing `target/` directory, or `./target/cda-bench`.
+fn artifact_dir() -> PathBuf {
+    if let Ok(t) = std::env::var("CARGO_TARGET_DIR") {
+        return PathBuf::from(t).join("cda-bench");
+    }
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    for _ in 0..4 {
+        let candidate = dir.join("target");
+        if candidate.is_dir() {
+            return candidate.join("cda-bench");
+        }
+        if !dir.pop() {
+            break;
+        }
+    }
+    PathBuf::from("target").join("cda-bench")
+}
+
+/// `CDA_BENCH_FAST=1` trims every group to a 2-sample smoke run — used by
+/// `ci.sh` to verify the harness end-to-end without paying full bench time.
+fn effective_sample_size(configured: usize) -> usize {
+    match std::env::var("CDA_BENCH_FAST") {
+        Ok(v) if v != "0" && !v.is_empty() => 2,
+        _ => configured,
+    }
+}
+
+/// Passed to each bench function; timing happens in
+/// [`iter`](Bencher::iter)/[`iter_batched`](Bencher::iter_batched).
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Time a closure. Cheap closures are auto-batched so each sample spans
+    /// at least ~100µs of work, keeping clock granularity noise down.
+    pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
+        // Warmup + calibration: estimate a single-call cost.
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().as_secs_f64();
+        let per_sample = if once > 0.0 {
+            ((100e-6 / once).ceil() as usize).clamp(1, 10_000)
+        } else {
+            10_000
+        };
+        self.samples = (0..self.sample_size)
+            .map(|_| {
+                let t0 = Instant::now();
+                for _ in 0..per_sample {
+                    black_box(f());
+                }
+                t0.elapsed().as_secs_f64() * 1e9 / per_sample as f64
+            })
+            .collect();
+    }
+
+    /// Time `routine` over fresh inputs from `setup`; setup time is not
+    /// measured.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        // One warmup round.
+        black_box(routine(setup()));
+        self.samples = (0..self.sample_size)
+            .map(|_| {
+                let input = setup();
+                let t0 = Instant::now();
+                black_box(routine(input));
+                t0.elapsed().as_secs_f64() * 1e9
+            })
+            .collect();
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3}us", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+/// Group bench functions into a single runner `fn $name()`, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::bench::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emit `fn main` running the given groups, mirroring
+/// `criterion::criterion_main!`. Ignores harness CLI flags passed by
+/// `cargo bench`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn stats_median_and_p99() {
+        let ns: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = BenchStats::from_samples("x", ns);
+        assert_eq!(s.samples, 100);
+        assert_eq!(s.min_ns, 1.0);
+        assert_eq!(s.max_ns, 100.0);
+        assert_eq!(s.median_ns, 51.0); // nearest-rank on 0-indexed 99 * 0.5
+        assert_eq!(s.p99_ns, 99.0);
+        assert!((s.mean_ns - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut b = Bencher { sample_size: 5, samples: Vec::new() };
+        b.iter(|| (0..100u64).sum::<u64>());
+        assert_eq!(b.samples.len(), 5);
+        assert!(b.samples.iter().all(|&s| s > 0.0));
+
+        let mut b = Bencher { sample_size: 4, samples: Vec::new() };
+        b.iter_batched(|| vec![3u64; 64], |v| v.iter().sum::<u64>(), BatchSize::SmallInput);
+        assert_eq!(b.samples.len(), 4);
+    }
+
+    #[test]
+    fn group_json_round_trips() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("selftest");
+        group.sample_size(3);
+        group.bench_function("sum_1k", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+        group.bench_function("vec_rev", |b| {
+            b.iter_batched(
+                || (0..256u32).collect::<Vec<_>>(),
+                |mut v| {
+                    v.reverse();
+                    v
+                },
+                BatchSize::SmallInput,
+            )
+        });
+
+        let doc = group.to_json();
+        let text = doc.to_string();
+        let back = json::parse(&text).expect("bench JSON parses");
+        assert_eq!(back, doc);
+        assert_eq!(back.get("group").unwrap().as_str().unwrap(), "selftest");
+        let benches = back.get("benches").unwrap().as_arr().unwrap();
+        assert_eq!(benches.len(), 2);
+        for b in benches {
+            assert!(b.get("median_ns").unwrap().as_f64().unwrap() > 0.0);
+            assert!(
+                b.get("p99_ns").unwrap().as_f64().unwrap()
+                    >= b.get("median_ns").unwrap().as_f64().unwrap()
+            );
+        }
+        // keep the test from writing artifacts on drop
+        group.results.clear();
+    }
+}

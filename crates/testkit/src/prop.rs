@@ -1,0 +1,1005 @@
+//! Minimal property-testing harness replacing `proptest`, built around a
+//! recorded **choice stream** (the Hypothesis/minithesis design):
+//!
+//! * Every generator draws from a [`TestCase`], which either samples fresh
+//!   choices from a seeded [`StdRng`] (generation) or replays a recorded
+//!   prefix (shrinking / regression replay). A generated value is a pure
+//!   function of its choice sequence, so `map`/`flat_map` compose without
+//!   any per-type shrinker.
+//! * On failure the harness shrinks the *choice sequence* — deleting
+//!   chunks, zeroing blocks, and binary-searching individual choices toward
+//!   zero — and re-runs the property until a fixpoint. Generators are
+//!   written so that smaller choices mean simpler values (shorter vectors,
+//!   values nearer the range start), which is what makes this produce
+//!   minimal counterexamples.
+//! * Seeds are **fixed**: each property derives its case seeds from a hash
+//!   of the property name (overridable with `CDA_PROP_SEED`), so every run
+//!   — locally and in CI, offline — executes the identical case list. A
+//!   failure report prints the case seed for direct replay.
+//!
+//! The porting surface mirrors `proptest`: the [`crate::proptest!`] macro,
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assert_ne!`, [`prop_oneof!`],
+//! [`Just`], [`any`], [`collection::vec`], [`option::of`], string classes
+//! like `"[a-c]"` / `"[a-z]{0,6}"`, and `.prop_map` / `.prop_flat_map` on
+//! anything that converts into a [`Gen`] (ranges, patterns, tuples).
+
+use crate::rng::{mix64, StdRng};
+use std::fmt::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::rc::Rc;
+
+// ------------------------------------------------------------------ errors
+
+/// A test case was rejected (choice-stream overrun during replay, filter
+/// miss, or runaway draw count). Not a failure — the runner just moves on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Invalid;
+
+/// Outcome of running a property body on one test case.
+#[derive(Debug, Clone)]
+pub enum TestError {
+    /// Case rejected; try another.
+    Invalid,
+    /// Property falsified with this message.
+    Fail(String),
+}
+
+impl TestError {
+    /// Construct a failure with a message (what `prop_assert!` expands to).
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestError::Fail(msg.into())
+    }
+}
+
+impl From<Invalid> for TestError {
+    fn from(_: Invalid) -> Self {
+        TestError::Invalid
+    }
+}
+
+// --------------------------------------------------------------- TestCase
+
+const MAX_CHOICES: usize = 65_536;
+
+/// One run of a property: the source of generator choices, recording
+/// everything drawn so failures can be replayed and shrunk.
+pub struct TestCase {
+    prefix: Vec<u64>,
+    rng: Option<StdRng>,
+    choices: Vec<u64>,
+}
+
+impl TestCase {
+    /// A fresh random case from a seed.
+    pub fn from_seed(seed: u64) -> Self {
+        TestCase { prefix: Vec::new(), rng: Some(StdRng::seed_from_u64(seed)), choices: Vec::new() }
+    }
+
+    /// A replay of a recorded choice sequence (used while shrinking).
+    /// Drawing past the end rejects the case.
+    pub fn for_choices(prefix: Vec<u64>) -> Self {
+        TestCase { prefix, rng: None, choices: Vec::new() }
+    }
+
+    /// Draw a choice uniformly from `[0, max]`. During replay the recorded
+    /// value is used, capped at `max` so perturbed sequences stay valid.
+    pub fn choice(&mut self, max: u64) -> Result<u64, Invalid> {
+        if self.choices.len() >= MAX_CHOICES {
+            return Err(Invalid);
+        }
+        let v = if self.choices.len() < self.prefix.len() {
+            self.prefix[self.choices.len()].min(max)
+        } else {
+            match &mut self.rng {
+                Some(rng) => rng.bounded_inclusive(max),
+                None => return Err(Invalid),
+            }
+        };
+        self.choices.push(v);
+        Ok(v)
+    }
+
+    /// The choices drawn so far.
+    pub fn choices(&self) -> &[u64] {
+        &self.choices
+    }
+}
+
+// -------------------------------------------------------------- generator
+
+/// The boxed generator function: a pure map from choice stream to value.
+type GenFn<T> = Rc<dyn Fn(&mut TestCase) -> Result<T, Invalid>>;
+
+/// A composable value generator: a pure function of the choice stream.
+pub struct Gen<T> {
+    f: GenFn<T>,
+}
+
+impl<T> Clone for Gen<T> {
+    fn clone(&self) -> Self {
+        Gen { f: Rc::clone(&self.f) }
+    }
+}
+
+impl<T: 'static> Gen<T> {
+    /// Build a generator from a draw function.
+    pub fn from_fn(f: impl Fn(&mut TestCase) -> Result<T, Invalid> + 'static) -> Self {
+        Gen { f: Rc::new(f) }
+    }
+
+    /// Draw one value.
+    pub fn generate(&self, tc: &mut TestCase) -> Result<T, Invalid> {
+        (self.f)(tc)
+    }
+
+    /// Transform generated values.
+    pub fn map<U: 'static>(self, f: impl Fn(T) -> U + 'static) -> Gen<U> {
+        Gen::from_fn(move |tc| self.generate(tc).map(&f))
+    }
+
+    /// Generate a value, then generate from a value-dependent generator.
+    pub fn flat_map<U: 'static, G: IntoGen<Value = U>>(
+        self,
+        f: impl Fn(T) -> G + 'static,
+    ) -> Gen<U> {
+        Gen::from_fn(move |tc| f(self.generate(tc)?).into_gen().generate(tc))
+    }
+
+    /// Keep only values satisfying the predicate (rejects otherwise).
+    pub fn filter(self, pred: impl Fn(&T) -> bool + 'static) -> Gen<T> {
+        Gen::from_fn(move |tc| {
+            let v = self.generate(tc)?;
+            if pred(&v) {
+                Ok(v)
+            } else {
+                Err(Invalid)
+            }
+        })
+    }
+}
+
+/// Conversion into a [`Gen`] — lets ranges, string patterns, tuples, and
+/// generators themselves all appear where a strategy is expected, exactly
+/// like `proptest`'s `Strategy` inputs.
+pub trait IntoGen {
+    /// The generated value type.
+    type Value;
+    /// Convert into a generator.
+    fn into_gen(self) -> Gen<Self::Value>;
+}
+
+impl<T> IntoGen for Gen<T> {
+    type Value = T;
+    fn into_gen(self) -> Gen<T> {
+        self
+    }
+}
+
+/// Numeric types drawable from ranges through the choice stream (smaller
+/// choice ⇒ closer to the range start, which drives shrinking).
+pub trait ChoiceUniform: Copy + 'static {
+    /// Draw from `[lo, hi)`.
+    fn draw_half_open(tc: &mut TestCase, lo: Self, hi: Self) -> Result<Self, Invalid>;
+    /// Draw from `[lo, hi]`.
+    fn draw_inclusive(tc: &mut TestCase, lo: Self, hi: Self) -> Result<Self, Invalid>;
+}
+
+macro_rules! impl_choice_uniform_int {
+    ($($t:ty),*) => {$(
+        impl ChoiceUniform for $t {
+            fn draw_half_open(tc: &mut TestCase, lo: Self, hi: Self) -> Result<Self, Invalid> {
+                assert!(lo < hi, "empty generator range {lo}..{hi}");
+                let span = (hi as i128 - lo as i128) as u64;
+                let c = tc.choice(span - 1)?;
+                Ok((lo as i128 + c as i128) as $t)
+            }
+            fn draw_inclusive(tc: &mut TestCase, lo: Self, hi: Self) -> Result<Self, Invalid> {
+                assert!(lo <= hi, "empty generator range {lo}..={hi}");
+                let span = (hi as i128 - lo as i128) as u64;
+                let c = tc.choice(span)?;
+                Ok((lo as i128 + c as i128) as $t)
+            }
+        }
+    )*};
+}
+
+impl_choice_uniform_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+const FLOAT_GRAIN: u64 = 1 << 53;
+
+macro_rules! impl_choice_uniform_float {
+    ($($t:ty),*) => {$(
+        impl ChoiceUniform for $t {
+            fn draw_half_open(tc: &mut TestCase, lo: Self, hi: Self) -> Result<Self, Invalid> {
+                assert!(lo < hi, "empty generator range {lo}..{hi}");
+                let c = tc.choice(FLOAT_GRAIN - 1)?;
+                let u = c as f64 / FLOAT_GRAIN as f64;
+                let v = lo + (hi - lo) * (u as $t);
+                Ok(if v < hi { v } else { lo })
+            }
+            fn draw_inclusive(tc: &mut TestCase, lo: Self, hi: Self) -> Result<Self, Invalid> {
+                assert!(lo <= hi, "empty generator range {lo}..={hi}");
+                let c = tc.choice(FLOAT_GRAIN)?;
+                let u = c as f64 / FLOAT_GRAIN as f64;
+                Ok(lo + (hi - lo) * (u as $t))
+            }
+        }
+    )*};
+}
+
+impl_choice_uniform_float!(f32, f64);
+
+impl<T: ChoiceUniform> IntoGen for std::ops::Range<T> {
+    type Value = T;
+    fn into_gen(self) -> Gen<T> {
+        Gen::from_fn(move |tc| T::draw_half_open(tc, self.start, self.end))
+    }
+}
+
+impl<T: ChoiceUniform> IntoGen for std::ops::RangeInclusive<T> {
+    type Value = T;
+    fn into_gen(self) -> Gen<T> {
+        let (lo, hi) = self.into_inner();
+        Gen::from_fn(move |tc| T::draw_inclusive(tc, lo, hi))
+    }
+}
+
+/// String patterns (`"[a-c]"`, `"[a-z]{0,6}"`) act directly as generators.
+impl IntoGen for &'static str {
+    type Value = String;
+    fn into_gen(self) -> Gen<String> {
+        string_class(self)
+    }
+}
+
+macro_rules! impl_into_gen_tuple {
+    ($($g:ident / $v:ident / $idx:tt),+) => {
+        impl<$($g: IntoGen + Clone + 'static),+> IntoGen for ($($g,)+)
+        where
+            $(<$g as IntoGen>::Value: 'static),+
+        {
+            type Value = ($(<$g as IntoGen>::Value,)+);
+            fn into_gen(self) -> Gen<Self::Value> {
+                $(let $v = self.$idx.into_gen();)+
+                Gen::from_fn(move |tc| Ok(($($v.generate(tc)?,)+)))
+            }
+        }
+    };
+}
+
+impl_into_gen_tuple!(G0 / g0 / 0, G1 / g1 / 1);
+impl_into_gen_tuple!(G0 / g0 / 0, G1 / g1 / 1, G2 / g2 / 2);
+impl_into_gen_tuple!(G0 / g0 / 0, G1 / g1 / 1, G2 / g2 / 2, G3 / g3 / 3);
+impl_into_gen_tuple!(G0 / g0 / 0, G1 / g1 / 1, G2 / g2 / 2, G3 / g3 / 3, G4 / g4 / 4);
+
+/// Proptest-style combinator methods available on every strategy-like value
+/// (generators, ranges, string patterns, tuples).
+pub trait GenExt: IntoGen + Sized
+where
+    Self::Value: 'static,
+{
+    /// Transform generated values.
+    fn prop_map<U: 'static>(self, f: impl Fn(Self::Value) -> U + 'static) -> Gen<U> {
+        self.into_gen().map(f)
+    }
+
+    /// Generate, then generate from a value-dependent strategy.
+    fn prop_flat_map<U: 'static, G: IntoGen<Value = U>>(
+        self,
+        f: impl Fn(Self::Value) -> G + 'static,
+    ) -> Gen<U> {
+        self.into_gen().flat_map(f)
+    }
+
+    /// Keep only values satisfying the predicate.
+    fn prop_filter(self, pred: impl Fn(&Self::Value) -> bool + 'static) -> Gen<Self::Value> {
+        self.into_gen().filter(pred)
+    }
+}
+
+impl<G: IntoGen> GenExt for G where G::Value: 'static {}
+
+// ---------------------------------------------------------- leaf builders
+
+/// Always the same value (shrinks to itself).
+#[allow(non_snake_case)] // mirrors proptest's `Just` strategy
+pub fn Just<T: Clone + 'static>(v: T) -> Gen<T> {
+    Gen::from_fn(move |_| Ok(v.clone()))
+}
+
+/// Types with a canonical full-domain generator (for [`any`]).
+pub trait Arbitrary: Sized + 'static {
+    /// The canonical generator for this type.
+    fn arbitrary() -> Gen<Self>;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary() -> Gen<bool> {
+        Gen::from_fn(|tc| Ok(tc.choice(1)? == 1))
+    }
+}
+
+impl Arbitrary for u8 {
+    fn arbitrary() -> Gen<u8> {
+        Gen::from_fn(|tc| Ok(tc.choice(u8::MAX as u64)? as u8))
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary() -> Gen<u64> {
+        Gen::from_fn(|tc| tc.choice(u64::MAX))
+    }
+}
+
+impl Arbitrary for i64 {
+    fn arbitrary() -> Gen<i64> {
+        Gen::from_fn(|tc| Ok(tc.choice(u64::MAX)? as i64))
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary() -> Gen<f64> {
+        (0.0f64..1.0).into_gen()
+    }
+}
+
+/// The canonical generator for `T` — `any::<bool>()` etc.
+pub fn any<T: Arbitrary>() -> Gen<T> {
+    T::arbitrary()
+}
+
+/// Length specification for [`collection::vec`]: accepts `a..b`, `a..=b`,
+/// or an exact `usize`.
+#[derive(Debug, Clone, Copy)]
+pub struct LenRange {
+    min: usize,
+    max: usize,
+}
+
+impl From<std::ops::Range<usize>> for LenRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty length range");
+        LenRange { min: r.start, max: r.end - 1 }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for LenRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty length range");
+        LenRange { min: *r.start(), max: *r.end() }
+    }
+}
+
+impl From<usize> for LenRange {
+    fn from(n: usize) -> Self {
+        LenRange { min: n, max: n }
+    }
+}
+
+/// Collection generators (mirrors `proptest::collection`).
+pub mod collection {
+    use super::*;
+
+    /// A vector whose elements come from `g` and whose length lies in
+    /// `len`. Encoded with a continue-bit per optional element so the
+    /// shrinker can drop elements by zeroing a single choice.
+    pub fn vec<G: IntoGen>(g: G, len: impl Into<LenRange>) -> Gen<Vec<G::Value>>
+    where
+        G::Value: 'static,
+    {
+        let LenRange { min, max } = len.into();
+        let g = g.into_gen();
+        Gen::from_fn(move |tc| {
+            let mut out = Vec::with_capacity(min);
+            while out.len() < min {
+                out.push(g.generate(tc)?);
+            }
+            while out.len() < max {
+                if tc.choice(1)? == 0 {
+                    break;
+                }
+                out.push(g.generate(tc)?);
+            }
+            Ok(out)
+        })
+    }
+}
+
+/// Option generators (mirrors `proptest::option`).
+pub mod option {
+    use super::*;
+
+    /// `None` a quarter of the time, `Some` from `g` otherwise (shrinks
+    /// toward `None`).
+    pub fn of<G: IntoGen>(g: G) -> Gen<Option<G::Value>>
+    where
+        G::Value: 'static,
+    {
+        let g = g.into_gen();
+        Gen::from_fn(move |tc| {
+            if tc.choice(3)? == 0 {
+                Ok(None)
+            } else {
+                Ok(Some(g.generate(tc)?))
+            }
+        })
+    }
+}
+
+/// Pick one of several weighted generators; used by [`crate::prop_oneof!`].
+pub fn weighted_union<T: 'static>(variants: Vec<(u32, Gen<T>)>) -> Gen<T> {
+    assert!(!variants.is_empty(), "prop_oneof! needs at least one variant");
+    let total: u64 = variants.iter().map(|(w, _)| u64::from(*w)).sum();
+    assert!(total > 0, "prop_oneof! weights sum to zero");
+    Gen::from_fn(move |tc| {
+        let mut c = tc.choice(total - 1)?;
+        for (w, g) in &variants {
+            let w = u64::from(*w);
+            if c < w {
+                return g.generate(tc);
+            }
+            c -= w;
+        }
+        unreachable!("choice below total weight")
+    })
+}
+
+// ------------------------------------------------------ regex-lite strings
+
+/// A generator for a regex-lite string pattern: one character class with an
+/// optional repetition — `"[a-c]"`, `"[a-z]{0,6}"`, `"[ab%_]{3}"`. Ranges
+/// (`a-z`) and literal characters (including `%`, `_`) may be mixed inside
+/// the class. Without a repetition suffix exactly one character is
+/// generated, matching `proptest`'s treatment of `"[a-c]"`.
+pub fn string_class(pattern: &str) -> Gen<String> {
+    let (chars, min, max) = parse_class(pattern)
+        .unwrap_or_else(|| panic!("unsupported string pattern {pattern:?}"));
+    collection::vec(
+        Gen::from_fn(move |tc| {
+            let i = tc.choice(chars.len() as u64 - 1)? as usize;
+            Ok(chars[i])
+        }),
+        min..=max,
+    )
+    .map(|cs| cs.into_iter().collect())
+}
+
+fn parse_class(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pattern.strip_prefix('[')?;
+    let close = rest.find(']')?;
+    let class: Vec<char> = rest[..close].chars().collect();
+    if class.is_empty() {
+        return None;
+    }
+    let mut chars = Vec::new();
+    let mut i = 0;
+    while i < class.len() {
+        if i + 2 < class.len() && class[i + 1] == '-' {
+            let (a, b) = (class[i], class[i + 2]);
+            if a > b {
+                return None;
+            }
+            chars.extend(a..=b);
+            i += 3;
+        } else {
+            chars.push(class[i]);
+            i += 1;
+        }
+    }
+    let suffix = &rest[close + 1..];
+    if suffix.is_empty() {
+        return Some((chars, 1, 1));
+    }
+    let body = suffix.strip_prefix('{')?.strip_suffix('}')?;
+    let (min, max) = match body.split_once(',') {
+        Some((m, n)) => (m.trim().parse().ok()?, n.trim().parse().ok()?),
+        None => {
+            let k = body.trim().parse().ok()?;
+            (k, k)
+        }
+    };
+    if min > max {
+        return None;
+    }
+    Some((chars, min, max))
+}
+
+// ----------------------------------------------------------------- runner
+
+/// Property-run configuration. `ProptestConfig` is an alias kept for
+/// mechanical porting of `#![proptest_config(...)]` headers.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of generated cases per property (≥ 64 repo-wide, per the
+    /// determinism/soundness acceptance bar).
+    pub cases: u32,
+    /// Cap on shrink attempts after a failure.
+    pub max_shrink_iters: u32,
+    /// Explicit base seed; defaults to a hash of the property name
+    /// (override globally with `CDA_PROP_SEED`).
+    pub seed: Option<u64>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256, max_shrink_iters: 4096, seed: None }
+    }
+}
+
+impl Config {
+    /// A config with the given number of cases (clamped up to the repo
+    /// floor of 64).
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases: cases.max(64), ..Config::default() }
+    }
+}
+
+/// Alias so ported `#![proptest_config(ProptestConfig::with_cases(n))]`
+/// headers keep reading naturally.
+pub type ProptestConfig = Config;
+
+fn base_seed(name: &str, cfg: &Config) -> u64 {
+    if let Some(s) = cfg.seed {
+        return s;
+    }
+    if let Ok(s) = std::env::var("CDA_PROP_SEED") {
+        if let Ok(v) = s.trim().parse::<u64>() {
+            return v;
+        }
+    }
+    // FNV-1a over the property name: stable across runs and platforms.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+fn run_one(
+    f: &dyn Fn(&mut TestCase) -> Result<(), TestError>,
+    tc: &mut TestCase,
+) -> Result<(), TestError> {
+    match catch_unwind(AssertUnwindSafe(|| f(tc))) {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_owned()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "panic with non-string payload".to_owned()
+            };
+            Err(TestError::Fail(format!("panicked: {msg}")))
+        }
+    }
+}
+
+/// Run a property: generate `cfg.cases` cases from fixed seeds, shrink the
+/// first failure to a minimal choice sequence, and panic with a replayable
+/// report. This is what the [`crate::proptest!`] macro expands to.
+pub fn run_property(
+    name: &str,
+    cfg: &Config,
+    f: impl Fn(&mut TestCase) -> Result<(), TestError>,
+) {
+    let base = base_seed(name, cfg);
+    let mut executed = 0u32;
+    let mut attempts = 0u64;
+    let budget = u64::from(cfg.cases) * 16;
+    while executed < cfg.cases {
+        if attempts >= budget {
+            panic!(
+                "property {name}: gave up after {attempts} attempts \
+                 ({executed}/{} cases ran; too many rejected cases)",
+                cfg.cases
+            );
+        }
+        let seed = mix64(base ^ attempts.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        attempts += 1;
+        let mut tc = TestCase::from_seed(seed);
+        match run_one(&f, &mut tc) {
+            Ok(()) => executed += 1,
+            Err(TestError::Invalid) => {}
+            Err(TestError::Fail(msg)) => {
+                let (choices, final_msg) =
+                    shrink(tc.choices().to_vec(), msg, cfg.max_shrink_iters, &f);
+                let mut report = String::new();
+                let _ = writeln!(report, "property {name} falsified: {final_msg}");
+                let _ = writeln!(
+                    report,
+                    "  case {executed} of {}, case seed {seed} (base seed {base}; \
+                     set CDA_PROP_SEED={base} to replay the full run)",
+                    cfg.cases
+                );
+                let _ = writeln!(report, "  minimal choices ({}): {choices:?}", choices.len());
+                panic!("{report}");
+            }
+        }
+    }
+}
+
+/// Replay a property body against an explicit choice sequence — used to pin
+/// shrunk counterexamples as named regression tests.
+pub fn replay(
+    choices: &[u64],
+    f: impl Fn(&mut TestCase) -> Result<(), TestError>,
+) -> Result<(), String> {
+    let mut tc = TestCase::for_choices(choices.to_vec());
+    match run_one(&f, &mut tc) {
+        Ok(()) => Ok(()),
+        Err(TestError::Invalid) => Err("replay rejected (choice stream overrun)".to_owned()),
+        Err(TestError::Fail(msg)) => Err(msg),
+    }
+}
+
+/// Shrink a failing choice sequence: chunk deletion, block zeroing, and
+/// per-choice binary search, looped to a fixpoint (or the iteration cap).
+fn shrink(
+    mut best: Vec<u64>,
+    mut msg: String,
+    max_iters: u32,
+    f: &dyn Fn(&mut TestCase) -> Result<(), TestError>,
+) -> (Vec<u64>, String) {
+    let mut iters = 0u32;
+    // Re-run a candidate; on failure return what was actually *drawn*
+    // (replay caps choices at each draw's max and may stop early, so the
+    // recorded sequence is the canonical — and never larger — form).
+    let check = |candidate: &[u64], iters: &mut u32| -> Option<(Vec<u64>, String)> {
+        if *iters >= max_iters {
+            return None;
+        }
+        *iters += 1;
+        let mut tc = TestCase::for_choices(candidate.to_vec());
+        match run_one(f, &mut tc) {
+            Err(TestError::Fail(m)) => Some((tc.choices().to_vec(), m)),
+            _ => None,
+        }
+    };
+
+    loop {
+        let before = best.clone();
+
+        // Pass 1: delete chunks (largest first, scanning from the tail).
+        for size in [8usize, 4, 2, 1] {
+            let mut start = best.len().saturating_sub(size);
+            loop {
+                if start + size <= best.len() {
+                    let mut candidate = best.clone();
+                    candidate.drain(start..start + size);
+                    if let Some((rec, m)) = check(&candidate, &mut iters) {
+                        best = rec;
+                        msg = m;
+                        // retry the same start: more may be deletable here
+                        start = start.min(best.len().saturating_sub(size));
+                        continue;
+                    }
+                }
+                if start == 0 {
+                    break;
+                }
+                start -= 1;
+            }
+        }
+
+        // Pass 2: zero blocks.
+        for size in [8usize, 4, 2, 1] {
+            let mut start = 0usize;
+            while start + size <= best.len() {
+                if best[start..start + size].iter().any(|&c| c != 0) {
+                    let mut candidate = best.clone();
+                    for c in &mut candidate[start..start + size] {
+                        *c = 0;
+                    }
+                    if let Some((rec, m)) = check(&candidate, &mut iters) {
+                        best = rec;
+                        msg = m;
+                    }
+                }
+                start += 1;
+            }
+        }
+
+        // Pass 3: minimize each choice toward zero by binary search.
+        let mut i = 0usize;
+        while i < best.len() {
+            let (mut lo, mut hi) = (0u64, best[i]);
+            while lo < hi && i < best.len() {
+                let mid = lo + (hi - lo) / 2;
+                let mut candidate = best.clone();
+                candidate[i] = mid;
+                if let Some((rec, m)) = check(&candidate, &mut iters) {
+                    best = rec;
+                    msg = m;
+                    if i >= best.len() {
+                        break;
+                    }
+                    hi = best[i].min(mid);
+                } else {
+                    lo = mid + 1;
+                }
+            }
+            i += 1;
+        }
+
+        if best == before || iters >= max_iters {
+            return (best, msg);
+        }
+    }
+}
+
+// ----------------------------------------------------------------- macros
+
+/// Fail the surrounding property if the condition does not hold.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::prop::TestError::fail(format!(
+                "assertion failed: {} at {}:{}",
+                stringify!($cond), file!(), line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::prop::TestError::fail(format!(
+                "assertion failed: {} at {}:{}: {}",
+                stringify!($cond), file!(), line!(), format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// Fail the surrounding property if the two values differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__a == *__b,
+            "left: {:?}\n right: {:?}", __a, __b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__a == *__b,
+            "left: {:?}\n right: {:?}\n {}", __a, __b, format!($($fmt)+)
+        );
+    }};
+}
+
+/// Fail the surrounding property if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(*__a != *__b, "both: {:?}", __a);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(*__a != *__b, "both: {:?}\n {}", __a, format!($($fmt)+));
+    }};
+}
+
+/// Weighted choice between strategies: `prop_oneof![3 => g1, 1 => g2]` or
+/// unweighted `prop_oneof![g1, g2]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $gen:expr),+ $(,)?) => {
+        $crate::prop::weighted_union(vec![
+            $(($weight as u32, $crate::prop::IntoGen::into_gen($gen))),+
+        ])
+    };
+    ($($gen:expr),+ $(,)?) => {
+        $crate::prop::weighted_union(vec![
+            $((1u32, $crate::prop::IntoGen::into_gen($gen))),+
+        ])
+    };
+}
+
+/// Define property tests, proptest-style. Each `fn name(arg in strategy,
+/// ...) { body }` becomes a `#[test]` that generates fixed-seed cases and
+/// shrinks failures. An optional `#![proptest_config(...)]` header sets the
+/// case count.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $crate::prop::Config::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $gen:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::prop::Config = $cfg;
+            $crate::prop::run_property(
+                concat!(module_path!(), "::", stringify!($name)),
+                &__cfg,
+                |__tc| {
+                    $(let $arg = $crate::prop::IntoGen::into_gen($gen).generate(__tc)?;)+
+                    let __body: ::std::result::Result<(), $crate::prop::TestError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    __body
+                },
+            );
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_class_parses_ranges_and_repeats() {
+        let (chars, min, max) = parse_class("[a-c]").unwrap();
+        assert_eq!(chars, vec!['a', 'b', 'c']);
+        assert_eq!((min, max), (1, 1));
+
+        let (chars, min, max) = parse_class("[a-z]{0,6}").unwrap();
+        assert_eq!(chars.len(), 26);
+        assert_eq!((min, max), (0, 6));
+
+        let (chars, min, max) = parse_class("[ab%_]{3}").unwrap();
+        assert_eq!(chars, vec!['a', 'b', '%', '_']);
+        assert_eq!((min, max), (3, 3));
+
+        assert!(parse_class("abc").is_none());
+        assert!(parse_class("[]").is_none());
+    }
+
+    #[test]
+    fn generators_respect_domains() {
+        let mut tc = TestCase::from_seed(1);
+        for _ in 0..2000 {
+            let v = (-50i64..50).into_gen().generate(&mut tc).unwrap();
+            assert!((-50..50).contains(&v));
+            let f = (-10.0f64..10.0).into_gen().generate(&mut tc).unwrap();
+            assert!((-10.0..10.0).contains(&f));
+            let s = string_class("[a-c]").generate(&mut tc).unwrap();
+            assert_eq!(s.len(), 1);
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+            let xs = collection::vec(0i64..10, 2..=5).generate(&mut tc).unwrap();
+            assert!((2..=5).contains(&xs.len()));
+        }
+    }
+
+    #[test]
+    fn vec_lengths_cover_range() {
+        let mut tc = TestCase::from_seed(3);
+        let mut seen = [false; 7];
+        for _ in 0..500 {
+            let xs = collection::vec(0i64..10, 0..7).generate(&mut tc).unwrap();
+            seen[xs.len()] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "lengths 0..=6 all seen: {seen:?}");
+    }
+
+    #[test]
+    fn replay_reproduces_generation() {
+        let gen = collection::vec((0i64..100, string_class("[a-z]{0,4}")), 0..6);
+        let mut tc = TestCase::from_seed(17);
+        let first = gen.generate(&mut tc).unwrap();
+        let choices = tc.choices().to_vec();
+        let mut replayed = TestCase::for_choices(choices);
+        let second = gen.generate(&mut replayed).unwrap();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn shrinking_finds_minimal_vec_counterexample() {
+        // Planted failure: "no vector sums to >= 100". The minimal
+        // counterexample is a single element of exactly 100.
+        let gen = collection::vec(0i64..1000, 0..20);
+        let failing = |tc: &mut TestCase| -> Result<(), TestError> {
+            let xs = gen.generate(tc)?;
+            if xs.iter().sum::<i64>() >= 100 {
+                Err(TestError::fail(format!("sum {} >= 100 for {xs:?}", xs.iter().sum::<i64>())))
+            } else {
+                Ok(())
+            }
+        };
+        // find a failing case
+        let mut found = None;
+        for attempt in 0..1000u64 {
+            let mut tc = TestCase::from_seed(mix64(attempt));
+            if failing(&mut tc).is_err() {
+                found = Some(tc.choices().to_vec());
+                break;
+            }
+        }
+        let choices = found.expect("planted failure found");
+        let (min_choices, _) = shrink(choices, String::new(), 4096, &failing);
+        let mut tc = TestCase::for_choices(min_choices);
+        let xs = gen.generate(&mut tc).unwrap();
+        assert_eq!(xs, vec![100], "shrinker must find the minimal counterexample");
+    }
+
+    #[test]
+    fn shrinking_minimizes_scalar() {
+        let failing = |tc: &mut TestCase| -> Result<(), TestError> {
+            let v = (0i64..100_000).into_gen().generate(tc)?;
+            if v >= 4321 {
+                Err(TestError::fail(format!("{v} >= 4321")))
+            } else {
+                Ok(())
+            }
+        };
+        let mut found = None;
+        for attempt in 0..1000u64 {
+            let mut tc = TestCase::from_seed(mix64(attempt));
+            if failing(&mut tc).is_err() {
+                found = Some(tc.choices().to_vec());
+                break;
+            }
+        }
+        let (min_choices, _) = shrink(found.unwrap(), String::new(), 4096, &failing);
+        let mut tc = TestCase::for_choices(min_choices);
+        let v = (0i64..100_000).into_gen().generate(&mut tc).unwrap();
+        assert_eq!(v, 4321);
+    }
+
+    #[test]
+    fn run_property_passes_sound_properties() {
+        run_property("testkit::sound", &Config::with_cases(64), |tc| {
+            let xs = collection::vec(-50i64..50, 0..30).generate(tc)?;
+            let doubled: Vec<i64> = xs.iter().map(|x| x * 2).collect();
+            prop_assert_eq!(doubled.len(), xs.len());
+            for (d, x) in doubled.iter().zip(&xs) {
+                prop_assert_eq!(*d, x * 2);
+            }
+            Ok(())
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "falsified")]
+    fn run_property_reports_planted_failure() {
+        run_property("testkit::planted", &Config::with_cases(64), |tc| {
+            let v = (0i64..1000).into_gen().generate(tc)?;
+            prop_assert!(v < 900, "planted: {v}");
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn oneof_hits_all_variants() {
+        let gen = crate::prop_oneof![
+            3 => (0i64..10).prop_map(|_| 0usize),
+            1 => Just(1usize),
+            1 => Just(2usize),
+        ];
+        let mut tc = TestCase::from_seed(5);
+        let mut seen = [false; 3];
+        for _ in 0..300 {
+            seen[gen.generate(&mut tc).unwrap()] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "{seen:?}");
+    }
+
+    #[test]
+    fn fixed_seeds_make_runs_identical() {
+        let collect = || {
+            let gen = collection::vec((0i64..50, string_class("[a-d]")), 1..8);
+            let mut out = Vec::new();
+            for case in 0..32u64 {
+                let mut tc = TestCase::from_seed(mix64(0xABC ^ case));
+                out.push(gen.generate(&mut tc).unwrap());
+            }
+            out
+        };
+        assert_eq!(collect(), collect());
+    }
+}

@@ -1,0 +1,410 @@
+//! Seedable, dependency-free PRNG with the `rand`-shaped surface the
+//! workspace uses: [`StdRng::seed_from_u64`], [`StdRng::gen_range`],
+//! [`StdRng::gen_bool`], [`StdRng::gen`], [`StdRng::shuffle`], and a
+//! Box–Muller Gaussian.
+//!
+//! The generator is **xoshiro256++** (Blackman & Vigna) seeded through
+//! **SplitMix64**, the de-facto standard seeding scheme. Both algorithms are
+//! pinned by reference-vector tests below, so streams are stable across
+//! releases — a requirement for the P4 Soundness determinism guard: any
+//! experiment seeded with `seed_from_u64(s)` replays byte-identically
+//! forever.
+//!
+//! Unlike `rand`, every sampling method is inherent on [`StdRng`] — call
+//! sites need a single `use cda_testkit::rng::StdRng;` and no trait imports.
+
+/// SplitMix64: a tiny, fast, well-distributed 64-bit generator used to
+/// expand one `u64` seed into the xoshiro state (and usable on its own for
+/// cheap hash-mixing).
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    x: u64,
+}
+
+impl SplitMix64 {
+    /// Create a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { x: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.x = self.x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// One-shot SplitMix64 mix of a value — handy for deriving independent
+/// sub-seeds from a base seed (`mix64(base ^ index)`).
+pub fn mix64(v: u64) -> u64 {
+    SplitMix64::new(v).next_u64()
+}
+
+/// The workspace's standard deterministic RNG: xoshiro256++ seeded via
+/// SplitMix64. Drop-in replacement for `rand::rngs::StdRng` at every call
+/// site in this repo.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl StdRng {
+    /// Seed the generator from a single `u64` (SplitMix64-expanded into the
+    /// 256-bit xoshiro state — never all-zero).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        StdRng { s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()] }
+    }
+
+    /// Next 64 random bits (the core xoshiro256++ step).
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Next 32 random bits (upper half of a 64-bit draw).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform value in the given range (`a..b` half-open or `a..=b`
+    /// inclusive), matching `rand::Rng::gen_range`.
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range<T: SampleUniform, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p` (must be in `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability {p} outside [0, 1]");
+        self.unit_f64() < p
+    }
+
+    /// A value of a standard distribution for `T`: full-range integers,
+    /// fair bools, floats uniform in `[0, 1)`.
+    pub fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Fisher–Yates shuffle in place.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.gen_range(0..=i);
+            xs.swap(i, j);
+        }
+    }
+
+    /// Standard normal (mean 0, variance 1) via Box–Muller.
+    pub fn gen_gaussian(&mut self) -> f64 {
+        let u1 = self.gen_range(f64::EPSILON..1.0);
+        let u2 = self.unit_f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f32` in `[0, 1)` with 24 bits of precision.
+    fn unit_f32(&mut self) -> f32 {
+        (self.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+
+    /// Uniform `u64` in `[0, span)` via Lemire's multiply-shift (the ~2^-64
+    /// bias is irrelevant for test workloads and keeps draws one-per-call,
+    /// which the deterministic-replay protocol relies on).
+    fn below(&mut self, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        ((u128::from(self.next_u64()) * u128::from(span)) >> 64) as u64
+    }
+
+    /// Uniform `u64` in `[0, max]` (full-range safe).
+    pub(crate) fn bounded_inclusive(&mut self, max: u64) -> u64 {
+        if max == u64::MAX {
+            self.next_u64()
+        } else {
+            self.below(max + 1)
+        }
+    }
+}
+
+/// Types that can be drawn uniformly from a range by [`StdRng::gen_range`].
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform sample from `[lo, hi)`.
+    fn sample_half_open(rng: &mut StdRng, lo: Self, hi: Self) -> Self;
+    /// Uniform sample from `[lo, hi]`.
+    fn sample_inclusive(rng: &mut StdRng, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open(rng: &mut StdRng, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range: empty range {lo}..{hi}");
+                let span = (hi as i128 - lo as i128) as u64;
+                (lo as i128 + rng.below(span) as i128) as $t
+            }
+            fn sample_inclusive(rng: &mut StdRng, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "gen_range: empty range {lo}..={hi}");
+                let span = (hi as i128 - lo as i128) as u64;
+                (lo as i128 + rng.bounded_inclusive(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl SampleUniform for f64 {
+    fn sample_half_open(rng: &mut StdRng, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "gen_range: empty range {lo}..{hi}");
+        let v = lo + (hi - lo) * rng.unit_f64();
+        if v < hi {
+            v
+        } else {
+            lo // guard against rounding up to the excluded bound
+        }
+    }
+    fn sample_inclusive(rng: &mut StdRng, lo: Self, hi: Self) -> Self {
+        assert!(lo <= hi, "gen_range: empty range {lo}..={hi}");
+        let u = rng.bounded_inclusive(1 << 53) as f64 * (1.0 / (1u64 << 53) as f64);
+        lo + (hi - lo) * u
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_half_open(rng: &mut StdRng, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "gen_range: empty range {lo}..{hi}");
+        let v = lo + (hi - lo) * rng.unit_f32();
+        if v < hi {
+            v
+        } else {
+            lo
+        }
+    }
+    fn sample_inclusive(rng: &mut StdRng, lo: Self, hi: Self) -> Self {
+        assert!(lo <= hi, "gen_range: empty range {lo}..={hi}");
+        let u = rng.bounded_inclusive(1 << 24) as f32 * (1.0 / (1u32 << 24) as f32);
+        lo + (hi - lo) * u
+    }
+}
+
+/// Range shapes accepted by [`StdRng::gen_range`].
+pub trait SampleRange<T: SampleUniform> {
+    /// Draw a uniform sample from this range.
+    fn sample_from(self, rng: &mut StdRng) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_from(self, rng: &mut StdRng) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_from(self, rng: &mut StdRng) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+/// Standard distribution for [`StdRng::gen`]: full-range integers, fair
+/// bools, unit-interval floats.
+pub trait Standard {
+    /// Draw one value.
+    fn sample(rng: &mut StdRng) -> Self;
+}
+
+impl Standard for bool {
+    fn sample(rng: &mut StdRng) -> Self {
+        rng.next_u64() >> 63 == 1
+    }
+}
+impl Standard for u64 {
+    fn sample(rng: &mut StdRng) -> Self {
+        rng.next_u64()
+    }
+}
+impl Standard for u32 {
+    fn sample(rng: &mut StdRng) -> Self {
+        rng.next_u32()
+    }
+}
+impl Standard for i64 {
+    fn sample(rng: &mut StdRng) -> Self {
+        rng.next_u64() as i64
+    }
+}
+impl Standard for i32 {
+    fn sample(rng: &mut StdRng) -> Self {
+        rng.next_u32() as i32
+    }
+}
+impl Standard for usize {
+    fn sample(rng: &mut StdRng) -> Self {
+        rng.next_u64() as usize
+    }
+}
+impl Standard for f64 {
+    fn sample(rng: &mut StdRng) -> Self {
+        rng.unit_f64()
+    }
+}
+impl Standard for f32 {
+    fn sample(rng: &mut StdRng) -> Self {
+        rng.unit_f32()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Reference vectors computed from the published C reference
+    // implementations (Vigna's splitmix64.c / xoshiro256plusplus.c) via an
+    // independent implementation. These pin the exact output streams: any
+    // change here silently reseeds every experiment in the repo.
+    #[test]
+    fn splitmix64_reference_vectors() {
+        let expect0: [u64; 5] = [
+            0xe220a8397b1dcdaf,
+            0x6e789e6aa1b965f4,
+            0x06c45d188009454f,
+            0xf88bb8a8724c81ec,
+            0x1b39896a51a8749b,
+        ];
+        let mut g = SplitMix64::new(0);
+        for e in expect0 {
+            assert_eq!(g.next_u64(), e);
+        }
+
+        let expect1234567: [u64; 5] = [
+            0x599ed017fb08fc85,
+            0x2c73f08458540fa5,
+            0x883ebce5a3f27c77,
+            0x3fbef740e9177b3f,
+            0xe3b8346708cb5ecd,
+        ];
+        let mut g = SplitMix64::new(1234567);
+        for e in expect1234567 {
+            assert_eq!(g.next_u64(), e);
+        }
+    }
+
+    #[test]
+    fn xoshiro256pp_reference_vectors() {
+        let expect0: [u64; 5] = [
+            0x53175d61490b23df,
+            0x61da6f3dc380d507,
+            0x5c0fdf91ec9a7bfc,
+            0x02eebf8c3bbe5e1a,
+            0x7eca04ebaf4a5eea,
+        ];
+        let mut g = StdRng::seed_from_u64(0);
+        for e in expect0 {
+            assert_eq!(g.next_u64(), e);
+        }
+
+        let expect42: [u64; 5] = [
+            0xd0764d4f4476689f,
+            0x519e4174576f3791,
+            0xfbe07cfb0c24ed8c,
+            0xb37d9f600cd835b8,
+            0xcb231c3874846a73,
+        ];
+        let mut g = StdRng::seed_from_u64(42);
+        for e in expect42 {
+            assert_eq!(g.next_u64(), e);
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-50i64..50);
+            assert!((-50..50).contains(&v));
+            let u = rng.gen_range(0usize..7);
+            assert!(u < 7);
+            let i = rng.gen_range(0..=3u64);
+            assert!(i <= 3);
+            let f = rng.gen_range(f64::EPSILON..1.0);
+            assert!((f64::EPSILON..1.0).contains(&f));
+            let g = rng.gen_range(-0.05f64..0.05);
+            assert!((-0.05..0.05).contains(&g));
+            let h = rng.gen_range(0.0f32..100.0);
+            assert!((0.0..100.0).contains(&h));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_domain() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            seen[rng.gen_range(0usize..5)] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "all buckets hit: {seen:?}");
+    }
+
+    #[test]
+    fn gen_bool_extremes_and_rate() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "~25% expected, got {hits}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut xs: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut xs);
+        assert_ne!(xs, (0..100).collect::<Vec<_>>(), "seed 7 must move something");
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn gaussian_moments_are_roughly_standard() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| rng.gen_gaussian()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn streams_are_deterministic_and_seed_sensitive() {
+        let a: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(5);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(5);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(6);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,23 @@
+//! Guard: the `proptest!` macro really executes the configured number of
+//! generated cases (no silent zero-case pass).
+
+use cda_testkit::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+static COUNT: AtomicU32 = AtomicU32::new(0);
+
+// No #[test] attribute here: invoked exactly once by the probe below.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    fn counted(t in (collection::vec("[a-c]", 3..=3), -50i64..50)) {
+        COUNT.fetch_add(1, Ordering::SeqCst);
+        prop_assert!(t.0.len() == 3);
+        prop_assert!((-50..50).contains(&t.1));
+    }
+}
+
+#[test]
+fn proptest_macro_runs_exactly_the_configured_cases() {
+    counted();
+    assert_eq!(COUNT.load(Ordering::SeqCst), 64, "exactly 64 cases executed");
+}

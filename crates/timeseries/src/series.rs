@@ -1,8 +1,7 @@
 //! The time-series container and synthetic generators.
 
 use crate::{Result, TsError};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cda_testkit::rng::StdRng;
 
 /// An evenly-spaced univariate time series.
 #[derive(Debug, Clone, PartialEq)]

@@ -7,8 +7,7 @@
 
 use crate::error::VectorError;
 use crate::Result;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cda_testkit::rng::StdRng;
 
 /// A dense, row-major set of equal-dimension vectors.
 #[derive(Debug, Clone, PartialEq)]
@@ -45,7 +44,7 @@ impl VectorSet {
         if data.is_empty() {
             return Err(VectorError::EmptyInput("data"));
         }
-        if data.len() % dim != 0 {
+        if !data.len().is_multiple_of(dim) {
             return Err(VectorError::DimensionMismatch { expected: dim, actual: data.len() % dim });
         }
         Ok(Self { dim, data })
@@ -117,8 +116,8 @@ impl VectorSet {
         for i in 0..n {
             let c = i % clusters;
             labels.push(c);
-            for d in 0..dim {
-                data.push(centers[c][d] + gaussian(&mut rng) * std_dev);
+            for &cd in &centers[c] {
+                data.push(cd + gaussian(&mut rng) * std_dev);
             }
         }
         Ok((Self { dim, data }, labels))

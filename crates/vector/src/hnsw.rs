@@ -8,8 +8,7 @@
 
 use crate::metrics::squared_euclidean;
 use crate::{Neighbor, SearchStats, VectorIndex, VectorSet};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cda_testkit::rng::StdRng;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -188,6 +187,7 @@ impl HnswIndex {
 
     /// Beam search with an external termination policy. The policy is called
     /// after each expansion; returning `true` stops the search early.
+    #[allow(clippy::too_many_arguments)] // public API: each knob is load-bearing
     pub fn search_layer_with_policy(
         &self,
         data: &VectorSet,

@@ -9,8 +9,7 @@
 use crate::exact::TopK;
 use crate::metrics::{squared_euclidean, Distance};
 use crate::{Neighbor, SearchStats, VectorIndex, VectorSet};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cda_testkit::rng::StdRng;
 
 /// k-means clustering result.
 #[derive(Debug, Clone)]
@@ -55,10 +54,10 @@ impl KMeans {
                 chosen
             };
             let new_c = data.vector(pick).to_vec();
-            for i in 0..n {
+            for (i, d2i) in d2.iter_mut().enumerate() {
                 let d = squared_euclidean(data.vector(i), &new_c);
-                if d < d2[i] {
-                    d2[i] = d;
+                if d < *d2i {
+                    *d2i = d;
                 }
             }
             centroids.extend_from_slice(&new_c);
@@ -67,7 +66,7 @@ impl KMeans {
         let mut assignments = vec![0usize; n];
         for _ in 0..iterations {
             let mut changed = false;
-            for i in 0..n {
+            for (i, slot) in assignments.iter_mut().enumerate() {
                 let v = data.vector(i);
                 let mut best = 0usize;
                 let mut best_d = f32::INFINITY;
@@ -78,16 +77,15 @@ impl KMeans {
                         best = c;
                     }
                 }
-                if assignments[i] != best {
-                    assignments[i] = best;
+                if *slot != best {
+                    *slot = best;
                     changed = true;
                 }
             }
             // recompute centroids
             let mut sums = vec![0.0f32; k * dim];
             let mut counts = vec![0usize; k];
-            for i in 0..n {
-                let c = assignments[i];
+            for (i, &c) in assignments.iter().enumerate() {
                 counts[c] += 1;
                 for (d, &x) in data.vector(i).iter().enumerate() {
                     sums[c * dim + d] += x;

@@ -10,8 +10,7 @@
 use crate::exact::TopK;
 use crate::metrics::{squared_euclidean, dot};
 use crate::{Neighbor, SearchStats, VectorIndex, VectorSet};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use cda_testkit::rng::StdRng;
 use std::collections::HashMap;
 
 /// LSH parameters.
