@@ -32,6 +32,12 @@ cargo build --examples
 echo "== lint (warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== repolint (in-tree source conventions: R001-R004)"
+cargo run --release -q -p cda-analyzer --bin repolint -- .
+
+echo "== static analyzer suite (sqlcheck codes + gate consistency)"
+cargo test -q -p cda-analyzer
+
 echo "== bench harness smoke (2 samples per bench, JSON artifacts)"
 CDA_BENCH_FAST=1 cargo bench -p cda-bench --bench sql
 test -f target/cda-bench/BENCH_sql_8k_rows.json || {

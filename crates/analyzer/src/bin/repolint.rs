@@ -1,0 +1,31 @@
+//! Repo-convention lint binary (DESIGN.md §6), run by `ci.sh`.
+//!
+//! Usage: `repolint [ROOT]` — lints every `.rs` file under `ROOT/crates`
+//! (default: the current directory) and exits non-zero when any convention
+//! violation is found. See [`cda_analyzer::repolint`] for the rules.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args().nth(1).map_or_else(|| PathBuf::from("."), PathBuf::from);
+    let tree = root.join("crates");
+    let scan_root = if tree.is_dir() { root } else { std::env::current_dir().unwrap_or(root) };
+    match cda_analyzer::repolint::lint_tree(&scan_root) {
+        Ok(violations) if violations.is_empty() => {
+            println!("repolint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                println!("{v}");
+            }
+            println!("repolint: {} violation(s)", violations.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("repolint: io error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,500 @@
+//! `repolint` — dependency-free scanner enforcing the repo conventions of
+//! DESIGN.md §6 over Rust sources.
+//!
+//! Rules (stable codes, append-only):
+//!
+//! * **R001** — `unsafe` is forbidden everywhere.
+//! * **R002** — no `.unwrap()`, `.expect("…")`, `panic!`, `unreachable!`,
+//!   `todo!`, `unimplemented!` on non-test paths. `#[cfg(test)]` modules,
+//!   `tests/`/`benches/` trees, examples, the bench harness crate, and the
+//!   test infrastructure crate (`cda-testkit`, whose property harness panics
+//!   by design) are exempt. Invariant-guarded sites are escaped explicitly
+//!   with `// lint: allow(R002)` on the same or the preceding line.
+//! * **R003** — every module carries `//!` docs before its first item.
+//! * **R004** — every crate root (`lib.rs`) declares
+//!   `#![forbid(unsafe_code)]` and `#![warn(missing_docs)]`.
+//!
+//! The scanner strips comments and string/char-literal *contents* (keeping
+//! delimiters and line structure) before matching, so a doc comment that
+//! mentions `panic!` or a parser whose own method is named `expect` cannot
+//! trigger a false positive. The `repolint` binary walks `crates/` and exits
+//! non-zero on any violation; `ci.sh` runs it.
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One convention violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Rule code (`R001`…).
+    pub code: &'static str,
+    /// File the violation is in (as given to the linter).
+    pub file: String,
+    /// 1-based line number (0 for file-level rules).
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.code, self.message)
+    }
+}
+
+/// What kind of source a file is; decides which rules apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library/binary source: all rules.
+    Product,
+    /// Crate root (`lib.rs`): all rules + R004.
+    CrateRoot,
+    /// Tests, benches, examples, the bench and testkit crates: R002 exempt.
+    TestOrBench,
+}
+
+/// Classify a repo-relative path.
+pub fn classify(path: &str) -> FileKind {
+    let p = path.replace('\\', "/");
+    if p.contains("/tests/")
+        || p.contains("/benches/")
+        || p.contains("/examples/")
+        || p.contains("crates/bench/")
+        || p.contains("crates/testkit/")
+    {
+        FileKind::TestOrBench
+    } else if p.ends_with("src/lib.rs") {
+        FileKind::CrateRoot
+    } else {
+        FileKind::Product
+    }
+}
+
+/// Replace comment bodies and string/char-literal contents with spaces,
+/// preserving delimiters, length, and line structure. Handles line and block
+/// comments (nested), plain/raw/byte strings, and char literals; lifetimes
+/// (`'a`) are left alone.
+pub fn scrub(source: &str) -> String {
+    let bytes = source.as_bytes();
+    let mut out: Vec<u8> = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    let blank = |out: &mut Vec<u8>, b: u8| {
+        out.push(if b == b'\n' { b'\n' } else { b' ' });
+    };
+    while i < bytes.len() {
+        let b = bytes[i];
+        let next = bytes.get(i + 1).copied();
+        if b == b'/' && next == Some(b'/') {
+            // Keep the marker (plus a possible `!`/`/`) so doc-comment and
+            // `// lint:` detection still work on the scrubbed text's shape,
+            // but blank the comment body.
+            out.push(b'/');
+            out.push(b'/');
+            i += 2;
+            while i < bytes.len() && bytes[i] != b'\n' {
+                blank(&mut out, bytes[i]);
+                i += 1;
+            }
+        } else if b == b'/' && next == Some(b'*') {
+            out.push(b' ');
+            out.push(b' ');
+            i += 2;
+            let mut depth = 1usize;
+            while i < bytes.len() && depth > 0 {
+                if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    depth += 1;
+                    blank(&mut out, bytes[i]);
+                    blank(&mut out, bytes[i + 1]);
+                    i += 2;
+                } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    depth -= 1;
+                    blank(&mut out, bytes[i]);
+                    blank(&mut out, bytes[i + 1]);
+                    i += 2;
+                } else {
+                    blank(&mut out, bytes[i]);
+                    i += 1;
+                }
+            }
+        } else if b == b'"' || (b == b'b' && next == Some(b'"')) {
+            if b == b'b' {
+                out.push(b'b');
+                i += 1;
+            }
+            out.push(b'"');
+            i += 1;
+            while i < bytes.len() {
+                if bytes[i] == b'\\' && i + 1 < bytes.len() {
+                    blank(&mut out, bytes[i]);
+                    blank(&mut out, bytes[i + 1]);
+                    i += 2;
+                } else if bytes[i] == b'"' {
+                    out.push(b'"');
+                    i += 1;
+                    break;
+                } else {
+                    blank(&mut out, bytes[i]);
+                    i += 1;
+                }
+            }
+        } else if b == b'r' && (next == Some(b'"') || next == Some(b'#')) {
+            // Raw string r"…" / r#"…"#…
+            out.push(b'r');
+            i += 1;
+            let mut hashes = 0usize;
+            while bytes.get(i) == Some(&b'#') {
+                out.push(b'#');
+                hashes += 1;
+                i += 1;
+            }
+            if bytes.get(i) == Some(&b'"') {
+                out.push(b'"');
+                i += 1;
+                'raw: while i < bytes.len() {
+                    if bytes[i] == b'"' {
+                        let mut ok = true;
+                        for h in 0..hashes {
+                            if bytes.get(i + 1 + h) != Some(&b'#') {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        if ok {
+                            out.push(b'"');
+                            out.extend(std::iter::repeat_n(b'#', hashes));
+                            i += 1 + hashes;
+                            break 'raw;
+                        }
+                    }
+                    blank(&mut out, bytes[i]);
+                    i += 1;
+                }
+            }
+        } else if b == b'\'' {
+            // Char literal vs lifetime: a char literal closes with a `'`
+            // within a few bytes ('x', '\n', '\u{1F600}').
+            let mut j = i + 1;
+            if bytes.get(j) == Some(&b'\\') {
+                j += 2;
+                while j < bytes.len() && bytes[j] != b'\'' && j - i < 12 {
+                    j += 1;
+                }
+            } else if j < bytes.len() {
+                // Skip one UTF-8 scalar.
+                j += 1;
+                while j < bytes.len() && bytes[j] & 0xC0 == 0x80 {
+                    j += 1;
+                }
+            }
+            if bytes.get(j) == Some(&b'\'') {
+                out.push(b'\'');
+                for &inner in &bytes[i + 1..j] {
+                    blank(&mut out, inner);
+                }
+                out.push(b'\'');
+                i = j + 1;
+            } else {
+                out.push(b'\''); // lifetime
+                i += 1;
+            }
+        } else {
+            out.push(b);
+            i += 1;
+        }
+    }
+    // Source was valid UTF-8 and we only replaced whole scalars with spaces.
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+const R002_PATTERNS: &[&str] = &[
+    ".unwrap()",
+    ".expect(\"",
+    "panic!(",
+    "unreachable!(",
+    "todo!(",
+    "unimplemented!(",
+];
+
+fn has_allow(lines: &[&str], idx: usize, code: &str) -> bool {
+    let needle = format!("lint: allow({code})");
+    let hit = |l: &str| l.contains(&needle);
+    hit(lines[idx]) || (idx > 0 && hit(lines[idx - 1]))
+}
+
+fn ident_boundary(b: Option<u8>) -> bool {
+    !matches!(b, Some(c) if c == b'_' || c.is_ascii_alphanumeric())
+}
+
+/// True when `line` contains `word` as a standalone identifier.
+fn contains_word(line: &str, word: &str) -> bool {
+    let bytes = line.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = line[start..].find(word) {
+        let at = start + pos;
+        let before = at.checked_sub(1).map(|i| bytes[i]);
+        let after = bytes.get(at + word.len()).copied();
+        if ident_boundary(before) && ident_boundary(after) {
+            return true;
+        }
+        start = at + word.len();
+    }
+    false
+}
+
+/// Lint one file's source text.
+pub fn lint_source(file: &str, source: &str, kind: FileKind) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let scrubbed = scrub(source);
+    let raw_lines: Vec<&str> = source.lines().collect();
+    let scrub_lines: Vec<&str> = scrubbed.lines().collect();
+
+    // R004: crate-root lint headers.
+    if kind == FileKind::CrateRoot {
+        for header in ["#![forbid(unsafe_code)]", "#![warn(missing_docs)]"] {
+            if !source.contains(header) {
+                out.push(Violation {
+                    code: "R004",
+                    file: file.into(),
+                    line: 0,
+                    message: format!("crate root is missing the `{header}` header"),
+                });
+            }
+        }
+    }
+
+    // R003: `//!` module docs must appear before the first item.
+    let mut has_docs = false;
+    for l in &raw_lines {
+        let t = l.trim_start();
+        if t.starts_with("//!") {
+            has_docs = true;
+            break;
+        }
+        if t.is_empty() || t.starts_with("//") || t.starts_with("#![") {
+            continue;
+        }
+        break; // first real item reached without docs
+    }
+    if !has_docs {
+        out.push(Violation {
+            code: "R003",
+            file: file.into(),
+            line: 1,
+            message: "module has no `//!` documentation before its first item".into(),
+        });
+    }
+
+    // R001 / R002 line scan with #[cfg(test)]-module skipping.
+    let mut depth: i64 = 0;
+    let mut test_mod_depth: Option<i64> = None;
+    let mut pending_cfg_test = false;
+    for (idx, sl) in scrub_lines.iter().enumerate() {
+        let in_test = test_mod_depth.is_some();
+        if !in_test {
+            if sl.contains("#[cfg(test)]") {
+                pending_cfg_test = true;
+            } else if pending_cfg_test && contains_word(sl, "mod") {
+                test_mod_depth = Some(depth);
+                pending_cfg_test = false;
+            }
+        }
+
+        if !in_test && test_mod_depth.is_none() {
+            if contains_word(sl, "unsafe") && !has_allow(&raw_lines, idx, "R001") {
+                out.push(Violation {
+                    code: "R001",
+                    file: file.into(),
+                    line: idx + 1,
+                    message: "`unsafe` is forbidden (DESIGN.md §6)".into(),
+                });
+            }
+            if kind != FileKind::TestOrBench {
+                for pat in R002_PATTERNS {
+                    if sl.contains(pat) && !has_allow(&raw_lines, idx, "R002") {
+                        out.push(Violation {
+                            code: "R002",
+                            file: file.into(),
+                            line: idx + 1,
+                            message: format!(
+                                "`{}` on a non-test path — return the crate error enum \
+                                 instead, or escape with `// lint: allow(R002)` and a \
+                                 justification",
+                                pat.trim_end_matches('(').trim_end_matches('\"')
+                            ),
+                        });
+                        break;
+                    }
+                }
+            }
+        }
+
+        let opens = sl.matches('{').count() as i64;
+        let closes = sl.matches('}').count() as i64;
+        depth += opens - closes;
+        if let Some(d) = test_mod_depth {
+            if depth <= d && (opens != 0 || closes != 0) {
+                test_mod_depth = None;
+            }
+        }
+    }
+    out
+}
+
+/// Recursively lint every `.rs` file under `root/crates` (skipping
+/// `target/` and hidden directories). Paths in violations are relative to
+/// `root`, i.e. they start with `crates/`.
+pub fn lint_tree(root: &Path) -> std::io::Result<Vec<Violation>> {
+    let mut files = Vec::new();
+    collect_rs(&root.join("crates"), &mut files)?;
+    files.sort();
+    let mut out = Vec::new();
+    for f in files {
+        let rel = f
+            .strip_prefix(root)
+            .unwrap_or(&f)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source = fs::read_to_string(&f)?;
+        out.extend(lint_source(&rel, &source, classify(&rel)));
+    }
+    Ok(out)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes(file: &str, src: &str, kind: FileKind) -> Vec<&'static str> {
+        lint_source(file, src, kind).into_iter().map(|v| v.code).collect()
+    }
+
+    const DOC: &str = "//! docs\n";
+
+    #[test]
+    fn clean_module_passes() {
+        let src = "//! A documented module.\npub fn f() -> i32 { 1 }\n";
+        assert!(codes("src/m.rs", src, FileKind::Product).is_empty());
+    }
+
+    #[test]
+    fn r001_flags_unsafe_but_not_identifiers() {
+        let src = format!("{DOC}fn f() {{ unsafe {{ }} }}\n");
+        assert_eq!(codes("src/m.rs", &src, FileKind::Product), vec!["R001"]);
+        let ok = format!("{DOC}#![forbid(unsafe_code)]\nfn unsafe_free() {{}}\n");
+        assert!(codes("src/m.rs", &ok, FileKind::Product).is_empty());
+    }
+
+    #[test]
+    fn r002_flags_unwrap_on_product_paths_only() {
+        let src = format!("{DOC}fn f() {{ let _ = Some(1).unwrap(); }}\n");
+        assert_eq!(codes("src/m.rs", &src, FileKind::Product), vec!["R002"]);
+        assert!(codes("tests/t.rs", &src, FileKind::TestOrBench).is_empty());
+    }
+
+    #[test]
+    fn r002_allows_cfg_test_modules() {
+        let src = format!(
+            "{DOC}pub fn f() {{}}\n#[cfg(test)]\nmod tests {{\n    #[test]\n    fn t() {{ \
+             Some(1).unwrap(); panic!(\"x\"); }}\n}}\n"
+        );
+        assert!(codes("src/m.rs", &src, FileKind::Product).is_empty());
+    }
+
+    #[test]
+    fn r002_flags_code_after_test_module_closes() {
+        let src = format!(
+            "{DOC}#[cfg(test)]\nmod tests {{\n    fn t() {{}}\n}}\nfn f() {{ panic!(\"x\"); }}\n"
+        );
+        assert_eq!(codes("src/m.rs", &src, FileKind::Product), vec!["R002"]);
+    }
+
+    #[test]
+    fn r002_respects_allow_escapes() {
+        let same = format!("{DOC}fn f() {{ x.unwrap(); }} // lint: allow(R002) invariant\n");
+        assert!(codes("src/m.rs", &same, FileKind::Product).is_empty());
+        let prev = format!("{DOC}// lint: allow(R002) static data\nfn f() {{ x.unwrap(); }}\n");
+        assert!(codes("src/m.rs", &prev, FileKind::Product).is_empty());
+        let wrong = format!("{DOC}// lint: allow(R001)\nfn f() {{ x.unwrap(); }}\n");
+        assert_eq!(codes("src/m.rs", &wrong, FileKind::Product), vec!["R002"]);
+    }
+
+    #[test]
+    fn r002_ignores_strings_comments_and_expect_methods() {
+        let src = format!(
+            "{DOC}// panic!(\"in comment\") and .unwrap() here\nfn f() {{ \
+             let s = \"don't panic!(now) or .unwrap()\"; self.expect(b'\"'); }}\n"
+        );
+        assert!(codes("src/m.rs", &src, FileKind::Product).is_empty(), "{src}");
+    }
+
+    #[test]
+    fn r002_expect_requires_string_literal() {
+        let src = format!("{DOC}fn f() {{ v.expect(\"msg\"); }}\n");
+        assert_eq!(codes("src/m.rs", &src, FileKind::Product), vec!["R002"]);
+    }
+
+    #[test]
+    fn r003_missing_module_docs() {
+        assert_eq!(codes("src/m.rs", "pub fn f() {}\n", FileKind::Product), vec!["R003"]);
+        // plain comments and inner attributes may precede the docs
+        let ok = "// SPDX-ish header\n#![allow(clippy::all)]\n//! Docs.\nfn f() {}\n";
+        assert!(codes("src/m.rs", ok, FileKind::Product).is_empty());
+    }
+
+    #[test]
+    fn r004_crate_root_headers() {
+        let src = "//! Crate.\npub fn f() {}\n";
+        let v = codes("crates/x/src/lib.rs", src, FileKind::CrateRoot);
+        assert_eq!(v, vec!["R004", "R004"]);
+        let ok = "//! Crate.\n#![forbid(unsafe_code)]\n#![warn(missing_docs)]\npub fn f() {}\n";
+        assert!(codes("crates/x/src/lib.rs", ok, FileKind::CrateRoot).is_empty());
+    }
+
+    #[test]
+    fn classify_paths() {
+        assert_eq!(classify("crates/sql/src/exec.rs"), FileKind::Product);
+        assert_eq!(classify("crates/sql/src/lib.rs"), FileKind::CrateRoot);
+        assert_eq!(classify("crates/integration/tests/figure1.rs"), FileKind::TestOrBench);
+        assert_eq!(classify("crates/bench/src/bin/exp_decoding.rs"), FileKind::TestOrBench);
+        assert_eq!(classify("crates/testkit/src/prop.rs"), FileKind::TestOrBench);
+        assert_eq!(classify("crates/core/examples/quickstart.rs"), FileKind::TestOrBench);
+    }
+
+    #[test]
+    fn scrub_preserves_line_structure() {
+        let src = "let a = \"x\ny\"; /* c\nc */ let b = 'q';\n";
+        let s = scrub(src);
+        assert_eq!(s.lines().count(), src.lines().count());
+        assert!(!s.contains('x') && !s.contains('q'));
+    }
+
+    #[test]
+    fn violation_display() {
+        let v = Violation {
+            code: "R002",
+            file: "src/m.rs".into(),
+            line: 3,
+            message: "nope".into(),
+        };
+        assert_eq!(v.to_string(), "src/m.rs:3: [R002] nope");
+    }
+}

@@ -1,0 +1,1051 @@
+//! `sqlcheck` — the pre-execution static soundness gate for generated SQL.
+//!
+//! [`analyze`] runs two passes over a candidate query, without executing it:
+//!
+//! 1. an **AST pass** against the catalog: unknown tables and columns,
+//!    ambiguous references, type misuse (arithmetic on text, `SUM` over a
+//!    text column, comparisons that can never hold), and bare non-aggregated
+//!    columns outside `GROUP BY`;
+//! 2. a **plan pass** over the bound logical plan: predicates that
+//!    constant-fold to `FALSE`/`NULL` (provably-empty results), tautological
+//!    filters, division by a literal zero, joins with no usable join
+//!    predicate (accidental cartesian products), out-of-range column
+//!    references, and `LIMIT 0`.
+//!
+//! Each finding carries a stable code (`A001`…), a [`Severity`], and an NL
+//! message suitable for the answer annotation layer. The subset of findings
+//! for which [`Code::dooms_execution`] holds proves that executing the query
+//! would fail (assuming rows actually flow through the offending operator),
+//! which is what lets the rejection sampler and consistency UQ skip the
+//! execution entirely — the wall-clock saving experiment E13 measures.
+
+use cda_dataframe::kernels::AggKind;
+use cda_dataframe::{DataType, Schema, Value};
+use cda_sql::ast::{BinaryOp, Expr, Select, SelectItem};
+use cda_sql::optimizer::fold_expr;
+use cda_sql::plan::{BoundExpr, Plan};
+use cda_sql::planner::plan_select;
+use cda_sql::{Catalog, SqlError};
+use std::fmt;
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational; the query is fine.
+    Info,
+    /// Suspicious but executable; folded into the confidence score.
+    Warn,
+    /// The query is statically unsound and should not be executed.
+    Reject,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+            Severity::Reject => "reject",
+        })
+    }
+}
+
+/// Stable finding codes. Codes are append-only: once published in an
+/// experiment table they never change meaning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Code {
+    /// A001 — the query does not parse.
+    SyntaxError,
+    /// A002 — unknown table.
+    UnknownTable,
+    /// A003 — unknown or ambiguous column reference.
+    UnknownColumn,
+    /// A004 — type misuse that fails at runtime (arithmetic on text,
+    /// `SUM`/`AVG`/`STDDEV` over a non-numeric column).
+    TypeMismatch,
+    /// A005 — bare non-aggregated column outside `GROUP BY`.
+    BareColumn,
+    /// A006 — predicate constant-folds to `FALSE`/`NULL`: provably empty.
+    UnsatisfiablePredicate,
+    /// A007 — predicate constant-folds to `TRUE`: tautological filter.
+    TautologicalFilter,
+    /// A008 — division (or modulo) by a literal zero.
+    DivisionByZero,
+    /// A009 — join with no predicate relating both sides (cartesian).
+    CartesianJoin,
+    /// A010 — bound-plan column index out of range for its input.
+    ColumnOutOfRange,
+    /// A011 — `LIMIT 0`: provably empty result.
+    LimitZero,
+    /// A012 — comparison between incompatible types (always `NULL`).
+    SuspiciousComparison,
+}
+
+impl Code {
+    /// The stable code string (`A001`…).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::SyntaxError => "A001",
+            Code::UnknownTable => "A002",
+            Code::UnknownColumn => "A003",
+            Code::TypeMismatch => "A004",
+            Code::BareColumn => "A005",
+            Code::UnsatisfiablePredicate => "A006",
+            Code::TautologicalFilter => "A007",
+            Code::DivisionByZero => "A008",
+            Code::CartesianJoin => "A009",
+            Code::ColumnOutOfRange => "A010",
+            Code::LimitZero => "A011",
+            Code::SuspiciousComparison => "A012",
+        }
+    }
+
+    /// The fixed severity of this code.
+    pub fn severity(self) -> Severity {
+        match self {
+            Code::SyntaxError
+            | Code::UnknownTable
+            | Code::UnknownColumn
+            | Code::TypeMismatch
+            | Code::BareColumn
+            | Code::UnsatisfiablePredicate
+            | Code::DivisionByZero
+            | Code::ColumnOutOfRange => Severity::Reject,
+            Code::TautologicalFilter
+            | Code::CartesianJoin
+            | Code::LimitZero
+            | Code::SuspiciousComparison => Severity::Warn,
+        }
+    }
+
+    /// True when a finding of this code proves execution would fail (given
+    /// rows actually reach the offending operator). This is the subset safe
+    /// to use as a *pre-execution gate*: discarding such candidates cannot
+    /// change what execution-based verification would have accepted.
+    pub fn dooms_execution(self) -> bool {
+        matches!(
+            self,
+            Code::SyntaxError
+                | Code::UnknownTable
+                | Code::UnknownColumn
+                | Code::TypeMismatch
+                | Code::BareColumn
+                | Code::DivisionByZero
+                | Code::ColumnOutOfRange
+        )
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One static-analysis finding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finding {
+    /// Stable code.
+    pub code: Code,
+    /// Severity (always `code.severity()`).
+    pub severity: Severity,
+    /// NL rendering for the answer annotation layer.
+    pub message: String,
+}
+
+impl Finding {
+    /// Build a finding; the severity comes from the code.
+    pub fn new(code: Code, message: impl Into<String>) -> Self {
+        Self { code, severity: code.severity(), message: message.into() }
+    }
+
+    /// Render as `[A00x reject] message`.
+    pub fn render(&self) -> String {
+        format!("[{} {}] {}", self.code, self.severity, self.message)
+    }
+}
+
+/// The outcome of analyzing one query.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Report {
+    /// All findings, in discovery order.
+    pub findings: Vec<Finding>,
+}
+
+impl Report {
+    fn push(&mut self, code: Code, message: impl Into<String>) {
+        let f = Finding::new(code, message);
+        if !self.findings.contains(&f) {
+            self.findings.push(f);
+        }
+    }
+
+    /// True when the analysis raised nothing at all.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// The worst severity present, if any.
+    pub fn max_severity(&self) -> Option<Severity> {
+        self.findings.iter().map(|f| f.severity).max()
+    }
+
+    /// True when any finding has `Reject` severity.
+    pub fn is_rejected(&self) -> bool {
+        self.max_severity() == Some(Severity::Reject)
+    }
+
+    /// True when some finding proves execution would fail
+    /// (see [`Code::dooms_execution`]).
+    pub fn dooms_execution(&self) -> bool {
+        self.findings.iter().any(|f| f.code.dooms_execution())
+    }
+
+    /// The NL renderings of all findings, for answer annotations.
+    pub fn annotations(&self) -> Vec<String> {
+        self.findings.iter().map(Finding::render).collect()
+    }
+
+    /// One-line NL summary of the findings (empty string when clean).
+    pub fn summary(&self) -> String {
+        self.annotations().join("; ")
+    }
+
+    /// Confidence multiplier for the static signal: 1.0 when clean, scaled
+    /// down per warning; 0.0 when rejected (a rejected query carries no
+    /// trustworthy claim).
+    pub fn confidence_factor(&self) -> f64 {
+        if self.is_rejected() {
+            return 0.0;
+        }
+        let warns = self.findings.iter().filter(|f| f.severity == Severity::Warn).count();
+        (0.9f64).powi(warns as i32)
+    }
+}
+
+/// Statically analyze one SQL query against a catalog. Never executes.
+pub fn analyze(catalog: &Catalog, sql: &str) -> Report {
+    let mut report = Report::default();
+    let select = match cda_sql::parser::parse(sql) {
+        Ok(s) => s,
+        Err(e) => {
+            report.push(Code::SyntaxError, format!("the query is not valid SQL ({e})"));
+            return report;
+        }
+    };
+    check_select(catalog, &select, &mut report);
+    if report.dooms_execution() {
+        // Planning would fail for the same reasons; no further signal.
+        return report;
+    }
+    match plan_select(catalog, &select) {
+        Ok(plan) => check_plan(&plan, &mut report),
+        Err(e) => report.push(
+            map_plan_error(&e),
+            format!("the query cannot be bound to a plan ({e})"),
+        ),
+    }
+    report
+}
+
+/// Statically analyze an already-bound logical plan (the plan-pass half of
+/// [`analyze`]): constant-folded predicates, cartesian joins, division by
+/// literal zero, out-of-range columns, `LIMIT 0`.
+pub fn analyze_plan(plan: &Plan) -> Report {
+    let mut report = Report::default();
+    check_plan(plan, &mut report);
+    report
+}
+
+/// Convenience for gates: does static analysis prove this query cannot
+/// execute successfully?
+pub fn execution_doomed(catalog: &Catalog, sql: &str) -> bool {
+    analyze(catalog, sql).dooms_execution()
+}
+
+fn map_plan_error(e: &SqlError) -> Code {
+    match e {
+        SqlError::Binding(m) if m.contains("table") => Code::UnknownTable,
+        SqlError::Binding(_) => Code::UnknownColumn,
+        SqlError::Semantic(m) if m.contains("GROUP BY") => Code::BareColumn,
+        _ => Code::TypeMismatch,
+    }
+}
+
+// ------------------------------------------------------------- AST pass
+
+/// Tables in scope: (scope name, schema).
+struct TableScope {
+    entries: Vec<(String, Schema)>,
+}
+
+enum Resolution {
+    Found(DataType),
+    Unknown,
+    Ambiguous,
+}
+
+impl TableScope {
+    fn resolve(&self, table: Option<&str>, name: &str) -> Resolution {
+        let mut found: Option<DataType> = None;
+        for (scope_name, schema) in &self.entries {
+            if let Some(t) = table {
+                if !scope_name.eq_ignore_ascii_case(t) {
+                    continue;
+                }
+            }
+            if let Some(i) = schema.index_of(name) {
+                if found.is_some() {
+                    return Resolution::Ambiguous;
+                }
+                found = schema.field_at(i).map(|f| f.data_type());
+            }
+        }
+        match found {
+            Some(dt) => Resolution::Found(dt),
+            None => Resolution::Unknown,
+        }
+    }
+}
+
+fn check_select(catalog: &Catalog, select: &Select, report: &mut Report) {
+    // Resolve tables.
+    let mut scope = TableScope { entries: Vec::new() };
+    let mut refs = vec![&select.from];
+    refs.extend(select.joins.iter().map(|j| &j.table));
+    for r in refs {
+        match catalog.get(&r.name) {
+            Ok(entry) => {
+                let scope_name = r.alias.clone().unwrap_or_else(|| r.name.clone());
+                scope.entries.push((scope_name, entry.table.schema().clone()));
+            }
+            Err(_) => {
+                let mut names = catalog.table_names();
+                names.sort();
+                report.push(
+                    Code::UnknownTable,
+                    format!(
+                        "the query reads from table {:?}, which does not exist (available: {})",
+                        r.name,
+                        names.join(", ")
+                    ),
+                );
+            }
+        }
+    }
+
+    // Output aliases usable in ORDER BY.
+    let mut aliases: Vec<String> = Vec::new();
+    for item in &select.items {
+        if let SelectItem::Expr { expr, alias } = item {
+            match alias {
+                Some(a) => aliases.push(a.clone()),
+                None => {
+                    if let Expr::Column { name, .. } = expr {
+                        aliases.push(name.clone());
+                    }
+                }
+            }
+        }
+    }
+
+    // Column + type checks over every expression position.
+    let no_aliases: [String; 0] = [];
+    for item in &select.items {
+        if let SelectItem::Expr { expr, .. } = item {
+            check_expr(expr, &scope, &no_aliases, report);
+        }
+    }
+    for j in &select.joins {
+        check_expr(&j.on, &scope, &no_aliases, report);
+    }
+    if let Some(w) = &select.where_clause {
+        check_expr(w, &scope, &no_aliases, report);
+    }
+    for g in &select.group_by {
+        check_expr(g, &scope, &no_aliases, report);
+    }
+    if let Some(h) = &select.having {
+        check_expr(h, &scope, &no_aliases, report);
+    }
+    for o in &select.order_by {
+        // Ordinals (`ORDER BY 2`) and output aliases are resolved against
+        // the SELECT list, not the input scope.
+        if matches!(o.expr, Expr::Literal(_)) {
+            continue;
+        }
+        check_expr(&o.expr, &scope, &aliases, report);
+    }
+
+    check_grouping(select, &scope, &aliases, report);
+}
+
+/// A005: bare non-aggregated columns outside GROUP BY.
+fn check_grouping(select: &Select, scope: &TableScope, aliases: &[String], report: &mut Report) {
+    let has_aggregate = select
+        .items
+        .iter()
+        .any(|i| matches!(i, SelectItem::Expr { expr, .. } if expr.contains_aggregate()))
+        || select.having.as_ref().is_some_and(Expr::contains_aggregate)
+        || select.order_by.iter().any(|o| o.expr.contains_aggregate());
+    if select.group_by.is_empty() && !has_aggregate {
+        return;
+    }
+    let grouped = |table: &Option<String>, name: &str| {
+        select.group_by.iter().any(|g| match g {
+            Expr::Column { table: gt, name: gn } => {
+                gn.eq_ignore_ascii_case(name)
+                    && match (gt, table) {
+                        (Some(a), Some(b)) => a.eq_ignore_ascii_case(b),
+                        _ => true,
+                    }
+            }
+            other => other == &Expr::Column { table: table.clone(), name: name.to_owned() },
+        })
+    };
+    for item in &select.items {
+        match item {
+            SelectItem::Wildcard => report.push(
+                Code::BareColumn,
+                "SELECT * cannot be combined with GROUP BY or aggregates — every output \
+                 column must be grouped or aggregated",
+            ),
+            SelectItem::Expr { expr, .. } => {
+                for (table, name) in bare_columns(expr) {
+                    if !grouped(table, name) {
+                        report.push(
+                            Code::BareColumn,
+                            format!(
+                                "column {name:?} is selected bare but is neither in GROUP BY \
+                                 nor inside an aggregate"
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    if let Some(h) = &select.having {
+        for (table, name) in bare_columns(h) {
+            if !grouped(table, name) {
+                report.push(
+                    Code::BareColumn,
+                    format!("HAVING references column {name:?}, which is not grouped"),
+                );
+            }
+        }
+    }
+    for o in &select.order_by {
+        if matches!(o.expr, Expr::Literal(_)) {
+            continue;
+        }
+        for (table, name) in bare_columns(&o.expr) {
+            let is_alias =
+                table.is_none() && aliases.iter().any(|a| a.eq_ignore_ascii_case(name));
+            // An alias may point at an aggregate item; resolving that is the
+            // planner's job. Only flag columns that resolve in the input
+            // scope and are not grouped.
+            if is_alias || !matches!(scope.resolve(table.as_deref(), name), Resolution::Found(_))
+            {
+                continue;
+            }
+            if !grouped(table, name) {
+                report.push(
+                    Code::BareColumn,
+                    format!("ORDER BY references column {name:?}, which is not grouped"),
+                );
+            }
+        }
+    }
+}
+
+/// Column references not nested inside an aggregate call.
+fn bare_columns(expr: &Expr) -> Vec<(&Option<String>, &str)> {
+    let mut out = Vec::new();
+    fn walk<'a>(e: &'a Expr, out: &mut Vec<(&'a Option<String>, &'a str)>) {
+        match e {
+            Expr::Aggregate { .. } | Expr::Literal(_) => {}
+            Expr::Column { table, name } => out.push((table, name)),
+            Expr::Binary { left, right, .. } => {
+                walk(left, out);
+                walk(right, out);
+            }
+            Expr::Neg(e) | Expr::Not(e) => walk(e, out),
+            Expr::IsNull { expr, .. } | Expr::Like { expr, .. } => walk(expr, out),
+            Expr::InList { expr, list, .. } => {
+                walk(expr, out);
+                for v in list {
+                    walk(v, out);
+                }
+            }
+            Expr::Between { expr, low, high, .. } => {
+                walk(expr, out);
+                walk(low, out);
+                walk(high, out);
+            }
+            Expr::Case { branches, else_expr } => {
+                for (c, v) in branches {
+                    walk(c, out);
+                    walk(v, out);
+                }
+                if let Some(e) = else_expr {
+                    walk(e, out);
+                }
+            }
+        }
+    }
+    walk(expr, &mut out);
+    out
+}
+
+/// Recursive column/type checks for one expression position.
+fn check_expr(expr: &Expr, scope: &TableScope, aliases: &[String], report: &mut Report) {
+    match expr {
+        Expr::Literal(_) => {}
+        Expr::Column { table, name } => {
+            if table.is_none() && aliases.iter().any(|a| a.eq_ignore_ascii_case(name)) {
+                return;
+            }
+            match scope.resolve(table.as_deref(), name) {
+                Resolution::Found(_) => {}
+                Resolution::Unknown => {
+                    let qualified = table
+                        .as_ref()
+                        .map_or_else(|| name.clone(), |t| format!("{t}.{name}"));
+                    let known: Vec<String> = scope
+                        .entries
+                        .iter()
+                        .flat_map(|(_, s)| s.fields().iter().map(|f| f.name().to_owned()))
+                        .collect();
+                    report.push(
+                        Code::UnknownColumn,
+                        format!(
+                            "the query references column {qualified:?}, which does not exist \
+                             in the tables in scope (known columns: {})",
+                            known.join(", ")
+                        ),
+                    );
+                }
+                Resolution::Ambiguous => report.push(
+                    Code::UnknownColumn,
+                    format!(
+                        "the column reference {name:?} is ambiguous — qualify it with a \
+                         table name"
+                    ),
+                ),
+            }
+        }
+        Expr::Binary { left, op, right } => {
+            check_expr(left, scope, aliases, report);
+            check_expr(right, scope, aliases, report);
+            let lt = infer_type(left, scope);
+            let rt = infer_type(right, scope);
+            if let (Some(a), Some(b)) = (lt, rt) {
+                if op.is_comparison() && comparison_never_holds(a, b) {
+                    report.push(
+                        Code::SuspiciousComparison,
+                        format!(
+                            "comparing a {a} with a {b} always yields NULL — this condition \
+                             can never hold"
+                        ),
+                    );
+                }
+                let arithmetic = matches!(
+                    op,
+                    BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul | BinaryOp::Div | BinaryOp::Mod
+                );
+                let concat = *op == BinaryOp::Add && a == DataType::Str && b == DataType::Str;
+                if arithmetic && !concat && (!a.is_numeric() || !b.is_numeric()) {
+                    report.push(
+                        Code::TypeMismatch,
+                        format!("arithmetic {op:?} over a {a} and a {b} fails at runtime"),
+                    );
+                }
+            }
+        }
+        Expr::Neg(e) => {
+            check_expr(e, scope, aliases, report);
+            if let Some(t) = infer_type(e, scope) {
+                if !t.is_numeric() {
+                    report.push(
+                        Code::TypeMismatch,
+                        format!("unary minus over a {t} value fails at runtime"),
+                    );
+                }
+            }
+        }
+        Expr::Not(e) => check_expr(e, scope, aliases, report),
+        Expr::IsNull { expr, .. } | Expr::Like { expr, .. } => {
+            check_expr(expr, scope, aliases, report);
+        }
+        Expr::InList { expr, list, .. } => {
+            check_expr(expr, scope, aliases, report);
+            for v in list {
+                check_expr(v, scope, aliases, report);
+            }
+        }
+        Expr::Between { expr, low, high, .. } => {
+            check_expr(expr, scope, aliases, report);
+            check_expr(low, scope, aliases, report);
+            check_expr(high, scope, aliases, report);
+        }
+        Expr::Case { branches, else_expr } => {
+            for (c, v) in branches {
+                check_expr(c, scope, aliases, report);
+                check_expr(v, scope, aliases, report);
+            }
+            if let Some(e) = else_expr {
+                check_expr(e, scope, aliases, report);
+            }
+        }
+        Expr::Aggregate { kind, arg } => {
+            if let Some(a) = arg {
+                check_expr(a, scope, aliases, report);
+                if matches!(kind, AggKind::Sum | AggKind::Avg | AggKind::StdDev) {
+                    if let Some(t) = infer_type(a, scope) {
+                        if !t.is_numeric() {
+                            report.push(
+                                Code::TypeMismatch,
+                                format!(
+                                    "{}() over a {t} column fails at runtime — it needs \
+                                     numeric values",
+                                    kind.name()
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Two value types whose SQL comparison is always NULL (`sql_cmp == None`):
+/// text vs anything non-text, bool vs numeric.
+fn comparison_never_holds(a: DataType, b: DataType) -> bool {
+    let classes = |t: DataType| match t {
+        DataType::Str => 0u8,
+        DataType::Bool => 1,
+        _ => 2, // Int / Float / Timestamp compare cross-type
+    };
+    classes(a) != classes(b)
+}
+
+/// Best-effort static type of an AST expression (`None` when unresolvable).
+fn infer_type(expr: &Expr, scope: &TableScope) -> Option<DataType> {
+    match expr {
+        Expr::Literal(v) => v.data_type(),
+        Expr::Column { table, name } => match scope.resolve(table.as_deref(), name) {
+            Resolution::Found(dt) => Some(dt),
+            _ => None,
+        },
+        Expr::Binary { left, op, right } => {
+            if op.is_comparison() || matches!(op, BinaryOp::And | BinaryOp::Or) {
+                return Some(DataType::Bool);
+            }
+            let (a, b) = (infer_type(left, scope)?, infer_type(right, scope)?);
+            if *op == BinaryOp::Add && a == DataType::Str && b == DataType::Str {
+                Some(DataType::Str)
+            } else if a == DataType::Int && b == DataType::Int && *op != BinaryOp::Div {
+                Some(DataType::Int)
+            } else {
+                Some(DataType::Float)
+            }
+        }
+        Expr::Neg(e) => infer_type(e, scope),
+        Expr::Not(_) | Expr::IsNull { .. } | Expr::InList { .. } | Expr::Between { .. }
+        | Expr::Like { .. } => Some(DataType::Bool),
+        Expr::Case { branches, else_expr } => branches
+            .first()
+            .and_then(|(_, v)| infer_type(v, scope))
+            .or_else(|| else_expr.as_ref().and_then(|e| infer_type(e, scope))),
+        Expr::Aggregate { kind, arg } => match kind {
+            AggKind::Count | AggKind::CountDistinct => Some(DataType::Int),
+            AggKind::Avg | AggKind::StdDev => Some(DataType::Float),
+            AggKind::Sum | AggKind::Min | AggKind::Max => {
+                arg.as_ref().and_then(|a| infer_type(a, scope))
+            }
+        },
+    }
+}
+
+// ------------------------------------------------------------ plan pass
+
+fn check_plan(plan: &Plan, report: &mut Report) {
+    match plan {
+        Plan::Scan { schema, projection, table } => {
+            if let Some(p) = projection {
+                for &i in p {
+                    if i >= schema.len() {
+                        report.push(
+                            Code::ColumnOutOfRange,
+                            format!(
+                                "scan of {table:?} projects column {i}, but the table has \
+                                 only {} columns",
+                                schema.len()
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+        Plan::Filter { input, predicate } => {
+            check_plan(input, report);
+            check_bound(predicate, input.arity(), report);
+            match fold_expr(predicate.clone()) {
+                BoundExpr::Literal(Value::Bool(false)) | BoundExpr::Literal(Value::Null) => {
+                    report.push(
+                        Code::UnsatisfiablePredicate,
+                        "a filter condition can never hold, so the result is provably empty",
+                    );
+                }
+                BoundExpr::Literal(Value::Bool(true)) => report.push(
+                    Code::TautologicalFilter,
+                    "a filter condition is always true and has no effect",
+                ),
+                _ => {}
+            }
+        }
+        Plan::Join { left, right, on, .. } => {
+            check_plan(left, report);
+            check_plan(right, report);
+            let la = left.arity();
+            check_bound(on, la + right.arity(), report);
+            let mut cols = Vec::new();
+            fold_expr(on.clone()).collect_columns(&mut cols);
+            if cols.is_empty() {
+                report.push(
+                    Code::CartesianJoin,
+                    "the join condition is constant — this is a cartesian product of the \
+                     two tables",
+                );
+            } else if cols.iter().all(|&i| i < la) || cols.iter().all(|&i| i >= la) {
+                report.push(
+                    Code::CartesianJoin,
+                    "the join condition only references one side — this is effectively a \
+                     cartesian product",
+                );
+            }
+        }
+        Plan::Project { input, exprs, .. } => {
+            check_plan(input, report);
+            for e in exprs {
+                check_bound(e, input.arity(), report);
+            }
+        }
+        Plan::Aggregate { input, group_exprs, aggs, .. } => {
+            check_plan(input, report);
+            for e in group_exprs {
+                check_bound(e, input.arity(), report);
+            }
+            for a in aggs {
+                if let Some(arg) = &a.arg {
+                    check_bound(arg, input.arity(), report);
+                }
+            }
+        }
+        Plan::Distinct { input } => check_plan(input, report),
+        Plan::Sort { input, keys } => {
+            check_plan(input, report);
+            for k in keys {
+                if k.column >= input.arity() {
+                    report.push(
+                        Code::ColumnOutOfRange,
+                        format!(
+                            "sort key references column {}, but its input has only {} columns",
+                            k.column,
+                            input.arity()
+                        ),
+                    );
+                }
+            }
+        }
+        Plan::Limit { input, limit, .. } => {
+            check_plan(input, report);
+            if *limit == Some(0) {
+                report.push(Code::LimitZero, "LIMIT 0 makes the result provably empty");
+            }
+        }
+    }
+}
+
+/// Bound-expression checks: out-of-range columns + division by literal zero.
+fn check_bound(expr: &BoundExpr, arity: usize, report: &mut Report) {
+    let mut cols = Vec::new();
+    expr.collect_columns(&mut cols);
+    for &i in &cols {
+        if i >= arity {
+            report.push(
+                Code::ColumnOutOfRange,
+                format!("an expression references column {i}, but its input has only {arity} columns"),
+            );
+        }
+    }
+    check_div_zero(expr, report);
+}
+
+fn check_div_zero(expr: &BoundExpr, report: &mut Report) {
+    if let BoundExpr::Binary { op: BinaryOp::Div | BinaryOp::Mod, right, .. } = expr {
+        let zero = match fold_expr((**right).clone()) {
+            BoundExpr::Literal(Value::Int(0)) => true,
+            BoundExpr::Literal(Value::Float(x)) => x == 0.0,
+            _ => false,
+        };
+        if zero {
+            report.push(
+                Code::DivisionByZero,
+                "the query divides by a literal zero, which fails at runtime",
+            );
+        }
+    }
+    for child in bound_children(expr) {
+        check_div_zero(child, report);
+    }
+}
+
+/// Direct children of a bound expression (for recursive walks).
+fn bound_children(expr: &BoundExpr) -> Vec<&BoundExpr> {
+    match expr {
+        BoundExpr::Literal(_) | BoundExpr::Column(_) => Vec::new(),
+        BoundExpr::Binary { left, right, .. } => vec![left, right],
+        BoundExpr::Neg(e) | BoundExpr::Not(e) => vec![e],
+        BoundExpr::IsNull { expr, .. } | BoundExpr::Like { expr, .. } => vec![expr],
+        BoundExpr::InList { expr, list, .. } => {
+            let mut out: Vec<&BoundExpr> = vec![expr];
+            out.extend(list.iter());
+            out
+        }
+        BoundExpr::Between { expr, low, high, .. } => vec![expr, low, high],
+        BoundExpr::Case { branches, else_expr } => {
+            let mut out: Vec<&BoundExpr> = Vec::new();
+            for (c, v) in branches {
+                out.push(c);
+                out.push(v);
+            }
+            if let Some(e) = else_expr {
+                out.push(e);
+            }
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cda_dataframe::{Column, Field, Table};
+    use cda_sql::execute;
+    use cda_sql::plan::SortSpec;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        let emp = Table::from_columns(
+            Schema::new(vec![
+                Field::new("canton", DataType::Str),
+                Field::new("sector", DataType::Str),
+                Field::new("jobs", DataType::Int),
+                Field::new("rate", DataType::Float),
+            ]),
+            vec![
+                Column::from_strs(&["ZH", "ZH", "GE", "VD"]),
+                Column::from_strs(&["it", "fin", "it", "health"]),
+                Column::from_ints(&[100, 200, 50, 30]),
+                Column::from_floats(&[0.1, 0.2, 0.3, 0.4]),
+            ],
+        )
+        .unwrap();
+        c.register("emp", emp).unwrap();
+        let regions = Table::from_columns(
+            Schema::new(vec![
+                Field::new("canton", DataType::Str),
+                Field::new("population", DataType::Int),
+            ]),
+            vec![Column::from_strs(&["ZH", "GE"]), Column::from_ints(&[1_500_000, 500_000])],
+        )
+        .unwrap();
+        c.register("regions", regions).unwrap();
+        c
+    }
+
+    fn codes(sql: &str) -> Vec<Code> {
+        analyze(&catalog(), sql).findings.iter().map(|f| f.code).collect()
+    }
+
+    #[test]
+    fn clean_queries_have_no_findings() {
+        for sql in [
+            "SELECT canton, SUM(jobs) AS result FROM emp GROUP BY canton ORDER BY result DESC",
+            "SELECT * FROM emp WHERE jobs > 50",
+            "SELECT e.canton, r.population FROM emp e JOIN regions r ON e.canton = r.canton",
+            "SELECT COUNT(*) FROM emp WHERE sector = 'it'",
+            "SELECT DISTINCT sector FROM emp ORDER BY sector LIMIT 2",
+            "SELECT canton, AVG(rate) FROM emp GROUP BY canton HAVING AVG(rate) > 0.1",
+        ] {
+            let r = analyze(&catalog(), sql);
+            assert!(r.is_clean(), "{sql}: {:?}", r.findings);
+        }
+    }
+
+    #[test]
+    fn a001_syntax_error() {
+        assert_eq!(codes("SELECT FROM FROM"), vec![Code::SyntaxError]);
+    }
+
+    #[test]
+    fn a002_unknown_table() {
+        let r = analyze(&catalog(), "SELECT x FROM nope");
+        assert!(r.findings.iter().any(|f| f.code == Code::UnknownTable), "{:?}", r.findings);
+        assert!(r.summary().contains("emp"), "lists available tables: {}", r.summary());
+    }
+
+    #[test]
+    fn a003_unknown_and_ambiguous_columns() {
+        assert!(codes("SELECT nope FROM emp").contains(&Code::UnknownColumn));
+        // `canton` exists in both joined tables
+        assert!(codes("SELECT canton FROM emp JOIN regions ON emp.canton = regions.canton")
+            .contains(&Code::UnknownColumn));
+    }
+
+    #[test]
+    fn a004_type_mismatches() {
+        assert!(codes("SELECT SUM(canton) FROM emp").contains(&Code::TypeMismatch));
+        assert!(codes("SELECT jobs + canton FROM emp").contains(&Code::TypeMismatch));
+        assert!(codes("SELECT -canton FROM emp").contains(&Code::TypeMismatch));
+        // string concatenation via + is allowed
+        assert!(analyze(&catalog(), "SELECT canton + sector FROM emp").is_clean());
+    }
+
+    #[test]
+    fn a005_bare_columns_outside_group_by() {
+        assert!(codes("SELECT canton, sector, SUM(jobs) FROM emp GROUP BY canton")
+            .contains(&Code::BareColumn));
+        assert!(codes("SELECT canton, SUM(jobs) FROM emp").contains(&Code::BareColumn));
+        assert!(codes("SELECT * FROM emp GROUP BY canton").contains(&Code::BareColumn));
+    }
+
+    #[test]
+    fn a006_unsatisfiable_predicate() {
+        assert!(codes("SELECT canton FROM emp WHERE 1 = 2").contains(&Code::UnsatisfiablePredicate));
+        assert!(codes("SELECT canton FROM emp WHERE 2 > 1 AND 1 > 2")
+            .contains(&Code::UnsatisfiablePredicate));
+    }
+
+    #[test]
+    fn a007_tautological_filter() {
+        assert!(codes("SELECT canton FROM emp WHERE 1 = 1").contains(&Code::TautologicalFilter));
+    }
+
+    #[test]
+    fn a008_division_by_literal_zero() {
+        assert!(codes("SELECT jobs / 0 FROM emp").contains(&Code::DivisionByZero));
+        assert!(codes("SELECT jobs FROM emp WHERE jobs % 0 = 1").contains(&Code::DivisionByZero));
+        // dividing by a column is not statically zero
+        assert!(analyze(&catalog(), "SELECT rate / jobs FROM emp").is_clean());
+    }
+
+    #[test]
+    fn a009_cartesian_joins() {
+        assert!(codes("SELECT e.canton FROM emp e JOIN regions r ON 1 = 1")
+            .contains(&Code::CartesianJoin));
+        assert!(codes("SELECT e.canton FROM emp e JOIN regions r ON e.jobs > 10")
+            .contains(&Code::CartesianJoin));
+        assert!(!codes("SELECT e.canton FROM emp e JOIN regions r ON e.canton = r.canton")
+            .contains(&Code::CartesianJoin));
+    }
+
+    #[test]
+    fn a010_out_of_range_columns_in_hand_built_plans() {
+        let schema = Schema::new(vec![Field::new("a", DataType::Int)]);
+        let scan = Plan::Scan { table: "t".into(), schema, projection: None };
+        let bad_sort = Plan::Sort {
+            input: Box::new(scan.clone()),
+            keys: vec![SortSpec { column: 7, descending: false }],
+        };
+        assert!(analyze_plan(&bad_sort)
+            .findings
+            .iter()
+            .any(|f| f.code == Code::ColumnOutOfRange));
+        let bad_filter =
+            Plan::Filter { input: Box::new(scan), predicate: BoundExpr::Column(3) };
+        assert!(analyze_plan(&bad_filter)
+            .findings
+            .iter()
+            .any(|f| f.code == Code::ColumnOutOfRange));
+    }
+
+    #[test]
+    fn a011_limit_zero() {
+        assert!(codes("SELECT canton FROM emp LIMIT 0").contains(&Code::LimitZero));
+        assert!(!codes("SELECT canton FROM emp LIMIT 1").contains(&Code::LimitZero));
+    }
+
+    #[test]
+    fn a012_suspicious_comparison() {
+        let r = analyze(&catalog(), "SELECT canton FROM emp WHERE canton > 5");
+        assert!(r.findings.iter().any(|f| f.code == Code::SuspiciousComparison));
+        // warn-only: the query still executes (returning nothing)
+        assert!(!r.is_rejected());
+        assert!(!r.dooms_execution());
+    }
+
+    #[test]
+    fn doomed_queries_really_fail_to_execute() {
+        let c = catalog();
+        for sql in [
+            "SELECT FROM FROM",
+            "SELECT x FROM nope",
+            "SELECT nope FROM emp",
+            "SELECT SUM(canton) FROM emp",
+            "SELECT jobs + canton FROM emp",
+            "SELECT canton, SUM(jobs) FROM emp",
+            "SELECT jobs / 0 FROM emp",
+        ] {
+            let report = analyze(&c, sql);
+            assert!(report.dooms_execution(), "{sql}: {:?}", report.findings);
+            assert!(execute(&c, sql).is_err(), "doomed query executed: {sql}");
+        }
+    }
+
+    #[test]
+    fn executable_queries_are_never_doomed() {
+        let c = catalog();
+        for sql in [
+            "SELECT canton FROM emp WHERE 1 = 2",       // empty but executable
+            "SELECT canton FROM emp LIMIT 0",           // empty but executable
+            "SELECT canton FROM emp WHERE canton > 5",  // NULL filter, executable
+            "SELECT e.canton FROM emp e JOIN regions r ON 1 = 1",
+        ] {
+            let report = analyze(&c, sql);
+            assert!(!report.dooms_execution(), "{sql}: {:?}", report.findings);
+            assert!(execute(&c, sql).is_ok(), "{sql}");
+        }
+    }
+
+    #[test]
+    fn severity_ordering_and_rendering() {
+        assert!(Severity::Reject > Severity::Warn);
+        assert!(Severity::Warn > Severity::Info);
+        let f = Finding::new(Code::LimitZero, "LIMIT 0 makes the result provably empty");
+        assert_eq!(f.render(), "[A011 warn] LIMIT 0 makes the result provably empty");
+        assert_eq!(Code::SyntaxError.to_string(), "A001");
+    }
+
+    #[test]
+    fn confidence_factor_scales_with_findings() {
+        let clean = analyze(&catalog(), "SELECT canton FROM emp");
+        assert_eq!(clean.confidence_factor(), 1.0);
+        let warned = analyze(&catalog(), "SELECT canton FROM emp WHERE canton > 5");
+        assert!(warned.confidence_factor() < 1.0 && warned.confidence_factor() > 0.0);
+        let rejected = analyze(&catalog(), "SELECT nope FROM emp");
+        assert_eq!(rejected.confidence_factor(), 0.0);
+    }
+
+    #[test]
+    fn report_helpers() {
+        let r = analyze(&catalog(), "SELECT nope FROM emp");
+        assert!(r.is_rejected());
+        assert_eq!(r.max_severity(), Some(Severity::Reject));
+        assert!(!r.annotations().is_empty());
+        assert!(execution_doomed(&catalog(), "SELECT nope FROM emp"));
+        assert!(!execution_doomed(&catalog(), "SELECT canton FROM emp"));
+    }
+}

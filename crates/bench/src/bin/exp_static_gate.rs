@@ -1,0 +1,147 @@
+//! **E13** — static soundness gate: how much execution-verification work can
+//! pre-execution analysis (`cda-analyzer::sqlcheck`) absorb, and at what cost?
+//!
+//! For each LM hallucination rate we sample candidate SQL for every workload
+//! task and compare two verdicts per candidate: the static gate
+//! (`execution_doomed`) and ground truth (actually executing the query).
+//! Reported per rate:
+//! - `exec-rej`: fraction of candidates execution verification rejects;
+//! - `caught`: fraction of those the static gate also rejects (the gate's
+//!   catch rate — target ≥ 0.50);
+//! - `false-rej`: candidates the gate rejects that in fact execute — must
+//!   be 0, or the gate would discard sound answers;
+//! - `t-ratio`: static-analysis wall-clock over execution wall-clock —
+//!   target < 0.10, the gate must be cheap relative to what it replaces.
+//!
+//! A final check runs the analyzer over every *gold* workload query: the gate
+//! must reject none of them (zero false rejects on the valid demo workload).
+
+use cda_bench::{f, header, row, timed, us};
+use cda_dataframe::{Column, DataType, Field, Schema, Table};
+use cda_nlmodel::lm::{Nl2SqlPrompt, SimLm, SimLmConfig};
+use cda_nlmodel::nl2sql::{Workload, WorkloadTable};
+use cda_sql::Catalog;
+use std::time::Duration;
+
+fn main() {
+    header("E13", "static gate vs execution verification: catch rate, false rejects, cost");
+
+    // A deliberately non-tiny table so execution cost is realistic.
+    let n_rows = 20_000usize;
+    let cantons = ["ZH", "GE", "VD", "BE", "TI", "SG"];
+    let sectors = ["it", "fin", "gov", "edu"];
+    let canton_col: Vec<&str> = (0..n_rows).map(|i| cantons[i % cantons.len()]).collect();
+    let sector_col: Vec<&str> = (0..n_rows).map(|i| sectors[(i / 7) % sectors.len()]).collect();
+    let jobs: Vec<i64> = (0..n_rows).map(|i| (i as i64 * 37) % 500 + 10).collect();
+    let rate: Vec<f64> = (0..n_rows).map(|i| (i as f64 * 0.618).fract()).collect();
+    let t = Table::from_columns(
+        Schema::new(vec![
+            Field::new("canton", DataType::Str),
+            Field::new("sector", DataType::Str),
+            Field::new("jobs", DataType::Int),
+            Field::new("rate", DataType::Float),
+        ]),
+        vec![
+            Column::from_strs(&canton_col),
+            Column::from_strs(&sector_col),
+            Column::from_ints(&jobs),
+            Column::from_floats(&rate),
+        ],
+    )
+    .unwrap();
+    let schema = t.schema().clone();
+    let mut catalog = Catalog::new();
+    catalog.register("emp", t).unwrap();
+    let tables = vec![WorkloadTable {
+        name: "emp".into(),
+        schema: schema.clone(),
+        string_values: vec![
+            ("canton".into(), vec!["ZH".into(), "GE".into()]),
+            ("sector".into(), vec!["it".into(), "gov".into()]),
+        ],
+    }];
+    let workload = Workload::generate(&tables, 60, 41);
+
+    row(&[
+        "halluc".into(),
+        "cands".into(),
+        "exec-rej".into(),
+        "caught".into(),
+        "false-rej".into(),
+        "t-static".into(),
+        "t-exec".into(),
+        "t-ratio".into(),
+    ]);
+
+    let mut worst_ratio = 0.0f64;
+    let mut total_false = 0usize;
+    let mut min_catch = 1.0f64;
+    for pct in [0u32, 10, 20, 30, 40, 50] {
+        let h = f64::from(pct) / 100.0;
+        let lm = SimLm::new(SimLmConfig { hallucination_rate: h, overconfidence: 0.9, seed: 29 });
+        let mut candidates = 0usize;
+        let mut exec_rejected = 0usize;
+        let mut caught = 0usize;
+        let mut false_rejects = 0usize;
+        let mut t_static = Duration::ZERO;
+        let mut t_exec = Duration::ZERO;
+        for task in &workload.tasks {
+            let prompt = Nl2SqlPrompt {
+                task: task.task.clone(),
+                schema: schema.clone(),
+                other_tables: vec![],
+            };
+            for g in lm.sample_k(&prompt, 1.0, 5) {
+                candidates += 1;
+                let (doomed, dt) =
+                    timed(|| cda_analyzer::sqlcheck::execution_doomed(&catalog, &g.sql));
+                t_static += dt;
+                let (exec, dt) = timed(|| cda_sql::execute(&catalog, &g.sql));
+                t_exec += dt;
+                let exec_fails = exec.is_err();
+                if exec_fails {
+                    exec_rejected += 1;
+                    if doomed {
+                        caught += 1;
+                    }
+                } else if doomed {
+                    false_rejects += 1;
+                }
+            }
+        }
+        let catch_rate = if exec_rejected == 0 { 1.0 } else { caught as f64 / exec_rejected as f64 };
+        let ratio = t_static.as_secs_f64() / t_exec.as_secs_f64();
+        worst_ratio = worst_ratio.max(ratio);
+        total_false += false_rejects;
+        if exec_rejected > 0 {
+            min_catch = min_catch.min(catch_rate);
+        }
+        row(&[
+            format!("{pct}%"),
+            candidates.to_string(),
+            f(exec_rejected as f64 / candidates as f64),
+            f(catch_rate),
+            false_rejects.to_string(),
+            us(t_static),
+            us(t_exec),
+            f(ratio),
+        ]);
+    }
+
+    // Gold-workload sanity: the gate must pass every valid demo query.
+    let gold_doomed = workload
+        .tasks
+        .iter()
+        .filter(|t| cda_analyzer::sqlcheck::execution_doomed(&catalog, &t.gold_sql))
+        .count();
+    println!("\ngold workload: {} queries, {} statically rejected", workload.tasks.len(), gold_doomed);
+    println!(
+        "acceptance: min catch rate {} (>=0.50: {}), false rejects {} (==0: {}), worst t-ratio {} (<0.10: {})",
+        f(min_catch),
+        min_catch >= 0.5,
+        total_false,
+        total_false == 0,
+        f(worst_ratio),
+        worst_ratio < 0.10,
+    );
+}

@@ -100,6 +100,9 @@ pub struct AnswerTurn {
     /// used by evaluation harnesses; the *user-facing* code lives in
     /// [`AnswerTurn::explanation`] and is subject to the P3 toggle.
     pub executed_sql: Option<String>,
+    /// NL-rendered static-analysis findings (`cda-analyzer` codes) attached
+    /// to this turn — the pre-execution half of the P4 soundness signal.
+    pub analysis: Vec<String>,
 }
 
 impl AnswerTurn {
@@ -114,6 +117,7 @@ impl AnswerTurn {
             status: AnswerStatus::Answered,
             timings: TurnTimings::default(),
             executed_sql: None,
+            analysis: Vec::new(),
         }
     }
 

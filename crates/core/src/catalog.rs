@@ -144,10 +144,11 @@ impl DatasetCatalog {
                 index.search_mode(data, &q, k, GuaranteeMode::Deterministic).0
             }
             _ => {
-                // linear scan fallback
-                let data = VectorSet::from_rows(self.embeddings.clone())
-                    .expect("catalog non-empty");
-                cda_vector::exact::ExactIndex::build(&data).search(&data, &q, k)
+                // linear scan fallback; an empty catalog has nothing to rank
+                match VectorSet::from_rows(self.embeddings.clone()) {
+                    Ok(data) => cda_vector::exact::ExactIndex::build(&data).search(&data, &q, k),
+                    Err(_) => Vec::new(),
+                }
             }
         };
         let mut hits: Vec<DiscoveryHit> = neighbors

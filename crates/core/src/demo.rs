@@ -76,7 +76,7 @@ pub fn employment_table(seed: u64) -> Table {
             Column::from_ints(&employees),
         ],
     )
-    .expect("static schema matches columns")
+    .expect("static schema matches columns") // lint: allow(R002) literal data
 }
 
 /// Build the wage table (`canton, sector, median_wage`).
@@ -111,7 +111,7 @@ pub fn wage_table(seed: u64) -> Table {
             Column::from_floats(&wages),
         ],
     )
-    .expect("static schema matches columns")
+    .expect("static schema matches columns") // lint: allow(R002) literal data
 }
 
 /// The barometer series: 13 years of monthly observations with a genuine
@@ -132,7 +132,7 @@ pub fn barometer_table(series: &TimeSeries) -> Table {
             Column::from_floats(series.values()),
         ],
     )
-    .expect("static schema matches columns")
+    .expect("static schema matches columns") // lint: allow(R002) literal data
 }
 
 /// Build the demo dataset catalog.
@@ -156,7 +156,7 @@ pub fn demo_catalog(seed: u64) -> DatasetCatalog {
             ],
             freshness: Freshness::static_data(),
         })
-        .expect("fresh catalog");
+        .expect("fresh catalog"); // lint: allow(R002) names are unique literals
     let series = barometer_series(seed);
     catalog
         .register(Dataset {
@@ -179,7 +179,7 @@ pub fn demo_catalog(seed: u64) -> DatasetCatalog {
             ],
             freshness: Freshness::static_data(),
         })
-        .expect("fresh catalog");
+        .expect("fresh catalog"); // lint: allow(R002) names are unique literals
     catalog
         .register(Dataset {
             name: "wage_stats".into(),
@@ -190,7 +190,7 @@ pub fn demo_catalog(seed: u64) -> DatasetCatalog {
             keywords: vec!["wage".into(), "salary".into(), "income".into(), "sector".into()],
             freshness: Freshness::static_data(),
         })
-        .expect("fresh catalog");
+        .expect("fresh catalog"); // lint: allow(R002) names are unique literals
     catalog
         .register(Dataset {
             name: "chocolate_exports".into(),
@@ -201,7 +201,7 @@ pub fn demo_catalog(seed: u64) -> DatasetCatalog {
             keywords: vec!["chocolate".into(), "export".into(), "trade".into()],
             freshness: Freshness::static_data(),
         })
-        .expect("fresh catalog");
+        .expect("fresh catalog"); // lint: allow(R002) names are unique literals
     catalog
 }
 

@@ -36,25 +36,19 @@ impl CdaSystem {
         self.state.turn += 1;
         self.profile.observe(utterance);
         let user_node = self.conversation.add_node(NodeRole::User, utterance, turn);
-        let utt_lin = self
-            .lineage
-            .add(NodeKind::Utterance(utterance.to_owned()), &[])
-            .expect("no parents");
+        let utt_lin = self.lineage_node(NodeKind::Utterance(utterance.to_owned()), &[]);
 
         let t_nl = Instant::now();
         let intent = classify_intent(utterance, !self.state.offered.is_empty());
         let nl_elapsed = t_nl.elapsed();
-        let intent_lin = self
-            .lineage
-            .add(
-                NodeKind::ModelCall(format!(
-                    "intent={} confidence={:.2}",
-                    intent.intent.label(),
-                    intent.confidence
-                )),
-                &[utt_lin],
-            )
-            .expect("utterance exists");
+        let intent_lin = self.lineage_node(
+            NodeKind::ModelCall(format!(
+                "intent={} confidence={:.2}",
+                intent.intent.label(),
+                intent.confidence
+            )),
+            &[utt_lin],
+        );
 
         let mut answer = match intent.intent {
             Intent::DatasetDiscovery => self.handle_discovery(utterance, intent_lin),
@@ -145,6 +139,27 @@ impl CdaSystem {
             }
             None => (None, utterance.to_owned(), 0.5),
         }
+    }
+
+    /// Record a lineage node. Lineage is best-effort bookkeeping: the only
+    /// failure mode of [`cda_provenance::lineage::LineageGraph::add`] is an
+    /// unknown parent id, which callers here never construct — but rather
+    /// than panicking on that invariant, degrade to the graph root.
+    fn lineage_node(&mut self, kind: NodeKind, parents: &[usize]) -> usize {
+        self.lineage.add(kind, parents).unwrap_or(0)
+    }
+
+    /// Graceful fallback when a previously linked/offered dataset is no
+    /// longer in the catalog — a user-reachable state, so no panicking.
+    fn missing_dataset_answer(name: &str) -> AnswerTurn {
+        let mut a = AnswerTurn::answered(format!(
+            "The dataset {} is no longer available — ask for an overview of the current \
+             data sources.",
+            name.replace('_', " ")
+        ));
+        a.status = AnswerStatus::AskedClarification;
+        a.tag(PropertyTag::Guidance);
+        a
     }
 
     fn handle_discovery(&mut self, utterance: &str, parent: usize) -> AnswerTurn {
@@ -248,7 +263,9 @@ impl CdaSystem {
             a.tag(PropertyTag::Guidance);
             return a;
         };
-        let dataset = self.catalog.get(&name).expect("linked dataset exists");
+        let Ok(dataset) = self.catalog.get(&name) else {
+            return Self::missing_dataset_answer(&name);
+        };
         let (rows, cols) = dataset
             .table
             .as_ref()
@@ -260,7 +277,7 @@ impl CdaSystem {
         if !dataset.source_url.is_empty() {
             text.push_str(&format!("\nSource: {}", dataset.source_url));
         }
-        let ds_lin = self.lineage.add(NodeKind::Dataset(name.clone()), &[]).expect("root");
+        let ds_lin = self.lineage_node(NodeKind::Dataset(name.clone()), &[]);
         let _ = self
             .lineage
             .add(NodeKind::Answer(format!("description of {name}")), &[parent, ds_lin]);
@@ -302,7 +319,9 @@ impl CdaSystem {
         };
         self.state.focused = Some(name.clone());
         self.state.offered.clear();
-        let dataset = self.catalog.get(&name).expect("offered dataset exists");
+        let Ok(dataset) = self.catalog.get(&name) else {
+            return Self::missing_dataset_answer(&name);
+        };
         let t_infra = Instant::now();
         let mut text = format!("Here is an overview of {}.\n", name.replace('_', " "));
         // data rotting (Sec. 3.1): stale data carries a P4 caveat
@@ -325,7 +344,7 @@ impl CdaSystem {
             text.push('\n');
         }
         let infra_elapsed = t_infra.elapsed();
-        let ds_lin = self.lineage.add(NodeKind::Dataset(name.clone()), &[]).expect("root");
+        let ds_lin = self.lineage_node(NodeKind::Dataset(name.clone()), &[]);
         let _ = self
             .lineage
             .add(NodeKind::Answer(format!("overview of {name}")), &[parent, ds_lin]);
@@ -362,8 +381,12 @@ impl CdaSystem {
             a.tag(PropertyTag::Guidance);
             return a;
         };
-        let dataset = self.catalog.get(&name).expect("series dataset exists");
-        let series = dataset.series.clone().expect("series present");
+        let Ok(dataset) = self.catalog.get(&name) else {
+            return Self::missing_dataset_answer(&name);
+        };
+        let Some(series) = dataset.series.clone() else {
+            return Self::missing_dataset_answer(&name);
+        };
         let source = dataset.source_url.clone();
         let t_infra = Instant::now();
         // sufficiency gate (P4)
@@ -434,18 +457,14 @@ impl CdaSystem {
                         if trend > 0.0 { "increasing" } else { "decreasing" },
                         trend
                     ));
-                    let ds_lin =
-                        self.lineage.add(NodeKind::Dataset(name.clone()), &[]).expect("root");
-                    let comp_lin = self
-                        .lineage
-                        .add(
-                            NodeKind::Computation(format!(
-                                "seasonal decomposition period={}",
-                                result.period
-                            )),
-                            &[parent, ds_lin],
-                        )
-                        .expect("parents exist");
+                    let ds_lin = self.lineage_node(NodeKind::Dataset(name.clone()), &[]);
+                    let comp_lin = self.lineage_node(
+                        NodeKind::Computation(format!(
+                            "seasonal decomposition period={}",
+                            result.period
+                        )),
+                        &[parent, ds_lin],
+                    );
                     let _ = self.lineage.add(
                         NodeKind::Answer(format!(
                             "seasonality period={} confidence={:.2}",
@@ -539,6 +558,28 @@ impl CdaSystem {
             let g = self.lm.generate_sql(&prompt, self.config.temperature, 0);
             (g.sql.clone(), g.naive_confidence())
         };
+        // Static soundness gate (P4): analyze the chosen SQL *before*
+        // executing it. Dooming findings abstain without paying execution
+        // cost; softer findings become annotations and scale confidence.
+        let static_report = cda_analyzer::analyze(self.catalog.sql(), &sql);
+        if self.config.soundness && static_report.dooms_execution() {
+            let mut a = AnswerTurn::answered(format!(
+                "Static analysis rejected the generated query before execution: {}. I will \
+                 not fabricate a result.",
+                static_report.summary()
+            ));
+            a.status = AnswerStatus::Abstained("statically rejected query".into());
+            a.analysis = static_report.annotations();
+            a.tag(PropertyTag::Soundness);
+            a.timings.soundness += t_sound.elapsed();
+            return a;
+        }
+        let soft_findings = static_report
+            .findings
+            .iter()
+            .filter(|f| !f.code.dooms_execution())
+            .count();
+        let confidence = confidence * (0.9f64).powi(soft_findings as i32);
         let sound_elapsed = t_sound.elapsed();
         if self.config.soundness && confidence < self.config.answer_threshold {
             let mut a = AnswerTurn::answered(format!(
@@ -586,12 +627,9 @@ impl CdaSystem {
                 .collect::<std::collections::BTreeSet<_>>()
                 .into_iter()
                 .collect::<Vec<_>>();
-            let ds_lin =
-                self.lineage.add(NodeKind::Dataset(task.table.clone()), &[]).expect("root");
-            let q_lin = self
-                .lineage
-                .add(NodeKind::Query(sql.clone()), &[parent, ds_lin])
-                .expect("parents exist");
+            let ds_lin = self.lineage_node(NodeKind::Dataset(task.table.clone()), &[]);
+            let q_lin =
+                self.lineage_node(NodeKind::Query(sql.clone()), &[parent, ds_lin]);
             let _ = self.lineage.add(
                 NodeKind::Answer(format!("{} result rows", result.table.num_rows())),
                 &[q_lin],
@@ -617,6 +655,7 @@ impl CdaSystem {
             .with_confidence(confidence)
             .with_suggestions(suggestions);
         a.executed_sql = Some(sql.clone());
+        a.analysis = static_report.annotations();
         if let Some(e) = explanation {
             a = a.with_explanation(e);
         }

@@ -121,7 +121,7 @@ impl QueryLog {
                 Column::from_opt_floats(&confidences),
             ],
         )
-        .expect("schema matches columns")
+        .expect("schema matches columns") // lint: allow(R002) built together above
     }
 }
 

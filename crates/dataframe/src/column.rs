@@ -267,7 +267,7 @@ impl Column {
 
     /// Iterate values (allocating for strings; fine off the hot path).
     pub fn iter(&self) -> impl Iterator<Item = Value> + '_ {
-        (0..self.len()).map(move |i| self.value(i).expect("in-bounds"))
+        (0..self.len()).map(move |i| self.value(i).expect("in-bounds")) // lint: allow(R002) i < len
     }
 
     /// Approximate heap size in bytes, for memory accounting in experiments.

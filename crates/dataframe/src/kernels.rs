@@ -183,7 +183,12 @@ pub fn aggregate(table: &Table, rows: &[usize], kind: AggKind, col: Option<usize
                         vals.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / vals.len() as f64;
                     Value::Float(var.sqrt())
                 }
-                _ => unreachable!(),
+                other => {
+                    return Err(crate::DataFrameError::UnsupportedType {
+                        op: other.name(),
+                        ty: column.data_type().to_string(),
+                    })
+                }
             })
         }
         AggKind::Min | AggKind::Max => {

@@ -64,12 +64,10 @@ impl GoalBelief {
 
     /// The maximum-probability goal.
     pub fn map_goal(&self) -> &str {
-        &self
-            .probs
+        self.probs
             .iter()
             .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
-            .expect("non-empty")
-            .0
+            .map_or("", |top| top.0.as_str())
     }
 
     /// Condition on "the answer to `question` was `answer`": goals whose

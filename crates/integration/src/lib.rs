@@ -1,1 +1,4 @@
 //! Integration-test host crate; see `tests/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]

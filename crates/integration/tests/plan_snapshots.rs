@@ -1,0 +1,123 @@
+//! Snapshot tests for `Plan::explain` over representative demo-workload
+//! queries, so analyzer/optimizer changes cannot silently alter plan shape.
+//!
+//! If a change legitimately improves plans, update the expected text here —
+//! the diff then documents the plan change in review, which is the point.
+
+use cda_sql::parser::parse;
+use cda_sql::planner::plan_select;
+use cda_sql::{optimizer, OptimizerRules};
+
+fn explain(sql: &str) -> String {
+    let cat = cda_core::demo::demo_catalog(7);
+    let select = parse(sql).expect("query parses");
+    let plan = plan_select(cat.sql(), &select).expect("query plans");
+    optimizer::optimize(plan, OptimizerRules::all()).explain()
+}
+
+fn assert_snapshot(sql: &str, expected: &str) {
+    let got = explain(sql);
+    let expected = expected.trim_start_matches('\n');
+    assert_eq!(
+        got.trim_end(),
+        expected.trim_end(),
+        "plan shape changed for: {sql}\n--- expected ---\n{expected}\n--- got ---\n{got}"
+    );
+    // Cross-check: every pinned workload query is clean under the static
+    // analyzer (the E13 zero-false-reject property, at the unit level).
+    let report = cda_analyzer::analyze(cda_core::demo::demo_catalog(7).sql(), sql);
+    assert!(report.is_clean(), "{sql}: {:?}", report.findings);
+}
+
+#[test]
+fn grouped_sum_with_filter_and_order() {
+    assert_snapshot(
+        "SELECT canton, SUM(employees) AS result FROM employment_by_type WHERE year = 2023 \
+         GROUP BY canton ORDER BY result DESC",
+        "
+Sort [SortSpec { column: 1, descending: true }]
+  Project [2 exprs]
+    Aggregate [1 keys, 1 aggs]
+      Filter Binary { left: Column(1), op: Eq, right: Literal(Int(2023)) }
+        Scan employment_by_type (cols [0, 2, 3])",
+    );
+}
+
+#[test]
+fn grouped_avg_with_limit() {
+    assert_snapshot(
+        "SELECT type, AVG(employees) AS result FROM employment_by_type GROUP BY type \
+         ORDER BY result DESC LIMIT 3",
+        "
+Limit Some(3) offset 0
+  Sort [SortSpec { column: 1, descending: true }]
+    Project [2 exprs]
+      Aggregate [1 keys, 1 aggs]
+        Scan employment_by_type (cols [1, 3])",
+    );
+}
+
+#[test]
+fn projection_filter_sort() {
+    assert_snapshot(
+        "SELECT canton, sector, median_wage FROM wage_stats WHERE median_wage > 6000 \
+         ORDER BY median_wage DESC",
+        "
+Sort [SortSpec { column: 2, descending: true }]
+  Project [3 exprs]
+    Filter Binary { left: Column(2), op: Gt, right: Literal(Int(6000)) }
+      Scan wage_stats (cols [0, 1, 2])",
+    );
+}
+
+#[test]
+fn global_count_with_conjunction() {
+    assert_snapshot(
+        "SELECT COUNT(*) AS result FROM employment_by_type WHERE canton = 'ZH' AND year >= 2020",
+        "
+Project [1 exprs]
+  Aggregate [0 keys, 1 aggs]
+    Filter Binary { left: Binary { left: Column(0), op: Eq, right: Literal(Str(\"ZH\")) }, \
+         op: And, right: Binary { left: Column(1), op: GtEq, right: Literal(Int(2020)) } }
+      Scan employment_by_type (cols [0, 2])",
+    );
+}
+
+#[test]
+fn join_with_grouping() {
+    assert_snapshot(
+        "SELECT e.canton, SUM(e.employees) AS result FROM employment_by_type e \
+         JOIN wage_stats w ON e.canton = w.canton GROUP BY e.canton",
+        "
+Project [2 exprs]
+  Aggregate [1 keys, 1 aggs]
+    Join Inner on Binary { left: Column(0), op: Eq, right: Column(2) }
+      Scan employment_by_type (cols [0, 3])
+      Scan wage_stats (cols [0])",
+    );
+}
+
+#[test]
+fn distinct_with_sort() {
+    assert_snapshot(
+        "SELECT DISTINCT canton FROM wage_stats ORDER BY canton",
+        "
+Sort [SortSpec { column: 0, descending: false }]
+  Distinct
+    Project [1 exprs]
+      Scan wage_stats (cols [0])",
+    );
+}
+
+#[test]
+fn optimizer_rules_change_shape_visibly() {
+    // The unoptimized plan keeps the full-width scan: pinning both shapes
+    // documents exactly what the optimizer buys on this workload.
+    let cat = cda_core::demo::demo_catalog(7);
+    let sql = "SELECT canton FROM wage_stats WHERE median_wage > 6000";
+    let select = parse(sql).expect("query parses");
+    let naive = plan_select(cat.sql(), &select).expect("query plans").explain();
+    let optimized = explain(sql);
+    assert!(naive.contains("Scan wage_stats") && !naive.contains("cols ["), "{naive}");
+    assert!(optimized.contains("Scan wage_stats (cols ["), "{optimized}");
+}

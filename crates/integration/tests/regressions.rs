@@ -1,0 +1,68 @@
+//! Pinned regressions for inputs that previously panicked.
+//!
+//! Each test exercises a user-input-reachable path that used to hit an
+//! `unwrap`/`expect`/`unreachable!` and now returns a structured error (or a
+//! graceful empty result). If one of these starts panicking again, the
+//! hardening from the static-analysis PR has regressed.
+
+use cda_core::catalog::DatasetCatalog;
+use cda_sql::execute;
+
+/// An unterminated string literal whose opening quote is followed by a
+/// multi-byte character. The lexer used to `expect` an in-bounds char while
+/// scanning and could panic; it must now surface a lex error via `execute`.
+#[test]
+fn unterminated_multibyte_literal_errors_gracefully() {
+    let cat = cda_core::demo::demo_catalog(7);
+    let sql = "SELECT canton FROM wage_stats WHERE canton = 'Zürich";
+    let err = execute(cat.sql(), sql);
+    assert!(err.is_err(), "unterminated literal must be an error, got {err:?}");
+}
+
+/// Same shape, but the quote is the final byte of the input.
+#[test]
+fn quote_at_end_of_input_errors_gracefully() {
+    let cat = cda_core::demo::demo_catalog(7);
+    assert!(execute(cat.sql(), "SELECT canton FROM wage_stats WHERE canton = '").is_err());
+}
+
+/// A numeric fold over a text column reaches the execution engine (the
+/// planner does not type-check aggregates); the aggregate kernel used to hit
+/// an `unreachable!` for non-numeric folds and now reports an eval error.
+#[test]
+fn sum_over_text_column_is_an_error_not_a_panic() {
+    let cat = cda_core::demo::demo_catalog(7);
+    let err = execute(cat.sql(), "SELECT SUM(canton) FROM wage_stats");
+    assert!(err.is_err(), "SUM over Str must be an error, got {err:?}");
+    // And the static analyzer flags it *before* execution (code A004).
+    assert!(cda_analyzer::sqlcheck::execution_doomed(
+        cat.sql(),
+        "SELECT SUM(canton) FROM wage_stats"
+    ));
+}
+
+/// Discovery over an empty catalog used to panic building the brute-force
+/// vector set; it must now simply find nothing.
+#[test]
+fn discover_on_empty_catalog_returns_empty() {
+    let cat = DatasetCatalog::new();
+    assert!(cat.discover("employment trends", 3, false).is_empty());
+    assert!(cat.discover("employment trends", 3, true).is_empty());
+}
+
+/// The full dialogue loop over malformed analytical input must abstain or
+/// clarify, never panic — this drives the lexer/planner/exec error paths
+/// end-to-end through the orchestrator.
+#[test]
+fn dialogue_survives_malformed_analytical_phrasing() {
+    let mut sys = cda_core::demo::demo_system(7);
+    for utterance in [
+        "sum the 'unfinished",
+        "average of nothing by nothing",
+        "ORDER BY ORDER BY",
+        "",
+    ] {
+        let turn = sys.process(utterance);
+        assert!(!turn.text.is_empty(), "turn must carry a message for {utterance:?}");
+    }
+}

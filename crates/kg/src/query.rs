@@ -157,7 +157,7 @@ impl Bgp {
         // Counting is capped: only the relative order matters, and uncapped
         // counting at every backtrack node would be quadratic.
         const SELECTIVITY_CAP: usize = 64;
-        let (pick_pos, _) = remaining
+        let Some((pick_pos, _)) = remaining
             .iter()
             .enumerate()
             .map(|(pos, &idx)| {
@@ -165,7 +165,9 @@ impl Bgp {
                 (pos, kg.count_capped(s, p, o, SELECTIVITY_CAP))
             })
             .min_by_key(|&(_, count)| count)
-            .expect("remaining not empty");
+        else {
+            return; // no remaining patterns (guarded above; defensive)
+        };
         let idx = remaining.swap_remove(pick_pos);
         order.push(idx);
         let pattern = &self.patterns[idx];

@@ -13,6 +13,13 @@
 //!   *execute* against the catalog without binding/semantic errors.
 //! * [`DecodingStrategy::Reranked`] — sample k, keep the valid ones, and
 //!   pick the candidate with the highest reward-model score.
+//!
+//! Candidates that `cda_analyzer::sqlcheck` statically proves doomed
+//! (unknown tables/columns, GROUP BY violations, type misuse, …) are
+//! discarded **before** execution-based verification: for those findings a
+//! failed execution is implied, so the gate cannot change which candidates
+//! are accepted — it only skips the execution cost (experiment E13 measures
+//! the saving; [`DecodeResult::static_rejects`] counts the skips).
 
 use crate::lm::{Generation, Nl2SqlPrompt, SimLm};
 use crate::{NlError, Result};
@@ -50,6 +57,8 @@ pub struct DecodeResult {
     pub generation: Generation,
     /// Samples drawn before acceptance.
     pub attempts: usize,
+    /// Candidates discarded by the static soundness gate without executing.
+    pub static_rejects: usize,
 }
 
 /// A transparent reward model for candidate SQL: parses (+1), executes (+2),
@@ -62,6 +71,11 @@ pub fn reward(catalog: &Catalog, sql: &str) -> f64 {
         return r;
     }
     r += 1.0;
+    // Statically-doomed candidates would fail execution anyway; skip the
+    // execution cost without changing the score.
+    if cda_analyzer::sqlcheck::execution_doomed(catalog, sql) {
+        return r;
+    }
     if let Ok(result) = execute(catalog, sql) {
         r += 2.0;
         if result.table.num_rows() > 0 {
@@ -83,23 +97,40 @@ pub fn decode(
 ) -> Result<DecodeResult> {
     let budget = budget.max(1);
     match strategy {
-        DecodingStrategy::Free => {
-            Ok(DecodeResult { generation: lm.generate_sql(prompt, temperature, 0), attempts: 1 })
-        }
+        DecodingStrategy::Free => Ok(DecodeResult {
+            generation: lm.generate_sql(prompt, temperature, 0),
+            attempts: 1,
+            static_rejects: 0,
+        }),
         DecodingStrategy::Constrained => {
             for s in 0..budget as u64 {
                 let g = lm.generate_sql(prompt, temperature, s);
                 if cda_sql::parser::parse(&g.sql).is_ok() {
-                    return Ok(DecodeResult { generation: g, attempts: s as usize + 1 });
+                    return Ok(DecodeResult {
+                        generation: g,
+                        attempts: s as usize + 1,
+                        static_rejects: 0,
+                    });
                 }
             }
             Err(NlError::BudgetExhausted { attempts: budget })
         }
         DecodingStrategy::Rejection => {
+            let mut static_rejects = 0usize;
             for s in 0..budget as u64 {
                 let g = lm.generate_sql(prompt, temperature, s);
+                // Pre-execution gate: a statically-doomed candidate cannot
+                // pass the execute() check below, so skip it unexecuted.
+                if cda_analyzer::sqlcheck::execution_doomed(catalog, &g.sql) {
+                    static_rejects += 1;
+                    continue;
+                }
                 if execute(catalog, &g.sql).is_ok() {
-                    return Ok(DecodeResult { generation: g, attempts: s as usize + 1 });
+                    return Ok(DecodeResult {
+                        generation: g,
+                        attempts: s as usize + 1,
+                        static_rejects,
+                    });
                 }
             }
             Err(NlError::BudgetExhausted { attempts: budget })
@@ -113,11 +144,13 @@ pub fn decode(
                     best = Some((score, i));
                 }
             }
-            let (score, i) = best.expect("budget >= 1");
+            let Some((score, i)) = best else {
+                return Err(NlError::BudgetExhausted { attempts: budget });
+            };
             if score <= 0.0 {
                 return Err(NlError::BudgetExhausted { attempts: budget });
             }
-            Ok(DecodeResult { generation: gens[i].clone(), attempts: budget })
+            Ok(DecodeResult { generation: gens[i].clone(), attempts: budget, static_rejects: 0 })
         }
     }
 }
@@ -234,6 +267,48 @@ mod tests {
         let lm = SimLm::new(SimLmConfig { hallucination_rate: 0.0, ..Default::default() });
         let e = decode(&lm, &p, &c, DecodingStrategy::Rejection, 0.0, 4);
         assert!(matches!(e, Err(NlError::BudgetExhausted { attempts: 4 })));
+    }
+
+    #[test]
+    fn static_gate_preserves_rejection_outcomes() {
+        // With and without the gate, rejection decoding must accept the same
+        // candidate: the gate only skips executions that would have failed.
+        let c = catalog();
+        for seed in 0..20 {
+            let lm =
+                SimLm::new(SimLmConfig { hallucination_rate: 0.9, seed, ..Default::default() });
+            let gated = decode(&lm, &prompt(), &c, DecodingStrategy::Rejection, 1.0, 16);
+            // Reference: replay the same sample stream with execute() alone.
+            let mut reference = None;
+            for s in 0..16u64 {
+                let g = lm.generate_sql(&prompt(), 1.0, s);
+                if execute(&c, &g.sql).is_ok() {
+                    reference = Some((g.sql, s as usize + 1));
+                    break;
+                }
+            }
+            match (gated, reference) {
+                (Ok(r), Some((sql, attempts))) => {
+                    assert_eq!(r.generation.sql, sql, "seed {seed}");
+                    assert_eq!(r.attempts, attempts, "seed {seed}");
+                }
+                (Err(_), None) => {}
+                (g, r) => panic!("gate changed the outcome at seed {seed}: {g:?} vs {r:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn static_gate_counts_skipped_candidates() {
+        // A prompt over a missing table is statically doomed every time.
+        let mut p = prompt();
+        p.task.table = "missing".into();
+        let c = catalog();
+        let lm = SimLm::new(SimLmConfig { hallucination_rate: 0.0, ..Default::default() });
+        let e = decode(&lm, &p, &c, DecodingStrategy::Rejection, 0.0, 4);
+        assert!(matches!(e, Err(NlError::BudgetExhausted { attempts: 4 })));
+        let ok = decode(&lm, &prompt(), &c, DecodingStrategy::Rejection, 0.0, 4).unwrap();
+        assert_eq!(ok.static_rejects, 0);
     }
 
     #[test]

@@ -29,8 +29,12 @@ pub struct ConsistencyReport {
     /// Number of distinct execution-equivalence clusters among executing
     /// samples.
     pub clusters: usize,
-    /// Number of samples that failed to execute.
+    /// Number of samples that failed to execute (including statically
+    /// rejected ones).
     pub failed: usize,
+    /// Of the failed samples, how many the static soundness gate
+    /// (`cda_analyzer::sqlcheck`) rejected without paying execution cost.
+    pub static_rejects: usize,
     /// The naive mean LM confidence over the samples (the miscalibrated
     /// baseline E5 compares against).
     pub naive_confidence: f64,
@@ -53,7 +57,15 @@ pub fn consistency_confidence(
         gens.iter().map(cda_nlmodel::lm::Generation::naive_confidence).sum::<f64>() / k as f64;
     let mut clusters: HashMap<String, Vec<usize>> = HashMap::new();
     let mut failed = 0usize;
+    let mut static_rejects = 0usize;
     for (i, g) in gens.iter().enumerate() {
+        // Pre-execution gate: statically-doomed candidates cannot produce an
+        // execution signature, so count them failed without executing.
+        if cda_analyzer::sqlcheck::execution_doomed(catalog, &g.sql) {
+            failed += 1;
+            static_rejects += 1;
+            continue;
+        }
         match execution_signature(catalog, &g.sql) {
             Some(sig) => clusters.entry(sig).or_default().push(i),
             None => failed += 1,
@@ -66,6 +78,7 @@ pub fn consistency_confidence(
             samples: k,
             clusters: 0,
             failed,
+            static_rejects,
             naive_confidence,
         });
     }
@@ -80,6 +93,7 @@ pub fn consistency_confidence(
         samples: k,
         clusters: clusters.len(),
         failed,
+        static_rejects,
         naive_confidence,
     })
 }
@@ -183,6 +197,24 @@ mod tests {
         assert_eq!(r.chosen_sql, None);
         assert_eq!(r.confidence, 0.0);
         assert_eq!(r.failed, 5);
+    }
+
+    #[test]
+    fn static_gate_skips_doomed_samples_without_changing_confidence() {
+        // Samples against a missing table are all statically rejected; the
+        // report must look exactly like the all-failing case, with the gate
+        // accounting for every skip.
+        let mut p = prompt();
+        p.task.table = "missing".into();
+        let lm = SimLm::new(SimLmConfig { hallucination_rate: 0.0, ..Default::default() });
+        let r = consistency_confidence(&lm, &p, &catalog(), 5, 1.0).unwrap();
+        assert_eq!(r.failed, 5);
+        assert_eq!(r.static_rejects, 5);
+        assert_eq!(r.confidence, 0.0);
+        // A clean prompt never trips the gate (zero false rejects).
+        let clean = consistency_confidence(&lm, &prompt(), &catalog(), 8, 1.0).unwrap();
+        assert_eq!(clean.static_rejects, 0);
+        assert_eq!(clean.confidence, 1.0);
     }
 
     #[test]

@@ -380,7 +380,12 @@ pub fn agg_over_values(kind: AggKind, vals: &[Value]) -> Result<Value> {
                         / nums.len() as f64;
                     Value::Float(var.sqrt())
                 }
-                _ => unreachable!(),
+                other => {
+                    return Err(SqlError::Eval(format!(
+                        "aggregate {} is not a numeric fold",
+                        other.name()
+                    )))
+                }
             })
         }
     }

@@ -151,7 +151,7 @@ fn lex_string(sql: &str, start: usize) -> Result<(String, usize)> {
             }
         } else {
             // Safe for ASCII; pull full chars for multi-byte.
-            let ch = sql[i..].chars().next().expect("in-bounds char");
+            let Some(ch) = sql[i..].chars().next() else { break };
             out.push(ch);
             i += ch.len_utf8();
         }
@@ -167,7 +167,7 @@ fn lex_quoted_ident(sql: &str, start: usize) -> Result<(String, usize)> {
         if bytes[i] == b'"' {
             return Ok((out, i + 1));
         }
-        let ch = sql[i..].chars().next().expect("in-bounds char");
+        let Some(ch) = sql[i..].chars().next() else { break };
         out.push(ch);
         i += ch.len_utf8();
     }

@@ -326,7 +326,9 @@ fn eval_binary(l: &Value, op: BinaryOp, r: &Value) -> Result<Value> {
                 LtEq => ord != std::cmp::Ordering::Greater,
                 Gt => ord == std::cmp::Ordering::Greater,
                 GtEq => ord != std::cmp::Ordering::Less,
-                _ => unreachable!(),
+                _ => {
+                    return Err(SqlError::Eval(format!("operator {op:?} is not a comparison")))
+                }
             }),
         });
     }
@@ -364,7 +366,7 @@ fn eval_binary(l: &Value, op: BinaryOp, r: &Value) -> Result<Value> {
             }
             a % b
         }
-        _ => unreachable!(),
+        _ => return Err(SqlError::Eval(format!("operator {op:?} is not arithmetic"))),
     };
     if both_int && (op != Div || result.fract() == 0.0) {
         Ok(Value::Int(result as i64))

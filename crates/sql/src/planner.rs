@@ -50,8 +50,10 @@ impl Scope {
                     continue;
                 }
             }
-            if let Some(i) = schema.index_of(name) {
-                let dt = schema.field_at(i).expect("index in range").data_type();
+            if let Some((i, dt)) = schema
+                .index_of(name)
+                .and_then(|i| schema.field_at(i).map(|f| (i, f.data_type())))
+            {
                 if found.is_some() {
                     return Err(SqlError::Binding(format!("ambiguous column reference {name:?}")));
                 }
@@ -230,7 +232,11 @@ impl Planner<'_> {
         // Bind aggregate arguments.
         let mut aggs = Vec::new();
         for call in &calls {
-            let Expr::Aggregate { kind, arg } = call else { unreachable!() };
+            let Expr::Aggregate { kind, arg } = call else {
+                return Err(SqlError::Semantic(
+                    "internal: collected aggregate call is not an aggregate".into(),
+                ));
+            };
             let bound_arg = match arg {
                 Some(a) => {
                     if a.contains_aggregate() {

@@ -284,10 +284,10 @@ impl ProgressiveSnapshot {
     /// 1.0 means provably exact; `f` means the k-th distance is at most `f`
     /// times the true k-th distance. INFINITY while nothing is certified.
     pub fn approximation_factor(&self) -> f64 {
-        if self.neighbors.is_empty() {
+        let Some(last) = self.neighbors.last() else {
             return f64::INFINITY;
-        }
-        let kth = f64::from(self.neighbors.last().expect("non-empty").dist).sqrt();
+        };
+        let kth = f64::from(last.dist).sqrt();
         let lb = f64::from(self.unseen_lower_bound);
         if lb <= 0.0 {
             f64::INFINITY
