@@ -38,6 +38,9 @@ cargo run --release -q -p cda-analyzer --bin repolint -- .
 echo "== static analyzer suite (sqlcheck codes + gate consistency)"
 cargo test -q -p cda-analyzer
 
+echo "== E14: cardinality estimation (bound coverage, q-error, gate overhead)"
+cargo run --release -q -p cda-bench --bin exp_cardinality
+
 echo "== bench harness smoke (2 samples per bench, JSON artifacts)"
 CDA_BENCH_FAST=1 cargo bench -p cda-bench --bench sql
 test -f target/cda-bench/BENCH_sql_8k_rows.json || {

@@ -1,0 +1,711 @@
+//! `cardest` — cost-based cardinality estimation over bound logical plans.
+//!
+//! A bottom-up pass over [`Plan`] computes, for every node, a row-count
+//! interval `[lo, hi]` that is **sound** (the actual output cardinality of
+//! executing the plan always falls inside it, given statistics collected from
+//! the same immutable tables) plus a point estimate `est` derived from
+//! classic selectivity heuristics:
+//!
+//! * equality predicates: `1/NDV` of the compared column;
+//! * range predicates: min–max interpolation of the literal;
+//! * conjunctions: independence (product of selectivities);
+//! * joins: containment (`|L|·|R| / max(NDV_l, NDV_r)` per equi-pair);
+//! * `DISTINCT` / `GROUP BY`: capped exactly by the product of per-column
+//!   distinct counts; `LIMIT k`: capped exactly by `k`.
+//!
+//! Statistics ([`Statistics`]) hold per-table row counts and per-column
+//! [`ColumnStats`] (distinct counts, min/max, null counts), collected once at
+//! dataset-registration time. The estimates feed the static soundness gate
+//! (`sqlcheck` code A013 "estimated output exceeds budget", the quantitative
+//! upgrade of the A009 cartesian-join warning), the dialogue loop's
+//! estimated-cost annotations, and experiment E14's q-error measurement.
+
+use cda_dataframe::stats::{table_stats, ColumnStats};
+use cda_dataframe::{Table, Value};
+use cda_sql::ast::BinaryOp;
+use cda_sql::optimizer::fold_expr;
+use cda_sql::plan::{BoundExpr, Plan};
+use cda_sql::Catalog;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Fallback point estimate for tables without statistics.
+const UNKNOWN_TABLE_ROWS: f64 = 1000.0;
+/// Fallback selectivity of an equality predicate without column statistics.
+const DEFAULT_EQ_SELECTIVITY: f64 = 0.1;
+/// Fallback selectivity of a range or otherwise opaque predicate.
+const DEFAULT_SELECTIVITY: f64 = 1.0 / 3.0;
+/// Selectivity assumed for a `LIKE` pattern.
+const LIKE_SELECTIVITY: f64 = 0.25;
+
+/// Statistics for one registered table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableStatistics {
+    /// Exact row count at collection time.
+    pub rows: u64,
+    /// Per-column statistics, in schema order.
+    pub columns: Vec<ColumnStats>,
+}
+
+impl TableStatistics {
+    /// Collect statistics from a table (one full scan per column).
+    pub fn collect(table: &Table) -> Self {
+        Self {
+            rows: table.num_rows() as u64,
+            columns: table_stats(table).unwrap_or_default(),
+        }
+    }
+}
+
+/// Table statistics keyed by (case-insensitive) table name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Statistics {
+    tables: HashMap<String, TableStatistics>,
+}
+
+impl Statistics {
+    /// Empty statistics (every estimate degrades to `[0, ∞)`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Collect and store statistics for one table.
+    pub fn insert(&mut self, name: &str, table: &Table) {
+        self.tables.insert(name.to_ascii_lowercase(), TableStatistics::collect(table));
+    }
+
+    /// Collect statistics for every table of a SQL catalog.
+    pub fn from_catalog(catalog: &Catalog) -> Self {
+        let mut s = Self::new();
+        for (name, entry) in catalog.iter() {
+            s.insert(name, &entry.table);
+        }
+        s
+    }
+
+    /// Statistics for one table, if collected.
+    pub fn get(&self, name: &str) -> Option<&TableStatistics> {
+        self.tables.get(&name.to_ascii_lowercase())
+    }
+
+    /// Number of tables with statistics.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True when no statistics have been collected.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+/// A cardinality estimate for one plan (node): sound bounds + point estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CardEstimate {
+    /// Guaranteed lower bound on the output row count.
+    pub lo: u64,
+    /// Heuristic point estimate (always within `[lo, hi]` after clamping).
+    pub est: f64,
+    /// Guaranteed upper bound on the output row count (`u64::MAX` = unknown).
+    pub hi: u64,
+}
+
+impl CardEstimate {
+    /// An exactly-known cardinality.
+    pub fn exact(n: u64) -> Self {
+        Self { lo: n, est: n as f64, hi: n }
+    }
+
+    /// No information: `[0, ∞)` with a nominal point estimate.
+    pub fn unknown() -> Self {
+        Self { lo: 0, est: UNKNOWN_TABLE_ROWS, hi: u64::MAX }
+    }
+
+    /// The point estimate rounded and clamped into `[lo, hi]`.
+    pub fn point(&self) -> u64 {
+        let p = if self.est.is_finite() { self.est.round().max(0.0) as u64 } else { self.hi };
+        p.clamp(self.lo, self.hi)
+    }
+
+    /// True when an observed row count lies inside the bounds.
+    pub fn contains(&self, rows: u64) -> bool {
+        self.lo <= rows && rows <= self.hi
+    }
+
+    fn clamped(mut self) -> Self {
+        self.est = self.est.clamp(self.lo as f64, self.hi as f64);
+        self
+    }
+}
+
+impl fmt::Display for CardEstimate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.hi == u64::MAX {
+            write!(f, "~{} rows (bounds {}..inf)", self.point(), self.lo)
+        } else {
+            write!(f, "~{} rows (bounds {}..{})", self.point(), self.lo, self.hi)
+        }
+    }
+}
+
+/// The q-error of a point estimate against an observed cardinality:
+/// `max(est/actual, actual/est)` with both sides floored at one row.
+/// 1.0 is a perfect estimate; the direction of the error is discarded.
+pub fn q_error(estimate: u64, actual: u64) -> f64 {
+    let e = estimate.max(1) as f64;
+    let a = actual.max(1) as f64;
+    (e / a).max(a / e)
+}
+
+/// Estimate the output cardinality of a bound plan from table statistics.
+///
+/// The returned bounds are sound as long as `stats` were collected from the
+/// same table contents the plan executes against (tables are immutable after
+/// registration). Tables absent from `stats` degrade that subtree to
+/// `[0, ∞)` rather than guessing.
+pub fn estimate(plan: &Plan, stats: &Statistics) -> CardEstimate {
+    estimate_node(plan, stats).card
+}
+
+/// Per-node result of the bottom-up pass: cardinality plus the statistics of
+/// each output column (None where a column is computed and untracked).
+struct NodeEst {
+    card: CardEstimate,
+    cols: Vec<Option<ColumnStats>>,
+}
+
+fn estimate_node(plan: &Plan, stats: &Statistics) -> NodeEst {
+    match plan {
+        Plan::Scan { table, projection, .. } => match stats.get(table) {
+            Some(ts) => {
+                let all: Vec<Option<ColumnStats>> =
+                    ts.columns.iter().cloned().map(Some).collect();
+                let cols = match projection {
+                    Some(p) => p.iter().map(|&i| all.get(i).cloned().flatten()).collect(),
+                    None => all,
+                };
+                NodeEst { card: CardEstimate::exact(ts.rows), cols }
+            }
+            None => NodeEst {
+                card: CardEstimate::unknown(),
+                cols: vec![None; plan.arity()],
+            },
+        },
+        Plan::Filter { input, predicate } => {
+            let inp = estimate_node(input, stats);
+            let card = match fold_expr(predicate.clone()) {
+                BoundExpr::Literal(Value::Bool(true)) => inp.card,
+                BoundExpr::Literal(Value::Bool(false)) | BoundExpr::Literal(Value::Null) => {
+                    CardEstimate::exact(0)
+                }
+                folded => CardEstimate {
+                    lo: 0,
+                    est: inp.card.est * selectivity(&folded, &inp.cols),
+                    hi: inp.card.hi,
+                }
+                .clamped(),
+            };
+            NodeEst { card, cols: inp.cols }
+        }
+        Plan::Join { left, right, kind, on } => {
+            let l = estimate_node(left, stats);
+            let r = estimate_node(right, stats);
+            let la = l.cols.len();
+            let mut cols = l.cols;
+            cols.extend(r.cols);
+            let card = join_card(&l.card, &r.card, *kind, on, la, &cols);
+            NodeEst { card, cols }
+        }
+        Plan::Project { input, exprs, .. } => {
+            let inp = estimate_node(input, stats);
+            let cols = exprs
+                .iter()
+                .map(|e| match e {
+                    BoundExpr::Column(i) => inp.cols.get(*i).cloned().flatten(),
+                    _ => None,
+                })
+                .collect();
+            NodeEst { card: inp.card, cols }
+        }
+        Plan::Aggregate { input, group_exprs, aggs, .. } => {
+            let inp = estimate_node(input, stats);
+            let mut cols: Vec<Option<ColumnStats>> = group_exprs
+                .iter()
+                .map(|e| match e {
+                    BoundExpr::Column(i) => inp.cols.get(*i).cloned().flatten(),
+                    _ => None,
+                })
+                .collect();
+            cols.extend(std::iter::repeat_with(|| None).take(aggs.len()));
+            let card = if group_exprs.is_empty() {
+                // A global aggregate yields exactly one row, even over an
+                // empty input (the executor materializes the empty group).
+                CardEstimate::exact(1)
+            } else {
+                let groups = distinct_bound(&cols[..group_exprs.len()]);
+                grouped_card(&inp.card, groups)
+            };
+            NodeEst { card, cols }
+        }
+        Plan::Distinct { input } => {
+            let inp = estimate_node(input, stats);
+            let card = grouped_card(&inp.card, distinct_bound(&inp.cols));
+            NodeEst { card, cols: inp.cols }
+        }
+        Plan::Sort { input, .. } => estimate_node(input, stats),
+        Plan::Limit { input, limit, offset } => {
+            let inp = estimate_node(input, stats);
+            let off = *offset as u64;
+            let cap = |n: u64| {
+                let after = n.saturating_sub(off);
+                match limit {
+                    Some(k) => after.min(*k as u64),
+                    None => after,
+                }
+            };
+            let card = CardEstimate {
+                lo: cap(inp.card.lo),
+                est: inp.card.est - off as f64,
+                hi: cap(inp.card.hi),
+            }
+            .clamped();
+            NodeEst { card, cols: inp.cols }
+        }
+    }
+}
+
+/// `DISTINCT`/`GROUP BY` output after deduplicating on `cols`: at most the
+/// product of per-column distinct counts (+1 per nullable column, since NULL
+/// forms its own group). None when any column lacks statistics.
+fn distinct_bound(cols: &[Option<ColumnStats>]) -> Option<u64> {
+    let mut bound = 1u64;
+    for c in cols {
+        let s = c.as_ref()?;
+        let per_col = (s.distinct_count as u64 + u64::from(s.null_count > 0)).max(1);
+        bound = bound.saturating_mul(per_col);
+    }
+    Some(bound)
+}
+
+/// Cardinality of a deduplicating operator (`DISTINCT`, grouped aggregate):
+/// a non-empty input yields at least one group, and the output never exceeds
+/// the input or the distinct-combination bound.
+fn grouped_card(input: &CardEstimate, groups: Option<u64>) -> CardEstimate {
+    let hi = match groups {
+        Some(g) => g.min(input.hi),
+        None => input.hi,
+    };
+    CardEstimate { lo: u64::from(input.lo > 0).min(hi), est: input.est, hi }.clamped()
+}
+
+fn join_card(
+    l: &CardEstimate,
+    r: &CardEstimate,
+    kind: cda_sql::ast::JoinKind,
+    on: &BoundExpr,
+    left_arity: usize,
+    cols: &[Option<ColumnStats>],
+) -> CardEstimate {
+    use cda_sql::ast::JoinKind;
+    let cross_hi = l.hi.saturating_mul(r.hi);
+    let folded = fold_expr(on.clone());
+    let inner = match &folded {
+        BoundExpr::Literal(Value::Bool(true)) => CardEstimate {
+            lo: l.lo.saturating_mul(r.lo),
+            est: l.est * r.est,
+            hi: cross_hi,
+        },
+        BoundExpr::Literal(Value::Bool(false)) | BoundExpr::Literal(Value::Null) => {
+            CardEstimate::exact(0)
+        }
+        _ => {
+            // Containment per equi-join conjunct, independence for the rest.
+            let mut parts = Vec::new();
+            conjuncts(&folded, &mut parts);
+            let mut sel = 1.0f64;
+            for part in parts {
+                sel *= match equi_pair(part, left_arity) {
+                    Some((a, b)) => {
+                        let ndv = |i: usize| {
+                            cols.get(i)
+                                .and_then(Option::as_ref)
+                                .map_or(1, |s| s.distinct_count.max(1) as u64)
+                        };
+                        1.0 / ndv(a).max(ndv(b)).max(1) as f64
+                    }
+                    None => selectivity(part, cols),
+                };
+            }
+            CardEstimate { lo: 0, est: l.est * r.est * sel, hi: cross_hi }
+        }
+    };
+    match kind {
+        JoinKind::Inner => inner.clamped(),
+        // Every left row survives a LEFT join at least once.
+        JoinKind::Left => CardEstimate {
+            lo: l.lo.max(inner.lo),
+            est: inner.est.max(l.est),
+            hi: l.hi.saturating_mul(r.hi.max(1)).max(inner.hi),
+        }
+        .clamped(),
+    }
+}
+
+/// Flatten a top-level AND chain.
+fn conjuncts<'a>(e: &'a BoundExpr, out: &mut Vec<&'a BoundExpr>) {
+    match e {
+        BoundExpr::Binary { left, op: BinaryOp::And, right } => {
+            conjuncts(left, out);
+            conjuncts(right, out);
+        }
+        other => out.push(other),
+    }
+}
+
+/// `Column(a) = Column(b)` with the two columns on opposite join sides.
+fn equi_pair(e: &BoundExpr, left_arity: usize) -> Option<(usize, usize)> {
+    if let BoundExpr::Binary { left, op: BinaryOp::Eq, right } = e {
+        if let (BoundExpr::Column(a), BoundExpr::Column(b)) = (left.as_ref(), right.as_ref()) {
+            if (*a < left_arity) != (*b < left_arity) {
+                return Some((*a, *b));
+            }
+        }
+    }
+    None
+}
+
+/// Heuristic selectivity of a predicate in `[0, 1]` over rows whose column
+/// statistics are `cols` (None = untracked).
+fn selectivity(e: &BoundExpr, cols: &[Option<ColumnStats>]) -> f64 {
+    let s = match e {
+        BoundExpr::Literal(Value::Bool(true)) => 1.0,
+        BoundExpr::Literal(Value::Bool(false)) | BoundExpr::Literal(Value::Null) => 0.0,
+        BoundExpr::Binary { left, op, right } => match op {
+            BinaryOp::And => selectivity(left, cols) * selectivity(right, cols),
+            BinaryOp::Or => {
+                let a = selectivity(left, cols);
+                let b = selectivity(right, cols);
+                a + b - a * b
+            }
+            BinaryOp::Eq => eq_selectivity(left, right, cols),
+            BinaryOp::NotEq => 1.0 - eq_selectivity(left, right, cols),
+            BinaryOp::Lt | BinaryOp::LtEq | BinaryOp::Gt | BinaryOp::GtEq => {
+                range_selectivity(left, *op, right, cols)
+            }
+            _ => DEFAULT_SELECTIVITY,
+        },
+        BoundExpr::Not(inner) => 1.0 - selectivity(inner, cols),
+        BoundExpr::IsNull { expr, negated } => {
+            let frac = match expr.as_ref() {
+                BoundExpr::Column(i) => column_stats(cols, *i)
+                    .filter(|s| s.count > 0)
+                    .map_or(DEFAULT_SELECTIVITY, |s| s.null_count as f64 / s.count as f64),
+                _ => DEFAULT_SELECTIVITY,
+            };
+            if *negated {
+                1.0 - frac
+            } else {
+                frac
+            }
+        }
+        BoundExpr::InList { expr, list, negated } => {
+            let base = match expr.as_ref() {
+                BoundExpr::Column(i) => match column_stats(cols, *i) {
+                    Some(s) => list.len() as f64 / s.distinct_count.max(1) as f64,
+                    None => list.len() as f64 * DEFAULT_EQ_SELECTIVITY,
+                },
+                _ => list.len() as f64 * DEFAULT_EQ_SELECTIVITY,
+            }
+            .min(1.0);
+            if *negated {
+                1.0 - base
+            } else {
+                base
+            }
+        }
+        BoundExpr::Between { expr, low, high, negated } => {
+            // sel(x BETWEEN a AND b) = sel(x >= a) + sel(x <= b) − 1, the
+            // inclusion–exclusion form of the two half-range interpolations.
+            let ge = range_selectivity(expr, BinaryOp::GtEq, low, cols);
+            let le = range_selectivity(expr, BinaryOp::LtEq, high, cols);
+            let frac = (ge + le - 1.0).clamp(0.0, 1.0);
+            if *negated {
+                1.0 - frac
+            } else {
+                frac
+            }
+        }
+        BoundExpr::Like { negated, .. } => {
+            if *negated {
+                1.0 - LIKE_SELECTIVITY
+            } else {
+                LIKE_SELECTIVITY
+            }
+        }
+        _ => DEFAULT_SELECTIVITY,
+    };
+    s.clamp(0.0, 1.0)
+}
+
+fn column_stats(cols: &[Option<ColumnStats>], i: usize) -> Option<&ColumnStats> {
+    cols.get(i).and_then(Option::as_ref)
+}
+
+/// Equality selectivity: `1/NDV` for column-vs-literal (0 when the literal
+/// falls outside the column's min–max range), containment for column pairs.
+fn eq_selectivity(left: &BoundExpr, right: &BoundExpr, cols: &[Option<ColumnStats>]) -> f64 {
+    match (left, right) {
+        (BoundExpr::Column(i), BoundExpr::Literal(v))
+        | (BoundExpr::Literal(v), BoundExpr::Column(i)) => match column_stats(cols, *i) {
+            Some(s) => {
+                let outside = match (&s.min, &s.max) {
+                    (Some(min), Some(max)) => {
+                        v.sql_cmp(min) == Some(std::cmp::Ordering::Less)
+                            || v.sql_cmp(max) == Some(std::cmp::Ordering::Greater)
+                    }
+                    _ => false,
+                };
+                if outside {
+                    0.0
+                } else {
+                    1.0 / s.distinct_count.max(1) as f64
+                }
+            }
+            None => DEFAULT_EQ_SELECTIVITY,
+        },
+        (BoundExpr::Column(a), BoundExpr::Column(b)) => {
+            match (column_stats(cols, *a), column_stats(cols, *b)) {
+                (Some(sa), Some(sb)) => {
+                    1.0 / sa.distinct_count.max(sb.distinct_count).max(1) as f64
+                }
+                _ => DEFAULT_EQ_SELECTIVITY,
+            }
+        }
+        _ => DEFAULT_EQ_SELECTIVITY,
+    }
+}
+
+/// Range selectivity by min–max interpolation for numeric column-vs-literal
+/// comparisons; `DEFAULT_SELECTIVITY` when uninterpolatable.
+fn range_selectivity(
+    left: &BoundExpr,
+    op: BinaryOp,
+    right: &BoundExpr,
+    cols: &[Option<ColumnStats>],
+) -> f64 {
+    let (i, v, op) = match (left, right) {
+        (BoundExpr::Column(i), BoundExpr::Literal(v)) => (*i, v, op),
+        // `lit < col` reads as `col > lit`
+        (BoundExpr::Literal(v), BoundExpr::Column(i)) => (
+            *i,
+            v,
+            match op {
+                BinaryOp::Lt => BinaryOp::Gt,
+                BinaryOp::LtEq => BinaryOp::GtEq,
+                BinaryOp::Gt => BinaryOp::Lt,
+                BinaryOp::GtEq => BinaryOp::LtEq,
+                other => other,
+            },
+        ),
+        _ => return DEFAULT_SELECTIVITY,
+    };
+    let Some(s) = column_stats(cols, i) else { return DEFAULT_SELECTIVITY };
+    let (Some(min), Some(max), Some(x)) = (
+        s.min.as_ref().and_then(Value::as_f64),
+        s.max.as_ref().and_then(Value::as_f64),
+        v.as_f64(),
+    ) else {
+        return DEFAULT_SELECTIVITY;
+    };
+    if max <= min {
+        // Degenerate single-valued column: the comparison either holds for
+        // every row or for none.
+        let holds = match op {
+            BinaryOp::Lt => min < x,
+            BinaryOp::LtEq => min <= x,
+            BinaryOp::Gt => min > x,
+            BinaryOp::GtEq => min >= x,
+            _ => return DEFAULT_SELECTIVITY,
+        };
+        return if holds { 1.0 } else { 0.0 };
+    }
+    let frac_le = ((x - min) / (max - min)).clamp(0.0, 1.0);
+    match op {
+        BinaryOp::Lt | BinaryOp::LtEq => frac_le,
+        BinaryOp::Gt | BinaryOp::GtEq => 1.0 - frac_le,
+        _ => DEFAULT_SELECTIVITY,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cda_dataframe::{Column, DataType, Field, Schema};
+    use cda_sql::parser::parse;
+    use cda_sql::planner::plan_select;
+    use cda_sql::{execute, Catalog};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        let n = 120usize;
+        let cantons = ["ZH", "GE", "VD"];
+        let canton: Vec<&str> = (0..n).map(|i| cantons[i % 3]).collect();
+        let jobs: Vec<i64> = (0..n).map(|i| (i as i64 * 13) % 100).collect();
+        let emp = Table::from_columns(
+            Schema::new(vec![
+                Field::new("canton", DataType::Str),
+                Field::new("jobs", DataType::Int),
+            ]),
+            vec![Column::from_strs(&canton), Column::from_ints(&jobs)],
+        )
+        .unwrap();
+        c.register("emp", emp).unwrap();
+        let regions = Table::from_columns(
+            Schema::new(vec![
+                Field::new("canton", DataType::Str),
+                Field::new("population", DataType::Int),
+            ]),
+            vec![
+                Column::from_strs(&["ZH", "GE", "VD"]),
+                Column::from_ints(&[1_500_000, 500_000, 800_000]),
+            ],
+        )
+        .unwrap();
+        c.register("regions", regions).unwrap();
+        c
+    }
+
+    fn est(sql: &str) -> (CardEstimate, u64) {
+        let c = catalog();
+        let stats = Statistics::from_catalog(&c);
+        let select = parse(sql).unwrap();
+        let plan = plan_select(&c, &select).unwrap();
+        let e = estimate(&plan, &stats);
+        let actual = execute(&c, sql).unwrap().table.num_rows() as u64;
+        (e, actual)
+    }
+
+    #[test]
+    fn scan_is_exact() {
+        let (e, actual) = est("SELECT * FROM emp");
+        assert_eq!((e.lo, e.hi), (120, 120));
+        assert_eq!(e.point(), actual);
+    }
+
+    #[test]
+    fn equality_filter_uses_ndv() {
+        let (e, actual) = est("SELECT * FROM emp WHERE canton = 'ZH'");
+        assert_eq!(e.lo, 0);
+        assert_eq!(e.hi, 120);
+        assert_eq!(e.point(), 40, "120 rows / 3 distinct cantons");
+        assert!(e.contains(actual));
+    }
+
+    #[test]
+    fn equality_with_out_of_range_literal_estimates_zero() {
+        let (e, actual) = est("SELECT * FROM emp WHERE jobs = 50000");
+        assert_eq!(e.point(), 0);
+        assert_eq!(actual, 0);
+        assert!(e.contains(actual));
+    }
+
+    #[test]
+    fn range_filter_interpolates_min_max() {
+        // jobs spans 0..=99 roughly uniformly; jobs < 50 is about half
+        let (e, actual) = est("SELECT * FROM emp WHERE jobs < 50");
+        let p = e.point() as f64;
+        assert!((p - 60.0).abs() <= 15.0, "point {p}, actual {actual}");
+        assert!(e.contains(actual));
+    }
+
+    #[test]
+    fn conjunction_multiplies_selectivities() {
+        let (e, actual) = est("SELECT * FROM emp WHERE canton = 'ZH' AND jobs < 50");
+        assert!(e.point() < 40, "conjunction must be more selective than either side");
+        assert!(e.contains(actual));
+    }
+
+    #[test]
+    fn limit_caps_exactly() {
+        let (e, actual) = est("SELECT * FROM emp LIMIT 7");
+        assert_eq!((e.lo, e.hi, e.point()), (7, 7, 7));
+        assert_eq!(actual, 7);
+    }
+
+    #[test]
+    fn distinct_capped_by_ndv_product() {
+        let (e, actual) = est("SELECT DISTINCT canton FROM emp");
+        assert_eq!(e.hi, 3);
+        assert_eq!(e.lo, 1);
+        assert!(e.contains(actual));
+        assert_eq!(actual, 3);
+    }
+
+    #[test]
+    fn group_by_capped_by_group_column_ndv() {
+        let (e, actual) = est("SELECT canton, SUM(jobs) FROM emp GROUP BY canton");
+        assert_eq!(e.hi, 3);
+        assert!(e.contains(actual));
+    }
+
+    #[test]
+    fn global_aggregate_is_exactly_one_row() {
+        let (e, actual) = est("SELECT SUM(jobs) FROM emp");
+        assert_eq!((e.lo, e.hi), (1, 1));
+        assert_eq!(actual, 1);
+    }
+
+    #[test]
+    fn equi_join_uses_containment() {
+        let (e, actual) =
+            est("SELECT e.canton FROM emp e JOIN regions r ON e.canton = r.canton");
+        // |emp|·|regions| / max(3, 3) = 120
+        assert_eq!(e.point(), 120);
+        assert_eq!(e.hi, 360, "upper bound stays the cross product");
+        assert!(e.contains(actual));
+        assert_eq!(actual, 120);
+    }
+
+    #[test]
+    fn cartesian_join_bounds_are_the_cross_product() {
+        let (e, actual) = est("SELECT e.canton FROM emp e JOIN regions r ON 1 = 1");
+        assert_eq!((e.lo, e.hi), (360, 360));
+        assert_eq!(actual, 360);
+    }
+
+    #[test]
+    fn unsatisfiable_filter_is_provably_empty() {
+        let (e, actual) = est("SELECT * FROM emp WHERE 1 = 2");
+        assert_eq!((e.lo, e.hi), (0, 0));
+        assert_eq!(actual, 0);
+    }
+
+    #[test]
+    fn unknown_table_degrades_to_unbounded() {
+        let plan = Plan::Scan {
+            table: "mystery".into(),
+            schema: Schema::new(vec![Field::new("a", DataType::Int)]),
+            projection: None,
+        };
+        let e = estimate(&plan, &Statistics::new());
+        assert_eq!((e.lo, e.hi), (0, u64::MAX));
+        assert!(e.to_string().contains("inf"));
+    }
+
+    #[test]
+    fn q_error_is_symmetric_and_floored() {
+        assert_eq!(q_error(10, 10), 1.0);
+        assert_eq!(q_error(100, 10), 10.0);
+        assert_eq!(q_error(10, 100), 10.0);
+        assert_eq!(q_error(0, 0), 1.0);
+    }
+
+    #[test]
+    fn statistics_lookup_is_case_insensitive() {
+        let c = catalog();
+        let stats = Statistics::from_catalog(&c);
+        assert_eq!(stats.len(), 2);
+        assert!(!stats.is_empty());
+        assert_eq!(stats.get("EMP").map(|t| t.rows), Some(120));
+    }
+}

@@ -25,7 +25,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cardest;
 pub mod repolint;
 pub mod sqlcheck;
 
-pub use sqlcheck::{analyze, analyze_plan, Code, Finding, Report, Severity};
+pub use cardest::{estimate, q_error, CardEstimate, Statistics, TableStatistics};
+pub use sqlcheck::{Analyzer, Code, Finding, Report, Severity};
+#[allow(deprecated)]
+pub use sqlcheck::{analyze, analyze_plan};

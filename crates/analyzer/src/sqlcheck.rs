@@ -1,6 +1,7 @@
 //! `sqlcheck` — the pre-execution static soundness gate for generated SQL.
 //!
-//! [`analyze`] runs two passes over a candidate query, without executing it:
+//! The configurable [`Analyzer`] runs up to three passes over a candidate
+//! query, without executing it:
 //!
 //! 1. an **AST pass** against the catalog: unknown tables and columns,
 //!    ambiguous references, type misuse (arithmetic on text, `SUM` over a
@@ -10,15 +11,25 @@
 //!    constant-fold to `FALSE`/`NULL` (provably-empty results), tautological
 //!    filters, division by a literal zero, joins with no usable join
 //!    predicate (accidental cartesian products), out-of-range column
-//!    references, and `LIMIT 0`.
+//!    references, and `LIMIT 0`;
+//! 3. a **cost pass** (when the analyzer is built
+//!    [`with_stats`](Analyzer::with_stats)): the [`crate::cardest`]
+//!    cardinality estimator bounds the output row count, upgrades the A009
+//!    cartesian-join warning to a quantitative one, and — given a
+//!    [`with_row_budget`](Analyzer::with_row_budget) — raises A013 when the
+//!    estimated result size exceeds the budget.
 //!
-//! Each finding carries a stable code (`A001`…), a [`Severity`], and an NL
-//! message suitable for the answer annotation layer. The subset of findings
-//! for which [`Code::dooms_execution`] holds proves that executing the query
-//! would fail (assuming rows actually flow through the offending operator),
-//! which is what lets the rejection sampler and consistency UQ skip the
-//! execution entirely — the wall-clock saving experiment E13 measures.
+//! Each finding carries a stable code (`A001`…), a [`Severity`], an NL
+//! message suitable for the answer annotation layer, and (where available)
+//! a structured payload: the source span of the offending identifier and
+//! the estimated row-count bounds. The subset of findings for which
+//! [`Code::dooms_execution`] holds proves that executing the query would
+//! fail (assuming rows actually flow through the offending operator), which
+//! is what lets the rejection sampler and consistency UQ skip the execution
+//! entirely — the wall-clock saving experiment E13 measures, while E14
+//! measures the cost pass's accuracy (q-error) and overhead.
 
+use crate::cardest::{estimate, CardEstimate, Statistics};
 use cda_dataframe::kernels::AggKind;
 use cda_dataframe::{DataType, Schema, Value};
 use cda_sql::ast::{BinaryOp, Expr, Select, SelectItem};
@@ -27,6 +38,7 @@ use cda_sql::plan::{BoundExpr, Plan};
 use cda_sql::planner::plan_select;
 use cda_sql::{Catalog, SqlError};
 use std::fmt;
+use std::ops::Range;
 
 /// How bad a finding is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -78,6 +90,8 @@ pub enum Code {
     LimitZero,
     /// A012 — comparison between incompatible types (always `NULL`).
     SuspiciousComparison,
+    /// A013 — estimated output cardinality exceeds the configured row budget.
+    RowBudgetExceeded,
 }
 
 impl Code {
@@ -96,6 +110,7 @@ impl Code {
             Code::ColumnOutOfRange => "A010",
             Code::LimitZero => "A011",
             Code::SuspiciousComparison => "A012",
+            Code::RowBudgetExceeded => "A013",
         }
     }
 
@@ -113,7 +128,8 @@ impl Code {
             Code::TautologicalFilter
             | Code::CartesianJoin
             | Code::LimitZero
-            | Code::SuspiciousComparison => Severity::Warn,
+            | Code::SuspiciousComparison
+            | Code::RowBudgetExceeded => Severity::Warn,
         }
     }
 
@@ -150,17 +166,52 @@ pub struct Finding {
     pub severity: Severity,
     /// NL rendering for the answer annotation layer.
     pub message: String,
+    /// Byte range of the offending identifier in the analyzed SQL text,
+    /// when it could be located (best-effort; never affects rendering).
+    pub span: Option<Range<usize>>,
+    /// Estimated `[lo, hi]` output row bounds attached by the cost pass
+    /// (`u64::MAX` = unbounded above).
+    pub estimated_rows: Option<(u64, u64)>,
 }
 
 impl Finding {
     /// Build a finding; the severity comes from the code.
     pub fn new(code: Code, message: impl Into<String>) -> Self {
-        Self { code, severity: code.severity(), message: message.into() }
+        Self {
+            code,
+            severity: code.severity(),
+            message: message.into(),
+            span: None,
+            estimated_rows: None,
+        }
     }
 
-    /// Render as `[A00x reject] message`.
+    /// Attach the source span of the offending identifier.
+    pub fn with_span(mut self, span: Range<usize>) -> Self {
+        self.span = Some(span);
+        self
+    }
+
+    /// Attach estimated output row bounds from the cost pass.
+    pub fn with_estimated_rows(mut self, bounds: (u64, u64)) -> Self {
+        self.estimated_rows = Some(bounds);
+        self
+    }
+
+    /// Render as `[A00x reject] message`; findings carrying row bounds
+    /// append ` (estimated rows lo..hi)`. Output is byte-identical to
+    /// earlier releases for findings without payloads.
     pub fn render(&self) -> String {
-        format!("[{} {}] {}", self.code, self.severity, self.message)
+        match self.estimated_rows {
+            Some((lo, hi)) => {
+                let hi = if hi == u64::MAX { "inf".to_owned() } else { hi.to_string() };
+                format!(
+                    "[{} {}] {} (estimated rows {lo}..{hi})",
+                    self.code, self.severity, self.message
+                )
+            }
+            None => format!("[{} {}] {}", self.code, self.severity, self.message),
+        }
     }
 }
 
@@ -169,11 +220,20 @@ impl Finding {
 pub struct Report {
     /// All findings, in discovery order.
     pub findings: Vec<Finding>,
+    /// Output cardinality estimate from the cost pass (None when the
+    /// analyzer has no statistics or the query never reached planning).
+    pub estimate: Option<CardEstimate>,
+    /// The row budget the cost pass checked against, if one was configured.
+    pub row_budget: Option<u64>,
 }
 
 impl Report {
     fn push(&mut self, code: Code, message: impl Into<String>) {
-        let f = Finding::new(code, message);
+        self.push_finding(Finding::new(code, message));
+    }
+
+    /// Add a finding unless an identical one is already present.
+    pub fn push_finding(&mut self, f: Finding) {
         if !self.findings.contains(&f) {
             self.findings.push(f);
         }
@@ -210,46 +270,199 @@ impl Report {
         self.annotations().join("; ")
     }
 
+    /// True when the cost pass flagged the estimated result size as
+    /// exceeding the configured row budget (A013).
+    pub fn exceeds_budget(&self) -> bool {
+        self.findings.iter().any(|f| f.code == Code::RowBudgetExceeded)
+    }
+
     /// Confidence multiplier for the static signal: 1.0 when clean, scaled
     /// down per warning; 0.0 when rejected (a rejected query carries no
-    /// trustworthy claim).
+    /// trustworthy claim). Quantitative cost findings (A013 with row
+    /// bounds) weigh in proportionally to how far the estimate overshoots
+    /// the budget — one extra 0.9 factor per decade of overshoot, clamped
+    /// at four decades — instead of the flat per-warning 0.9.
     pub fn confidence_factor(&self) -> f64 {
         if self.is_rejected() {
             return 0.0;
         }
-        let warns = self.findings.iter().filter(|f| f.severity == Severity::Warn).count();
-        (0.9f64).powi(warns as i32)
+        let mut factor = 1.0f64;
+        for f in self.findings.iter().filter(|f| f.severity == Severity::Warn) {
+            factor *= match (f.code, f.estimated_rows, self.row_budget) {
+                (Code::RowBudgetExceeded, Some((_, hi)), Some(budget)) if budget > 0 => {
+                    let overshoot = (hi as f64 / budget as f64).max(1.0);
+                    0.9f64.powf(1.0 + overshoot.log10().clamp(0.0, 4.0))
+                }
+                _ => 0.9,
+            };
+        }
+        factor
+    }
+}
+
+/// The configurable static-analysis entry point: a catalog plus optional
+/// table statistics, row budget, and pass toggles.
+///
+/// ```
+/// # use cda_analyzer::sqlcheck::Analyzer;
+/// # use cda_analyzer::cardest::Statistics;
+/// # let catalog = cda_sql::Catalog::new();
+/// let stats = Statistics::from_catalog(&catalog);
+/// let analyzer = Analyzer::new(&catalog).with_stats(&stats).with_row_budget(1_000_000);
+/// let report = analyzer.analyze("SELECT 1 FROM missing");
+/// assert!(report.dooms_execution());
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Analyzer<'a> {
+    catalog: &'a Catalog,
+    stats: Option<&'a Statistics>,
+    row_budget: Option<u64>,
+    ast_pass: bool,
+    plan_pass: bool,
+}
+
+impl<'a> Analyzer<'a> {
+    /// An analyzer over `catalog` with both static passes on and no cost
+    /// pass (no statistics, no budget).
+    pub fn new(catalog: &'a Catalog) -> Self {
+        Self { catalog, stats: None, row_budget: None, ast_pass: true, plan_pass: true }
+    }
+
+    /// Enable the cost pass with these table statistics.
+    pub fn with_stats(mut self, stats: &'a Statistics) -> Self {
+        self.stats = Some(stats);
+        self
+    }
+
+    /// Raise A013 when the estimated result size exceeds `rows`
+    /// (only effective together with [`with_stats`](Self::with_stats)).
+    pub fn with_row_budget(mut self, rows: u64) -> Self {
+        self.row_budget = Some(rows);
+        self
+    }
+
+    /// Toggle the AST pass (on by default).
+    pub fn with_ast_pass(mut self, on: bool) -> Self {
+        self.ast_pass = on;
+        self
+    }
+
+    /// Toggle the plan pass (on by default).
+    pub fn with_plan_pass(mut self, on: bool) -> Self {
+        self.plan_pass = on;
+        self
+    }
+
+    /// The catalog this analyzer checks against.
+    pub fn catalog(&self) -> &'a Catalog {
+        self.catalog
+    }
+
+    /// Statically analyze one SQL query. Never executes.
+    pub fn analyze(&self, sql: &str) -> Report {
+        let mut report = Report { row_budget: self.row_budget, ..Report::default() };
+        let select = match cda_sql::parser::parse(sql) {
+            Ok(s) => s,
+            Err(e) => {
+                report.push(Code::SyntaxError, format!("the query is not valid SQL ({e})"));
+                return report;
+            }
+        };
+        if self.ast_pass {
+            check_select(self.catalog, &select, &mut report);
+            attach_spans(&mut report, sql);
+        }
+        if report.dooms_execution() {
+            // Planning would fail for the same reasons; no further signal.
+            return report;
+        }
+        match plan_select(self.catalog, &select) {
+            Ok(plan) => {
+                if self.plan_pass {
+                    check_plan(&plan, &mut report);
+                }
+                self.cost_pass(&plan, &mut report);
+            }
+            Err(e) => report.push(
+                map_plan_error(&e),
+                format!("the query cannot be bound to a plan ({e})"),
+            ),
+        }
+        report
+    }
+
+    /// Statically analyze an already-bound logical plan: the plan pass
+    /// (constant-folded predicates, cartesian joins, division by literal
+    /// zero, out-of-range columns, `LIMIT 0`) plus the cost pass when
+    /// statistics are configured.
+    pub fn analyze_plan(&self, plan: &Plan) -> Report {
+        let mut report = Report { row_budget: self.row_budget, ..Report::default() };
+        if self.plan_pass {
+            check_plan(plan, &mut report);
+        }
+        self.cost_pass(plan, &mut report);
+        report
+    }
+
+    /// Convenience for gates: does static analysis prove this query cannot
+    /// execute successfully?
+    pub fn execution_doomed(&self, sql: &str) -> bool {
+        self.analyze(sql).dooms_execution()
+    }
+
+    /// Cost pass: estimate output cardinality, make A009 quantitative,
+    /// raise A013 when the estimate exceeds the row budget.
+    fn cost_pass(&self, plan: &Plan, report: &mut Report) {
+        let Some(stats) = self.stats else { return };
+        let est = estimate(plan, stats);
+        report.estimate = Some(est);
+        for f in report.findings.iter_mut() {
+            if f.code == Code::CartesianJoin && f.estimated_rows.is_none() {
+                f.estimated_rows = Some((est.lo, est.hi));
+            }
+        }
+        if let Some(budget) = self.row_budget {
+            if est.point() > budget {
+                report.push_finding(
+                    Finding::new(
+                        Code::RowBudgetExceeded,
+                        format!("estimated result size {est} exceeds the row budget of {budget} rows"),
+                    )
+                    .with_estimated_rows((est.lo, est.hi)),
+                );
+            }
+        }
+    }
+}
+
+/// Best-effort span recovery: locate the identifier quoted in an unknown
+/// table/column message inside the SQL text.
+fn attach_spans(report: &mut Report, sql: &str) {
+    let lower = sql.to_ascii_lowercase();
+    for f in report.findings.iter_mut() {
+        if f.span.is_some() || !matches!(f.code, Code::UnknownTable | Code::UnknownColumn) {
+            continue;
+        }
+        let Some(ident) = f.message.split('"').nth(1) else { continue };
+        if ident.is_empty() {
+            continue;
+        }
+        if let Some(pos) = lower.find(&ident.to_ascii_lowercase()) {
+            f.span = Some(pos..pos + ident.len());
+        }
     }
 }
 
 /// Statically analyze one SQL query against a catalog. Never executes.
+#[deprecated(note = "use Analyzer::new(catalog).analyze(sql)")]
 pub fn analyze(catalog: &Catalog, sql: &str) -> Report {
-    let mut report = Report::default();
-    let select = match cda_sql::parser::parse(sql) {
-        Ok(s) => s,
-        Err(e) => {
-            report.push(Code::SyntaxError, format!("the query is not valid SQL ({e})"));
-            return report;
-        }
-    };
-    check_select(catalog, &select, &mut report);
-    if report.dooms_execution() {
-        // Planning would fail for the same reasons; no further signal.
-        return report;
-    }
-    match plan_select(catalog, &select) {
-        Ok(plan) => check_plan(&plan, &mut report),
-        Err(e) => report.push(
-            map_plan_error(&e),
-            format!("the query cannot be bound to a plan ({e})"),
-        ),
-    }
-    report
+    Analyzer::new(catalog).analyze(sql)
 }
 
 /// Statically analyze an already-bound logical plan (the plan-pass half of
-/// [`analyze`]): constant-folded predicates, cartesian joins, division by
+/// the analysis): constant-folded predicates, cartesian joins, division by
 /// literal zero, out-of-range columns, `LIMIT 0`.
+#[deprecated(note = "use Analyzer::new(catalog).analyze_plan(plan)")]
 pub fn analyze_plan(plan: &Plan) -> Report {
     let mut report = Report::default();
     check_plan(plan, &mut report);
@@ -258,8 +471,9 @@ pub fn analyze_plan(plan: &Plan) -> Report {
 
 /// Convenience for gates: does static analysis prove this query cannot
 /// execute successfully?
+#[deprecated(note = "use Analyzer::new(catalog).execution_doomed(sql)")]
 pub fn execution_doomed(catalog: &Catalog, sql: &str) -> bool {
-    analyze(catalog, sql).dooms_execution()
+    Analyzer::new(catalog).execution_doomed(sql)
 }
 
 fn map_plan_error(e: &SqlError) -> Code {
@@ -866,6 +1080,10 @@ mod tests {
         c
     }
 
+    fn analyze(c: &Catalog, sql: &str) -> Report {
+        Analyzer::new(c).analyze(sql)
+    }
+
     fn codes(sql: &str) -> Vec<Code> {
         analyze(&catalog(), sql).findings.iter().map(|f| f.code).collect()
     }
@@ -954,19 +1172,23 @@ mod tests {
 
     #[test]
     fn a010_out_of_range_columns_in_hand_built_plans() {
+        let c = Catalog::new();
+        let a = Analyzer::new(&c);
         let schema = Schema::new(vec![Field::new("a", DataType::Int)]);
         let scan = Plan::Scan { table: "t".into(), schema, projection: None };
         let bad_sort = Plan::Sort {
             input: Box::new(scan.clone()),
             keys: vec![SortSpec { column: 7, descending: false }],
         };
-        assert!(analyze_plan(&bad_sort)
+        assert!(a
+            .analyze_plan(&bad_sort)
             .findings
             .iter()
             .any(|f| f.code == Code::ColumnOutOfRange));
         let bad_filter =
             Plan::Filter { input: Box::new(scan), predicate: BoundExpr::Column(3) };
-        assert!(analyze_plan(&bad_filter)
+        assert!(a
+            .analyze_plan(&bad_filter)
             .findings
             .iter()
             .any(|f| f.code == Code::ColumnOutOfRange));
@@ -1041,11 +1263,108 @@ mod tests {
 
     #[test]
     fn report_helpers() {
-        let r = analyze(&catalog(), "SELECT nope FROM emp");
+        let c = catalog();
+        let r = analyze(&c, "SELECT nope FROM emp");
         assert!(r.is_rejected());
         assert_eq!(r.max_severity(), Some(Severity::Reject));
         assert!(!r.annotations().is_empty());
-        assert!(execution_doomed(&catalog(), "SELECT nope FROM emp"));
-        assert!(!execution_doomed(&catalog(), "SELECT canton FROM emp"));
+        let a = Analyzer::new(&c);
+        assert!(a.execution_doomed("SELECT nope FROM emp"));
+        assert!(!a.execution_doomed("SELECT canton FROM emp"));
+    }
+
+    #[test]
+    fn a013_estimated_output_exceeds_budget() {
+        let c = catalog();
+        let stats = Statistics::from_catalog(&c);
+        let tight = Analyzer::new(&c).with_stats(&stats).with_row_budget(2);
+        let r = tight.analyze("SELECT * FROM emp");
+        assert!(r.exceeds_budget(), "{:?}", r.findings);
+        assert!(!r.dooms_execution(), "A013 is a warning, never a doom");
+        assert!(!r.is_rejected());
+        let f = r.findings.iter().find(|f| f.code == Code::RowBudgetExceeded).unwrap();
+        assert_eq!(f.estimated_rows, Some((4, 4)));
+        assert!(f.render().contains("row budget of 2"), "{}", f.render());
+        assert!(f.render().contains("estimated rows 4..4"), "{}", f.render());
+
+        // A generous budget raises nothing: zero false rejects by budget.
+        let generous = Analyzer::new(&c).with_stats(&stats).with_row_budget(1_000_000);
+        let r = generous.analyze("SELECT * FROM emp");
+        assert!(!r.exceeds_budget());
+        assert!(r.is_clean(), "{:?}", r.findings);
+        assert_eq!(r.estimate.map(|e| e.point()), Some(4));
+    }
+
+    #[test]
+    fn a009_becomes_quantitative_with_stats() {
+        let c = catalog();
+        let stats = Statistics::from_catalog(&c);
+        let r = Analyzer::new(&c)
+            .with_stats(&stats)
+            .analyze("SELECT e.canton FROM emp e JOIN regions r ON 1 = 1");
+        let f = r.findings.iter().find(|f| f.code == Code::CartesianJoin).unwrap();
+        assert_eq!(f.estimated_rows, Some((8, 8)), "4 emp rows x 2 region rows");
+        assert!(f.render().ends_with("(estimated rows 8..8)"), "{}", f.render());
+        // Without stats the same finding stays shape-only, rendered as before.
+        let bare = analyze(&c, "SELECT e.canton FROM emp e JOIN regions r ON 1 = 1");
+        let f = bare.findings.iter().find(|f| f.code == Code::CartesianJoin).unwrap();
+        assert_eq!(f.estimated_rows, None);
+        assert!(!f.render().contains("estimated"));
+    }
+
+    #[test]
+    fn spans_locate_unknown_identifiers() {
+        let c = catalog();
+        let r = analyze(&c, "SELECT nope FROM emp");
+        let f = r.findings.iter().find(|f| f.code == Code::UnknownColumn).unwrap();
+        assert_eq!(f.span, Some(7..11));
+        let r = analyze(&c, "SELECT x FROM missing_table");
+        let f = r.findings.iter().find(|f| f.code == Code::UnknownTable).unwrap();
+        assert_eq!(f.span, Some(14..27));
+        // Spans never change the rendering.
+        assert!(!f.render().contains("14"));
+    }
+
+    #[test]
+    fn confidence_weights_budget_overshoot_log_scaled() {
+        let mk = |hi: u64, budget: u64| {
+            let mut r = Report { row_budget: Some(budget), ..Report::default() };
+            r.push_finding(
+                Finding::new(Code::RowBudgetExceeded, "over budget")
+                    .with_estimated_rows((0, hi)),
+            );
+            r.confidence_factor()
+        };
+        // 100x overshoot: two decades -> 0.9^(1+2)
+        assert!((mk(100_000, 1_000) - 0.9f64.powi(3)).abs() < 1e-12);
+        // At (or below) budget: the flat single-warning factor.
+        assert!((mk(1_000, 1_000) - 0.9f64).abs() < 1e-12);
+        // Astronomical overshoot clamps at four decades -> 0.9^5.
+        assert!((mk(u64::MAX, 1_000) - 0.9f64.powi(5)).abs() < 1e-12);
+        // A013 without payload degrades to the flat 0.9 weight.
+        let mut r = Report::default();
+        r.push_finding(Finding::new(Code::RowBudgetExceeded, "over budget"));
+        assert!((r.confidence_factor() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pass_toggles_disable_their_findings() {
+        let c = catalog();
+        let no_ast = Analyzer::new(&c).with_ast_pass(false);
+        // A012 comes from the AST pass; with it off the query is clean.
+        assert!(no_ast.analyze("SELECT canton FROM emp WHERE canton > 5").is_clean());
+        let no_plan = Analyzer::new(&c).with_plan_pass(false);
+        assert!(no_plan.analyze("SELECT canton FROM emp WHERE 1 = 2").is_clean());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_work() {
+        let c = catalog();
+        assert!(execution_doomed(&c, "SELECT nope FROM emp"));
+        assert!(super::analyze(&c, "SELECT canton FROM emp").is_clean());
+        let schema = Schema::new(vec![Field::new("a", DataType::Int)]);
+        let scan = Plan::Scan { table: "t".into(), schema, projection: None };
+        assert!(analyze_plan(&scan).is_clean());
     }
 }

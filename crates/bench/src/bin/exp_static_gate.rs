@@ -3,7 +3,8 @@
 //!
 //! For each LM hallucination rate we sample candidate SQL for every workload
 //! task and compare two verdicts per candidate: the static gate
-//! (`execution_doomed`) and ground truth (actually executing the query).
+//! (`Analyzer::execution_doomed`) and ground truth (actually executing the
+//! query).
 //! Reported per rate:
 //! - `exec-rej`: fraction of candidates execution verification rejects;
 //! - `caught`: fraction of those the static gate also rejects (the gate's
@@ -16,6 +17,7 @@
 //! A final check runs the analyzer over every *gold* workload query: the gate
 //! must reject none of them (zero false rejects on the valid demo workload).
 
+use cda_analyzer::Analyzer;
 use cda_bench::{f, header, row, timed, us};
 use cda_dataframe::{Column, DataType, Field, Schema, Table};
 use cda_nlmodel::lm::{Nl2SqlPrompt, SimLm, SimLmConfig};
@@ -61,6 +63,7 @@ fn main() {
         ],
     }];
     let workload = Workload::generate(&tables, 60, 41);
+    let analyzer = Analyzer::new(&catalog);
 
     row(&[
         "halluc".into(),
@@ -93,8 +96,7 @@ fn main() {
             };
             for g in lm.sample_k(&prompt, 1.0, 5) {
                 candidates += 1;
-                let (doomed, dt) =
-                    timed(|| cda_analyzer::sqlcheck::execution_doomed(&catalog, &g.sql));
+                let (doomed, dt) = timed(|| analyzer.execution_doomed(&g.sql));
                 t_static += dt;
                 let (exec, dt) = timed(|| cda_sql::execute(&catalog, &g.sql));
                 t_exec += dt;
@@ -129,11 +131,8 @@ fn main() {
     }
 
     // Gold-workload sanity: the gate must pass every valid demo query.
-    let gold_doomed = workload
-        .tasks
-        .iter()
-        .filter(|t| cda_analyzer::sqlcheck::execution_doomed(&catalog, &t.gold_sql))
-        .count();
+    let gold_doomed =
+        workload.tasks.iter().filter(|t| analyzer.execution_doomed(&t.gold_sql)).count();
     println!("\ngold workload: {} queries, {} statically rejected", workload.tasks.len(), gold_doomed);
     println!(
         "acceptance: min catch rate {} (>=0.50: {}), false rejects {} (==0: {}), worst t-ratio {} (<0.10: {})",

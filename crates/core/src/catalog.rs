@@ -8,6 +8,7 @@
 
 use crate::rot::{demote_score, Freshness};
 use crate::{CdaError, Result};
+use cda_analyzer::cardest::Statistics;
 use cda_dataframe::Table;
 use cda_kg::linking::hash_embed;
 use cda_timeseries::TimeSeries;
@@ -60,6 +61,9 @@ pub struct DatasetCatalog {
     embeddings: Vec<Vec<f32>>,
     /// SQL-visible tables.
     sql: cda_sql::Catalog,
+    /// Per-table statistics (row counts, NDV, min/max) collected once at
+    /// registration time; the static gate's cost pass reads them.
+    stats: Statistics,
     /// Progressive index over the embeddings (rebuilt on registration).
     index: Option<ProgressiveIndex>,
     index_data: Option<VectorSet>,
@@ -82,6 +86,9 @@ impl DatasetCatalog {
             self.sql
                 .register_with_description(&dataset.name, table.clone(), &dataset.description)
                 .map_err(|e| CdaError::Substrate(e.to_string()))?;
+            // Tables are immutable once registered, so one collection pass
+            // keeps the cardinality estimator's bounds sound forever.
+            self.stats.insert(&dataset.name, table);
         }
         self.embeddings.push(hash_embed(&dataset.discovery_text(), EMBED_DIM));
         self.datasets.push(dataset);
@@ -129,6 +136,11 @@ impl DatasetCatalog {
     /// The SQL-visible catalog (for query execution).
     pub fn sql(&self) -> &cda_sql::Catalog {
         &self.sql
+    }
+
+    /// Table statistics collected at registration (for the cost pass).
+    pub fn stats(&self) -> &Statistics {
+        &self.stats
     }
 
     /// Discover the `k` most relevant datasets for a query text. With
@@ -255,6 +267,16 @@ mod tests {
         assert!(c.get("LABOUR_BAROMETER").is_ok());
         assert!(c.get("missing").is_err());
         assert!(c.sql().get("employment_by_type").is_ok());
+    }
+
+    #[test]
+    fn registration_collects_table_statistics() {
+        let c = catalog();
+        let ts = c.stats().get("employment_by_type").expect("stats collected at register time");
+        assert_eq!(ts.rows, 3);
+        assert_eq!(ts.columns.len(), 1);
+        assert_eq!(ts.columns[0].distinct_count, 3);
+        assert!(c.stats().get("missing").is_none());
     }
 
     #[test]

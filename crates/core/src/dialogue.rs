@@ -561,7 +561,12 @@ impl CdaSystem {
         // Static soundness gate (P4): analyze the chosen SQL *before*
         // executing it. Dooming findings abstain without paying execution
         // cost; softer findings become annotations and scale confidence.
-        let static_report = cda_analyzer::analyze(self.catalog.sql(), &sql);
+        // The cost pass estimates the result size from registration-time
+        // statistics and flags runaway candidates (A013).
+        let static_report = cda_analyzer::Analyzer::new(self.catalog.sql())
+            .with_stats(self.catalog.stats())
+            .with_row_budget(self.config.row_budget)
+            .analyze(&sql);
         if self.config.soundness && static_report.dooms_execution() {
             let mut a = AnswerTurn::answered(format!(
                 "Static analysis rejected the generated query before execution: {}. I will \
@@ -574,12 +579,9 @@ impl CdaSystem {
             a.timings.soundness += t_sound.elapsed();
             return a;
         }
-        let soft_findings = static_report
-            .findings
-            .iter()
-            .filter(|f| !f.code.dooms_execution())
-            .count();
-        let confidence = confidence * (0.9f64).powi(soft_findings as i32);
+        // Warnings scale confidence down; quantitative cost findings weigh
+        // in by how far the estimate overshoots the row budget.
+        let confidence = confidence * static_report.confidence_factor();
         let sound_elapsed = t_sound.elapsed();
         if self.config.soundness && confidence < self.config.answer_threshold {
             let mut a = AnswerTurn::answered(format!(
@@ -656,6 +658,9 @@ impl CdaSystem {
             .with_suggestions(suggestions);
         a.executed_sql = Some(sql.clone());
         a.analysis = static_report.annotations();
+        if let Some(est) = static_report.estimate {
+            a.analysis.push(format!("[cost] estimated result size {est}"));
+        }
         if let Some(e) = explanation {
             a = a.with_explanation(e);
         }

@@ -30,6 +30,10 @@ pub struct CdaConfig {
     /// an empty result instead of irrelevant datasets (P1's "return an
     /// empty set" requirement).
     pub discovery_threshold: f64,
+    /// Row budget for the static gate's cost pass: candidates whose
+    /// estimated result size exceeds it are flagged (A013) and their
+    /// confidence demoted in proportion to the overshoot.
+    pub row_budget: u64,
 }
 
 impl Default for CdaConfig {
@@ -45,6 +49,7 @@ impl Default for CdaConfig {
             temperature: 0.8,
             min_observations: 24,
             discovery_threshold: 0.25,
+            row_budget: 1_000_000,
         }
     }
 }

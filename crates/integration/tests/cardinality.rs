@@ -1,0 +1,191 @@
+//! Property-based tests for the cardinality estimator
+//! (`cda-analyzer::cardest`): its `[lo, hi]` bounds must be *sound* (actual
+//! row counts always fall inside them) and *monotone* (filter/distinct never
+//! widen past their input, `LIMIT k` caps at `k`, joins cap at the cross
+//! product) — over generated tables, generated predicates, and the gold
+//! nl2sql workload, with and without the optimizer.
+
+use cda_analyzer::cardest::{estimate, q_error, Statistics};
+use cda_dataframe::{Column, DataType, Field, Schema, Table};
+use cda_sql::{execute_with_options, Catalog, ExecOptions, OptimizerRules};
+use cda_testkit::prelude::*;
+use cda_testkit::prop as proptest;
+
+fn table_strategy() -> Gen<Table> {
+    // three columns: group (string), x (int), y (float with nulls)
+    (1usize..40).prop_flat_map(|n| {
+        (
+            proptest::collection::vec("[a-c]", n..=n),
+            proptest::collection::vec(-50i64..50, n..=n),
+            proptest::collection::vec(proptest::option::of(-10.0f64..10.0), n..=n),
+        )
+            .prop_map(|(groups, xs, ys)| {
+                let schema = Schema::new(vec![
+                    Field::new("g", DataType::Str),
+                    Field::new("x", DataType::Int),
+                    Field::new("y", DataType::Float),
+                ]);
+                let gs: Vec<&str> = groups.iter().map(String::as_str).collect();
+                Table::from_columns(
+                    schema,
+                    vec![
+                        Column::from_strs(&gs),
+                        Column::from_ints(&xs),
+                        Column::from_opt_floats(&ys),
+                    ],
+                )
+                .expect("consistent columns")
+            })
+    })
+}
+
+/// Register `t` (and a 3-row lookup table joinable on `g`), collect stats.
+fn setup(t: Table) -> (Catalog, Statistics) {
+    let mut catalog = Catalog::new();
+    catalog.register("t", t).unwrap();
+    let lookup = Table::from_columns(
+        Schema::new(vec![
+            Field::new("g", DataType::Str),
+            Field::new("w", DataType::Int),
+        ]),
+        vec![Column::from_strs(&["a", "b", "c"]), Column::from_ints(&[1, 2, 3])],
+    )
+    .unwrap();
+    catalog.register("lookup", lookup).unwrap();
+    let stats = Statistics::from_catalog(&catalog);
+    (catalog, stats)
+}
+
+/// Execute `sql` twice (optimized and unoptimized), assert the actual row
+/// count lies within the estimator's bounds for *both* plan shapes, and
+/// return (estimate-of-unoptimized-plan, actual).
+fn check_contains(
+    catalog: &Catalog,
+    stats: &Statistics,
+    sql: &str,
+) -> (cda_analyzer::CardEstimate, u64) {
+    let naive = execute_with_options(
+        catalog,
+        sql,
+        ExecOptions { rules: OptimizerRules::none(), track_lineage: true },
+    )
+    .unwrap();
+    let full = execute_with_options(catalog, sql, ExecOptions::default()).unwrap();
+    let actual = full.table.num_rows() as u64;
+    assert_eq!(actual, naive.table.num_rows() as u64, "{sql}");
+    let e_naive = estimate(&naive.plan, stats);
+    let e_full = estimate(&full.plan, stats);
+    assert!(e_naive.contains(actual), "{sql}: actual {actual} outside {e_naive} (unoptimized)");
+    assert!(e_full.contains(actual), "{sql}: actual {actual} outside {e_full} (optimized)");
+    (e_naive, actual)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn filter_bounds_are_sound_and_never_widen(t in table_strategy(), pivot in -50i64..50) {
+        let rows = t.num_rows() as u64;
+        let (catalog, stats) = setup(t);
+        for sql in [
+            format!("SELECT * FROM t WHERE x < {pivot}"),
+            format!("SELECT * FROM t WHERE x = {pivot}"),
+            format!("SELECT * FROM t WHERE x >= {pivot} AND g = 'a'"),
+            format!("SELECT * FROM t WHERE x < {pivot} OR y IS NULL"),
+        ] {
+            let (e, _) = check_contains(&catalog, &stats, &sql);
+            prop_assert!(e.hi <= rows, "{}: filter hi {} > input {}", sql, e.hi, rows);
+        }
+    }
+
+    #[test]
+    fn distinct_and_group_by_cap_at_ndv(t in table_strategy()) {
+        let rows = t.num_rows() as u64;
+        let (catalog, stats) = setup(t);
+        let (e, actual) = check_contains(&catalog, &stats, "SELECT DISTINCT g FROM t");
+        // at most 3 distinct groups by construction, and never above input
+        prop_assert!(e.hi <= rows.min(3));
+        prop_assert!(actual >= 1 && e.lo >= 1, "non-empty input has at least one group");
+        let (e, _) = check_contains(&catalog, &stats, "SELECT g, COUNT(*) FROM t GROUP BY g");
+        prop_assert!(e.hi <= rows.min(3));
+    }
+
+    #[test]
+    fn limit_caps_exactly(t in table_strategy(), k in 0usize..60) {
+        let rows = t.num_rows() as u64;
+        let (catalog, stats) = setup(t);
+        if k == 0 {
+            return Ok(()); // LIMIT 0 is pinned in sqlcheck's A011 tests
+        }
+        let (e, actual) = check_contains(&catalog, &stats, &format!("SELECT * FROM t LIMIT {k}"));
+        prop_assert!(e.hi <= k as u64, "LIMIT {} but hi {}", k, e.hi);
+        prop_assert_eq!(actual, rows.min(k as u64));
+    }
+
+    #[test]
+    fn join_bounds_cap_at_cross_product(t in table_strategy()) {
+        let rows = t.num_rows() as u64;
+        let (catalog, stats) = setup(t);
+        let (e, _) = check_contains(
+            &catalog,
+            &stats,
+            "SELECT t.g, lookup.w FROM t JOIN lookup ON t.g = lookup.g",
+        );
+        prop_assert!(e.hi <= rows * 3, "join hi {} > cross product {}", e.hi, rows * 3);
+        // the equi-join on a contained key keeps every t row: est is close
+        prop_assert!(q_error(e.point(), rows) <= 3.0, "est {} vs |t| {}", e.point(), rows);
+    }
+
+    #[test]
+    fn global_aggregates_are_exactly_one_row(t in table_strategy()) {
+        let (catalog, stats) = setup(t);
+        let (e, actual) = check_contains(&catalog, &stats, "SELECT COUNT(*), SUM(x) FROM t");
+        prop_assert_eq!((e.lo, e.hi, actual), (1, 1, 1));
+    }
+}
+
+/// The E14 acceptance property at the test level: every gold-workload query
+/// of the demo catalog has its actual cardinality inside the bounds, and the
+/// point estimates stay within the q-error budget.
+#[test]
+fn gold_workload_cardinalities_fall_within_bounds() {
+    use cda_nlmodel::nl2sql::{Workload, WorkloadTable};
+    let cat = cda_core::demo::demo_catalog(7);
+    let stats = cat.stats();
+    let mut tables = Vec::new();
+    for ds in cat.datasets() {
+        if let Some(table) = &ds.table {
+            let schema = table.schema().clone();
+            let string_values = schema
+                .fields()
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| f.data_type() == DataType::Str)
+                .filter_map(|(i, f)| {
+                    let col = table.column(i).ok()?;
+                    let mut vals: Vec<String> = (0..table.num_rows().min(8))
+                        .filter_map(|r| col.value(r).ok())
+                        .filter_map(|v| v.as_str().map(str::to_owned))
+                        .collect();
+                    vals.sort();
+                    vals.dedup();
+                    (!vals.is_empty()).then(|| (f.name().to_owned(), vals))
+                })
+                .collect();
+            tables.push(WorkloadTable { name: ds.name.clone(), schema, string_values });
+        }
+    }
+    let workload = Workload::generate(&tables, 40, 17);
+    let mut q_errors = Vec::new();
+    for task in &workload.tasks {
+        let result = execute_with_options(cat.sql(), &task.gold_sql, ExecOptions::default())
+            .unwrap_or_else(|e| panic!("gold SQL failed: {} ({e})", task.gold_sql));
+        let actual = result.table.num_rows() as u64;
+        let e = estimate(&result.plan, stats);
+        assert!(e.contains(actual), "{}: actual {actual} outside {e}", task.gold_sql);
+        q_errors.push(q_error(e.point(), actual));
+    }
+    q_errors.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = q_errors[q_errors.len() / 2];
+    assert!(median <= 16.0, "median q-error {median} exceeds the E14 budget of 16");
+}

@@ -24,9 +24,15 @@ fn assert_snapshot(sql: &str, expected: &str) {
         "plan shape changed for: {sql}\n--- expected ---\n{expected}\n--- got ---\n{got}"
     );
     // Cross-check: every pinned workload query is clean under the static
-    // analyzer (the E13 zero-false-reject property, at the unit level).
-    let report = cda_analyzer::analyze(cda_core::demo::demo_catalog(7).sql(), sql);
+    // analyzer (the E13 zero-false-reject property, at the unit level),
+    // including its cost pass over registration-time statistics.
+    let cat = cda_core::demo::demo_catalog(7);
+    let report = cda_analyzer::Analyzer::new(cat.sql())
+        .with_stats(cat.stats())
+        .with_row_budget(1_000_000)
+        .analyze(sql);
     assert!(report.is_clean(), "{sql}: {:?}", report.findings);
+    assert!(report.estimate.is_some(), "{sql}: cost pass produced no estimate");
 }
 
 #[test]

@@ -35,10 +35,8 @@ fn sum_over_text_column_is_an_error_not_a_panic() {
     let err = execute(cat.sql(), "SELECT SUM(canton) FROM wage_stats");
     assert!(err.is_err(), "SUM over Str must be an error, got {err:?}");
     // And the static analyzer flags it *before* execution (code A004).
-    assert!(cda_analyzer::sqlcheck::execution_doomed(
-        cat.sql(),
-        "SELECT SUM(canton) FROM wage_stats"
-    ));
+    assert!(cda_analyzer::Analyzer::new(cat.sql())
+        .execution_doomed("SELECT SUM(canton) FROM wage_stats"));
 }
 
 /// Discovery over an empty catalog used to panic building the brute-force

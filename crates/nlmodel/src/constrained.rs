@@ -14,15 +14,20 @@
 //! * [`DecodingStrategy::Reranked`] — sample k, keep the valid ones, and
 //!   pick the candidate with the highest reward-model score.
 //!
-//! Candidates that `cda_analyzer::sqlcheck` statically proves doomed
-//! (unknown tables/columns, GROUP BY violations, type misuse, …) are
+//! Candidates that the static gate ([`cda_analyzer::Analyzer`]) proves
+//! doomed (unknown tables/columns, GROUP BY violations, type misuse, …) are
 //! discarded **before** execution-based verification: for those findings a
 //! failed execution is implied, so the gate cannot change which candidates
 //! are accepted — it only skips the execution cost (experiment E13 measures
-//! the saving; [`DecodeResult::static_rejects`] counts the skips).
+//! the saving; [`DecodeResult::static_rejects`] counts the skips). When the
+//! analyzer carries table statistics and a row budget ([`decode_with`]),
+//! candidates whose *estimated* result size exceeds the budget are skipped
+//! too ([`DecodeResult::budget_rejects`]) — the cost-before-run vetting of
+//! experiment E14.
 
 use crate::lm::{Generation, Nl2SqlPrompt, SimLm};
 use crate::{NlError, Result};
+use cda_analyzer::Analyzer;
 use cda_sql::{Catalog, execute};
 
 /// Decoding strategies of increasing control.
@@ -59,6 +64,10 @@ pub struct DecodeResult {
     pub attempts: usize,
     /// Candidates discarded by the static soundness gate without executing.
     pub static_rejects: usize,
+    /// Candidates discarded because their estimated result size exceeded
+    /// the analyzer's row budget (requires stats + budget, see
+    /// [`decode_with`]).
+    pub budget_rejects: usize,
 }
 
 /// A transparent reward model for candidate SQL: parses (+1), executes (+2),
@@ -73,7 +82,7 @@ pub fn reward(catalog: &Catalog, sql: &str) -> f64 {
     r += 1.0;
     // Statically-doomed candidates would fail execution anyway; skip the
     // execution cost without changing the score.
-    if cda_analyzer::sqlcheck::execution_doomed(catalog, sql) {
+    if Analyzer::new(catalog).execution_doomed(sql) {
         return r;
     }
     if let Ok(result) = execute(catalog, sql) {
@@ -85,8 +94,9 @@ pub fn reward(catalog: &Catalog, sql: &str) -> f64 {
     r
 }
 
-/// Run one decode under a strategy. `budget` bounds sampling for the
-/// rejection/reranked strategies.
+/// Run one decode under a strategy against a plain catalog (static gate
+/// only, no cost pass). `budget` bounds sampling for the rejection/reranked
+/// strategies.
 pub fn decode(
     lm: &SimLm,
     prompt: &Nl2SqlPrompt,
@@ -95,12 +105,29 @@ pub fn decode(
     temperature: f64,
     budget: usize,
 ) -> Result<DecodeResult> {
+    decode_with(lm, prompt, &Analyzer::new(catalog), strategy, temperature, budget)
+}
+
+/// Run one decode under a strategy, gated by a configured [`Analyzer`].
+/// When the analyzer carries statistics and a row budget, the rejection
+/// strategy also skips candidates whose estimated result size exceeds the
+/// budget — before paying their (large) execution cost.
+pub fn decode_with(
+    lm: &SimLm,
+    prompt: &Nl2SqlPrompt,
+    analyzer: &Analyzer<'_>,
+    strategy: DecodingStrategy,
+    temperature: f64,
+    budget: usize,
+) -> Result<DecodeResult> {
     let budget = budget.max(1);
+    let catalog = analyzer.catalog();
     match strategy {
         DecodingStrategy::Free => Ok(DecodeResult {
             generation: lm.generate_sql(prompt, temperature, 0),
             attempts: 1,
             static_rejects: 0,
+            budget_rejects: 0,
         }),
         DecodingStrategy::Constrained => {
             for s in 0..budget as u64 {
@@ -110,6 +137,7 @@ pub fn decode(
                         generation: g,
                         attempts: s as usize + 1,
                         static_rejects: 0,
+                        budget_rejects: 0,
                     });
                 }
             }
@@ -117,12 +145,20 @@ pub fn decode(
         }
         DecodingStrategy::Rejection => {
             let mut static_rejects = 0usize;
+            let mut budget_rejects = 0usize;
             for s in 0..budget as u64 {
                 let g = lm.generate_sql(prompt, temperature, s);
                 // Pre-execution gate: a statically-doomed candidate cannot
-                // pass the execute() check below, so skip it unexecuted.
-                if cda_analyzer::sqlcheck::execution_doomed(catalog, &g.sql) {
+                // pass the execute() check below, so skip it unexecuted; an
+                // over-budget candidate would execute but produce a result
+                // too large to be useful interactively.
+                let report = analyzer.analyze(&g.sql);
+                if report.dooms_execution() {
                     static_rejects += 1;
+                    continue;
+                }
+                if report.exceeds_budget() {
+                    budget_rejects += 1;
                     continue;
                 }
                 if execute(catalog, &g.sql).is_ok() {
@@ -130,6 +166,7 @@ pub fn decode(
                         generation: g,
                         attempts: s as usize + 1,
                         static_rejects,
+                        budget_rejects,
                     });
                 }
             }
@@ -150,7 +187,12 @@ pub fn decode(
             if score <= 0.0 {
                 return Err(NlError::BudgetExhausted { attempts: budget });
             }
-            Ok(DecodeResult { generation: gens[i].clone(), attempts: budget, static_rejects: 0 })
+            Ok(DecodeResult {
+                generation: gens[i].clone(),
+                attempts: budget,
+                static_rejects: 0,
+                budget_rejects: 0,
+            })
         }
     }
 }
@@ -309,6 +351,23 @@ mod tests {
         assert!(matches!(e, Err(NlError::BudgetExhausted { attempts: 4 })));
         let ok = decode(&lm, &prompt(), &c, DecodingStrategy::Rejection, 0.0, 4).unwrap();
         assert_eq!(ok.static_rejects, 0);
+    }
+
+    #[test]
+    fn row_budget_skips_oversized_candidates() {
+        let c = catalog();
+        let stats = cda_analyzer::Statistics::from_catalog(&c);
+        let lm = SimLm::new(SimLmConfig { hallucination_rate: 0.0, ..Default::default() });
+        // A zero row budget flags every candidate as over-budget: the
+        // sampler must skip them all and exhaust its budget.
+        let strict = Analyzer::new(&c).with_stats(&stats).with_row_budget(0);
+        let e = decode_with(&lm, &prompt(), &strict, DecodingStrategy::Rejection, 0.0, 4);
+        assert!(matches!(e, Err(NlError::BudgetExhausted { attempts: 4 })));
+        // A generous budget changes nothing relative to the plain gate.
+        let lax = Analyzer::new(&c).with_stats(&stats).with_row_budget(1_000_000);
+        let r = decode_with(&lm, &prompt(), &lax, DecodingStrategy::Rejection, 0.0, 4).unwrap();
+        assert_eq!(r.budget_rejects, 0);
+        assert!(execute(&c, &r.generation.sql).is_ok());
     }
 
     #[test]

@@ -58,10 +58,11 @@ pub fn consistency_confidence(
     let mut clusters: HashMap<String, Vec<usize>> = HashMap::new();
     let mut failed = 0usize;
     let mut static_rejects = 0usize;
+    let analyzer = cda_analyzer::Analyzer::new(catalog);
     for (i, g) in gens.iter().enumerate() {
         // Pre-execution gate: statically-doomed candidates cannot produce an
         // execution signature, so count them failed without executing.
-        if cda_analyzer::sqlcheck::execution_doomed(catalog, &g.sql) {
+        if analyzer.execution_doomed(&g.sql) {
             failed += 1;
             static_rejects += 1;
             continue;
