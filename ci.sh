@@ -32,7 +32,7 @@ cargo build --examples
 echo "== lint (warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== repolint (in-tree source conventions: R001-R004)"
+echo "== repolint (in-tree source conventions: R001-R005)"
 cargo run --release -q -p cda-analyzer --bin repolint -- .
 
 echo "== static analyzer suite (sqlcheck codes + gate consistency)"
@@ -40,6 +40,9 @@ cargo test -q -p cda-analyzer
 
 echo "== E14: cardinality estimation (bound coverage, q-error, gate overhead)"
 cargo run --release -q -p cda-bench --bin exp_cardinality
+
+echo "== E15: analyzer-guided repair (salvage rate, attempts saved, overhead)"
+cargo run --release -q -p cda-bench --bin exp_repair
 
 echo "== bench harness smoke (2 samples per bench, JSON artifacts)"
 CDA_BENCH_FAST=1 cargo bench -p cda-bench --bench sql

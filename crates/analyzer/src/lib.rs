@@ -19,17 +19,22 @@
 //!   catch rate and the wall-clock saved).
 //! * [`repolint`] — a dependency-free source scanner enforcing the repo
 //!   conventions of DESIGN.md §6 (no `unsafe`, no `unwrap()`/`panic!` on
-//!   non-test paths, module docs, crate-root lint headers), run by `ci.sh`
-//!   via the `repolint` binary.
+//!   non-test paths, module docs, crate-root lint headers, no deprecated-item
+//!   escapes on product paths), run by `ci.sh` via the `repolint` binary.
+//!
+//! A third pass, [`repair`], closes the diagnosis→generation loop: it
+//! translates gate findings into structured [`RepairHint`]s (nearest schema
+//! name by edit distance, expected type, `LIMIT` injection) that the
+//! constrained decoder in `cda-nlmodel` applies before resampling.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cardest;
+pub mod repair;
 pub mod repolint;
 pub mod sqlcheck;
 
 pub use cardest::{estimate, q_error, CardEstimate, Statistics, TableStatistics};
-pub use sqlcheck::{Analyzer, Code, Finding, Report, Severity};
-#[allow(deprecated)]
-pub use sqlcheck::{analyze, analyze_plan};
+pub use repair::{apply_hints, edit_distance, nearest_name, repair_hints, RepairHint};
+pub use sqlcheck::{Analyzer, Code, Finding, RenderOpts, Report, Severity};

@@ -13,6 +13,12 @@
 //! * **R003** — every module carries `//!` docs before its first item.
 //! * **R004** — every crate root (`lib.rs`) declares
 //!   `#![forbid(unsafe_code)]` and `#![warn(missing_docs)]`.
+//! * **R005** — no `#[allow(deprecated)]` escapes on product paths. The
+//!   workspace compiles with `-D warnings`, so `allow(deprecated)` is the
+//!   only way deprecated items survive on a product path; flagging the
+//!   escape flags every use. Tests/benches may pin deprecated shims
+//!   (that is what regression pins are for); a deliberate product-path
+//!   exception needs `// lint: allow(R005)` and a justification.
 //!
 //! The scanner strips comments and string/char-literal *contents* (keeping
 //! delimiters and line structure) before matching, so a doc comment that
@@ -309,6 +315,20 @@ pub fn lint_source(file: &str, source: &str, kind: FileKind) -> Vec<Violation> {
                     message: "`unsafe` is forbidden (DESIGN.md §6)".into(),
                 });
             }
+            if kind != FileKind::TestOrBench
+                && sl.contains("allow(deprecated)")
+                && !has_allow(&raw_lines, idx, "R005")
+            {
+                out.push(Violation {
+                    code: "R005",
+                    file: file.into(),
+                    line: idx + 1,
+                    message: "`allow(deprecated)` on a product path — migrate to the \
+                              replacement API instead, or escape with \
+                              `// lint: allow(R005)` and a justification"
+                        .into(),
+                });
+            }
             if kind != FileKind::TestOrBench {
                 for pat in R002_PATTERNS {
                     if sl.contains(pat) && !has_allow(&raw_lines, idx, "R002") {
@@ -450,6 +470,37 @@ mod tests {
     fn r002_expect_requires_string_literal() {
         let src = format!("{DOC}fn f() {{ v.expect(\"msg\"); }}\n");
         assert_eq!(codes("src/m.rs", &src, FileKind::Product), vec!["R002"]);
+    }
+
+    #[test]
+    fn r005_flags_deprecated_escapes_on_product_paths() {
+        let src = format!("{DOC}#[allow(deprecated)]\nfn f() {{ old_api(); }}\n");
+        assert_eq!(codes("src/m.rs", &src, FileKind::Product), vec!["R005"]);
+        let root = format!(
+            "{DOC}#![forbid(unsafe_code)]\n#![warn(missing_docs)]\n#[allow(deprecated)]\n\
+             fn f() {{ old_api(); }}\n"
+        );
+        assert_eq!(codes("crates/x/src/lib.rs", &root, FileKind::CrateRoot), vec!["R005"]);
+        // tests and benches may pin deprecated shims
+        assert!(codes("tests/t.rs", &src, FileKind::TestOrBench).is_empty());
+        // so may #[cfg(test)] modules inside product files
+        let in_tests = format!(
+            "{DOC}pub fn f() {{}}\n#[cfg(test)]\nmod tests {{\n    #[allow(deprecated)]\n    \
+             fn t() {{}}\n}}\n"
+        );
+        assert!(codes("src/m.rs", &in_tests, FileKind::Product).is_empty());
+        // explicit escape with justification
+        let escaped = format!(
+            "{DOC}// lint: allow(R005) sole remaining caller, removed next release\n\
+             #[allow(deprecated)]\nfn f() {{}}\n"
+        );
+        assert!(codes("src/m.rs", &escaped, FileKind::Product).is_empty());
+        // mentions in comments or strings never trigger
+        let benign = format!(
+            "{DOC}// talking about #[allow(deprecated)] here\nfn f() {{ let _ = \
+             \"allow(deprecated)\"; }}\n"
+        );
+        assert!(codes("src/m.rs", &benign, FileKind::Product).is_empty(), "{benign}");
     }
 
     #[test]

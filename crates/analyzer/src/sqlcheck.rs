@@ -198,20 +198,41 @@ impl Finding {
         self
     }
 
-    /// Render as `[A00x reject] message`; findings carrying row bounds
-    /// append ` (estimated rows lo..hi)`. Output is byte-identical to
-    /// earlier releases for findings without payloads.
-    pub fn render(&self) -> String {
-        match self.estimated_rows {
-            Some((lo, hi)) => {
+    /// Render as `[A00x reject] message`, with optional payloads selected
+    /// by `opts`. With `RenderOpts::default()` the output is byte-identical
+    /// to earlier releases: row bounds appended, span omitted. This is the
+    /// single rendering entry point — every consumer (annotations, summary,
+    /// dialogue, benches) goes through it rather than formatting ad hoc.
+    pub fn render(&self, opts: &RenderOpts) -> String {
+        let mut out = format!("[{} {}] {}", self.code, self.severity, self.message);
+        if opts.with_estimated_rows {
+            if let Some((lo, hi)) = self.estimated_rows {
                 let hi = if hi == u64::MAX { "inf".to_owned() } else { hi.to_string() };
-                format!(
-                    "[{} {}] {} (estimated rows {lo}..{hi})",
-                    self.code, self.severity, self.message
-                )
+                out.push_str(&format!(" (estimated rows {lo}..{hi})"));
             }
-            None => format!("[{} {}] {}", self.code, self.severity, self.message),
         }
+        if opts.with_span {
+            if let Some(span) = &self.span {
+                out.push_str(&format!(" (span {}..{})", span.start, span.end));
+            }
+        }
+        out
+    }
+}
+
+/// Options for [`Finding::render`]: which payloads to append to the NL text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RenderOpts {
+    /// Append ` (span start..end)` when the finding carries a source span.
+    pub with_span: bool,
+    /// Append ` (estimated rows lo..hi)` when the cost pass attached bounds.
+    pub with_estimated_rows: bool,
+}
+
+impl Default for RenderOpts {
+    /// The historical rendering: row bounds shown, spans omitted.
+    fn default() -> Self {
+        Self { with_span: false, with_estimated_rows: true }
     }
 }
 
@@ -262,7 +283,8 @@ impl Report {
 
     /// The NL renderings of all findings, for answer annotations.
     pub fn annotations(&self) -> Vec<String> {
-        self.findings.iter().map(Finding::render).collect()
+        let opts = RenderOpts::default();
+        self.findings.iter().map(|f| f.render(&opts)).collect()
     }
 
     /// One-line NL summary of the findings (empty string when clean).
@@ -451,29 +473,6 @@ fn attach_spans(report: &mut Report, sql: &str) {
             f.span = Some(pos..pos + ident.len());
         }
     }
-}
-
-/// Statically analyze one SQL query against a catalog. Never executes.
-#[deprecated(note = "use Analyzer::new(catalog).analyze(sql)")]
-pub fn analyze(catalog: &Catalog, sql: &str) -> Report {
-    Analyzer::new(catalog).analyze(sql)
-}
-
-/// Statically analyze an already-bound logical plan (the plan-pass half of
-/// the analysis): constant-folded predicates, cartesian joins, division by
-/// literal zero, out-of-range columns, `LIMIT 0`.
-#[deprecated(note = "use Analyzer::new(catalog).analyze_plan(plan)")]
-pub fn analyze_plan(plan: &Plan) -> Report {
-    let mut report = Report::default();
-    check_plan(plan, &mut report);
-    report
-}
-
-/// Convenience for gates: does static analysis prove this query cannot
-/// execute successfully?
-#[deprecated(note = "use Analyzer::new(catalog).execution_doomed(sql)")]
-pub fn execution_doomed(catalog: &Catalog, sql: &str) -> bool {
-    Analyzer::new(catalog).execution_doomed(sql)
 }
 
 fn map_plan_error(e: &SqlError) -> Code {
@@ -1247,8 +1246,34 @@ mod tests {
         assert!(Severity::Reject > Severity::Warn);
         assert!(Severity::Warn > Severity::Info);
         let f = Finding::new(Code::LimitZero, "LIMIT 0 makes the result provably empty");
-        assert_eq!(f.render(), "[A011 warn] LIMIT 0 makes the result provably empty");
+        assert_eq!(
+            f.render(&RenderOpts::default()),
+            "[A011 warn] LIMIT 0 makes the result provably empty"
+        );
         assert_eq!(Code::SyntaxError.to_string(), "A001");
+    }
+
+    #[test]
+    fn render_opts_select_payloads() {
+        let f = Finding::new(Code::UnknownColumn, "no such column")
+            .with_span(7..11)
+            .with_estimated_rows((3, u64::MAX));
+        assert_eq!(
+            f.render(&RenderOpts::default()),
+            "[A003 reject] no such column (estimated rows 3..inf)"
+        );
+        assert_eq!(
+            f.render(&RenderOpts { with_span: true, with_estimated_rows: false }),
+            "[A003 reject] no such column (span 7..11)"
+        );
+        assert_eq!(
+            f.render(&RenderOpts { with_span: true, with_estimated_rows: true }),
+            "[A003 reject] no such column (estimated rows 3..inf) (span 7..11)"
+        );
+        assert_eq!(
+            f.render(&RenderOpts { with_span: false, with_estimated_rows: false }),
+            "[A003 reject] no such column"
+        );
     }
 
     #[test]
@@ -1284,8 +1309,9 @@ mod tests {
         assert!(!r.is_rejected());
         let f = r.findings.iter().find(|f| f.code == Code::RowBudgetExceeded).unwrap();
         assert_eq!(f.estimated_rows, Some((4, 4)));
-        assert!(f.render().contains("row budget of 2"), "{}", f.render());
-        assert!(f.render().contains("estimated rows 4..4"), "{}", f.render());
+        let text = f.render(&RenderOpts::default());
+        assert!(text.contains("row budget of 2"), "{text}");
+        assert!(text.contains("estimated rows 4..4"), "{text}");
 
         // A generous budget raises nothing: zero false rejects by budget.
         let generous = Analyzer::new(&c).with_stats(&stats).with_row_budget(1_000_000);
@@ -1304,12 +1330,13 @@ mod tests {
             .analyze("SELECT e.canton FROM emp e JOIN regions r ON 1 = 1");
         let f = r.findings.iter().find(|f| f.code == Code::CartesianJoin).unwrap();
         assert_eq!(f.estimated_rows, Some((8, 8)), "4 emp rows x 2 region rows");
-        assert!(f.render().ends_with("(estimated rows 8..8)"), "{}", f.render());
+        let text = f.render(&RenderOpts::default());
+        assert!(text.ends_with("(estimated rows 8..8)"), "{text}");
         // Without stats the same finding stays shape-only, rendered as before.
         let bare = analyze(&c, "SELECT e.canton FROM emp e JOIN regions r ON 1 = 1");
         let f = bare.findings.iter().find(|f| f.code == Code::CartesianJoin).unwrap();
         assert_eq!(f.estimated_rows, None);
-        assert!(!f.render().contains("estimated"));
+        assert!(!f.render(&RenderOpts::default()).contains("estimated"));
     }
 
     #[test]
@@ -1321,8 +1348,11 @@ mod tests {
         let r = analyze(&c, "SELECT x FROM missing_table");
         let f = r.findings.iter().find(|f| f.code == Code::UnknownTable).unwrap();
         assert_eq!(f.span, Some(14..27));
-        // Spans never change the rendering.
-        assert!(!f.render().contains("14"));
+        // Spans never change the default rendering; opting in appends them.
+        assert!(!f.render(&RenderOpts::default()).contains("14"));
+        assert!(f
+            .render(&RenderOpts { with_span: true, with_estimated_rows: true })
+            .ends_with("(span 14..27)"));
     }
 
     #[test]
@@ -1357,14 +1387,4 @@ mod tests {
         assert!(no_plan.analyze("SELECT canton FROM emp WHERE 1 = 2").is_clean());
     }
 
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_still_work() {
-        let c = catalog();
-        assert!(execution_doomed(&c, "SELECT nope FROM emp"));
-        assert!(super::analyze(&c, "SELECT canton FROM emp").is_clean());
-        let schema = Schema::new(vec![Field::new("a", DataType::Int)]);
-        let scan = Plan::Scan { table: "t".into(), schema, projection: None };
-        assert!(analyze_plan(&scan).is_clean());
-    }
 }

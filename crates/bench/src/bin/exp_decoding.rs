@@ -8,7 +8,7 @@
 
 use cda_bench::{f, header, row};
 use cda_dataframe::{Column, DataType, Field, Schema, Table};
-use cda_nlmodel::constrained::{decode, DecodingStrategy};
+use cda_nlmodel::constrained::{Decoder, DecodingStrategy};
 use cda_nlmodel::lm::{Nl2SqlPrompt, SimLm, SimLmConfig};
 use cda_nlmodel::nl2sql::{Workload, WorkloadTable};
 use cda_soundness::verify::execution_accuracy;
@@ -70,7 +70,11 @@ fn main() {
                     schema: schema.clone(),
                     other_tables: vec![],
                 };
-                match decode(&lm, &prompt, &catalog, strategy, 1.0, 12) {
+                let decoder = Decoder::new(&lm, &catalog)
+                    .with_strategy(strategy)
+                    .with_temperature(1.0)
+                    .with_budget(12);
+                match decoder.decode(&prompt) {
                     Ok(r) => {
                         answered += 1;
                         samples += r.attempts;

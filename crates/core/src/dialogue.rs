@@ -19,7 +19,7 @@ use cda_nlmodel::nl2sql::{parse_question, refine_task, WorkloadTable};
 use cda_provenance::checks::check_losslessness;
 use cda_provenance::lineage::NodeKind;
 use cda_provenance::Explanation;
-use cda_soundness::consistency::consistency_confidence;
+use cda_soundness::consistency::consistency_confidence_with;
 use cda_timeseries::seasonality::detect_seasonality;
 use cda_timeseries::decompose::decompose;
 use std::time::Instant;
@@ -531,17 +531,28 @@ impl CdaSystem {
         let nl_elapsed = t_nl.elapsed();
 
         // Soundness: consistency UQ chooses the SQL and its confidence.
+        // The analyzer carries stats + row budget and is shared between the
+        // UQ gate (which now sees post-repair candidates) and the static
+        // check of the chosen SQL below.
+        let analyzer = cda_analyzer::Analyzer::new(self.catalog.sql())
+            .with_stats(self.catalog.stats())
+            .with_row_budget(self.config.row_budget);
         let t_sound = Instant::now();
-        let (sql, confidence) = if self.config.soundness {
-            match consistency_confidence(
+        let (sql, confidence, mut repair_notes) = if self.config.soundness {
+            match consistency_confidence_with(
                 &self.lm,
                 &prompt,
-                self.catalog.sql(),
+                &analyzer,
                 self.config.uq_samples,
                 self.config.temperature,
+                self.config.repair_rounds,
             ) {
                 Ok(report) => match report.chosen_sql {
-                    Some(sql) => (sql, report.confidence),
+                    Some(sql) => {
+                        let notes: Vec<String> =
+                            report.repair_hints.iter().map(|h| format!("[repair] {h}")).collect();
+                        (sql, report.confidence, notes)
+                    }
                     None => {
                         let mut a = AnswerTurn::answered(
                             "None of my candidate queries executed successfully, so I cannot \
@@ -552,21 +563,37 @@ impl CdaSystem {
                         return a;
                     }
                 },
-                Err(_) => (prompt.task.to_sql(), 0.0),
+                Err(_) => (prompt.task.to_sql(), 0.0, Vec::new()),
             }
         } else {
             let g = self.lm.generate_sql(&prompt, self.config.temperature, 0);
-            (g.sql.clone(), g.naive_confidence())
+            (g.sql.clone(), g.naive_confidence(), Vec::new())
         };
         // Static soundness gate (P4): analyze the chosen SQL *before*
         // executing it. Dooming findings abstain without paying execution
         // cost; softer findings become annotations and scale confidence.
         // The cost pass estimates the result size from registration-time
         // statistics and flags runaway candidates (A013).
-        let static_report = cda_analyzer::Analyzer::new(self.catalog.sql())
-            .with_stats(self.catalog.stats())
-            .with_row_budget(self.config.row_budget)
-            .analyze(&sql);
+        let mut sql = sql;
+        let mut static_report = analyzer.analyze(&sql);
+        // Diagnosis→generation feedback (P4 enhances P5): before abstaining
+        // on a doomed candidate — reachable when soundness is off upstream
+        // or UQ fell back — try the analyzer's own repair hints.
+        if static_report.dooms_execution() && self.config.repair_rounds > 0 {
+            for _ in 0..self.config.repair_rounds {
+                let hints = analyzer.repair_hints(&sql, &static_report);
+                if hints.is_empty() {
+                    break;
+                }
+                let Some(fixed) = cda_analyzer::apply_hints(&sql, &hints) else { break };
+                repair_notes.extend(hints.iter().map(|h| format!("[repair] {h}")));
+                sql = fixed;
+                static_report = analyzer.analyze(&sql);
+                if !static_report.dooms_execution() {
+                    break;
+                }
+            }
+        }
         if self.config.soundness && static_report.dooms_execution() {
             let mut a = AnswerTurn::answered(format!(
                 "Static analysis rejected the generated query before execution: {}. I will \
@@ -580,8 +607,12 @@ impl CdaSystem {
             return a;
         }
         // Warnings scale confidence down; quantitative cost findings weigh
-        // in by how far the estimate overshoots the row budget.
-        let confidence = confidence * static_report.confidence_factor();
+        // in by how far the estimate overshoots the row budget. Each repair
+        // hint applied folds in a further 0.9: a repaired answer rests on a
+        // candidate the model did not produce verbatim.
+        let confidence = confidence
+            * static_report.confidence_factor()
+            * 0.9f64.powi(repair_notes.len().min(8) as i32);
         let sound_elapsed = t_sound.elapsed();
         if self.config.soundness && confidence < self.config.answer_threshold {
             let mut a = AnswerTurn::answered(format!(
@@ -613,7 +644,17 @@ impl CdaSystem {
             .get(&task.table)
             .map(|d| d.source_url.clone())
             .unwrap_or_default();
-        let text = generation::tabular_answer(&result.table, &source, 10);
+        let mut text = generation::tabular_answer(&result.table, &source, 10);
+        if !repair_notes.is_empty() {
+            text.push_str(&format!(
+                "\nI repaired the generated query before running it ({}).",
+                repair_notes
+                    .iter()
+                    .map(|n| n.trim_start_matches("[repair] "))
+                    .collect::<Vec<_>>()
+                    .join("; ")
+            ));
+        }
         // Explainability: provenance + losslessness verification.
         let t_expl = Instant::now();
         let explanation = if self.config.explainability {
@@ -661,8 +702,12 @@ impl CdaSystem {
         if let Some(est) = static_report.estimate {
             a.analysis.push(format!("[cost] estimated result size {est}"));
         }
+        a.analysis.extend(repair_notes.iter().cloned());
         if let Some(e) = explanation {
             a = a.with_explanation(e);
+        }
+        if !repair_notes.is_empty() {
+            a.tag(PropertyTag::Soundness); // the gate both vetoed and repaired
         }
         a.tag(PropertyTag::Efficiency);
         a.timings.nl_model += nl_elapsed;
@@ -917,6 +962,108 @@ mod tests {
         let mut s = demo_system(1).with_config(CdaConfig::without(PropertyTag::Explainability));
         let a = s.process("What is the total employees in employment_by_type per canton?");
         assert!(a.explanation.is_none());
+    }
+
+    /// Shared assertions for an answered turn that carries repair notes:
+    /// transcript annotation, Soundness tag, executable + clean SQL, and the
+    /// 0.9-per-hint confidence fold.
+    fn assert_repaired_answer(s: &CdaSystem, a: &AnswerTurn) -> bool {
+        if a.status != AnswerStatus::Answered {
+            return false;
+        }
+        let repair_lines: Vec<&String> =
+            a.analysis.iter().filter(|l| l.starts_with("[repair]")).collect();
+        if repair_lines.is_empty() {
+            return false;
+        }
+        assert!(
+            a.text.contains("I repaired the generated query"),
+            "annotation missing from transcript: {}",
+            a.text
+        );
+        assert!(a.properties.contains(&PropertyTag::Soundness));
+        let sql = a.executed_sql.as_deref().unwrap();
+        assert!(cda_sql::execute(s.catalog.sql(), sql).is_ok(), "{sql}");
+        assert!(
+            !cda_analyzer::Analyzer::new(s.catalog.sql()).execution_doomed(sql),
+            "repaired answer is statically doomed: {sql}"
+        );
+        // Confidence folding: 0.9 per applied hint keeps it below 1.
+        let folded_cap = 0.9f64.powi(repair_lines.len() as i32);
+        assert!(a.confidence.unwrap() <= folded_cap + 1e-12, "{:?}", a.confidence);
+        true
+    }
+
+    #[test]
+    fn repair_annotations_surface_through_uq_majority() {
+        use cda_nlmodel::lm::{SimLm, SimLmConfig};
+        // With a maximally hallucinating LM the UQ vote can be won by a
+        // cluster of *repaired* candidates (e.g. wrong-table samples whose
+        // columns the analyzer re-pointed). The chosen answer must then
+        // carry the repair annotation, the Soundness tag, an executable
+        // query, and the folded confidence.
+        let mut found = false;
+        for seed in 0..80 {
+            let mut s = demo_system(1);
+            s.config.answer_threshold = 0.2;
+            s.lm = SimLm::new(SimLmConfig {
+                hallucination_rate: 1.0,
+                overconfidence: 0.8,
+                seed,
+            });
+            let a = s.process("What is the total employees in employment_by_type per canton?");
+            if assert_repaired_answer(&s, &a) {
+                found = true;
+                break;
+            }
+        }
+        assert!(found, "no seed in 0..80 produced a repaired answered turn via UQ");
+    }
+
+    #[test]
+    fn repair_annotations_surface_when_static_gate_repairs_chosen_sql() {
+        use cda_nlmodel::lm::{SimLm, SimLmConfig};
+        // The fallback path: with consistency UQ ablated the single sampled
+        // candidate reaches the static gate unvetted; a doomed candidate is
+        // repaired in place before execution and the annotation surfaces.
+        let mut found = false;
+        for seed in 0..80 {
+            let mut s = demo_system(1).with_config(CdaConfig::without(PropertyTag::Soundness));
+            s.lm = SimLm::new(SimLmConfig {
+                hallucination_rate: 0.5,
+                overconfidence: 0.8,
+                seed,
+            });
+            let a = s.process("What is the total employees in employment_by_type per canton?");
+            if assert_repaired_answer(&s, &a) {
+                found = true;
+                break;
+            }
+        }
+        assert!(found, "no seed in 0..80 hit the static-gate repair path");
+    }
+
+    #[test]
+    fn repair_disabled_restores_skip_only_gating() {
+        use cda_nlmodel::lm::{SimLm, SimLmConfig};
+        // repair_rounds = 0 must reproduce the pre-repair pipeline: no
+        // repair annotations can ever appear.
+        for seed in 0..20 {
+            let mut s = demo_system(1);
+            s.config.repair_rounds = 0;
+            s.lm = SimLm::new(SimLmConfig {
+                hallucination_rate: 0.5,
+                overconfidence: 0.8,
+                seed,
+            });
+            let a = s.process("What is the total employees in employment_by_type per canton?");
+            assert!(
+                a.analysis.iter().all(|l| !l.starts_with("[repair]")),
+                "repair ran with repair_rounds = 0: {:?}",
+                a.analysis
+            );
+            assert!(!a.text.contains("I repaired"), "{}", a.text);
+        }
     }
 
     #[test]

@@ -34,6 +34,10 @@ pub struct CdaConfig {
     /// estimated result size exceeds it are flagged (A013) and their
     /// confidence demoted in proportion to the overshoot.
     pub row_budget: u64,
+    /// Analyzer-guided repair rounds per gate-rejected candidate (P4→P5:
+    /// diagnoses feed back into generation). 0 disables repair and restores
+    /// pure skip-and-resample gating.
+    pub repair_rounds: usize,
 }
 
 impl Default for CdaConfig {
@@ -50,6 +54,7 @@ impl Default for CdaConfig {
             min_observations: 24,
             discovery_threshold: 0.25,
             row_budget: 1_000_000,
+            repair_rounds: 2,
         }
     }
 }

@@ -3,7 +3,7 @@
 
 use cda_dataframe::kernels::AggKind;
 use cda_dataframe::{Column, DataType, Field, Schema, Table};
-use cda_nlmodel::constrained::{decode, DecodingStrategy};
+use cda_nlmodel::constrained::{Decoder, DecodingStrategy};
 use cda_nlmodel::lm::{Nl2SqlPrompt, SimLm, SimLmConfig};
 use cda_nlmodel::nl2sql::{parse_question, Workload, WorkloadTable};
 use cda_provenance::checks::{check_invertibility, check_losslessness};
@@ -132,7 +132,11 @@ fn constrained_decoding_improves_validity_and_accuracy() {
                 schema: tables[0].schema.clone(),
                 other_tables: vec![],
             };
-            if let Ok(r) = decode(&lm, &prompt, &catalog, strategy, 1.0, 12) {
+            let decoder = Decoder::new(&lm, &catalog)
+                .with_strategy(strategy)
+                .with_temperature(1.0)
+                .with_budget(12);
+            if let Ok(r) = decoder.decode(&prompt) {
                 if cda_sql::parser::parse(&r.generation.sql).is_ok() {
                     valid += 1;
                 }

@@ -1,0 +1,306 @@
+//! Properties of the diagnosis→generation repair loop (PR 4): hint
+//! extraction over testkit-generated catalogs, repair soundness, and the
+//! byte-identical `decode`/`decode_with` shim pins.
+
+use cda_analyzer::{apply_hints, edit_distance, nearest_name, Analyzer};
+use cda_dataframe::{Column, DataType, Field, Schema, Table};
+use cda_nlmodel::constrained::{Decoder, DecodingStrategy};
+use cda_nlmodel::lm::{Nl2SqlPrompt, SimLm, SimLmConfig};
+use cda_nlmodel::nl2sql::{Workload, WorkloadTable};
+use cda_sql::Catalog;
+use cda_testkit::prelude::*;
+use cda_testkit::prop as proptest;
+
+// ---------------------------------------------------------------- helpers
+
+/// A generated catalog plus the workload-table view of its first table.
+#[derive(Debug, Clone)]
+struct GenCatalog {
+    tables: Vec<(String, Vec<(String, DataType)>)>,
+}
+
+impl GenCatalog {
+    fn build(&self) -> Catalog {
+        let mut c = Catalog::new();
+        for (name, cols) in &self.tables {
+            let n = 4usize;
+            let schema =
+                Schema::new(cols.iter().map(|(cn, dt)| Field::new(cn, *dt)).collect::<Vec<_>>());
+            let columns: Vec<Column> = cols
+                .iter()
+                .enumerate()
+                .map(|(ci, (_, dt))| match dt {
+                    DataType::Str => {
+                        let vals: Vec<String> =
+                            (0..n).map(|r| format!("v{}", (r + ci) % 3)).collect();
+                        let refs: Vec<&str> = vals.iter().map(String::as_str).collect();
+                        Column::from_strs(&refs)
+                    }
+                    DataType::Float => {
+                        Column::from_floats(&(0..n).map(|r| r as f64 * 0.5).collect::<Vec<_>>())
+                    }
+                    _ => Column::from_ints(&(0..n).map(|r| (r + ci) as i64).collect::<Vec<_>>()),
+                })
+                .collect();
+            let t = Table::from_columns(schema, columns).expect("consistent generated table");
+            c.register(name, t).expect("distinct generated names");
+        }
+        c
+    }
+
+    fn workload_tables(&self) -> Vec<WorkloadTable> {
+        self.tables
+            .iter()
+            .map(|(name, cols)| WorkloadTable {
+                name: name.clone(),
+                schema: Schema::new(
+                    cols.iter().map(|(cn, dt)| Field::new(cn, *dt)).collect::<Vec<_>>(),
+                ),
+                string_values: cols
+                    .iter()
+                    .filter(|(_, dt)| *dt == DataType::Str)
+                    .map(|(cn, _)| (cn.clone(), vec!["v0".into(), "v1".into()]))
+                    .collect(),
+            })
+            .collect()
+    }
+}
+
+fn ident_strategy() -> Gen<String> {
+    proptest::string_class("[a-z]{3,9}")
+}
+
+fn catalog_strategy() -> Gen<GenCatalog> {
+    // 1–3 tables with distinct names; each table gets one string column,
+    // one int column, and one float column with generated distinct names.
+    proptest::collection::vec(
+        (ident_strategy(), ident_strategy(), ident_strategy(), ident_strategy()),
+        1..4,
+    )
+    .prop_filter(|raw| {
+        // all table names and per-table column names distinct
+        let mut tn: Vec<&String> = raw.iter().map(|(t, _, _, _)| t).collect();
+        tn.sort();
+        tn.dedup();
+        tn.len() == raw.len()
+            && raw.iter().all(|(_, a, b, c)| a != b && b != c && a != c)
+    })
+    .prop_map(|raw| GenCatalog {
+        tables: raw
+            .into_iter()
+            .map(|(t, c1, c2, c3)| {
+                (t, vec![(c1, DataType::Str), (c2, DataType::Int), (c3, DataType::Float)])
+            })
+            .collect(),
+    })
+}
+
+// ------------------------------------------------- hint-extraction laws
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn nearest_name_is_a_real_candidate(
+        name in ident_strategy(),
+        candidates in proptest::collection::vec(ident_strategy(), 0..8),
+    ) {
+        match nearest_name(&name, &candidates) {
+            Some(n) => prop_assert!(
+                candidates.iter().any(|c| c == n),
+                "{n:?} not in {candidates:?}"
+            ),
+            None => prop_assert!(candidates.is_empty()),
+        }
+    }
+
+    #[test]
+    fn nearest_name_minimizes_edit_distance(
+        name in ident_strategy(),
+        candidates in proptest::collection::vec(ident_strategy(), 1..8),
+    ) {
+        let chosen = nearest_name(&name, &candidates).unwrap();
+        let d = edit_distance(&name, chosen);
+        // exhaustive scan: no candidate is strictly closer, and among the
+        // closest the lexicographically smallest wins (determinism)
+        for c in &candidates {
+            prop_assert!(edit_distance(&name, c) >= d, "{c} beats {chosen} for {name}");
+        }
+        let best = candidates
+            .iter()
+            .filter(|c| edit_distance(&name, c) == d)
+            .min()
+            .unwrap();
+        prop_assert_eq!(best.as_str(), chosen);
+    }
+
+    #[test]
+    fn repair_never_dooms_a_sound_candidate(gc in catalog_strategy(), seed in 0u64..500) {
+        // gold workload queries are sound; the hint loop must never turn
+        // one into a statically-doomed query
+        let catalog = gc.build();
+        let analyzer = Analyzer::new(&catalog);
+        let tables = gc.workload_tables();
+        let w = Workload::generate(&tables, 4, seed);
+        for task in &w.tasks {
+            let sql = &task.gold_sql;
+            let report = analyzer.analyze(sql);
+            prop_assert!(!report.dooms_execution(), "gold is doomed: {sql}");
+            let hints = analyzer.repair_hints(sql, &report);
+            if let Some(fixed) = apply_hints(sql, &hints) {
+                prop_assert!(
+                    !analyzer.analyze(&fixed).dooms_execution(),
+                    "repair doomed a sound candidate: {sql} -> {fixed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn repaired_decodes_always_execute(gc in catalog_strategy(), seed in 0u64..300) {
+        // any generation the repairing decoder accepts must execute and
+        // pass the gate, corrupted or not
+        let catalog = gc.build();
+        let tables = gc.workload_tables();
+        let w = Workload::generate(&tables, 3, seed);
+        let lm = SimLm::new(SimLmConfig { hallucination_rate: 0.6, overconfidence: 0.9, seed });
+        let decoder = Decoder::new(&lm, &catalog).with_budget(10).with_repair(2);
+        let analyzer = Analyzer::new(&catalog);
+        for task in &w.tasks {
+            let table = &task.task.table;
+            let schema = catalog.get(table).unwrap().table.schema().clone();
+            let other: Vec<String> = catalog
+                .table_names()
+                .into_iter()
+                .filter(|n| n != table)
+                .collect();
+            let prompt = Nl2SqlPrompt { task: task.task.clone(), schema, other_tables: other };
+            if let Ok(r) = decoder.decode(&prompt) {
+                prop_assert!(
+                    !analyzer.execution_doomed(&r.generation.sql),
+                    "accepted but doomed: {}",
+                    r.generation.sql
+                );
+                prop_assert!(
+                    cda_sql::execute(&catalog, &r.generation.sql).is_ok(),
+                    "accepted but failed to execute: {}",
+                    r.generation.sql
+                );
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------ shim pins
+
+/// The deprecated free functions must stay byte-identical to a repair-free
+/// `Decoder` — the regression pin that lets callers migrate at leisure.
+#[test]
+#[allow(deprecated)]
+fn decode_shims_match_repair_free_decoder() {
+    let gc = GenCatalog {
+        tables: vec![
+            (
+                "employment".into(),
+                vec![
+                    ("canton".into(), DataType::Str),
+                    ("jobs".into(), DataType::Int),
+                    ("rate".into(), DataType::Float),
+                ],
+            ),
+            (
+                "wages".into(),
+                vec![
+                    ("sector".into(), DataType::Str),
+                    ("wage".into(), DataType::Int),
+                    ("index".into(), DataType::Float),
+                ],
+            ),
+        ],
+    };
+    let catalog = gc.build();
+    let tables = gc.workload_tables();
+    let w = Workload::generate(&tables, 6, 17);
+    for strategy in [
+        DecodingStrategy::Free,
+        DecodingStrategy::Constrained,
+        DecodingStrategy::Rejection,
+        DecodingStrategy::Reranked,
+    ] {
+        for seed in 0..8 {
+            let lm =
+                SimLm::new(SimLmConfig { hallucination_rate: 0.5, overconfidence: 0.9, seed });
+            for task in &w.tasks {
+                let table = &task.task.table;
+                let schema = catalog.get(table).unwrap().table.schema().clone();
+                let other: Vec<String> =
+                    catalog.table_names().into_iter().filter(|n| n != table).collect();
+                let prompt =
+                    Nl2SqlPrompt { task: task.task.clone(), schema, other_tables: other };
+                let old = cda_nlmodel::constrained::decode(
+                    &lm, &prompt, &catalog, strategy, 1.0, 10,
+                );
+                let new = Decoder::new(&lm, &catalog)
+                    .with_strategy(strategy)
+                    .with_temperature(1.0)
+                    .with_budget(10)
+                    .decode(&prompt);
+                match (old, new) {
+                    (Ok(a), Ok(b)) => {
+                        assert_eq!(a, b, "shim diverged from Decoder ({strategy:?})");
+                        assert!(a.repairs.is_empty() && !a.repaired);
+                    }
+                    (Err(a), Err(b)) => assert_eq!(a.to_string(), b.to_string()),
+                    (a, b) => panic!("shim/Decoder outcome mismatch: {a:?} vs {b:?}"),
+                }
+            }
+        }
+    }
+}
+
+/// Same pin for `decode_with`, which also routes an analyzer through.
+#[test]
+#[allow(deprecated)]
+fn decode_with_shim_matches_decoder_with_analyzer() {
+    let gc = GenCatalog {
+        tables: vec![(
+            "emp".into(),
+            vec![
+                ("canton".into(), DataType::Str),
+                ("jobs".into(), DataType::Int),
+                ("rate".into(), DataType::Float),
+            ],
+        )],
+    };
+    let catalog = gc.build();
+    let analyzer = Analyzer::new(&catalog).with_row_budget(100);
+    let tables = gc.workload_tables();
+    let w = Workload::generate(&tables, 5, 23);
+    for seed in 0..6 {
+        let lm = SimLm::new(SimLmConfig { hallucination_rate: 0.4, overconfidence: 0.9, seed });
+        for task in &w.tasks {
+            let schema = catalog.get(&task.task.table).unwrap().table.schema().clone();
+            let prompt =
+                Nl2SqlPrompt { task: task.task.clone(), schema, other_tables: vec![] };
+            let old = cda_nlmodel::constrained::decode_with(
+                &lm,
+                &prompt,
+                &analyzer,
+                DecodingStrategy::Rejection,
+                1.0,
+                10,
+            );
+            let new = Decoder::new(&lm, &catalog)
+                .with_analyzer(analyzer)
+                .with_strategy(DecodingStrategy::Rejection)
+                .with_temperature(1.0)
+                .with_budget(10)
+                .decode(&prompt);
+            match (old, new) {
+                (Ok(a), Ok(b)) => assert_eq!(a, b),
+                (Err(a), Err(b)) => assert_eq!(a.to_string(), b.to_string()),
+                (a, b) => panic!("shim/Decoder outcome mismatch: {a:?} vs {b:?}"),
+            }
+        }
+    }
+}

@@ -1,5 +1,5 @@
 //! Inference-time output control: constrained decoding, rejection sampling,
-//! and reward-guided reranking.
+//! reward-guided reranking, and analyzer-guided **repair**.
 //!
 //! The paper (Sec. 3.2, Soundness): "Structured outputs can also be obtained
 //! through a combination of rejection sampling, constrained decoding and
@@ -14,20 +14,42 @@
 //! * [`DecodingStrategy::Reranked`] — sample k, keep the valid ones, and
 //!   pick the candidate with the highest reward-model score.
 //!
+//! Everything is driven through the builder-style [`Decoder`], mirroring the
+//! analyzer's own builder:
+//!
+//! ```
+//! # use cda_nlmodel::constrained::{Decoder, DecodingStrategy};
+//! # use cda_nlmodel::lm::{SimLm, SimLmConfig};
+//! # use cda_sql::Catalog;
+//! # let lm = SimLm::new(SimLmConfig::default());
+//! # let catalog = Catalog::new();
+//! let decoder = Decoder::new(&lm, &catalog)
+//!     .with_strategy(DecodingStrategy::Rejection)
+//!     .with_budget(12)
+//!     .with_repair(2);
+//! ```
+//!
 //! Candidates that the static gate ([`cda_analyzer::Analyzer`]) proves
 //! doomed (unknown tables/columns, GROUP BY violations, type misuse, …) are
-//! discarded **before** execution-based verification: for those findings a
-//! failed execution is implied, so the gate cannot change which candidates
-//! are accepted — it only skips the execution cost (experiment E13 measures
-//! the saving; [`DecodeResult::static_rejects`] counts the skips). When the
-//! analyzer carries table statistics and a row budget ([`decode_with`]),
-//! candidates whose *estimated* result size exceeds the budget are skipped
-//! too ([`DecodeResult::budget_rejects`]) — the cost-before-run vetting of
-//! experiment E14.
+//! handled **before** execution-based verification. Without repair the gate
+//! merely skips the implied execution failure (experiment E13 measures the
+//! saving; [`DecodeResult::static_rejects`] counts the skips), and
+//! candidates whose *estimated* result size exceeds the analyzer's row
+//! budget are skipped too ([`DecodeResult::budget_rejects`], experiment
+//! E14). With [`Decoder::with_repair`] the gate's findings feed *back* into
+//! generation: each rejection is translated into structured
+//! [`RepairHint`]s (nearest schema name by edit distance, expected type,
+//! `LIMIT` injection), the hints are applied to the candidate's AST, and the
+//! repaired candidate is re-gated — for a bounded number of rounds before
+//! falling back to skip-and-resample. This closes the diagnosis→generation
+//! loop of the paper's P4/P5 interplay; experiment E15 measures the decode
+//! attempts saved. Every round is recorded in [`DecodeResult::repairs`] so
+//! the dialogue layer can annotate answers and fold repair effort into
+//! confidence.
 
 use crate::lm::{Generation, Nl2SqlPrompt, SimLm};
 use crate::{NlError, Result};
-use cda_analyzer::Analyzer;
+use cda_analyzer::{apply_hints, Analyzer, RepairHint, Report};
 use cda_sql::{Catalog, execute};
 
 /// Decoding strategies of increasing control.
@@ -55,19 +77,89 @@ impl DecodingStrategy {
     }
 }
 
+/// The gate's verdict on one repaired candidate (one repair round).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RepairVerdict {
+    /// The repaired candidate passed the gate and executed: accepted.
+    Accepted,
+    /// Still statically doomed after this round; another round may help.
+    StillDoomed,
+    /// No longer doomed but its estimated result still exceeds the budget.
+    OverBudget,
+    /// Passed the gate but failed execution — repair abandoned (resample).
+    ExecutionFailed,
+}
+
+impl RepairVerdict {
+    /// Label for annotations and experiment output.
+    pub fn label(self) -> &'static str {
+        match self {
+            RepairVerdict::Accepted => "accepted",
+            RepairVerdict::StillDoomed => "still-doomed",
+            RepairVerdict::OverBudget => "over-budget",
+            RepairVerdict::ExecutionFailed => "execution-failed",
+        }
+    }
+}
+
+/// One repair round on one rejected candidate: which hints were applied and
+/// what the gate said about the result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepairAttempt {
+    /// Zero-based index of the sample this round repaired.
+    pub sample: usize,
+    /// One-based repair round within that sample.
+    pub round: usize,
+    /// The hints applied this round.
+    pub hints: Vec<RepairHint>,
+    /// The gate's verdict on the repaired candidate.
+    pub verdict: RepairVerdict,
+}
+
 /// The outcome of a controlled decode.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DecodeResult {
-    /// The chosen generation.
+    /// The chosen generation (post-repair SQL when `repaired`).
     pub generation: Generation,
     /// Samples drawn before acceptance.
     pub attempts: usize,
-    /// Candidates discarded by the static soundness gate without executing.
+    /// Candidates discarded by the static soundness gate without executing
+    /// (after any repair rounds failed to save them).
     pub static_rejects: usize,
     /// Candidates discarded because their estimated result size exceeded
-    /// the analyzer's row budget (requires stats + budget, see
-    /// [`decode_with`]).
+    /// the analyzer's row budget (requires stats + budget on the bound
+    /// [`Analyzer`]).
     pub budget_rejects: usize,
+    /// Every repair round attempted, across all samples, in order.
+    pub repairs: Vec<RepairAttempt>,
+    /// True when the accepted generation is a repaired candidate rather
+    /// than a raw sample.
+    pub repaired: bool,
+}
+
+impl DecodeResult {
+    /// The hints behind the accepted candidate (empty unless `repaired`).
+    /// These are what the dialogue layer renders as "repaired: …" notes.
+    pub fn applied_hints(&self) -> Vec<&RepairHint> {
+        if !self.repaired {
+            return Vec::new();
+        }
+        let sample = self.attempts - 1;
+        self.repairs
+            .iter()
+            .filter(|a| a.sample == sample)
+            .flat_map(|a| a.hints.iter())
+            .collect()
+    }
+
+    /// Repair rounds spent on the accepted candidate (0 unless `repaired`).
+    pub fn accepted_rounds(&self) -> usize {
+        if !self.repaired {
+            return 0;
+        }
+        let sample = self.attempts - 1;
+        self.repairs.iter().filter(|a| a.sample == sample).count()
+    }
 }
 
 /// A transparent reward model for candidate SQL: parses (+1), executes (+2),
@@ -94,9 +186,229 @@ pub fn reward(catalog: &Catalog, sql: &str) -> f64 {
     r
 }
 
+/// Builder-style decoder binding an LM, an [`Analyzer`] gate, a strategy,
+/// and a repair policy. Mirrors `Analyzer::new(..).with_*(..)`.
+#[derive(Debug, Clone)]
+pub struct Decoder<'a> {
+    lm: &'a SimLm,
+    analyzer: Analyzer<'a>,
+    strategy: DecodingStrategy,
+    temperature: f64,
+    budget: usize,
+    repair_rounds: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// A decoder over `lm` gated by a plain analyzer on `catalog`.
+    /// Defaults: [`DecodingStrategy::Rejection`], temperature 1.0, sample
+    /// budget 8, repair disabled.
+    pub fn new(lm: &'a SimLm, catalog: &'a Catalog) -> Self {
+        Self {
+            lm,
+            analyzer: Analyzer::new(catalog),
+            strategy: DecodingStrategy::Rejection,
+            temperature: 1.0,
+            budget: 8,
+            repair_rounds: 0,
+        }
+    }
+
+    /// Replace the gate with a configured analyzer (stats, row budget,
+    /// pass toggles).
+    pub fn with_analyzer(mut self, analyzer: Analyzer<'a>) -> Self {
+        self.analyzer = analyzer;
+        self
+    }
+
+    /// Set the decoding strategy.
+    pub fn with_strategy(mut self, strategy: DecodingStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Set the sampling temperature.
+    pub fn with_temperature(mut self, temperature: f64) -> Self {
+        self.temperature = temperature;
+        self
+    }
+
+    /// Bound the number of samples drawn (clamped to ≥ 1 at decode time).
+    pub fn with_budget(mut self, budget: usize) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Enable analyzer-guided repair: up to `rounds` hint-apply-regate
+    /// rounds per rejected candidate before falling back to resampling.
+    /// 0 (the default) reproduces skip-only gating exactly. Repair applies
+    /// to the [`DecodingStrategy::Rejection`] strategy — the only one with
+    /// a gate in its accept path.
+    pub fn with_repair(mut self, rounds: usize) -> Self {
+        self.repair_rounds = rounds;
+        self
+    }
+
+    /// The analyzer gating this decoder.
+    pub fn analyzer(&self) -> &Analyzer<'a> {
+        &self.analyzer
+    }
+
+    /// Run one decode for `prompt` under the configured policy.
+    pub fn decode(&self, prompt: &Nl2SqlPrompt) -> Result<DecodeResult> {
+        let budget = self.budget.max(1);
+        let catalog = self.analyzer.catalog();
+        let temperature = self.temperature;
+        match self.strategy {
+            DecodingStrategy::Free => Ok(DecodeResult {
+                generation: self.lm.generate_sql(prompt, temperature, 0),
+                attempts: 1,
+                static_rejects: 0,
+                budget_rejects: 0,
+                repairs: Vec::new(),
+                repaired: false,
+            }),
+            DecodingStrategy::Constrained => {
+                for s in 0..budget as u64 {
+                    let g = self.lm.generate_sql(prompt, temperature, s);
+                    if cda_sql::parser::parse(&g.sql).is_ok() {
+                        return Ok(DecodeResult {
+                            generation: g,
+                            attempts: s as usize + 1,
+                            static_rejects: 0,
+                            budget_rejects: 0,
+                            repairs: Vec::new(),
+                            repaired: false,
+                        });
+                    }
+                }
+                Err(NlError::BudgetExhausted { attempts: budget })
+            }
+            DecodingStrategy::Rejection => self.decode_rejection(prompt, budget),
+            DecodingStrategy::Reranked => {
+                let gens = self.lm.sample_k(prompt, temperature, budget);
+                let mut best: Option<(f64, usize)> = None;
+                for (i, g) in gens.iter().enumerate() {
+                    let score = reward(catalog, &g.sql) + g.mean_logprob.exp() * 0.1;
+                    if best.is_none_or(|(b, _)| score > b) {
+                        best = Some((score, i));
+                    }
+                }
+                let Some((score, i)) = best else {
+                    return Err(NlError::BudgetExhausted { attempts: budget });
+                };
+                if score <= 0.0 {
+                    return Err(NlError::BudgetExhausted { attempts: budget });
+                }
+                Ok(DecodeResult {
+                    generation: gens[i].clone(),
+                    attempts: budget,
+                    static_rejects: 0,
+                    budget_rejects: 0,
+                    repairs: Vec::new(),
+                    repaired: false,
+                })
+            }
+        }
+    }
+
+    /// Rejection sampling with the pre-execution gate and (optionally) the
+    /// repair loop. With `repair_rounds == 0` this is byte-for-byte the
+    /// skip-only behavior: a statically-doomed candidate cannot pass the
+    /// `execute()` check, so skipping it unexecuted cannot change which
+    /// candidate is accepted — it only skips the execution cost.
+    fn decode_rejection(&self, prompt: &Nl2SqlPrompt, budget: usize) -> Result<DecodeResult> {
+        let catalog = self.analyzer.catalog();
+        let mut static_rejects = 0usize;
+        let mut budget_rejects = 0usize;
+        let mut repairs: Vec<RepairAttempt> = Vec::new();
+        for s in 0..budget as u64 {
+            let g = self.lm.generate_sql(prompt, self.temperature, s);
+            let report = self.analyzer.analyze(&g.sql);
+            let doomed = report.dooms_execution();
+            let over = report.exceeds_budget();
+            if !doomed && !over {
+                if execute(catalog, &g.sql).is_ok() {
+                    return Ok(DecodeResult {
+                        generation: g,
+                        attempts: s as usize + 1,
+                        static_rejects,
+                        budget_rejects,
+                        repairs,
+                        repaired: false,
+                    });
+                }
+                continue;
+            }
+            // Rejected: try to repair before burning another sample.
+            if self.repair_rounds > 0 {
+                if let Some(fixed) =
+                    self.try_repair(&g, report, s as usize, &mut repairs)
+                {
+                    return Ok(DecodeResult {
+                        generation: fixed,
+                        attempts: s as usize + 1,
+                        static_rejects,
+                        budget_rejects,
+                        repairs,
+                        repaired: true,
+                    });
+                }
+            }
+            if doomed {
+                static_rejects += 1;
+            } else {
+                budget_rejects += 1;
+            }
+        }
+        Err(NlError::BudgetExhausted { attempts: budget })
+    }
+
+    /// Run up to `repair_rounds` hint-apply-regate rounds on one rejected
+    /// candidate. Returns the accepted repaired generation, or `None` when
+    /// repair gave up (no hints, no change, still rejected after the last
+    /// round, or the repaired SQL failed execution).
+    fn try_repair(
+        &self,
+        g: &Generation,
+        mut report: Report,
+        sample: usize,
+        repairs: &mut Vec<RepairAttempt>,
+    ) -> Option<Generation> {
+        let catalog = self.analyzer.catalog();
+        let mut sql = g.sql.clone();
+        for round in 1..=self.repair_rounds {
+            let hints = self.analyzer.repair_hints(&sql, &report);
+            if hints.is_empty() {
+                return None; // nothing actionable (e.g. A001: no AST)
+            }
+            let fixed = apply_hints(&sql, &hints)?;
+            report = self.analyzer.analyze(&fixed);
+            let verdict = if report.dooms_execution() {
+                RepairVerdict::StillDoomed
+            } else if report.exceeds_budget() {
+                RepairVerdict::OverBudget
+            } else if execute(catalog, &fixed).is_ok() {
+                RepairVerdict::Accepted
+            } else {
+                RepairVerdict::ExecutionFailed
+            };
+            repairs.push(RepairAttempt { sample, round, hints, verdict });
+            match verdict {
+                RepairVerdict::Accepted => {
+                    return Some(Generation { sql: fixed, ..g.clone() });
+                }
+                RepairVerdict::ExecutionFailed => return None,
+                RepairVerdict::StillDoomed | RepairVerdict::OverBudget => sql = fixed,
+            }
+        }
+        None
+    }
+}
+
 /// Run one decode under a strategy against a plain catalog (static gate
 /// only, no cost pass). `budget` bounds sampling for the rejection/reranked
 /// strategies.
+#[deprecated(note = "use Decoder::new(lm, catalog).with_strategy(..).with_budget(..).decode(prompt)")]
 pub fn decode(
     lm: &SimLm,
     prompt: &Nl2SqlPrompt,
@@ -105,13 +417,15 @@ pub fn decode(
     temperature: f64,
     budget: usize,
 ) -> Result<DecodeResult> {
-    decode_with(lm, prompt, &Analyzer::new(catalog), strategy, temperature, budget)
+    Decoder::new(lm, catalog)
+        .with_strategy(strategy)
+        .with_temperature(temperature)
+        .with_budget(budget)
+        .decode(prompt)
 }
 
 /// Run one decode under a strategy, gated by a configured [`Analyzer`].
-/// When the analyzer carries statistics and a row budget, the rejection
-/// strategy also skips candidates whose estimated result size exceeds the
-/// budget — before paying their (large) execution cost.
+#[deprecated(note = "use Decoder::new(lm, catalog).with_analyzer(a).decode(prompt)")]
 pub fn decode_with(
     lm: &SimLm,
     prompt: &Nl2SqlPrompt,
@@ -120,81 +434,12 @@ pub fn decode_with(
     temperature: f64,
     budget: usize,
 ) -> Result<DecodeResult> {
-    let budget = budget.max(1);
-    let catalog = analyzer.catalog();
-    match strategy {
-        DecodingStrategy::Free => Ok(DecodeResult {
-            generation: lm.generate_sql(prompt, temperature, 0),
-            attempts: 1,
-            static_rejects: 0,
-            budget_rejects: 0,
-        }),
-        DecodingStrategy::Constrained => {
-            for s in 0..budget as u64 {
-                let g = lm.generate_sql(prompt, temperature, s);
-                if cda_sql::parser::parse(&g.sql).is_ok() {
-                    return Ok(DecodeResult {
-                        generation: g,
-                        attempts: s as usize + 1,
-                        static_rejects: 0,
-                        budget_rejects: 0,
-                    });
-                }
-            }
-            Err(NlError::BudgetExhausted { attempts: budget })
-        }
-        DecodingStrategy::Rejection => {
-            let mut static_rejects = 0usize;
-            let mut budget_rejects = 0usize;
-            for s in 0..budget as u64 {
-                let g = lm.generate_sql(prompt, temperature, s);
-                // Pre-execution gate: a statically-doomed candidate cannot
-                // pass the execute() check below, so skip it unexecuted; an
-                // over-budget candidate would execute but produce a result
-                // too large to be useful interactively.
-                let report = analyzer.analyze(&g.sql);
-                if report.dooms_execution() {
-                    static_rejects += 1;
-                    continue;
-                }
-                if report.exceeds_budget() {
-                    budget_rejects += 1;
-                    continue;
-                }
-                if execute(catalog, &g.sql).is_ok() {
-                    return Ok(DecodeResult {
-                        generation: g,
-                        attempts: s as usize + 1,
-                        static_rejects,
-                        budget_rejects,
-                    });
-                }
-            }
-            Err(NlError::BudgetExhausted { attempts: budget })
-        }
-        DecodingStrategy::Reranked => {
-            let gens = lm.sample_k(prompt, temperature, budget);
-            let mut best: Option<(f64, usize)> = None;
-            for (i, g) in gens.iter().enumerate() {
-                let score = reward(catalog, &g.sql) + g.mean_logprob.exp() * 0.1;
-                if best.is_none_or(|(b, _)| score > b) {
-                    best = Some((score, i));
-                }
-            }
-            let Some((score, i)) = best else {
-                return Err(NlError::BudgetExhausted { attempts: budget });
-            };
-            if score <= 0.0 {
-                return Err(NlError::BudgetExhausted { attempts: budget });
-            }
-            Ok(DecodeResult {
-                generation: gens[i].clone(),
-                attempts: budget,
-                static_rejects: 0,
-                budget_rejects: 0,
-            })
-        }
-    }
+    Decoder::new(lm, analyzer.catalog())
+        .with_analyzer(*analyzer)
+        .with_strategy(strategy)
+        .with_temperature(temperature)
+        .with_budget(budget)
+        .decode(prompt)
 }
 
 #[cfg(test)]
@@ -238,6 +483,15 @@ mod tests {
         }
     }
 
+    fn decoder<'a>(
+        lm: &'a SimLm,
+        c: &'a Catalog,
+        strategy: DecodingStrategy,
+        budget: usize,
+    ) -> Decoder<'a> {
+        Decoder::new(lm, c).with_strategy(strategy).with_budget(budget)
+    }
+
     #[test]
     fn reward_model_ranks_sensibly() {
         let c = catalog();
@@ -251,19 +505,17 @@ mod tests {
 
     #[test]
     fn free_decoding_can_emit_garbage() {
-        let lm = SimLm::new(SimLmConfig { hallucination_rate: 1.0, seed: 3, ..Default::default() });
         let c = catalog();
         let mut saw_invalid = false;
         for seed in 0..30 {
             let lm =
                 SimLm::new(SimLmConfig { hallucination_rate: 1.0, seed, ..Default::default() });
-            let r = decode(&lm, &prompt(), &c, DecodingStrategy::Free, 1.0, 1).unwrap();
+            let r = decoder(&lm, &c, DecodingStrategy::Free, 1).decode(&prompt()).unwrap();
             if cda_sql::parser::parse(&r.generation.sql).is_err() {
                 saw_invalid = true;
                 break;
             }
         }
-        let _ = lm;
         assert!(saw_invalid, "free decoding should eventually emit invalid SQL");
     }
 
@@ -273,7 +525,7 @@ mod tests {
         for seed in 0..20 {
             let lm =
                 SimLm::new(SimLmConfig { hallucination_rate: 0.9, seed, ..Default::default() });
-            if let Ok(r) = decode(&lm, &prompt(), &c, DecodingStrategy::Constrained, 1.0, 16) {
+            if let Ok(r) = decoder(&lm, &c, DecodingStrategy::Constrained, 16).decode(&prompt()) {
                 assert!(cda_sql::parser::parse(&r.generation.sql).is_ok());
             }
         }
@@ -285,7 +537,7 @@ mod tests {
         for seed in 0..20 {
             let lm =
                 SimLm::new(SimLmConfig { hallucination_rate: 0.9, seed, ..Default::default() });
-            if let Ok(r) = decode(&lm, &prompt(), &c, DecodingStrategy::Rejection, 1.0, 16) {
+            if let Ok(r) = decoder(&lm, &c, DecodingStrategy::Rejection, 16).decode(&prompt()) {
                 assert!(execute(&c, &r.generation.sql).is_ok());
             }
         }
@@ -295,7 +547,7 @@ mod tests {
     fn reranked_prefers_executable_candidates() {
         let c = catalog();
         let lm = SimLm::new(SimLmConfig { hallucination_rate: 0.8, seed: 11, ..Default::default() });
-        let r = decode(&lm, &prompt(), &c, DecodingStrategy::Reranked, 1.0, 12).unwrap();
+        let r = decoder(&lm, &c, DecodingStrategy::Reranked, 12).decode(&prompt()).unwrap();
         assert!(execute(&c, &r.generation.sql).is_ok());
         assert_eq!(r.attempts, 12);
     }
@@ -307,7 +559,9 @@ mod tests {
         p.task.table = "missing".into();
         let c = catalog();
         let lm = SimLm::new(SimLmConfig { hallucination_rate: 0.0, ..Default::default() });
-        let e = decode(&lm, &p, &c, DecodingStrategy::Rejection, 0.0, 4);
+        let e = decoder(&lm, &c, DecodingStrategy::Rejection, 4)
+            .with_temperature(0.0)
+            .decode(&p);
         assert!(matches!(e, Err(NlError::BudgetExhausted { attempts: 4 })));
     }
 
@@ -319,7 +573,7 @@ mod tests {
         for seed in 0..20 {
             let lm =
                 SimLm::new(SimLmConfig { hallucination_rate: 0.9, seed, ..Default::default() });
-            let gated = decode(&lm, &prompt(), &c, DecodingStrategy::Rejection, 1.0, 16);
+            let gated = decoder(&lm, &c, DecodingStrategy::Rejection, 16).decode(&prompt());
             // Reference: replay the same sample stream with execute() alone.
             let mut reference = None;
             for s in 0..16u64 {
@@ -347,9 +601,14 @@ mod tests {
         p.task.table = "missing".into();
         let c = catalog();
         let lm = SimLm::new(SimLmConfig { hallucination_rate: 0.0, ..Default::default() });
-        let e = decode(&lm, &p, &c, DecodingStrategy::Rejection, 0.0, 4);
+        let e = decoder(&lm, &c, DecodingStrategy::Rejection, 4)
+            .with_temperature(0.0)
+            .decode(&p);
         assert!(matches!(e, Err(NlError::BudgetExhausted { attempts: 4 })));
-        let ok = decode(&lm, &prompt(), &c, DecodingStrategy::Rejection, 0.0, 4).unwrap();
+        let ok = decoder(&lm, &c, DecodingStrategy::Rejection, 4)
+            .with_temperature(0.0)
+            .decode(&prompt())
+            .unwrap();
         assert_eq!(ok.static_rejects, 0);
     }
 
@@ -361,18 +620,140 @@ mod tests {
         // A zero row budget flags every candidate as over-budget: the
         // sampler must skip them all and exhaust its budget.
         let strict = Analyzer::new(&c).with_stats(&stats).with_row_budget(0);
-        let e = decode_with(&lm, &prompt(), &strict, DecodingStrategy::Rejection, 0.0, 4);
+        let e = Decoder::new(&lm, &c)
+            .with_analyzer(strict)
+            .with_temperature(0.0)
+            .with_budget(4)
+            .decode(&prompt());
         assert!(matches!(e, Err(NlError::BudgetExhausted { attempts: 4 })));
         // A generous budget changes nothing relative to the plain gate.
         let lax = Analyzer::new(&c).with_stats(&stats).with_row_budget(1_000_000);
-        let r = decode_with(&lm, &prompt(), &lax, DecodingStrategy::Rejection, 0.0, 4).unwrap();
+        let r = Decoder::new(&lm, &c)
+            .with_analyzer(lax)
+            .with_temperature(0.0)
+            .with_budget(4)
+            .decode(&prompt())
+            .unwrap();
         assert_eq!(r.budget_rejects, 0);
         assert!(execute(&c, &r.generation.sql).is_ok());
+    }
+
+    #[test]
+    fn repair_salvages_a_misspelled_table() {
+        // Force a candidate over a phantom table; repair must map it back to
+        // the real one instead of burning samples.
+        let mut p = prompt();
+        p.task.table = "employmet".into(); // the LM renders the task's table verbatim
+        let c = catalog();
+        let lm = SimLm::new(SimLmConfig { hallucination_rate: 0.0, ..Default::default() });
+        // Skip-only: every sample is doomed.
+        let skip = decoder(&lm, &c, DecodingStrategy::Rejection, 4)
+            .with_temperature(0.0)
+            .decode(&p);
+        assert!(skip.is_err());
+        // With repair: the first sample is salvaged in one round.
+        let r = decoder(&lm, &c, DecodingStrategy::Rejection, 4)
+            .with_temperature(0.0)
+            .with_repair(2)
+            .decode(&p)
+            .unwrap();
+        assert!(r.repaired);
+        assert_eq!(r.attempts, 1);
+        assert!(r.generation.sql.contains("employment"), "{}", r.generation.sql);
+        assert!(execute(&c, &r.generation.sql).is_ok());
+        assert_eq!(r.accepted_rounds(), 1);
+        assert!(r
+            .applied_hints()
+            .iter()
+            .any(|h| matches!(h, RepairHint::ReplaceTable { .. })));
+        assert_eq!(r.repairs[0].verdict, RepairVerdict::Accepted);
+    }
+
+    #[test]
+    fn repair_zero_rounds_is_identical_to_skip_only() {
+        let c = catalog();
+        for seed in 0..20 {
+            let lm =
+                SimLm::new(SimLmConfig { hallucination_rate: 0.9, seed, ..Default::default() });
+            let skip = decoder(&lm, &c, DecodingStrategy::Rejection, 16).decode(&prompt());
+            let zero = decoder(&lm, &c, DecodingStrategy::Rejection, 16)
+                .with_repair(0)
+                .decode(&prompt());
+            match (skip, zero) {
+                (Ok(a), Ok(b)) => assert_eq!(a, b, "seed {seed}"),
+                (Err(_), Err(_)) => {}
+                (a, b) => panic!("repair(0) diverged at seed {seed}: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn repaired_candidates_always_execute() {
+        let c = catalog();
+        for seed in 0..40 {
+            let lm =
+                SimLm::new(SimLmConfig { hallucination_rate: 0.9, seed, ..Default::default() });
+            if let Ok(r) = decoder(&lm, &c, DecodingStrategy::Rejection, 8)
+                .with_repair(2)
+                .decode(&prompt())
+            {
+                assert!(execute(&c, &r.generation.sql).is_ok(), "seed {seed}");
+                assert!(
+                    !Analyzer::new(&c).execution_doomed(&r.generation.sql),
+                    "repair produced a doomed candidate at seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn verdict_labels() {
+        assert_eq!(RepairVerdict::Accepted.label(), "accepted");
+        assert_eq!(RepairVerdict::StillDoomed.label(), "still-doomed");
+        assert_eq!(RepairVerdict::OverBudget.label(), "over-budget");
+        assert_eq!(RepairVerdict::ExecutionFailed.label(), "execution-failed");
     }
 
     #[test]
     fn strategy_labels() {
         assert_eq!(DecodingStrategy::Free.label(), "free");
         assert_eq!(DecodingStrategy::Reranked.label(), "reranked");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_decoder_exactly() {
+        let c = catalog();
+        let stats = cda_analyzer::Statistics::from_catalog(&c);
+        for seed in 0..10 {
+            let lm =
+                SimLm::new(SimLmConfig { hallucination_rate: 0.7, seed, ..Default::default() });
+            for strategy in [
+                DecodingStrategy::Free,
+                DecodingStrategy::Constrained,
+                DecodingStrategy::Rejection,
+                DecodingStrategy::Reranked,
+            ] {
+                let via_shim = decode(&lm, &prompt(), &c, strategy, 1.0, 8);
+                let via_builder = decoder(&lm, &c, strategy, 8).decode(&prompt());
+                match (via_shim, via_builder) {
+                    (Ok(a), Ok(b)) => assert_eq!(a, b, "seed {seed} {strategy:?}"),
+                    (Err(_), Err(_)) => {}
+                    (a, b) => panic!("shim diverged: {a:?} vs {b:?}"),
+                }
+            }
+            let a = Analyzer::new(&c).with_stats(&stats).with_row_budget(1_000);
+            let via_shim =
+                decode_with(&lm, &prompt(), &a, DecodingStrategy::Rejection, 1.0, 8);
+            let via_builder = Decoder::new(&lm, &c)
+                .with_analyzer(a)
+                .with_budget(8)
+                .decode(&prompt());
+            match (via_shim, via_builder) {
+                (Ok(x), Ok(y)) => assert_eq!(x, y, "seed {seed}"),
+                (Err(_), Err(_)) => {}
+                (x, y) => panic!("decode_with shim diverged: {x:?} vs {y:?}"),
+            }
+        }
     }
 }

@@ -27,8 +27,9 @@
 //! * [`intent`] — rule-scored intent classification with confidence;
 //! * [`nl2sql`] — the analytic-task IR, NL phrasing generator, oracle
 //!   parser, and SQL rendering (the workload generator of E5/E7);
-//! * [`constrained`] — grammar-constrained decoding, rejection sampling, and
-//!   reward-model reranking over LM candidates;
+//! * [`constrained`] — the builder-style [`Decoder`]: grammar-constrained
+//!   decoding, rejection sampling, reward-model reranking, and
+//!   analyzer-guided repair of gate-rejected candidates;
 //! * [`generation`] — template-based NL answer/summary generation with
 //!   provenance citations.
 
@@ -42,6 +43,9 @@ pub mod intent;
 pub mod lm;
 pub mod nl2sql;
 
+pub use constrained::{
+    DecodeResult, Decoder, DecodingStrategy, RepairAttempt, RepairVerdict,
+};
 pub use intent::{classify_intent, Intent};
 pub use lm::{Generation, HallucinationKind, SimLm, SimLmConfig};
 pub use nl2sql::{AnalyticTask, Nl2SqlTask, Workload};

@@ -10,8 +10,16 @@
 //! variants rarely agree with each other — tracks true correctness far
 //! better (experiment E5 quantifies the gap).
 
+//! When the dialogue layer enables analyzer-guided repair
+//! ([`consistency_confidence_with`]), statically-doomed samples are first
+//! run through the hint-apply-regate loop of `cda_analyzer::repair`; a
+//! salvaged sample clusters under its **post-repair** SQL, so the UQ signal
+//! sees the candidates the decoder would actually return, and the report
+//! records how many samples repair rescued.
+
 use crate::verify::execution_signature;
 use crate::{Result, SoundnessError};
+use cda_analyzer::{apply_hints, Analyzer};
 use cda_nlmodel::lm::{Nl2SqlPrompt, SimLm};
 use cda_sql::Catalog;
 use std::collections::HashMap;
@@ -38,10 +46,20 @@ pub struct ConsistencyReport {
     /// The naive mean LM confidence over the samples (the miscalibrated
     /// baseline E5 compares against).
     pub naive_confidence: f64,
+    /// Samples the analyzer-guided repair loop salvaged: statically doomed
+    /// as sampled, clustered after applying repair hints (always 0 with
+    /// repair disabled).
+    pub repaired: usize,
+    /// Rendered repair hints of the winning cluster's first repaired member
+    /// — the repair that contributed to the majority vote — empty when the
+    /// cluster contains no repaired sample.
+    pub repair_hints: Vec<String>,
 }
 
 /// Run consistency-based UQ: sample `k` candidates at `temperature`, cluster
 /// by execution signature, return the majority representative + confidence.
+/// Statically-doomed samples count as failed without executing; repair is
+/// off (see [`consistency_confidence_with`]).
 pub fn consistency_confidence(
     lm: &SimLm,
     prompt: &Nl2SqlPrompt,
@@ -49,26 +67,61 @@ pub fn consistency_confidence(
     k: usize,
     temperature: f64,
 ) -> Result<ConsistencyReport> {
+    consistency_confidence_with(lm, prompt, &Analyzer::new(catalog), k, temperature, 0)
+}
+
+/// Consistency UQ gated by a configured [`Analyzer`], with up to
+/// `repair_rounds` hint-apply-regate rounds per statically-doomed sample.
+/// A salvaged sample clusters under its post-repair SQL — the UQ signal
+/// sees what the repairing decoder would actually return — and still-doomed
+/// samples count as failed exactly as with repair disabled.
+pub fn consistency_confidence_with(
+    lm: &SimLm,
+    prompt: &Nl2SqlPrompt,
+    analyzer: &Analyzer<'_>,
+    k: usize,
+    temperature: f64,
+    repair_rounds: usize,
+) -> Result<ConsistencyReport> {
     if k == 0 {
         return Err(SoundnessError::NoSamples);
     }
+    let catalog = analyzer.catalog();
     let gens = lm.sample_k(prompt, temperature, k);
     let naive_confidence =
         gens.iter().map(cda_nlmodel::lm::Generation::naive_confidence).sum::<f64>() / k as f64;
     let mut clusters: HashMap<String, Vec<usize>> = HashMap::new();
     let mut failed = 0usize;
     let mut static_rejects = 0usize;
-    let analyzer = cda_analyzer::Analyzer::new(catalog);
+    let mut repaired = 0usize;
+    // Per sample: the SQL it clusters under and the hints that produced it.
+    let mut effective: Vec<String> = Vec::with_capacity(k);
+    let mut sample_hints: Vec<Vec<String>> = vec![Vec::new(); k];
     for (i, g) in gens.iter().enumerate() {
+        effective.push(g.sql.clone());
         // Pre-execution gate: statically-doomed candidates cannot produce an
-        // execution signature, so count them failed without executing.
+        // execution signature. Try to repair them first; still-doomed ones
+        // count failed without executing, exactly as with repair disabled.
         if analyzer.execution_doomed(&g.sql) {
-            failed += 1;
-            static_rejects += 1;
-            continue;
+            match repair_sample(analyzer, &g.sql, repair_rounds) {
+                Some((sql, hints)) => {
+                    effective[i] = sql;
+                    sample_hints[i] = hints;
+                }
+                None => {
+                    failed += 1;
+                    static_rejects += 1;
+                    continue;
+                }
+            }
         }
-        match execution_signature(catalog, &g.sql) {
-            Some(sig) => clusters.entry(sig).or_default().push(i),
+        match execution_signature(catalog, &effective[i]) {
+            Some(sig) => {
+                clusters.entry(sig).or_default().push(i);
+                if !sample_hints[i].is_empty() {
+                    repaired += 1;
+                }
+            }
             None => failed += 1,
         }
     }
@@ -81,13 +134,23 @@ pub fn consistency_confidence(
             failed,
             static_rejects,
             naive_confidence,
+            repaired,
+            repair_hints: Vec::new(),
         });
     }
     // Majority cluster; ties broken deterministically by signature order.
     let mut entries: Vec<(&String, &Vec<usize>)> = clusters.iter().collect();
     entries.sort_by(|a, b| b.1.len().cmp(&a.1.len()).then(a.0.cmp(b.0)));
     let (_, members) = entries[0];
-    let representative = gens[members[0]].sql.clone();
+    let representative = effective[members[0]].clone();
+    // The winning cluster's mass may rest partly on repaired members: the
+    // hints of its first repaired member (if any) annotate the answer, even
+    // when the representative itself was sampled clean — the vote was.
+    let repair_hints = members
+        .iter()
+        .find(|&&i| !sample_hints[i].is_empty())
+        .map(|&i| sample_hints[i].clone())
+        .unwrap_or_default();
     Ok(ConsistencyReport {
         chosen_sql: Some(representative),
         confidence: members.len() as f64 / k as f64,
@@ -96,7 +159,36 @@ pub fn consistency_confidence(
         failed,
         static_rejects,
         naive_confidence,
+        repaired,
+        repair_hints,
     })
+}
+
+/// Hint-apply-regate loop for one doomed sample. Returns the repaired SQL
+/// and the rendered hints when some round clears the gate (not doomed and
+/// within budget), `None` otherwise.
+fn repair_sample(
+    analyzer: &Analyzer<'_>,
+    sql: &str,
+    rounds: usize,
+) -> Option<(String, Vec<String>)> {
+    let mut sql = sql.to_owned();
+    let mut report = analyzer.analyze(&sql);
+    let mut rendered: Vec<String> = Vec::new();
+    for _ in 0..rounds {
+        let hints = analyzer.repair_hints(&sql, &report);
+        if hints.is_empty() {
+            return None;
+        }
+        let fixed = apply_hints(&sql, &hints)?;
+        rendered.extend(hints.iter().map(ToString::to_string));
+        report = analyzer.analyze(&fixed);
+        sql = fixed;
+        if !report.dooms_execution() && !report.exceeds_budget() {
+            return Some((sql, rendered));
+        }
+    }
+    None
 }
 
 #[cfg(test)]
@@ -216,6 +308,45 @@ mod tests {
         let clean = consistency_confidence(&lm, &prompt(), &catalog(), 8, 1.0).unwrap();
         assert_eq!(clean.static_rejects, 0);
         assert_eq!(clean.confidence, 1.0);
+    }
+
+    #[test]
+    fn repair_zero_rounds_matches_plain_entry_point() {
+        let c = catalog();
+        let lm = SimLm::new(SimLmConfig { hallucination_rate: 0.6, seed: 5, ..Default::default() });
+        let plain = consistency_confidence(&lm, &prompt(), &c, 9, 1.0).unwrap();
+        let with =
+            consistency_confidence_with(&lm, &prompt(), &Analyzer::new(&c), 9, 1.0, 0).unwrap();
+        assert_eq!(plain, with);
+        assert_eq!(with.repaired, 0);
+        assert!(with.repair_hints.is_empty());
+    }
+
+    #[test]
+    fn repair_salvages_doomed_samples_and_reports_hints() {
+        // Every sample reads a misspelled table: all statically doomed, so
+        // plain UQ yields zero confidence; repair maps them back to the real
+        // table and the salvaged samples agree.
+        let mut p = prompt();
+        p.task.table = "employmet".into();
+        let c = catalog();
+        let lm = SimLm::new(SimLmConfig { hallucination_rate: 0.0, ..Default::default() });
+        let plain = consistency_confidence(&lm, &p, &c, 6, 1.0).unwrap();
+        assert_eq!(plain.confidence, 0.0);
+        assert_eq!(plain.static_rejects, 6);
+        let repaired =
+            consistency_confidence_with(&lm, &p, &Analyzer::new(&c), 6, 1.0, 2).unwrap();
+        assert_eq!(repaired.confidence, 1.0, "{repaired:?}");
+        assert_eq!(repaired.repaired, 6);
+        assert_eq!(repaired.static_rejects, 0);
+        assert!(repaired.chosen_sql.as_deref().unwrap().contains("employment"));
+        assert!(
+            repaired.repair_hints.iter().any(|h| h.contains("employmet")),
+            "{:?}",
+            repaired.repair_hints
+        );
+        // The post-repair representative must itself pass the gate.
+        assert!(!Analyzer::new(&c).execution_doomed(repaired.chosen_sql.as_deref().unwrap()));
     }
 
     #[test]
