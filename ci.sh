@@ -32,17 +32,27 @@ cargo build --examples
 echo "== lint (warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== repolint (in-tree source conventions: R001-R005)"
+echo "== docs (rustdoc warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
+
+echo "== repolint (in-tree source conventions: R001-R006)"
 cargo run --release -q -p cda-analyzer --bin repolint -- .
 
 echo "== static analyzer suite (sqlcheck codes + gate consistency)"
 cargo test -q -p cda-analyzer
+
+echo "== optimizer certification (every rewrite rule must certify Equivalent)"
+# A refuted rewrite fails this step and prints its counterexample tables.
+cargo test -q -p cda-sql
 
 echo "== E14: cardinality estimation (bound coverage, q-error, gate overhead)"
 cargo run --release -q -p cda-bench --bin exp_cardinality
 
 echo "== E15: analyzer-guided repair (salvage rate, attempts saved, overhead)"
 cargo run --release -q -p cda-bench --bin exp_repair
+
+echo "== E16: plan equivalence (certified rewrites, semantic cache, UQ clustering)"
+CDA_BENCH_FAST=1 cargo run --release -q -p cda-bench --bin exp_equiv
 
 echo "== bench harness smoke (2 samples per bench, JSON artifacts)"
 CDA_BENCH_FAST=1 cargo bench -p cda-bench --bench sql

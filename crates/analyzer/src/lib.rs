@@ -26,15 +26,29 @@
 //! translates gate findings into structured [`RepairHint`]s (nearest schema
 //! name by edit distance, expected type, `LIMIT` injection) that the
 //! constrained decoder in `cda-nlmodel` applies before resampling.
+//!
+//! A fourth pass, [`equiv`], decides whether two bound plans *mean the same
+//! thing*: a canonicalization pipeline hashes every plan into a stable
+//! [`PlanFingerprint`], and a bounded refutation search over generated
+//! tables settles (or honestly declines to settle) the cases fingerprints
+//! cannot. It powers the differential certifier for `sql::optimizer`
+//! rewrites ([`certify_optimizer`], surfacing `A014` findings), the
+//! semantic answer cache in `cda-core`, and equivalence-aware consistency
+//! UQ in `cda-soundness` (experiment E16 measures all three).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cardest;
+pub mod equiv;
 pub mod repair;
 pub mod repolint;
 pub mod sqlcheck;
 
 pub use cardest::{estimate, q_error, CardEstimate, Statistics, TableStatistics};
+pub use equiv::{
+    certify_optimizer, Counterexample, EquivEngine, EquivReport, EquivResult, PlanFingerprint,
+    RuleCheck,
+};
 pub use repair::{apply_hints, edit_distance, nearest_name, repair_hints, RepairHint};
 pub use sqlcheck::{Analyzer, Code, Finding, RenderOpts, Report, Severity};

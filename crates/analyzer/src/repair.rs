@@ -13,7 +13,7 @@
 //! * **A013** over-budget → inject `LIMIT row_budget` to cap the result.
 //!
 //! [`apply_hints`] then rewrites the candidate's AST accordingly and
-//! re-renders it to SQL, so the decoder ([`cda-nlmodel`]'s repair loop) and
+//! re-renders it to SQL, so the decoder (`cda-nlmodel`'s repair loop) and
 //! the dialogue layer can re-gate the repaired candidate instead of paying
 //! another full decode. Hints are deterministic: candidate names are sorted
 //! and distance ties break lexicographically.

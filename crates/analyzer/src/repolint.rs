@@ -19,6 +19,12 @@
 //!   escape flags every use. Tests/benches may pin deprecated shims
 //!   (that is what regression pins are for); a deliberate product-path
 //!   exception needs `// lint: allow(R005)` and a justification.
+//! * **R006** — no `dbg!`, `print!`/`println!`, or `eprint!`/`eprintln!`
+//!   on product paths: library code reports through return values and the
+//!   transcript, never by writing to the process's stdio. Demo/bench
+//!   binaries (`src/bin/`), examples, tests, and the bench/testkit crates
+//!   are exempt — printing is their job. A deliberate exception needs
+//!   `// lint: allow(R006)` and a justification.
 //!
 //! The scanner strips comments and string/char-literal *contents* (keeping
 //! delimiters and line structure) before matching, so a doc comment that
@@ -222,6 +228,11 @@ const R002_PATTERNS: &[&str] = &[
     "unimplemented!(",
 ];
 
+/// Macros R006 bans on product paths. Matching is boundary-aware, so
+/// `println` never fires the `print` pattern and `eprintln` never fires
+/// `println`.
+const R006_MACROS: &[&str] = &["dbg", "print", "println", "eprint", "eprintln"];
+
 fn has_allow(lines: &[&str], idx: usize, code: &str) -> bool {
     let needle = format!("lint: allow({code})");
     let hit = |l: &str| l.contains(&needle);
@@ -244,6 +255,27 @@ fn contains_word(line: &str, word: &str) -> bool {
             return true;
         }
         start = at + word.len();
+    }
+    false
+}
+
+/// True when `line` invokes the macro `name` (`name!` followed by an
+/// opening delimiter), with identifier boundaries around `name`.
+fn contains_macro_call(line: &str, name: &str) -> bool {
+    let bytes = line.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = line[start..].find(name) {
+        let at = start + pos;
+        let before = at.checked_sub(1).map(|i| bytes[i]);
+        let bang = bytes.get(at + name.len()).copied();
+        let delim = bytes.get(at + name.len() + 1).copied();
+        if ident_boundary(before)
+            && bang == Some(b'!')
+            && matches!(delim, Some(b'(') | Some(b'[') | Some(b'{'))
+        {
+            return true;
+        }
+        start = at + name.len();
     }
     false
 }
@@ -291,7 +323,9 @@ pub fn lint_source(file: &str, source: &str, kind: FileKind) -> Vec<Violation> {
         });
     }
 
-    // R001 / R002 line scan with #[cfg(test)]-module skipping.
+    // R001 / R002 / R005 / R006 line scan with #[cfg(test)]-module skipping.
+    // Entry points under `src/bin/` print by design (benches, repolint, demos).
+    let is_bin_entry = file.replace('\\', "/").contains("/src/bin/");
     let mut depth: i64 = 0;
     let mut test_mod_depth: Option<i64> = None;
     let mut pending_cfg_test = false;
@@ -328,6 +362,23 @@ pub fn lint_source(file: &str, source: &str, kind: FileKind) -> Vec<Violation> {
                               `// lint: allow(R005)` and a justification"
                         .into(),
                 });
+            }
+            if kind != FileKind::TestOrBench && !is_bin_entry {
+                for mac in R006_MACROS {
+                    if contains_macro_call(sl, mac) && !has_allow(&raw_lines, idx, "R006") {
+                        out.push(Violation {
+                            code: "R006",
+                            file: file.into(),
+                            line: idx + 1,
+                            message: format!(
+                                "`{mac}!` on a product path — report through return values \
+                                 or the transcript instead, or escape with \
+                                 `// lint: allow(R006)` and a justification"
+                            ),
+                        });
+                        break;
+                    }
+                }
             }
             if kind != FileKind::TestOrBench {
                 for pat in R002_PATTERNS {
@@ -501,6 +552,47 @@ mod tests {
              \"allow(deprecated)\"; }}\n"
         );
         assert!(codes("src/m.rs", &benign, FileKind::Product).is_empty(), "{benign}");
+    }
+
+    #[test]
+    fn r006_flags_stdio_macros_on_product_paths() {
+        for mac in ["dbg", "print", "println", "eprint", "eprintln"] {
+            let src = format!("{DOC}fn f() {{ {mac}!(\"x\"); }}\n");
+            assert_eq!(codes("src/m.rs", &src, FileKind::Product), vec!["R006"], "{mac}");
+        }
+    }
+
+    #[test]
+    fn r006_exempts_tests_benches_bins_and_cfg_test() {
+        let src = format!("{DOC}fn f() {{ println!(\"x\"); }}\n");
+        assert!(codes("tests/t.rs", &src, FileKind::TestOrBench).is_empty());
+        // entry points under src/bin/ print by design
+        assert!(codes("crates/analyzer/src/bin/repolint.rs", &src, FileKind::Product).is_empty());
+        // #[cfg(test)] modules inside product files may print
+        let in_tests = format!(
+            "{DOC}pub fn f() {{}}\n#[cfg(test)]\nmod tests {{\n    fn t() {{ \
+             println!(\"x\"); dbg!(1); }}\n}}\n"
+        );
+        assert!(codes("src/m.rs", &in_tests, FileKind::Product).is_empty());
+    }
+
+    #[test]
+    fn r006_respects_allow_escapes_and_boundaries() {
+        let escaped = format!(
+            "{DOC}// lint: allow(R006) progress line requested by the operator\n\
+             fn f() {{ eprintln!(\"x\"); }}\n"
+        );
+        assert!(codes("src/m.rs", &escaped, FileKind::Product).is_empty());
+        // mentions in comments and strings never trigger
+        let benign = format!(
+            "{DOC}// println!(\"in a comment\")\nfn f() {{ let _ = \"println!(nope)\"; }}\n"
+        );
+        assert!(codes("src/m.rs", &benign, FileKind::Product).is_empty(), "{benign}");
+        // identifiers that merely contain a banned name don't fire
+        let idents = format!(
+            "{DOC}fn f() {{ pretty_print!(x); my_dbg(); writeln!(out, \"y\").ok(); }}\n"
+        );
+        assert!(codes("src/m.rs", &idents, FileKind::Product).is_empty(), "{idents}");
     }
 
     #[test]

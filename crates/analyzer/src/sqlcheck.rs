@@ -92,6 +92,10 @@ pub enum Code {
     SuspiciousComparison,
     /// A013 — estimated output cardinality exceeds the configured row budget.
     RowBudgetExceeded,
+    /// A014 — an optimizer rewrite failed to certify as semantics-preserving
+    /// (refuted with a counterexample, or undecided within the equivalence
+    /// engine's budget). Raised by [`crate::equiv::EquivReport::findings`].
+    UncertifiedRewrite,
 }
 
 impl Code {
@@ -111,6 +115,7 @@ impl Code {
             Code::LimitZero => "A011",
             Code::SuspiciousComparison => "A012",
             Code::RowBudgetExceeded => "A013",
+            Code::UncertifiedRewrite => "A014",
         }
     }
 
@@ -129,7 +134,8 @@ impl Code {
             | Code::CartesianJoin
             | Code::LimitZero
             | Code::SuspiciousComparison
-            | Code::RowBudgetExceeded => Severity::Warn,
+            | Code::RowBudgetExceeded
+            | Code::UncertifiedRewrite => Severity::Warn,
         }
     }
 

@@ -1,0 +1,237 @@
+//! **E16** — the plan-equivalence engine at work: certified optimizer
+//! rewrites, the semantic answer cache, and equivalence-aware consistency
+//! UQ.
+//!
+//! Three measurements, one per consumer of `cda_analyzer::equiv`:
+//!
+//! 1. **Certification** — every optimizer rule is differentially certified
+//!    against the canonicalizer over a 20-query corpus; reported per rule:
+//!    `equivalent` / `refuted` / `unknown` counts and certification time.
+//!    Acceptance requires 100% `Equivalent` (a refutation prints its
+//!    counterexample and fails CI via the acceptance line).
+//! 2. **Semantic cache** — a scripted demo-system conversation with
+//!    repeated and re-phrased analysis turns is replayed with the cache on
+//!    and off; reported: hit rate, infrastructure wall-clock both ways, and
+//!    whether every turn's answer is byte-identical to fresh execution
+//!    (after stripping the `[cache]` transcript note).
+//! 3. **Equivalence-aware UQ** — consistency UQ with equivalence-aware
+//!    clustering on vs off across seeds and hallucination rates; reported:
+//!    executions saved and the maximum confidence delta, which must be
+//!    exactly 0 (the clustering is provably behavior-neutral).
+//!
+//! `CDA_BENCH_FAST=1` shrinks the UQ sweep (CI smoke mode).
+
+use cda_analyzer::{certify_optimizer, Analyzer, EquivEngine};
+use cda_bench::{f, header, row, timed, us};
+use cda_core::demo::demo_system;
+use cda_core::reliability::CdaConfig;
+use cda_dataframe::kernels::AggKind;
+use cda_dataframe::{Column, DataType, Field, Schema, Table};
+use cda_nlmodel::lm::{Nl2SqlPrompt, SimLm, SimLmConfig};
+use cda_nlmodel::nl2sql::AnalyticTask;
+use cda_soundness::consistency::ConsistencyUq;
+use cda_sql::Catalog;
+use std::time::Duration;
+
+fn catalog() -> Catalog {
+    let mut c = Catalog::new();
+    let emp = Table::from_columns(
+        Schema::new(vec![
+            Field::new("canton", DataType::Str),
+            Field::new("sector", DataType::Str),
+            Field::new("jobs", DataType::Int),
+            Field::new("rate", DataType::Float),
+        ]),
+        vec![
+            Column::from_strs(&["ZH", "ZH", "GE", "VD", "TI", "BE"]),
+            Column::from_strs(&["it", "fin", "it", "gov", "edu", "it"]),
+            Column::from_ints(&[120, 80, 45, 60, 30, 75]),
+            Column::from_floats(&[0.6, 0.4, 0.7, 0.5, 0.3, 0.8]),
+        ],
+    )
+    .unwrap();
+    let regions = Table::from_columns(
+        Schema::new(vec![
+            Field::new("canton", DataType::Str),
+            Field::new("population", DataType::Int),
+        ]),
+        vec![
+            Column::from_strs(&["ZH", "GE", "VD", "BE"]),
+            Column::from_ints(&[1500, 500, 800, 1000]),
+        ],
+    )
+    .unwrap();
+    c.register("emp", emp).unwrap();
+    c.register("regions", regions).unwrap();
+    c
+}
+
+fn corpus() -> Vec<String> {
+    [
+        "SELECT canton, jobs FROM emp WHERE 1 + 1 = 2 AND jobs > 50",
+        "SELECT canton FROM emp WHERE jobs > 10 + 20",
+        "SELECT e.canton, r.population FROM emp e JOIN regions r ON e.canton = r.canton \
+         WHERE e.jobs > 40",
+        "SELECT e.canton, r.population FROM emp e LEFT JOIN regions r ON e.canton = r.canton \
+         WHERE e.sector = 'it'",
+        "SELECT e.canton FROM emp e JOIN regions r ON e.canton = r.canton \
+         WHERE e.jobs > 40 AND r.population > 600",
+        "SELECT canton, SUM(jobs) FROM emp GROUP BY canton",
+        "SELECT sector, AVG(rate) FROM emp WHERE jobs > 30 GROUP BY sector ORDER BY sector",
+        "SELECT DISTINCT sector FROM emp WHERE rate > 0.35",
+        "SELECT canton FROM emp ORDER BY jobs DESC LIMIT 3",
+        "SELECT canton, jobs FROM emp ORDER BY canton LIMIT 2 OFFSET 1",
+        "SELECT canton FROM emp WHERE sector IN ('it', 'fin') AND jobs BETWEEN 40 AND 130",
+        "SELECT canton FROM emp WHERE canton LIKE 'Z%' OR rate < 0.45",
+        "SELECT canton, CASE WHEN jobs > 70 THEN 'big' ELSE 'small' END FROM emp",
+        "SELECT COUNT(*) FROM emp WHERE NOT (sector = 'gov')",
+        "SELECT canton FROM emp WHERE jobs > 50 AND sector = 'it' AND rate > 0.5",
+        "SELECT canton, 100 / jobs FROM emp WHERE jobs > 0",
+        "SELECT MIN(jobs), MAX(jobs) FROM emp",
+        "SELECT canton FROM emp WHERE jobs * 2 > 100 ORDER BY jobs",
+        "SELECT e.sector, SUM(r.population) FROM emp e JOIN regions r ON e.canton = r.canton \
+         GROUP BY e.sector",
+        "SELECT canton FROM emp WHERE rate >= 0.4 AND rate <= 0.7 AND canton <> 'TI'",
+    ]
+    .into_iter()
+    .map(str::to_owned)
+    .collect()
+}
+
+/// The answer text with the cache annotations removed, for byte-identity
+/// comparison against a fresh-execution run.
+fn strip_cache_note(text: &str) -> String {
+    text.lines()
+        .filter(|l| !l.contains("reused") && !l.is_empty())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn main() {
+    let fast = std::env::var("CDA_BENCH_FAST").is_ok();
+    header("E16", "plan equivalence: certified rewrites, semantic cache, UQ clustering");
+
+    // ---- 1. differential certification of every optimizer rule ----------
+    println!("\n-- optimizer rule certification ({} queries) --", corpus().len());
+    let c = catalog();
+    let engine = EquivEngine::new().with_trials(8).with_seed(0xE16);
+    let (report, t_cert) = timed(|| certify_optimizer(&engine, &c, &corpus()));
+    row(&["rule".into(), "checks".into(), "equivalent".into(), "refuted".into(), "unknown".into()]);
+    let mut rules: Vec<&str> = Vec::new();
+    for ch in &report.checks {
+        if !rules.contains(&ch.rule) {
+            rules.push(ch.rule);
+        }
+    }
+    for rule in rules {
+        let checks: Vec<_> = report.checks.iter().filter(|ch| ch.rule == rule).collect();
+        let eq = checks.iter().filter(|ch| ch.result.is_equivalent()).count();
+        let refuted =
+            checks.iter().filter(|ch| ch.result.label() == "not-equivalent").count();
+        let unknown = checks.len() - eq - refuted;
+        row(&[
+            rule.into(),
+            checks.len().to_string(),
+            eq.to_string(),
+            refuted.to_string(),
+            unknown.to_string(),
+        ]);
+    }
+    for ch in report.uncertified() {
+        println!("UNCERTIFIED [{}] {} — {:?}", ch.rule, ch.sql, ch.result);
+    }
+    let all_certified = report.all_certified();
+    println!("certification time: {}", us(t_cert));
+
+    // ---- 2. semantic answer cache over a scripted conversation ----------
+    println!("\n-- semantic answer cache (demo-system replay) --");
+    let script = [
+        "What is the total employees in employment_by_type per canton?",
+        "and per type instead?",
+        "and per canton instead?",
+        "What is the total employees in employment_by_type per canton?",
+        "and per type instead?",
+    ];
+    let run = |cache: bool| {
+        let config = CdaConfig { semantic_cache: cache, ..CdaConfig::default() };
+        let mut s = demo_system(1).with_config(config);
+        let mut texts = Vec::new();
+        let mut infra = Duration::ZERO;
+        for utterance in script {
+            let a = s.process(utterance);
+            infra += a.timings.infrastructure;
+            texts.push(strip_cache_note(&a.text));
+        }
+        (texts, infra, s.semantic_cache.hits, s.semantic_cache.misses, s.semantic_cache.hit_rate())
+    };
+    let (texts_on, infra_on, hits, misses, hit_rate) = run(true);
+    let (texts_off, infra_off, ..) = run(false);
+    let byte_identical = texts_on == texts_off;
+    row(&["turns".into(), "hits".into(), "misses".into(), "hit-rate".into(), "infra-on".into(), "infra-off".into(), "identical".into()]);
+    row(&[
+        script.len().to_string(),
+        hits.to_string(),
+        misses.to_string(),
+        f(hit_rate),
+        us(infra_on),
+        us(infra_off),
+        byte_identical.to_string(),
+    ]);
+
+    // ---- 3. equivalence-aware consistency UQ ----------------------------
+    println!("\n-- equivalence-aware consistency UQ --");
+    let analyzer = Analyzer::new(&c);
+    let prompt = Nl2SqlPrompt {
+        task: AnalyticTask {
+            table: "emp".into(),
+            agg: AggKind::Sum,
+            metric: Some("jobs".into()),
+            group_by: Some("canton".into()),
+            filters: vec![],
+            order_desc: false,
+            limit: None,
+        },
+        schema: c.get("emp").unwrap().table.schema().clone(),
+        other_tables: vec!["regions".into()],
+    };
+    let seeds: u64 = if fast { 3 } else { 10 };
+    let mut total_saved = 0usize;
+    let mut max_delta = 0.0f64;
+    row(&["halluc".into(), "seeds".into(), "saved".into(), "max-dconf".into()]);
+    for pct in [0u32, 30, 60] {
+        let h = f64::from(pct) / 100.0;
+        let mut saved = 0usize;
+        let mut delta = 0.0f64;
+        for seed in 0..seeds {
+            let lm = SimLm::new(SimLmConfig { hallucination_rate: h, seed, ..Default::default() });
+            let base = ConsistencyUq::new(&lm, &analyzer).with_samples(9).with_repair(2);
+            let off = base.run(&prompt).unwrap();
+            let on = base.with_equivalence(true).run(&prompt).unwrap();
+            saved += on.executions_saved;
+            delta = delta.max((on.confidence - off.confidence).abs());
+        }
+        total_saved += saved;
+        max_delta = max_delta.max(delta);
+        row(&[format!("{pct}%"), seeds.to_string(), saved.to_string(), f(delta)]);
+    }
+
+    println!(
+        "\nacceptance: all rewrites certified {} (true: {}), cache hit rate {} (>0: {}), \
+         cached answers byte-identical {} (true: {}), UQ executions saved {} (>0: {}), \
+         max UQ confidence delta {} (==0: {})",
+        all_certified,
+        all_certified,
+        f(hit_rate),
+        hit_rate > 0.0,
+        byte_identical,
+        byte_identical,
+        total_saved,
+        total_saved > 0,
+        f(max_delta),
+        max_delta == 0.0,
+    );
+    if !(all_certified && hit_rate > 0.0 && byte_identical && total_saved > 0 && max_delta == 0.0)
+    {
+        std::process::exit(1);
+    }
+}

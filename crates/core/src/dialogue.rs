@@ -8,7 +8,7 @@
 //! recorded in the lineage and conversation graphs.
 
 use crate::answer::{AnswerStatus, AnswerTurn, PropertyTag};
-use crate::system::CdaSystem;
+use crate::system::{CachedAnswer, CdaSystem};
 use cda_guidance::graph::{EdgeKind, NodeRole};
 use cda_guidance::planner::{Action, SpeculativePlanner};
 use cda_kg::linking::LinkerConfig;
@@ -19,7 +19,7 @@ use cda_nlmodel::nl2sql::{parse_question, refine_task, WorkloadTable};
 use cda_provenance::checks::check_losslessness;
 use cda_provenance::lineage::NodeKind;
 use cda_provenance::Explanation;
-use cda_soundness::consistency::consistency_confidence_with;
+use cda_soundness::consistency::ConsistencyUq;
 use cda_timeseries::seasonality::detect_seasonality;
 use cda_timeseries::decompose::decompose;
 use std::time::Instant;
@@ -539,14 +539,17 @@ impl CdaSystem {
             .with_row_budget(self.config.row_budget);
         let t_sound = Instant::now();
         let (sql, confidence, mut repair_notes) = if self.config.soundness {
-            match consistency_confidence_with(
-                &self.lm,
-                &prompt,
-                &analyzer,
-                self.config.uq_samples,
-                self.config.temperature,
-                self.config.repair_rounds,
-            ) {
+            // Equivalence-aware clustering: syntactic variants of the same
+            // canonical plan share one execution. Provably confidence-
+            // neutral (equal fingerprints ⇒ identical execution), so it is
+            // always on here; E16 measures the executions saved.
+            match ConsistencyUq::new(&self.lm, &analyzer)
+                .with_samples(self.config.uq_samples)
+                .with_temperature(self.config.temperature)
+                .with_repair(self.config.repair_rounds)
+                .with_equivalence(true)
+                .run(&prompt)
+            {
                 Ok(report) => match report.chosen_sql {
                     Some(sql) => {
                         let notes: Vec<String> =
@@ -626,9 +629,38 @@ impl CdaSystem {
             a.timings.soundness += sound_elapsed;
             return a;
         }
+        // Semantic answer cache (P1 enabling P4): fingerprint the canonical
+        // plan and reuse a prior turn's stored result when an earlier query
+        // certified equivalent — equal fingerprints guarantee byte-identical
+        // execution, so the served answer is exactly what re-executing would
+        // produce (E16 verifies this).
         let t_infra = Instant::now();
-        let executed = cda_sql::execute(self.catalog.sql(), &sql);
+        let fingerprint =
+            if self.config.semantic_cache { plan_fingerprint(self.catalog.sql(), &sql) } else { None };
+        let mut cache_note: Option<String> = None;
+        let executed = match fingerprint.and_then(|fp| self.semantic_cache.get(fp).cloned()) {
+            Some(hit) => {
+                cache_note = Some(format!(
+                    "[cache] served from the semantic cache: this request is equivalent to the \
+                     query executed in turn {} ({})",
+                    hit.turn + 1,
+                    hit.sql
+                ));
+                Ok(hit.result)
+            }
+            None => cda_sql::execute(self.catalog.sql(), &sql),
+        };
         let infra_elapsed = t_infra.elapsed();
+        if let (Some(fp), None, Ok(result)) = (fingerprint, &cache_note, &executed) {
+            self.semantic_cache.insert(
+                fp,
+                CachedAnswer {
+                    turn: self.state.turn.saturating_sub(1),
+                    sql: sql.clone(),
+                    result: result.clone(),
+                },
+            );
+        }
         let Ok(result) = executed else {
             let mut a = AnswerTurn::answered(
                 "The generated query failed to execute; I will not fabricate a result.",
@@ -645,6 +677,12 @@ impl CdaSystem {
             .map(|d| d.source_url.clone())
             .unwrap_or_default();
         let mut text = generation::tabular_answer(&result.table, &source, 10);
+        if cache_note.is_some() {
+            text.push_str(
+                "\nI recognized this request as equivalent to an earlier one in this \
+                 conversation and reused that verified result.",
+            );
+        }
         if !repair_notes.is_empty() {
             text.push_str(&format!(
                 "\nI repaired the generated query before running it ({}).",
@@ -701,6 +739,9 @@ impl CdaSystem {
         a.analysis = static_report.annotations();
         if let Some(est) = static_report.estimate {
             a.analysis.push(format!("[cost] estimated result size {est}"));
+        }
+        if let Some(note) = cache_note {
+            a.analysis.push(note);
         }
         a.analysis.extend(repair_notes.iter().cloned());
         if let Some(e) = explanation {
@@ -834,6 +875,14 @@ impl CdaSystem {
     }
 }
 
+/// Canonical-plan fingerprint of `sql` against the catalog (`None` when it
+/// does not parse or plan — such queries bypass the semantic cache).
+fn plan_fingerprint(catalog: &cda_sql::Catalog, sql: &str) -> Option<u64> {
+    let select = cda_sql::parser::parse(sql).ok()?;
+    let plan = cda_sql::planner::plan_select(catalog, &select).ok()?;
+    Some(cda_analyzer::equiv::EquivEngine::new().fingerprint(&plan).as_u64())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -918,6 +967,87 @@ mod tests {
         assert_eq!(a.status, AnswerStatus::Answered, "{}", a.text);
         let sql = a.executed_sql.as_deref().unwrap_or_default();
         assert!(sql.contains("canton = 'ZH'"), "{sql}");
+    }
+
+    #[test]
+    fn repeated_analysis_turn_hits_the_semantic_cache_byte_identically() {
+        let mut s = demo_system(1);
+        let q = "What is the total employees in employment_by_type per canton?";
+        let first = s.process(q);
+        assert_eq!(first.status, AnswerStatus::Answered, "{}", first.text);
+        assert_eq!(s.semantic_cache.hits, 0);
+        assert_eq!(s.semantic_cache.misses, 1);
+        assert!(!first.analysis.iter().any(|n| n.starts_with("[cache]")), "{:?}", first.analysis);
+        let second = s.process(q);
+        assert_eq!(second.status, AnswerStatus::Answered, "{}", second.text);
+        assert_eq!(s.semantic_cache.hits, 1);
+        // the cached answer is byte-identical up to the cache note itself
+        assert!(second.analysis.iter().any(|n| n.starts_with("[cache]")), "{:?}", second.analysis);
+        assert!(second.text.contains("reused that verified result"), "{}", second.text);
+        let strip = |t: &str| {
+            t.lines()
+                .filter(|l| !l.contains("reused") && !l.is_empty())
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip(&second.text), strip(&first.text));
+        assert_eq!(second.executed_sql, first.executed_sql);
+        // and serving it must be exactly what re-executing would produce
+        let sql = first.executed_sql.as_deref().unwrap();
+        let fresh = cda_sql::execute(s.catalog.sql(), sql).unwrap();
+        let cached = &second.explanation.as_ref().unwrap().plan;
+        assert_eq!(cached, &fresh.plan.explain());
+    }
+
+    #[test]
+    fn semantic_cache_off_restores_unconditional_execution() {
+        let cfg = CdaConfig { semantic_cache: false, ..CdaConfig::default() };
+        let mut off = demo_system(1).with_config(cfg);
+        let mut on = demo_system(1);
+        let q = "What is the total employees in employment_by_type per canton?";
+        let off1 = off.process(q);
+        let off2 = off.process(q);
+        let on1 = on.process(q);
+        assert_eq!(off.semantic_cache.hits + off.semantic_cache.misses, 0);
+        assert!(off.semantic_cache.is_empty());
+        // with the cache off, a repeated turn carries no cache annotation
+        assert!(!off2.analysis.iter().any(|n| n.starts_with("[cache]")));
+        // and the first turn is bit-for-bit the same with the cache on
+        assert_eq!(off1.text, on1.text);
+        assert_eq!(off1.analysis, on1.analysis);
+        assert_eq!(off1.confidence, on1.confidence);
+        assert_eq!(off1.executed_sql, on1.executed_sql);
+    }
+
+    #[test]
+    fn reset_conversation_clears_the_semantic_cache() {
+        let mut s = demo_system(1);
+        let q = "What is the total employees in employment_by_type per canton?";
+        let _ = s.process(q);
+        assert!(!s.semantic_cache.is_empty());
+        s.reset_conversation();
+        assert!(s.semantic_cache.is_empty());
+        assert_eq!(s.semantic_cache.hits + s.semantic_cache.misses, 0);
+        // after the reset the same question is a miss again, not a hit
+        let _ = s.process(q);
+        assert_eq!(s.semantic_cache.hits, 0);
+        assert_eq!(s.semantic_cache.misses, 1);
+    }
+
+    #[test]
+    fn semantically_equivalent_refinement_phrasing_shares_one_execution() {
+        // Turn 2 regroups, turn 3 regroups back: turn 3's plan is
+        // canonically equal to turn 1's, so it must be served from the
+        // cache even though the utterance differs.
+        let mut s = demo_system(1);
+        let a1 = s.process("What is the total employees in employment_by_type per canton?");
+        assert_eq!(a1.status, AnswerStatus::Answered, "{}", a1.text);
+        let a2 = s.process("and per type instead?");
+        assert_eq!(a2.status, AnswerStatus::Answered, "{}", a2.text);
+        let a3 = s.process("and per canton instead?");
+        assert_eq!(a3.status, AnswerStatus::Answered, "{}", a3.text);
+        assert_eq!(s.semantic_cache.hits, 1, "turn 3 should reuse turn 1's execution");
+        assert!(a3.analysis.iter().any(|n| n.starts_with("[cache]")), "{:?}", a3.analysis);
     }
 
     #[test]

@@ -38,6 +38,11 @@ pub struct CdaConfig {
     /// diagnoses feed back into generation). 0 disables repair and restores
     /// pure skip-and-resample gating.
     pub repair_rounds: usize,
+    /// P1: reuse executed answers across turns whose canonical plans share
+    /// a fingerprint (`cda_analyzer::equiv`) instead of re-executing. Hits
+    /// are byte-identical to fresh execution and annotated `[cache]`; off
+    /// restores unconditional execution bit-for-bit.
+    pub semantic_cache: bool,
 }
 
 impl Default for CdaConfig {
@@ -55,6 +60,7 @@ impl Default for CdaConfig {
             discovery_threshold: 0.25,
             row_budget: 1_000_000,
             repair_rounds: 2,
+            semantic_cache: true,
         }
     }
 }
@@ -68,6 +74,7 @@ impl CdaConfig {
             explainability: false,
             soundness: false,
             guidance: false,
+            semantic_cache: false,
             ..Self::default()
         }
     }

@@ -15,6 +15,8 @@ use cda_kg::vocab::Vocabulary;
 use cda_kg::TripleStore;
 use cda_nlmodel::lm::{SimLm, SimLmConfig};
 use cda_provenance::lineage::LineageGraph;
+use cda_sql::exec::QueryResult;
+use std::collections::HashMap;
 
 /// Mutable per-conversation state.
 #[derive(Debug, Clone, Default)]
@@ -29,6 +31,76 @@ pub struct DialogueState {
     pub assumption: Option<String>,
     /// The last successfully executed analytic task (iterative refinement).
     pub last_task: Option<cda_nlmodel::nl2sql::AnalyticTask>,
+}
+
+/// A successfully executed analysis turn stored for semantic reuse.
+#[derive(Debug, Clone)]
+pub struct CachedAnswer {
+    /// The turn that paid for the execution.
+    pub turn: usize,
+    /// The SQL that was executed (the *first* phrasing; later equivalent
+    /// phrasings reuse its result).
+    pub sql: String,
+    /// The stored execution result, served verbatim on a hit.
+    pub result: QueryResult,
+}
+
+/// The semantic answer cache: executed `QueryResult`s keyed by the
+/// canonical-plan fingerprint (`cda_analyzer::equiv::PlanFingerprint`) of
+/// the query that produced them. Equal fingerprints certify equal execution
+/// on the deterministic engine, so a hit is byte-identical to re-executing —
+/// E16 verifies exactly that. Only successful executions are stored (errors
+/// always re-execute: canonicalization preserves *whether* an error fires,
+/// not which message it carries).
+#[derive(Debug, Clone, Default)]
+pub struct SemanticCache {
+    entries: HashMap<u64, CachedAnswer>,
+    /// Turns served from the cache this conversation.
+    pub hits: usize,
+    /// Analysis executions that went to the engine (cacheable misses).
+    pub misses: usize,
+}
+
+impl SemanticCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Look up a fingerprint, counting a hit.
+    pub fn get(&mut self, fingerprint: u64) -> Option<&CachedAnswer> {
+        let hit = self.entries.get(&fingerprint);
+        if hit.is_some() {
+            self.hits += 1;
+        }
+        hit
+    }
+
+    /// Store an executed answer under its fingerprint, counting a miss.
+    pub fn insert(&mut self, fingerprint: u64, answer: CachedAnswer) {
+        self.misses += 1;
+        self.entries.insert(fingerprint, answer);
+    }
+
+    /// Number of stored answers.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Hit rate over all cache-eligible turns so far (0.0 when none).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
 }
 
 /// The compound Conversational Data Analytics system.
@@ -56,6 +128,9 @@ pub struct CdaSystem {
     pub state: DialogueState,
     /// The session query log (itself a queryable data source, layer ⓓ).
     pub query_log: QueryLog,
+    /// Semantic answer cache keyed on canonical-plan fingerprints
+    /// (active when [`CdaConfig::semantic_cache`] is set).
+    pub semantic_cache: SemanticCache,
 }
 
 impl CdaSystem {
@@ -80,6 +155,7 @@ impl CdaSystem {
             profile: UserProfile::new(),
             state: DialogueState::default(),
             query_log: QueryLog::new(),
+            semantic_cache: SemanticCache::new(),
         }
     }
 
@@ -96,6 +172,9 @@ impl CdaSystem {
         self.profile = UserProfile::new();
         self.state = DialogueState::default();
         self.query_log = QueryLog::new();
+        // Cached answers are conversation-scoped: the data survives a reset,
+        // but the turn numbers and transcript references would dangle.
+        self.semantic_cache = SemanticCache::new();
     }
 }
 

@@ -1,0 +1,222 @@
+//! Property suite for the plan-equivalence engine (`cda_analyzer::equiv`)
+//! over testkit-generated tables:
+//!
+//! * **canonicalization preserves `QueryResult`s** — for every generated
+//!   table and corpus query, executing the canonical plan produces exactly
+//!   the result (schema + rows, in order) of executing the original plan,
+//!   and errors stay errors;
+//! * **equal fingerprints ⇒ equal results** — whenever two queries share a
+//!   `PlanFingerprint`, their executions are byte-identical on the
+//!   generated data;
+//! * **`NotEquivalent` counterexamples always re-check** — a refutation's
+//!   stored tables reproduce the divergence when replayed.
+
+use cda_analyzer::{EquivEngine, EquivResult};
+use cda_dataframe::{Column, DataType, Field, Schema, Table};
+use cda_sql::exec::{execute_plan, ExecOptions};
+use cda_sql::planner::plan_select;
+use cda_sql::{Catalog, OptimizerRules};
+use cda_testkit::prelude::*;
+use cda_testkit::prop as proptest;
+
+// ---------------------------------------------------------------- helpers
+
+/// Generated `emp` table: canton (string), jobs (nullable int), rate (float).
+fn emp_strategy() -> Gen<Table> {
+    (0usize..24).prop_flat_map(|n| {
+        (
+            proptest::collection::vec("[A-C]{1,2}", n..=n),
+            proptest::collection::vec(proptest::option::of(-12i64..12), n..=n),
+            proptest::collection::vec(-2.0f64..2.0, n..=n),
+        )
+            .prop_map(|(cantons, jobs, rates)| {
+                let cs: Vec<&str> = cantons.iter().map(String::as_str).collect();
+                Table::from_columns(
+                    Schema::new(vec![
+                        Field::new("canton", DataType::Str),
+                        Field::new("jobs", DataType::Int),
+                        Field::new("rate", DataType::Float),
+                    ]),
+                    vec![
+                        Column::from_strs(&cs),
+                        Column::from_opt_ints(&jobs),
+                        Column::from_floats(&rates),
+                    ],
+                )
+                .expect("consistent columns")
+            })
+    })
+}
+
+fn catalog_with(t: Table) -> Catalog {
+    let mut c = Catalog::new();
+    c.register("emp", t).expect("register");
+    c
+}
+
+/// Queries exercising every canonicalization pass; several are deliberate
+/// syntactic variants of each other (commuted conjuncts, folded constants,
+/// redundant TRUE filters) so fingerprint collisions actually occur.
+const CORPUS: &[&str] = &[
+    "SELECT canton, jobs FROM emp WHERE jobs > 3 AND canton = 'A'",
+    "SELECT canton, jobs FROM emp WHERE canton = 'A' AND jobs > 3",
+    "SELECT canton, jobs FROM emp WHERE jobs > 2 + 1 AND canton = 'A'",
+    "SELECT canton FROM emp WHERE jobs > 5",
+    "SELECT canton FROM emp WHERE 5 < jobs",
+    "SELECT canton FROM emp WHERE jobs > 5 AND 1 = 1",
+    "SELECT canton, SUM(jobs) FROM emp GROUP BY canton",
+    "SELECT DISTINCT canton FROM emp WHERE rate > 0.0",
+    "SELECT canton FROM emp ORDER BY jobs DESC LIMIT 3",
+    "SELECT canton FROM emp WHERE canton IN ('B', 'A', 'A')",
+    "SELECT canton FROM emp WHERE canton IN ('A', 'B')",
+    "SELECT canton FROM emp WHERE NOT (NOT (jobs > 1))",
+    "SELECT canton FROM emp WHERE jobs > 1",
+    "SELECT canton, 100 / jobs FROM emp WHERE jobs > 0",
+    "SELECT COUNT(*) FROM emp WHERE rate < 0.5 OR canton = 'C'",
+];
+
+/// Pairs refutation should separate: same shape, different semantics.
+const INEQUIVALENT: &[(&str, &str)] = &[
+    ("SELECT canton FROM emp WHERE jobs > 5", "SELECT canton FROM emp WHERE jobs > 6"),
+    ("SELECT canton FROM emp WHERE canton = 'A'", "SELECT canton FROM emp WHERE canton = 'B'"),
+    ("SELECT canton FROM emp ORDER BY jobs LIMIT 2", "SELECT canton FROM emp ORDER BY jobs LIMIT 3"),
+    ("SELECT SUM(jobs) FROM emp", "SELECT SUM(jobs) FROM emp WHERE rate > 0.0"),
+];
+
+/// Execution outcome as comparable bytes: schema + full row render on
+/// success, a fixed marker on error (canonicalization preserves *whether*
+/// an error fires, not its message).
+fn outcome(catalog: &Catalog, plan: &cda_sql::plan::Plan) -> String {
+    let opts = ExecOptions { rules: OptimizerRules::none(), track_lineage: false };
+    match execute_plan(catalog, plan, opts) {
+        Ok(r) => format!("{}\n{}", r.table.schema().describe(), r.table.render(usize::MAX)),
+        Err(_) => "runtime error".into(),
+    }
+}
+
+fn plan_of(catalog: &Catalog, sql: &str) -> cda_sql::plan::Plan {
+    let select = cda_sql::parser::parse(sql).expect("corpus parses");
+    plan_select(catalog, &select).expect("corpus plans")
+}
+
+// ------------------------------------------------------------- properties
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Executing the canonical plan is indistinguishable from executing the
+    /// original: same schema, same rows, same order — and errors stay
+    /// errors. This is the license behind fingerprint-keyed reuse.
+    #[test]
+    fn canonicalization_preserves_query_results(t in emp_strategy()) {
+        let catalog = catalog_with(t);
+        let engine = EquivEngine::new();
+        for sql in CORPUS {
+            let plan = plan_of(&catalog, sql);
+            let canon = engine.canonicalize(&plan);
+            prop_assert_eq!(
+                outcome(&catalog, &plan),
+                outcome(&catalog, &canon),
+                "canonicalization changed the result of {}",
+                sql
+            );
+        }
+    }
+
+    /// Whenever two corpus queries share a fingerprint, their executions on
+    /// the generated table are byte-identical (including row order).
+    #[test]
+    fn equal_fingerprints_imply_equal_results(t in emp_strategy()) {
+        let catalog = catalog_with(t);
+        let engine = EquivEngine::new();
+        let plans: Vec<_> = CORPUS.iter().map(|sql| plan_of(&catalog, sql)).collect();
+        let fps: Vec<_> = plans.iter().map(|p| engine.fingerprint(p)).collect();
+        let mut collisions = 0usize;
+        for i in 0..plans.len() {
+            for j in i + 1..plans.len() {
+                if fps[i] == fps[j] {
+                    collisions += 1;
+                    prop_assert_eq!(
+                        outcome(&catalog, &plans[i]),
+                        outcome(&catalog, &plans[j]),
+                        "{} and {} share fingerprint {} but diverge",
+                        CORPUS[i],
+                        CORPUS[j],
+                        fps[i]
+                    );
+                }
+            }
+        }
+        // The corpus plants syntactic variants, so the property is not
+        // vacuous: at least the commuted/folded/TRUE-filter pairs collide.
+        prop_assert!(collisions >= 3, "only {} fingerprint collisions", collisions);
+    }
+}
+
+#[test]
+fn not_equivalent_counterexamples_always_recheck() {
+    // Refutation search is seeded and deterministic; every refuted pair
+    // must come with a counterexample that reproduces the divergence.
+    let probe = catalog_with(
+        Table::from_columns(
+            Schema::new(vec![
+                Field::new("canton", DataType::Str),
+                Field::new("jobs", DataType::Int),
+                Field::new("rate", DataType::Float),
+            ]),
+            vec![
+                Column::from_strs(&["A"]),
+                Column::from_ints(&[1]),
+                Column::from_floats(&[0.0]),
+            ],
+        )
+        .expect("probe table"),
+    );
+    let engine = EquivEngine::new().with_trials(8).with_seed(7);
+    let mut refuted = 0usize;
+    for (l, r) in INEQUIVALENT {
+        let left = plan_of(&probe, l);
+        let right = plan_of(&probe, r);
+        match engine.check(&left, &right) {
+            EquivResult::NotEquivalent { counterexample } => {
+                refuted += 1;
+                assert!(
+                    counterexample.recheck(&left, &right),
+                    "counterexample for {l} vs {r} does not reproduce:\n{}",
+                    counterexample.describe()
+                );
+            }
+            EquivResult::Equivalent { fingerprint } => {
+                panic!("{l} vs {r} wrongly certified equivalent ({fingerprint})")
+            }
+            EquivResult::Unknown { .. } => {}
+        }
+    }
+    assert!(refuted >= 3, "refutation separated only {refuted}/{} pairs", INEQUIVALENT.len());
+}
+
+#[test]
+fn fingerprints_and_checks_are_deterministic() {
+    let probe = catalog_with(
+        Table::from_columns(
+            Schema::new(vec![
+                Field::new("canton", DataType::Str),
+                Field::new("jobs", DataType::Int),
+                Field::new("rate", DataType::Float),
+            ]),
+            vec![Column::from_strs(&[]), Column::from_ints(&[]), Column::from_floats(&[])],
+        )
+        .expect("empty table"),
+    );
+    let engine = EquivEngine::new();
+    for sql in CORPUS {
+        let plan = plan_of(&probe, sql);
+        assert_eq!(engine.fingerprint(&plan), engine.fingerprint(&plan), "{sql}");
+    }
+    let l = plan_of(&probe, INEQUIVALENT[0].0);
+    let r = plan_of(&probe, INEQUIVALENT[0].1);
+    assert_eq!(
+        format!("{:?}", engine.check(&l, &r)),
+        format!("{:?}", engine.check(&l, &r))
+    );
+}

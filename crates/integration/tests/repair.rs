@@ -1,6 +1,7 @@
 //! Properties of the diagnosis→generation repair loop (PR 4): hint
 //! extraction over testkit-generated catalogs, repair soundness, and the
-//! byte-identical `decode`/`decode_with` shim pins.
+//! repair-free `Decoder` pins (the default decoder never repairs, so an
+//! explicit `.with_repair(0)` is byte-identical to the default).
 
 use cda_analyzer::{apply_hints, edit_distance, nearest_name, Analyzer};
 use cda_dataframe::{Column, DataType, Field, Schema, Table};
@@ -191,13 +192,13 @@ proptest! {
     }
 }
 
-// ------------------------------------------------------------ shim pins
+// ------------------------------------------------------- repair-free pins
 
-/// The deprecated free functions must stay byte-identical to a repair-free
-/// `Decoder` — the regression pin that lets callers migrate at leisure.
+/// The default `Decoder` must stay byte-identical to an explicit
+/// `.with_repair(0)` — the regression pin the deleted `decode` shim carried:
+/// callers who migrated from the free function get exactly its behavior.
 #[test]
-#[allow(deprecated)]
-fn decode_shims_match_repair_free_decoder() {
+fn default_decoder_matches_explicit_repair_free_decoder() {
     let gc = GenCatalog {
         tables: vec![
             (
@@ -237,31 +238,34 @@ fn decode_shims_match_repair_free_decoder() {
                     catalog.table_names().into_iter().filter(|n| n != table).collect();
                 let prompt =
                     Nl2SqlPrompt { task: task.task.clone(), schema, other_tables: other };
-                let old = cda_nlmodel::constrained::decode(
-                    &lm, &prompt, &catalog, strategy, 1.0, 10,
-                );
-                let new = Decoder::new(&lm, &catalog)
+                let implicit = Decoder::new(&lm, &catalog)
                     .with_strategy(strategy)
                     .with_temperature(1.0)
                     .with_budget(10)
                     .decode(&prompt);
-                match (old, new) {
+                let explicit = Decoder::new(&lm, &catalog)
+                    .with_strategy(strategy)
+                    .with_temperature(1.0)
+                    .with_budget(10)
+                    .with_repair(0)
+                    .decode(&prompt);
+                match (implicit, explicit) {
                     (Ok(a), Ok(b)) => {
-                        assert_eq!(a, b, "shim diverged from Decoder ({strategy:?})");
+                        assert_eq!(a, b, "repair-free pin diverged ({strategy:?})");
                         assert!(a.repairs.is_empty() && !a.repaired);
                     }
                     (Err(a), Err(b)) => assert_eq!(a.to_string(), b.to_string()),
-                    (a, b) => panic!("shim/Decoder outcome mismatch: {a:?} vs {b:?}"),
+                    (a, b) => panic!("repair-free pin outcome mismatch: {a:?} vs {b:?}"),
                 }
             }
         }
     }
 }
 
-/// Same pin for `decode_with`, which also routes an analyzer through.
+/// Same pin when an analyzer is routed through (the deleted `decode_with`
+/// shim's contract).
 #[test]
-#[allow(deprecated)]
-fn decode_with_shim_matches_decoder_with_analyzer() {
+fn analyzer_decoder_matches_explicit_repair_free_decoder() {
     let gc = GenCatalog {
         tables: vec![(
             "emp".into(),
@@ -282,24 +286,26 @@ fn decode_with_shim_matches_decoder_with_analyzer() {
             let schema = catalog.get(&task.task.table).unwrap().table.schema().clone();
             let prompt =
                 Nl2SqlPrompt { task: task.task.clone(), schema, other_tables: vec![] };
-            let old = cda_nlmodel::constrained::decode_with(
-                &lm,
-                &prompt,
-                &analyzer,
-                DecodingStrategy::Rejection,
-                1.0,
-                10,
-            );
-            let new = Decoder::new(&lm, &catalog)
+            let implicit = Decoder::new(&lm, &catalog)
                 .with_analyzer(analyzer)
                 .with_strategy(DecodingStrategy::Rejection)
                 .with_temperature(1.0)
                 .with_budget(10)
                 .decode(&prompt);
-            match (old, new) {
-                (Ok(a), Ok(b)) => assert_eq!(a, b),
+            let explicit = Decoder::new(&lm, &catalog)
+                .with_analyzer(analyzer)
+                .with_strategy(DecodingStrategy::Rejection)
+                .with_temperature(1.0)
+                .with_budget(10)
+                .with_repair(0)
+                .decode(&prompt);
+            match (implicit, explicit) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(a, b);
+                    assert!(a.repairs.is_empty() && !a.repaired);
+                }
                 (Err(a), Err(b)) => assert_eq!(a.to_string(), b.to_string()),
-                (a, b) => panic!("shim/Decoder outcome mismatch: {a:?} vs {b:?}"),
+                (a, b) => panic!("repair-free pin outcome mismatch: {a:?} vs {b:?}"),
             }
         }
     }

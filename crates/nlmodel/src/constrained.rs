@@ -405,43 +405,6 @@ impl<'a> Decoder<'a> {
     }
 }
 
-/// Run one decode under a strategy against a plain catalog (static gate
-/// only, no cost pass). `budget` bounds sampling for the rejection/reranked
-/// strategies.
-#[deprecated(note = "use Decoder::new(lm, catalog).with_strategy(..).with_budget(..).decode(prompt)")]
-pub fn decode(
-    lm: &SimLm,
-    prompt: &Nl2SqlPrompt,
-    catalog: &Catalog,
-    strategy: DecodingStrategy,
-    temperature: f64,
-    budget: usize,
-) -> Result<DecodeResult> {
-    Decoder::new(lm, catalog)
-        .with_strategy(strategy)
-        .with_temperature(temperature)
-        .with_budget(budget)
-        .decode(prompt)
-}
-
-/// Run one decode under a strategy, gated by a configured [`Analyzer`].
-#[deprecated(note = "use Decoder::new(lm, catalog).with_analyzer(a).decode(prompt)")]
-pub fn decode_with(
-    lm: &SimLm,
-    prompt: &Nl2SqlPrompt,
-    analyzer: &Analyzer<'_>,
-    strategy: DecodingStrategy,
-    temperature: f64,
-    budget: usize,
-) -> Result<DecodeResult> {
-    Decoder::new(lm, analyzer.catalog())
-        .with_analyzer(*analyzer)
-        .with_strategy(strategy)
-        .with_temperature(temperature)
-        .with_budget(budget)
-        .decode(prompt)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -720,9 +683,11 @@ mod tests {
         assert_eq!(DecodingStrategy::Reranked.label(), "reranked");
     }
 
+    /// The pin the removed `decode`/`decode_with` shims used to carry: the
+    /// default `Decoder` stays repair-free, so an explicit `.with_repair(0)`
+    /// is byte-identical to saying nothing at all.
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_decoder_exactly() {
+    fn default_decoder_is_byte_identical_to_explicit_repair_free() {
         let c = catalog();
         let stats = cda_analyzer::Statistics::from_catalog(&c);
         for seed in 0..10 {
@@ -734,25 +699,33 @@ mod tests {
                 DecodingStrategy::Rejection,
                 DecodingStrategy::Reranked,
             ] {
-                let via_shim = decode(&lm, &prompt(), &c, strategy, 1.0, 8);
-                let via_builder = decoder(&lm, &c, strategy, 8).decode(&prompt());
-                match (via_shim, via_builder) {
-                    (Ok(a), Ok(b)) => assert_eq!(a, b, "seed {seed} {strategy:?}"),
+                let implicit = decoder(&lm, &c, strategy, 8).decode(&prompt());
+                let explicit = decoder(&lm, &c, strategy, 8).with_repair(0).decode(&prompt());
+                match (implicit, explicit) {
+                    (Ok(a), Ok(b)) => {
+                        assert!(a.repairs.is_empty() && !a.repaired, "seed {seed} {strategy:?}");
+                        assert_eq!(a, b, "seed {seed} {strategy:?}");
+                    }
                     (Err(_), Err(_)) => {}
-                    (a, b) => panic!("shim diverged: {a:?} vs {b:?}"),
+                    (a, b) => panic!("repair-free pin diverged: {a:?} vs {b:?}"),
                 }
             }
             let a = Analyzer::new(&c).with_stats(&stats).with_row_budget(1_000);
-            let via_shim =
-                decode_with(&lm, &prompt(), &a, DecodingStrategy::Rejection, 1.0, 8);
-            let via_builder = Decoder::new(&lm, &c)
+            let implicit = Decoder::new(&lm, &c)
                 .with_analyzer(a)
+                .with_strategy(DecodingStrategy::Rejection)
                 .with_budget(8)
                 .decode(&prompt());
-            match (via_shim, via_builder) {
+            let explicit = Decoder::new(&lm, &c)
+                .with_analyzer(a)
+                .with_strategy(DecodingStrategy::Rejection)
+                .with_budget(8)
+                .with_repair(0)
+                .decode(&prompt());
+            match (implicit, explicit) {
                 (Ok(x), Ok(y)) => assert_eq!(x, y, "seed {seed}"),
                 (Err(_), Err(_)) => {}
-                (x, y) => panic!("decode_with shim diverged: {x:?} vs {y:?}"),
+                (x, y) => panic!("repair-free pin diverged with analyzer: {x:?} vs {y:?}"),
             }
         }
     }

@@ -16,11 +16,23 @@
 //! salvaged sample clusters under its **post-repair** SQL, so the UQ signal
 //! sees the candidates the decoder would actually return, and the report
 //! records how many samples repair rescued.
+//!
+//! The [`ConsistencyUq`] builder additionally supports **equivalence-aware**
+//! clustering ([`with_equivalence`](ConsistencyUq::with_equivalence)):
+//! post-repair candidate plans are fingerprinted by `cda_analyzer::equiv`,
+//! and samples whose canonical plans certify equivalent share one execution
+//! — agreement is decided over *meaning*, so syntactic variants of the same
+//! query merge into one cluster without paying k executions. Because equal
+//! fingerprints guarantee identical results on the deterministic executor,
+//! the clusters (and therefore the confidence) are provably unchanged; the
+//! report's `executions_saved` counts the wall-clock win (E16 measures it).
 
 use crate::verify::execution_signature;
 use crate::{Result, SoundnessError};
+use cda_analyzer::equiv::EquivEngine;
 use cda_analyzer::{apply_hints, Analyzer};
 use cda_nlmodel::lm::{Nl2SqlPrompt, SimLm};
+use cda_sql::planner::plan_select;
 use cda_sql::Catalog;
 use std::collections::HashMap;
 
@@ -54,12 +66,18 @@ pub struct ConsistencyReport {
     /// — the repair that contributed to the majority vote — empty when the
     /// cluster contains no repaired sample.
     pub repair_hints: Vec<String>,
+    /// Number of distinct plan-fingerprint groups among the samples that
+    /// reached execution (0 with equivalence-aware clustering disabled).
+    pub equiv_groups: usize,
+    /// Executions skipped because a sample's canonical plan certified
+    /// equivalent to an already-executed one (0 with equivalence disabled).
+    pub executions_saved: usize,
 }
 
 /// Run consistency-based UQ: sample `k` candidates at `temperature`, cluster
 /// by execution signature, return the majority representative + confidence.
-/// Statically-doomed samples count as failed without executing; repair is
-/// off (see [`consistency_confidence_with`]).
+/// Statically-doomed samples count as failed without executing; repair and
+/// equivalence-aware clustering are off (see [`ConsistencyUq`]).
 pub fn consistency_confidence(
     lm: &SimLm,
     prompt: &Nl2SqlPrompt,
@@ -83,85 +101,199 @@ pub fn consistency_confidence_with(
     temperature: f64,
     repair_rounds: usize,
 ) -> Result<ConsistencyReport> {
-    if k == 0 {
-        return Err(SoundnessError::NoSamples);
+    ConsistencyUq::new(lm, analyzer)
+        .with_samples(k)
+        .with_temperature(temperature)
+        .with_repair(repair_rounds)
+        .run(prompt)
+}
+
+/// Builder-style consistency UQ.
+///
+/// ```
+/// # use cda_soundness::consistency::ConsistencyUq;
+/// # use cda_analyzer::Analyzer;
+/// # use cda_nlmodel::lm::{SimLm, SimLmConfig};
+/// # let catalog = cda_sql::Catalog::new();
+/// # let lm = SimLm::new(SimLmConfig::default());
+/// let analyzer = Analyzer::new(&catalog);
+/// let uq = ConsistencyUq::new(&lm, &analyzer)
+///     .with_samples(8)
+///     .with_temperature(1.0)
+///     .with_repair(2)
+///     .with_equivalence(true);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct ConsistencyUq<'a> {
+    lm: &'a SimLm,
+    analyzer: &'a Analyzer<'a>,
+    samples: usize,
+    temperature: f64,
+    repair_rounds: usize,
+    equivalence: bool,
+}
+
+impl<'a> ConsistencyUq<'a> {
+    /// UQ over this model, gated by this analyzer; defaults: 8 samples,
+    /// temperature 1.0, repair off, equivalence-aware clustering off.
+    pub fn new(lm: &'a SimLm, analyzer: &'a Analyzer<'a>) -> Self {
+        Self { lm, analyzer, samples: 8, temperature: 1.0, repair_rounds: 0, equivalence: false }
     }
-    let catalog = analyzer.catalog();
-    let gens = lm.sample_k(prompt, temperature, k);
-    let naive_confidence =
-        gens.iter().map(cda_nlmodel::lm::Generation::naive_confidence).sum::<f64>() / k as f64;
-    let mut clusters: HashMap<String, Vec<usize>> = HashMap::new();
-    let mut failed = 0usize;
-    let mut static_rejects = 0usize;
-    let mut repaired = 0usize;
-    // Per sample: the SQL it clusters under and the hints that produced it.
-    let mut effective: Vec<String> = Vec::with_capacity(k);
-    let mut sample_hints: Vec<Vec<String>> = vec![Vec::new(); k];
-    for (i, g) in gens.iter().enumerate() {
-        effective.push(g.sql.clone());
-        // Pre-execution gate: statically-doomed candidates cannot produce an
-        // execution signature. Try to repair them first; still-doomed ones
-        // count failed without executing, exactly as with repair disabled.
-        if analyzer.execution_doomed(&g.sql) {
-            match repair_sample(analyzer, &g.sql, repair_rounds) {
-                Some((sql, hints)) => {
-                    effective[i] = sql;
-                    sample_hints[i] = hints;
-                }
-                None => {
-                    failed += 1;
-                    static_rejects += 1;
-                    continue;
+
+    /// Number of candidates to sample (k).
+    pub fn with_samples(mut self, k: usize) -> Self {
+        self.samples = k;
+        self
+    }
+
+    /// Sampling temperature.
+    pub fn with_temperature(mut self, t: f64) -> Self {
+        self.temperature = t;
+        self
+    }
+
+    /// Hint-apply-regate rounds per statically-doomed sample (0 = off).
+    pub fn with_repair(mut self, rounds: usize) -> Self {
+        self.repair_rounds = rounds;
+        self
+    }
+
+    /// Enable equivalence-aware clustering: fingerprint each post-repair
+    /// candidate plan and execute only one representative per certified-
+    /// equivalent group, sharing its execution signature. Equal fingerprints
+    /// guarantee identical execution on the deterministic engine, so the
+    /// resulting clusters — and the confidence — are provably identical to
+    /// the exhaustive path; only `executions_saved` changes.
+    pub fn with_equivalence(mut self, on: bool) -> Self {
+        self.equivalence = on;
+        self
+    }
+
+    /// Run the UQ round.
+    pub fn run(&self, prompt: &Nl2SqlPrompt) -> Result<ConsistencyReport> {
+        let k = self.samples;
+        if k == 0 {
+            return Err(SoundnessError::NoSamples);
+        }
+        let analyzer = self.analyzer;
+        let catalog = analyzer.catalog();
+        let engine = EquivEngine::new();
+        let gens = self.lm.sample_k(prompt, self.temperature, k);
+        let naive_confidence =
+            gens.iter().map(cda_nlmodel::lm::Generation::naive_confidence).sum::<f64>() / k as f64;
+        let mut clusters: HashMap<String, Vec<usize>> = HashMap::new();
+        let mut failed = 0usize;
+        let mut static_rejects = 0usize;
+        let mut repaired = 0usize;
+        // Equivalence bookkeeping: fingerprint → shared execution signature.
+        let mut sig_by_fp: HashMap<u64, Option<String>> = HashMap::new();
+        let mut executions_saved = 0usize;
+        // Per sample: the SQL it clusters under and the hints that produced it.
+        let mut effective: Vec<String> = Vec::with_capacity(k);
+        let mut sample_hints: Vec<Vec<String>> = vec![Vec::new(); k];
+        for (i, g) in gens.iter().enumerate() {
+            effective.push(g.sql.clone());
+            // Pre-execution gate: statically-doomed candidates cannot produce
+            // an execution signature. Try to repair them first; still-doomed
+            // ones count failed without executing, exactly as with repair
+            // disabled.
+            if analyzer.execution_doomed(&g.sql) {
+                match repair_sample(analyzer, &g.sql, self.repair_rounds) {
+                    Some((sql, hints)) => {
+                        effective[i] = sql;
+                        sample_hints[i] = hints;
+                    }
+                    None => {
+                        failed += 1;
+                        static_rejects += 1;
+                        continue;
+                    }
                 }
             }
-        }
-        match execution_signature(catalog, &effective[i]) {
-            Some(sig) => {
-                clusters.entry(sig).or_default().push(i);
-                if !sample_hints[i].is_empty() {
-                    repaired += 1;
+            let sig = if self.equivalence {
+                match fingerprint_of(&engine, catalog, &effective[i]) {
+                    Some(fp) => match sig_by_fp.get(&fp) {
+                        Some(shared) => {
+                            // A prior sample's canonical plan was identical:
+                            // its outcome is this sample's outcome.
+                            executions_saved += 1;
+                            shared.clone()
+                        }
+                        None => {
+                            let sig = execution_signature(catalog, &effective[i]);
+                            sig_by_fp.insert(fp, sig.clone());
+                            sig
+                        }
+                    },
+                    // Unfingerprintable (should not pass the gate, but stay
+                    // safe): fall back to executing individually.
+                    None => execution_signature(catalog, &effective[i]),
                 }
+            } else {
+                execution_signature(catalog, &effective[i])
+            };
+            match sig {
+                Some(sig) => {
+                    clusters.entry(sig).or_default().push(i);
+                    if !sample_hints[i].is_empty() {
+                        repaired += 1;
+                    }
+                }
+                None => failed += 1,
             }
-            None => failed += 1,
         }
-    }
-    if clusters.is_empty() {
-        return Ok(ConsistencyReport {
-            chosen_sql: None,
-            confidence: 0.0,
+        let equiv_groups = sig_by_fp.len();
+        if clusters.is_empty() {
+            return Ok(ConsistencyReport {
+                chosen_sql: None,
+                confidence: 0.0,
+                samples: k,
+                clusters: 0,
+                failed,
+                static_rejects,
+                naive_confidence,
+                repaired,
+                repair_hints: Vec::new(),
+                equiv_groups,
+                executions_saved,
+            });
+        }
+        // Majority cluster; ties broken deterministically by signature order.
+        let mut entries: Vec<(&String, &Vec<usize>)> = clusters.iter().collect();
+        entries.sort_by(|a, b| b.1.len().cmp(&a.1.len()).then(a.0.cmp(b.0)));
+        let (_, members) = entries[0];
+        let representative = effective[members[0]].clone();
+        // The winning cluster's mass may rest partly on repaired members: the
+        // hints of its first repaired member (if any) annotate the answer,
+        // even when the representative itself was sampled clean — the vote
+        // was.
+        let repair_hints = members
+            .iter()
+            .find(|&&i| !sample_hints[i].is_empty())
+            .map(|&i| sample_hints[i].clone())
+            .unwrap_or_default();
+        Ok(ConsistencyReport {
+            chosen_sql: Some(representative),
+            confidence: members.len() as f64 / k as f64,
             samples: k,
-            clusters: 0,
+            clusters: clusters.len(),
             failed,
             static_rejects,
             naive_confidence,
             repaired,
-            repair_hints: Vec::new(),
-        });
+            repair_hints,
+            equiv_groups,
+            executions_saved,
+        })
     }
-    // Majority cluster; ties broken deterministically by signature order.
-    let mut entries: Vec<(&String, &Vec<usize>)> = clusters.iter().collect();
-    entries.sort_by(|a, b| b.1.len().cmp(&a.1.len()).then(a.0.cmp(b.0)));
-    let (_, members) = entries[0];
-    let representative = effective[members[0]].clone();
-    // The winning cluster's mass may rest partly on repaired members: the
-    // hints of its first repaired member (if any) annotate the answer, even
-    // when the representative itself was sampled clean — the vote was.
-    let repair_hints = members
-        .iter()
-        .find(|&&i| !sample_hints[i].is_empty())
-        .map(|&i| sample_hints[i].clone())
-        .unwrap_or_default();
-    Ok(ConsistencyReport {
-        chosen_sql: Some(representative),
-        confidence: members.len() as f64 / k as f64,
-        samples: k,
-        clusters: clusters.len(),
-        failed,
-        static_rejects,
-        naive_confidence,
-        repaired,
-        repair_hints,
-    })
+}
+
+/// Canonical-plan fingerprint of a candidate, `None` when it does not parse
+/// or plan (such candidates execute individually).
+fn fingerprint_of(engine: &EquivEngine, catalog: &Catalog, sql: &str) -> Option<u64> {
+    let select = cda_sql::parser::parse(sql).ok()?;
+    let plan = plan_select(catalog, &select).ok()?;
+    Some(engine.fingerprint(&plan).as_u64())
 }
 
 /// Hint-apply-regate loop for one doomed sample. Returns the repaired SQL
@@ -347,6 +479,80 @@ mod tests {
         );
         // The post-repair representative must itself pass the gate.
         assert!(!Analyzer::new(&c).execution_doomed(repaired.chosen_sql.as_deref().unwrap()));
+    }
+
+    #[test]
+    fn builder_defaults_match_the_free_functions() {
+        let c = catalog();
+        let lm = SimLm::new(SimLmConfig { hallucination_rate: 0.4, seed: 3, ..Default::default() });
+        let analyzer = Analyzer::new(&c);
+        let free = consistency_confidence_with(&lm, &prompt(), &analyzer, 7, 1.0, 2).unwrap();
+        let built = ConsistencyUq::new(&lm, &analyzer)
+            .with_samples(7)
+            .with_temperature(1.0)
+            .with_repair(2)
+            .run(&prompt())
+            .unwrap();
+        assert_eq!(free, built);
+    }
+
+    #[test]
+    fn equivalence_clustering_preserves_the_verdict_and_saves_executions() {
+        // A clean model emits the same SQL k times: one fingerprint group,
+        // one execution, k-1 saved — and a report otherwise identical to
+        // the exhaustive path.
+        let c = catalog();
+        let analyzer = Analyzer::new(&c);
+        let lm = SimLm::new(SimLmConfig { hallucination_rate: 0.0, ..Default::default() });
+        let off = ConsistencyUq::new(&lm, &analyzer).with_samples(8).run(&prompt()).unwrap();
+        let on = ConsistencyUq::new(&lm, &analyzer)
+            .with_samples(8)
+            .with_equivalence(true)
+            .run(&prompt())
+            .unwrap();
+        assert_eq!(off.equiv_groups, 0);
+        assert_eq!(off.executions_saved, 0);
+        assert_eq!(on.equiv_groups, 1);
+        assert_eq!(on.executions_saved, 7);
+        assert_eq!(on.confidence, off.confidence);
+        assert_eq!(on.chosen_sql, off.chosen_sql);
+        assert_eq!(on.clusters, off.clusters);
+        assert_eq!(on.failed, off.failed);
+    }
+
+    #[test]
+    fn equivalence_clustering_never_changes_confidence_under_noise() {
+        // Across seeds and hallucination levels the clusters must be
+        // byte-identical with equivalence on and off — only the execution
+        // count may differ.
+        let c = catalog();
+        let analyzer = Analyzer::new(&c);
+        for seed in 0..5u64 {
+            let lm = SimLm::new(SimLmConfig {
+                hallucination_rate: 0.6,
+                seed,
+                ..Default::default()
+            });
+            let off = ConsistencyUq::new(&lm, &analyzer)
+                .with_samples(9)
+                .with_repair(2)
+                .run(&prompt())
+                .unwrap();
+            let on = ConsistencyUq::new(&lm, &analyzer)
+                .with_samples(9)
+                .with_repair(2)
+                .with_equivalence(true)
+                .run(&prompt())
+                .unwrap();
+            assert_eq!(on.confidence, off.confidence, "seed {seed}");
+            assert_eq!(on.chosen_sql, off.chosen_sql, "seed {seed}");
+            assert_eq!(on.clusters, off.clusters, "seed {seed}");
+            assert_eq!(on.failed, off.failed, "seed {seed}");
+            assert_eq!(on.repaired, off.repaired, "seed {seed}");
+            assert!(on.equiv_groups >= on.clusters, "seed {seed}: {on:?}");
+            // every gated sample either opened a group or reused one
+            assert!(on.executions_saved + on.equiv_groups >= on.samples - on.failed, "seed {seed}");
+        }
     }
 
     #[test]

@@ -11,6 +11,15 @@
 //! * **projection pruning** — compute which base columns are actually used
 //!   and record them in `Scan.projection`, so the executor materializes
 //!   narrower intermediates.
+//!
+//! Filter rewrites (splitting, pushing, merging) are gated on the moved
+//! predicates being **error-free**: `AND` short-circuits, so separating a
+//! conjunct that can raise a runtime error (division by zero, arithmetic
+//! over the wrong type) from its neighbours — or evaluating it on rows an
+//! earlier filter would have dropped — could change whether the error
+//! fires. Every rewrite is differentially certified against its input by
+//! `cda-analyzer::equiv` (see `tests/certify.rs`); DESIGN.md §11 carries
+//! the per-rule soundness arguments.
 
 use crate::ast::{BinaryOp, JoinKind};
 use crate::plan::{BoundExpr, Plan};
@@ -175,8 +184,16 @@ fn push_filter(input: Plan, predicate: BoundExpr) -> Plan {
     match input {
         // Only INNER joins admit sound pushdown of both sides.
         Plan::Join { left, right, kind: JoinKind::Inner, on } => {
+            // All-or-nothing: a single fallible conjunct pins the whole
+            // predicate above the join, because pushing its error-free
+            // neighbours below would change which rows reach it (and with
+            // it, whether its error fires).
+            let conjuncts = split_conjuncts(predicate.clone());
+            if !conjuncts.iter().all(error_free) {
+                let join = Plan::Join { left, right, kind: JoinKind::Inner, on };
+                return Plan::Filter { input: Box::new(join), predicate };
+            }
             let left_arity = left.arity();
-            let conjuncts = split_conjuncts(predicate);
             let mut left_preds = Vec::new();
             let mut right_preds = Vec::new();
             let mut keep = Vec::new();
@@ -211,15 +228,74 @@ fn push_filter(input: Plan, predicate: BoundExpr) -> Plan {
             }
         }
         // Merge adjacent filters into a conjunction (keeps trees shallow).
+        // Sound only when the outer predicate is error-free: `a AND b`
+        // evaluates `b` even when `a` is NULL, so merging a fallible outer
+        // filter would evaluate it on rows the inner filter's NULLs drop.
         Plan::Filter { input: inner, predicate: inner_pred } => {
-            let combined = BoundExpr::Binary {
-                left: Box::new(inner_pred),
-                op: BinaryOp::And,
-                right: Box::new(predicate),
-            };
-            push_filter(*inner, combined)
+            if error_free(&predicate) {
+                let combined = BoundExpr::Binary {
+                    left: Box::new(inner_pred),
+                    op: BinaryOp::And,
+                    right: Box::new(predicate),
+                };
+                push_filter(*inner, combined)
+            } else {
+                Plan::Filter {
+                    input: Box::new(Plan::Filter { input: inner, predicate: inner_pred }),
+                    predicate,
+                }
+            }
         }
         other => Plan::Filter { input: Box::new(other), predicate },
+    }
+}
+
+/// True when evaluating `e` can never return `Err` on any row of the right
+/// arity. Conservative and syntactic: comparisons are total (`sql_cmp`
+/// never errors), but arithmetic (`/`/`%` by zero, `+`/`-`/`*` over
+/// non-numeric values), `Neg`, `LIKE`, `CASE`, and boolean connectives over
+/// operands not provably boolean-valued all count as fallible.
+///
+/// Deliberately re-implemented (not shared) by `cda-analyzer::equiv`, so
+/// the differential certifier does not inherit a bug in this classifier.
+fn error_free(e: &BoundExpr) -> bool {
+    match e {
+        BoundExpr::Literal(_) | BoundExpr::Column(_) => true,
+        BoundExpr::Binary { left, op, right } => {
+            if op.is_comparison() {
+                error_free(left) && error_free(right)
+            } else if matches!(op, BinaryOp::And | BinaryOp::Or) {
+                bool_shaped(left) && bool_shaped(right) && error_free(left) && error_free(right)
+            } else {
+                false
+            }
+        }
+        BoundExpr::Neg(_) => false,
+        BoundExpr::Not(x) => bool_shaped(x) && error_free(x),
+        BoundExpr::IsNull { expr, .. } => error_free(expr),
+        BoundExpr::InList { expr, list, .. } => error_free(expr) && list.iter().all(error_free),
+        BoundExpr::Between { expr, low, high, .. } => {
+            error_free(expr) && error_free(low) && error_free(high)
+        }
+        BoundExpr::Like { .. } => false,
+        BoundExpr::Case { .. } => false,
+    }
+}
+
+/// True when `e` provably evaluates to a boolean or NULL (so `AND`/`OR`/
+/// `NOT` over it cannot raise a type error).
+fn bool_shaped(e: &BoundExpr) -> bool {
+    match e {
+        BoundExpr::Literal(Value::Bool(_)) | BoundExpr::Literal(Value::Null) => true,
+        BoundExpr::Binary { op, .. } => {
+            op.is_comparison() || matches!(op, BinaryOp::And | BinaryOp::Or)
+        }
+        BoundExpr::Not(x) => bool_shaped(x),
+        BoundExpr::IsNull { .. }
+        | BoundExpr::InList { .. }
+        | BoundExpr::Between { .. }
+        | BoundExpr::Like { .. } => true,
+        _ => false,
     }
 }
 
@@ -492,6 +568,73 @@ mod tests {
         let p = planned("SELECT c, SUM(a) FROM t GROUP BY c");
         let o = optimize(p, OptimizerRules { projection_pruning: true, ..OptimizerRules::none() });
         assert!(o.explain().contains("(cols [0, 2])"), "{}", o.explain());
+    }
+
+    #[test]
+    fn pushdown_pins_fallible_conjunctions_above_joins() {
+        // 10 / t.b errors on b = 0: pushing the pure u-side conjunct below
+        // the join would change which rows reach the division. The whole
+        // predicate must stay above the join, in its original shape.
+        let p = planned("SELECT t.a FROM t JOIN u ON t.a = u.a WHERE 10 / t.b > 1 AND u.b < 5");
+        let o = optimize(p.clone(), OptimizerRules { predicate_pushdown: true, ..OptimizerRules::none() });
+        assert_eq!(o, p, "fallible predicate must not be split or moved:\n{}", o.explain());
+    }
+
+    #[test]
+    fn pushdown_does_not_merge_fallible_outer_filters() {
+        // Filter(Filter(scan, b > 1), 10 / b > 1): the inner filter's NULLs
+        // shield the division; merging would evaluate it on those rows.
+        let scan = planned("SELECT a, b, c FROM t");
+        let inner = Plan::Filter {
+            input: Box::new(scan),
+            predicate: BoundExpr::Binary {
+                left: Box::new(BoundExpr::Column(1)),
+                op: BinaryOp::Gt,
+                right: Box::new(BoundExpr::Literal(Value::Int(1))),
+            },
+        };
+        let fallible = BoundExpr::Binary {
+            left: Box::new(BoundExpr::Binary {
+                left: Box::new(BoundExpr::Literal(Value::Int(10))),
+                op: BinaryOp::Div,
+                right: Box::new(BoundExpr::Column(1)),
+            }),
+            op: BinaryOp::Gt,
+            right: Box::new(BoundExpr::Literal(Value::Int(1))),
+        };
+        let p = Plan::Filter { input: Box::new(inner), predicate: fallible };
+        let o = optimize(p.clone(), OptimizerRules { predicate_pushdown: true, ..OptimizerRules::none() });
+        assert_eq!(o.explain().matches("Filter").count(), 2, "{}", o.explain());
+    }
+
+    #[test]
+    fn error_free_is_conservative() {
+        let cmp = BoundExpr::Binary {
+            left: Box::new(BoundExpr::Column(0)),
+            op: BinaryOp::Lt,
+            right: Box::new(BoundExpr::Literal(Value::Int(1))),
+        };
+        assert!(error_free(&cmp));
+        let div = BoundExpr::Binary {
+            left: Box::new(BoundExpr::Literal(Value::Int(1))),
+            op: BinaryOp::Div,
+            right: Box::new(BoundExpr::Column(0)),
+        };
+        assert!(!error_free(&div));
+        // fallible operand taints the enclosing comparison
+        let tainted = BoundExpr::Binary {
+            left: Box::new(div),
+            op: BinaryOp::Lt,
+            right: Box::new(BoundExpr::Literal(Value::Int(1))),
+        };
+        assert!(!error_free(&tainted));
+        // AND over a bare column could be a runtime type error
+        let odd = BoundExpr::Binary {
+            left: Box::new(BoundExpr::Column(0)),
+            op: BinaryOp::And,
+            right: Box::new(cmp),
+        };
+        assert!(!error_free(&odd));
     }
 
     #[test]

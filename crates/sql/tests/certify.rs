@@ -1,0 +1,166 @@
+//! Differential certification of the optimizer (CI gate).
+//!
+//! Every optimizer rule — alone and composed — is checked against its input
+//! plan by `cda-analyzer`'s equivalence engine over a query corpus chosen to
+//! trigger each rewrite, including the shapes the rules must *refuse* to
+//! rewrite (fallible predicates, LEFT joins). An unsound rewrite fails this
+//! suite with the offending rule, the query, and a concrete counterexample
+//! table printed — which is exactly what `ci.sh` runs as its dedicated
+//! `cargo test -q -p cda-sql` step.
+
+use cda_analyzer::equiv::{certify_optimizer, EquivEngine, EquivResult, CERTIFIED_RULES};
+use cda_dataframe::{Column, DataType, Field, Schema, Table};
+use cda_sql::Catalog;
+
+fn catalog() -> Catalog {
+    let mut c = Catalog::new();
+    let emp = Table::from_columns(
+        Schema::new(vec![
+            Field::new("canton", DataType::Str),
+            Field::new("sector", DataType::Str),
+            Field::new("jobs", DataType::Int),
+            Field::new("rate", DataType::Float),
+        ]),
+        vec![
+            Column::from_strs(&["ZH", "BE", "ZH", "GE", "BE", "ZH"]),
+            Column::from_strs(&["it", "it", "finance", "health", "health", "it"]),
+            Column::from_opt_ints(&[Some(120), Some(0), Some(340), None, Some(75), Some(18)]),
+            Column::from_floats(&[1.5, 0.0, 2.25, 3.5, 0.5, 1.0]),
+        ],
+    )
+    .expect("emp table");
+    let regions = Table::from_columns(
+        Schema::new(vec![
+            Field::new("canton", DataType::Str),
+            Field::new("population", DataType::Int),
+        ]),
+        vec![
+            Column::from_strs(&["ZH", "BE", "GE", "VD"]),
+            Column::from_opt_ints(&[Some(1_500_000), Some(1_000_000), None, Some(800_000)]),
+        ],
+    )
+    .expect("regions table");
+    c.register("emp", emp).expect("register emp");
+    c.register("regions", regions).expect("register regions");
+    c
+}
+
+/// The certification corpus: every rule's trigger shape, plus the shapes
+/// rewrites must leave alone.
+fn corpus() -> Vec<String> {
+    [
+        // constant folding: removable TRUE filters, foldable arithmetic,
+        // constants that must NOT fold (1/0 stays for runtime)
+        "SELECT canton FROM emp WHERE 1 = 1",
+        "SELECT canton FROM emp WHERE 2 + 3 > 4",
+        "SELECT jobs + 2 * 3 FROM emp",
+        "SELECT canton FROM emp WHERE jobs > 10 AND 1 = 1",
+        // predicate pushdown: single-side conjuncts, cross-side keeps,
+        // LEFT-join skip, fallible all-or-nothing
+        "SELECT e.canton FROM emp e JOIN regions r ON e.canton = r.canton WHERE e.jobs > 50 AND r.population > 900000",
+        "SELECT e.canton FROM emp e JOIN regions r ON 1 = 1 WHERE e.canton = r.canton",
+        "SELECT e.canton FROM emp e LEFT JOIN regions r ON e.canton = r.canton WHERE r.population IS NULL",
+        "SELECT e.canton FROM emp e JOIN regions r ON e.canton = r.canton WHERE 100 / e.jobs > 1 AND r.population > 0",
+        "SELECT e.canton FROM emp e JOIN regions r ON e.canton = r.canton WHERE e.jobs > 10 AND e.rate < 2.0 AND r.population > 500000",
+        // projection pruning: narrow scans under projects/aggregates/joins
+        "SELECT canton FROM emp",
+        "SELECT canton FROM emp WHERE jobs > 20",
+        "SELECT sector, SUM(jobs) FROM emp GROUP BY sector",
+        "SELECT e.sector FROM emp e JOIN regions r ON e.canton = r.canton WHERE r.population > 0",
+        // operator coverage: distinct, sort, limit/offset, in, between,
+        // like, case, aggregates without group
+        "SELECT DISTINCT sector FROM emp ORDER BY sector",
+        "SELECT canton FROM emp WHERE sector IN ('it', 'health') ORDER BY canton LIMIT 3",
+        "SELECT canton FROM emp WHERE jobs BETWEEN 10 AND 200",
+        "SELECT canton FROM emp WHERE sector LIKE 'h%'",
+        "SELECT CASE WHEN jobs > 100 THEN 'big' ELSE 'small' END FROM emp",
+        "SELECT COUNT(*), AVG(rate) FROM emp",
+        "SELECT canton, MAX(jobs) FROM emp WHERE rate > 0.1 GROUP BY canton ORDER BY canton LIMIT 2 OFFSET 1",
+    ]
+    .into_iter()
+    .map(String::from)
+    .collect()
+}
+
+#[test]
+fn every_optimizer_rule_certifies_equivalent_on_the_corpus() {
+    let catalog = catalog();
+    let queries = corpus();
+    let engine = EquivEngine::new().with_trials(8).with_seed(0xE16);
+    let report = certify_optimizer(&engine, &catalog, &queries);
+
+    // the corpus must exercise all rules and actually plan
+    assert_eq!(
+        report.checks.len(),
+        queries.len() * CERTIFIED_RULES.len(),
+        "every corpus query must plan and be checked against every rule"
+    );
+    for (rule, _) in CERTIFIED_RULES {
+        assert!(report.checks.iter().any(|c| c.rule == rule), "rule {rule} not covered");
+    }
+
+    if !report.all_certified() {
+        for check in report.uncertified() {
+            eprintln!("UNCERTIFIED: rule `{}` on `{}`", check.rule, check.sql);
+            match &check.result {
+                EquivResult::NotEquivalent { counterexample } => {
+                    eprintln!("counterexample:\n{}", counterexample.describe());
+                }
+                EquivResult::Unknown { reason } => eprintln!("undecided: {reason}"),
+                EquivResult::Equivalent { .. } => {}
+            }
+        }
+        panic!(
+            "{} of {} optimizer rewrites failed to certify (see counterexamples above)",
+            report.checks.len() - report.certified(),
+            report.checks.len()
+        );
+    }
+}
+
+#[test]
+fn certifier_refutes_a_deliberately_broken_rewrite() {
+    // Sanity check that the harness has teeth: a rewrite that swaps the
+    // filter constant is refuted with a re-checkable counterexample.
+    use cda_sql::parser::parse;
+    use cda_sql::planner::plan_select;
+
+    let c = catalog();
+    let engine = EquivEngine::new().with_trials(8).with_seed(1);
+    let good = plan_select(&c, &parse("SELECT canton FROM emp WHERE jobs > 10").expect("parse"))
+        .expect("plan");
+    let bad = plan_select(&c, &parse("SELECT canton FROM emp WHERE jobs > 11").expect("parse"))
+        .expect("plan");
+    match engine.check(&good, &bad) {
+        EquivResult::NotEquivalent { counterexample } => {
+            assert!(counterexample.recheck(&good, &bad), "counterexample must re-check");
+        }
+        other => panic!("broken rewrite not refuted: {other:?}"),
+    }
+}
+
+#[test]
+fn fingerprints_ignore_conjunct_order_but_not_semantics() {
+    use cda_sql::parser::parse;
+    use cda_sql::planner::plan_select;
+
+    let c = catalog();
+    let engine = EquivEngine::new();
+    let p = plan_select(
+        &c,
+        &parse("SELECT canton FROM emp WHERE jobs > 10 AND sector = 'it'").expect("parse"),
+    )
+    .expect("plan");
+    let q = plan_select(
+        &c,
+        &parse("SELECT canton FROM emp WHERE sector = 'it' AND jobs > 10").expect("parse"),
+    )
+    .expect("plan");
+    assert_eq!(engine.fingerprint(&p), engine.fingerprint(&q));
+    let r = plan_select(
+        &c,
+        &parse("SELECT canton FROM emp WHERE jobs > 10 AND sector = 'finance'").expect("parse"),
+    )
+    .expect("plan");
+    assert_ne!(engine.fingerprint(&p), engine.fingerprint(&r));
+}

@@ -12,7 +12,7 @@
 //! |--------|----------|---------|
 //! | [`rng`] | `rand` | [`rng::StdRng`] (xoshiro256++ / SplitMix64): `seed_from_u64`, `gen_range`, `gen_bool`, `gen`, `shuffle`, Gaussian |
 //! | [`prop`] | `proptest` | choice-stream generators with automatic shrinking, [`proptest!`], `prop_assert*`, fixed-seed replay |
-//! | [`bench`] | `criterion` | warmup + N samples, median/p99, `BENCH_*.json` artifacts, [`criterion_group!`]/[`criterion_main!`] |
+//! | [`mod@bench`] | `criterion` | warmup + N samples, median/p99, `BENCH_*.json` artifacts, [`criterion_group!`]/[`criterion_main!`] |
 //!
 //! Plus [`json`], the tiny writer/parser backing the bench artifacts.
 

@@ -18,7 +18,7 @@
 //!   failure report prints the case seed for direct replay.
 //!
 //! The porting surface mirrors `proptest`: the [`crate::proptest!`] macro,
-//! `prop_assert!`/`prop_assert_eq!`/`prop_assert_ne!`, [`prop_oneof!`],
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assert_ne!`, [`crate::prop_oneof!`],
 //! [`Just`], [`any`], [`collection::vec`], [`option::of`], string classes
 //! like `"[a-c]"` / `"[a-z]{0,6}"`, and `.prop_map` / `.prop_flat_map` on
 //! anything that converts into a [`Gen`] (ranges, patterns, tuples).
