@@ -45,6 +45,9 @@ echo "== optimizer certification (every rewrite rule must certify Equivalent)"
 # A refuted rewrite fails this step and prints its counterexample tables.
 cargo test -q -p cda-sql
 
+echo "== vectorized engine differential certification (byte-identity vs row path)"
+cargo test -q -p cda-integration --test vectorized
+
 echo "== E14: cardinality estimation (bound coverage, q-error, gate overhead)"
 cargo run --release -q -p cda-bench --bin exp_cardinality
 
@@ -53,6 +56,9 @@ cargo run --release -q -p cda-bench --bin exp_repair
 
 echo "== E16: plan equivalence (certified rewrites, semantic cache, UQ clustering)"
 CDA_BENCH_FAST=1 cargo run --release -q -p cda-bench --bin exp_equiv
+
+echo "== E17: vectorized morsel-parallel engine (>=3x speedup, 0 mismatches)"
+CDA_BENCH_FAST=1 cargo run --release -q -p cda-bench --bin exp_vectorized
 
 echo "== bench harness smoke (2 samples per bench, JSON artifacts)"
 CDA_BENCH_FAST=1 cargo bench -p cda-bench --bench sql

@@ -1349,7 +1349,7 @@ fn gen_table(schema: &Schema, rows: usize, rng: &mut StdRng, pools: &ValuePools)
 /// canonicalization may change *which* error fires first, never whether one
 /// fires.
 fn run_outcome(catalog: &Catalog, plan: &Plan) -> String {
-    match execute_plan(catalog, plan, ExecOptions { rules: OptimizerRules::none(), track_lineage: false }) {
+    match execute_plan(catalog, plan, ExecOptions { rules: OptimizerRules::none(), track_lineage: false, vectorized: None }) {
         Ok(result) => format!(
             "schema: {}\n{}",
             result.table.schema().describe(),
@@ -1500,7 +1500,7 @@ mod tests {
         ] {
             let p = plan_select(&c, &parse(sql).unwrap()).unwrap();
             let canon = e.canonicalize(&p);
-            let opts = ExecOptions { rules: OptimizerRules::none(), track_lineage: true };
+            let opts = ExecOptions { rules: OptimizerRules::none(), track_lineage: true, vectorized: None };
             let before = execute_plan(&c, &p, opts).unwrap();
             let after = execute_plan(&c, &canon, opts).unwrap();
             assert_eq!(

@@ -50,7 +50,7 @@ fn bench_sql(c: &mut Criterion) {
             execute_with_options(
                 &catalog,
                 agg,
-                ExecOptions { rules: OptimizerRules::none(), track_lineage: true },
+                ExecOptions { rules: OptimizerRules::none(), track_lineage: true, vectorized: None },
             )
             .unwrap()
         })
@@ -60,7 +60,7 @@ fn bench_sql(c: &mut Criterion) {
             execute_with_options(
                 &catalog,
                 agg,
-                ExecOptions { rules: OptimizerRules::all(), track_lineage: false },
+                ExecOptions { rules: OptimizerRules::all(), track_lineage: false, vectorized: None },
             )
             .unwrap()
         })
@@ -76,10 +76,19 @@ fn bench_sql(c: &mut Criterion) {
             execute_with_options(
                 &catalog,
                 join,
-                ExecOptions { rules: OptimizerRules::none(), track_lineage: true },
+                ExecOptions { rules: OptimizerRules::none(), track_lineage: true, vectorized: None },
             )
             .unwrap()
         })
+    });
+
+    // E17 counterparts: same queries on the vectorized morsel-parallel
+    // engine (byte-identical results, differentially certified).
+    group.bench_function("aggregate_vectorized", |b| {
+        b.iter(|| execute_with_options(&catalog, agg, ExecOptions::vectorized()).unwrap())
+    });
+    group.bench_function("join_vectorized", |b| {
+        b.iter(|| execute_with_options(&catalog, join, ExecOptions::vectorized()).unwrap())
     });
 
     group.bench_function("parse_and_plan_only", |b| {

@@ -66,7 +66,7 @@ fn main() {
                 execute_with_options(
                     &catalog,
                     sql,
-                    ExecOptions { rules: OptimizerRules::all(), track_lineage: true },
+                    ExecOptions { rules: OptimizerRules::all(), track_lineage: true, vectorized: None },
                 )
                 .unwrap()
             });
@@ -74,7 +74,7 @@ fn main() {
                 execute_with_options(
                     &catalog,
                     sql,
-                    ExecOptions { rules: OptimizerRules::all(), track_lineage: false },
+                    ExecOptions { rules: OptimizerRules::all(), track_lineage: false, vectorized: None },
                 )
                 .unwrap()
             });

@@ -60,7 +60,7 @@ fn main() {
         let mut baseline = None;
         for (label, rules) in configs {
             let (result, elapsed) = timed_avg(5, || {
-                execute_with_options(&catalog, sql, ExecOptions { rules, track_lineage: true })
+                execute_with_options(&catalog, sql, ExecOptions { rules, track_lineage: true, vectorized: None })
                     .unwrap()
             });
             if label == "none" {

@@ -30,6 +30,18 @@ use std::time::Instant;
 pub const ANALYSIS_WINDOW: usize = 120;
 
 impl CdaSystem {
+    /// Execution options implied by the config: default rules and lineage,
+    /// on the vectorized morsel-parallel engine when `vectorized_exec` is on
+    /// (both engines produce byte-identical results — E17 / the vectorized
+    /// differential suite — so this only moves wall-clock).
+    fn exec_options(&self) -> cda_sql::ExecOptions {
+        if self.config.vectorized_exec {
+            cda_sql::ExecOptions::vectorized()
+        } else {
+            cda_sql::ExecOptions::default()
+        }
+    }
+
     /// Process one user utterance and produce the annotated system turn.
     pub fn process(&mut self, utterance: &str) -> AnswerTurn {
         let turn = self.state.turn;
@@ -548,6 +560,7 @@ impl CdaSystem {
                 .with_temperature(self.config.temperature)
                 .with_repair(self.config.repair_rounds)
                 .with_equivalence(true)
+                .with_exec_options(self.exec_options())
                 .run(&prompt)
             {
                 Ok(report) => match report.chosen_sql {
@@ -648,7 +661,7 @@ impl CdaSystem {
                 ));
                 Ok(hit.result)
             }
-            None => cda_sql::execute(self.catalog.sql(), &sql),
+            None => cda_sql::execute_with_options(self.catalog.sql(), &sql, self.exec_options()),
         };
         let infra_elapsed = t_infra.elapsed();
         if let (Some(fp), None, Ok(result)) = (fingerprint, &cache_note, &executed) {

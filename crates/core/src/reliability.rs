@@ -43,6 +43,13 @@ pub struct CdaConfig {
     /// are byte-identical to fresh execution and annotated `[cache]`; off
     /// restores unconditional execution bit-for-bit.
     pub semantic_cache: bool,
+    /// Run SQL on the vectorized morsel-parallel engine
+    /// (`cda_sql::physical`) instead of the row-at-a-time reference
+    /// interpreter. Results are byte-identical either way (differentially
+    /// certified, E17); off restores the row path bit-for-bit. This is a
+    /// performance switch, not a reliability property, so `none()` keeps it
+    /// on: dialogue, UQ sampling, and the semantic cache all ride it.
+    pub vectorized_exec: bool,
 }
 
 impl Default for CdaConfig {
@@ -61,6 +68,7 @@ impl Default for CdaConfig {
             row_budget: 1_000_000,
             repair_rounds: 2,
             semantic_cache: true,
+            vectorized_exec: true,
         }
     }
 }

@@ -50,6 +50,15 @@ pub struct Column {
     validity: Vec<bool>,
 }
 
+/// Raw-parts constructors require `data.len() == validity.len()`.
+fn check_parts(data: usize, validity: usize) -> Result<()> {
+    if data == validity {
+        Ok(())
+    } else {
+        Err(DataFrameError::LengthMismatch { expected: data, actual: validity })
+    }
+}
+
 impl Column {
     /// Build an INT column with no nulls.
     pub fn from_ints(values: &[i64]) -> Self {
@@ -97,6 +106,43 @@ impl Column {
         let validity: Vec<bool> = values.iter().map(Option::is_some).collect();
         let buf: Vec<f64> = values.iter().map(|v| v.unwrap_or(0.0)).collect();
         Self { buffer: Buffer::Float(buf), validity }
+    }
+
+    /// Build an INT column from a raw buffer and validity mask. Invalid
+    /// slots must hold the canonical placeholder `0` (what [`Column::push`]
+    /// writes for NULL) so derived equality against push-built columns
+    /// holds.
+    pub fn from_int_parts(data: Vec<i64>, validity: Vec<bool>) -> Result<Self> {
+        check_parts(data.len(), validity.len())?;
+        Ok(Self { buffer: Buffer::Int(data), validity })
+    }
+
+    /// Build a FLOAT column from a raw buffer and validity mask (canonical
+    /// placeholder `0.0` under invalid slots).
+    pub fn from_float_parts(data: Vec<f64>, validity: Vec<bool>) -> Result<Self> {
+        check_parts(data.len(), validity.len())?;
+        Ok(Self { buffer: Buffer::Float(data), validity })
+    }
+
+    /// Build a STR column from a raw buffer and validity mask (canonical
+    /// placeholder `""` under invalid slots).
+    pub fn from_str_parts(data: Vec<String>, validity: Vec<bool>) -> Result<Self> {
+        check_parts(data.len(), validity.len())?;
+        Ok(Self { buffer: Buffer::Str(data), validity })
+    }
+
+    /// Build a BOOL column from a raw buffer and validity mask (canonical
+    /// placeholder `false` under invalid slots).
+    pub fn from_bool_parts(data: Vec<bool>, validity: Vec<bool>) -> Result<Self> {
+        check_parts(data.len(), validity.len())?;
+        Ok(Self { buffer: Buffer::Bool(data), validity })
+    }
+
+    /// Build a TIMESTAMP column from a raw buffer and validity mask
+    /// (canonical placeholder `0` under invalid slots).
+    pub fn from_timestamp_parts(data: Vec<i64>, validity: Vec<bool>) -> Result<Self> {
+        check_parts(data.len(), validity.len())?;
+        Ok(Self { buffer: Buffer::Timestamp(data), validity })
     }
 
     /// Build a column of the given type from dynamic values, checking types.

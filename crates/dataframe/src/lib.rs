@@ -13,7 +13,10 @@
 //!   every operator — the hook on which property **P3 Explainability** hangs,
 //! * CSV ingestion with type inference ([`csv`]),
 //! * vectorized compute kernels (filter / take / sort / group) in
-//!   [`kernels`], and
+//!   [`kernels`],
+//! * a columnar batch layer ([`batch`]: typed [`batch::Vector`]s, borrowed
+//!   [`batch::Slot`] views, and zero-copy [`batch::ColumnWindow`]s) powering
+//!   the SQL layer's morsel-parallel vectorized engine (DESIGN.md §12), and
 //! * per-column statistics ([`stats`]) consumed by the SQL optimizer.
 //!
 //! The crate is deliberately self-contained: the paper's P3 property demands
@@ -44,6 +47,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod batch;
 pub mod column;
 pub mod csv;
 pub mod error;
@@ -53,6 +57,7 @@ pub mod stats;
 pub mod table;
 pub mod value;
 
+pub use batch::{Batch, Slot, Vector};
 pub use column::Column;
 pub use error::DataFrameError;
 pub use schema::{Field, Schema};

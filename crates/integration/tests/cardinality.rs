@@ -67,7 +67,7 @@ fn check_contains(
     let naive = execute_with_options(
         catalog,
         sql,
-        ExecOptions { rules: OptimizerRules::none(), track_lineage: true },
+        ExecOptions { rules: OptimizerRules::none(), track_lineage: true, vectorized: None },
     )
     .unwrap();
     let full = execute_with_options(catalog, sql, ExecOptions::default()).unwrap();

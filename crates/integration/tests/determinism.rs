@@ -52,6 +52,92 @@ fn figure1_transcript_is_seed_sensitive_in_data_but_stable_in_shape() {
     }
 }
 
+/// The vectorized scheduler must be invisible in results: identical tables
+/// at thread counts {1, 2, 8} and morsel sizes {1, 64, 4096}, and identical
+/// to the row-at-a-time reference. Tables are seed-stable because they come
+/// from the cda-testkit PRNG.
+#[test]
+fn vectorized_results_are_identical_at_any_thread_count_and_morsel_size() {
+    use cda_dataframe::{Column, DataType, Field, Schema, Table};
+    use cda_sql::{execute_with_options, Catalog, ExecOptions, MorselConfig};
+    use cda_testkit::prelude::*;
+
+    let mut rng = StdRng::seed_from_u64(0xE17);
+    let n = 3_000;
+    let groups: Vec<String> = (0..n).map(|_| format!("g{}", rng.gen_range(0..12))).collect();
+    let xs: Vec<i64> = (0..n).map(|_| rng.gen_range(-1000..1000)).collect();
+    let ys: Vec<Option<f64>> = (0..n)
+        .map(|_| if rng.gen_bool(0.2) { None } else { Some(rng.gen_range(-10.0..10.0)) })
+        .collect();
+    let gs: Vec<&str> = groups.iter().map(String::as_str).collect();
+    let t = Table::from_columns(
+        Schema::new(vec![
+            Field::new("g", DataType::Str),
+            Field::new("x", DataType::Int),
+            Field::new("y", DataType::Float),
+        ]),
+        vec![Column::from_strs(&gs), Column::from_ints(&xs), Column::from_opt_floats(&ys)],
+    )
+    .unwrap();
+    let mut catalog = Catalog::new();
+    catalog.register("t", t).unwrap();
+
+    let queries = [
+        "SELECT g, COUNT(*) AS n, SUM(x) AS s, AVG(y) AS a FROM t GROUP BY g ORDER BY s DESC",
+        "SELECT a.g, SUM(b.x) FROM t a JOIN t b ON a.g = b.g WHERE a.x > 900 GROUP BY a.g",
+        "SELECT g, x + 1 FROM t WHERE y IS NOT NULL AND x % 7 = 0 ORDER BY x LIMIT 50",
+        "SELECT DISTINCT g FROM t ORDER BY g",
+    ];
+    for sql in queries {
+        let reference = execute_with_options(&catalog, sql, ExecOptions::default()).unwrap();
+        for threads in [1, 2, 8] {
+            for morsel_rows in [1, 64, 4096] {
+                let cfg = MorselConfig::default()
+                    .with_morsel_rows(morsel_rows)
+                    .with_threads(threads);
+                let v = execute_with_options(
+                    &catalog,
+                    sql,
+                    ExecOptions { vectorized: Some(cfg), ..ExecOptions::default() },
+                )
+                .unwrap();
+                assert_eq!(
+                    reference.table, v.table,
+                    "`{sql}` diverged at threads={threads} morsel_rows={morsel_rows}"
+                );
+            }
+        }
+    }
+}
+
+/// `CdaConfig::vectorized_exec = false` must restore the row-at-a-time
+/// path bit-for-bit at the conversation level: the full Figure-1 golden
+/// transcript (rendered turns, executed SQL, lineage graph) is identical
+/// with the vectorized engine on and off.
+#[test]
+fn figure1_transcript_is_identical_with_vectorized_exec_on_and_off() {
+    use cda_core::reliability::CdaConfig;
+
+    let transcript_with = |vectorized_exec: bool| -> String {
+        let mut cda = demo_system(42);
+        cda.config = CdaConfig { vectorized_exec, ..CdaConfig::default() };
+        let mut out = String::new();
+        for (i, turn) in FIGURE1_TURNS.iter().enumerate() {
+            let a = cda.process(turn);
+            out.push_str(&format!("=== turn {i}: {turn}\n"));
+            out.push_str(&a.render());
+            out.push_str(&format!("status: {:?}\n", a.status));
+            out.push_str(&format!("executed_sql: {:?}\n", a.executed_sql));
+        }
+        out.push_str(&cda.lineage.to_string());
+        out
+    };
+    let on = transcript_with(true);
+    let off = transcript_with(false);
+    assert!(!on.is_empty());
+    assert_eq!(on, off, "vectorized_exec must not change any conversation byte");
+}
+
 #[test]
 fn demo_tables_regenerate_identically() {
     use cda_core::demo::{barometer_series, employment_table, wage_table};

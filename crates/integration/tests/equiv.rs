@@ -87,7 +87,7 @@ const INEQUIVALENT: &[(&str, &str)] = &[
 /// success, a fixed marker on error (canonicalization preserves *whether*
 /// an error fires, not its message).
 fn outcome(catalog: &Catalog, plan: &cda_sql::plan::Plan) -> String {
-    let opts = ExecOptions { rules: OptimizerRules::none(), track_lineage: false };
+    let opts = ExecOptions { rules: OptimizerRules::none(), track_lineage: false, vectorized: None };
     match execute_plan(catalog, plan, opts) {
         Ok(r) => format!("{}\n{}", r.table.schema().describe(), r.table.render(usize::MAX)),
         Err(_) => "runtime error".into(),

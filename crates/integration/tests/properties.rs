@@ -103,7 +103,7 @@ proptest! {
         let naive = execute_with_options(
             &catalog,
             &sql,
-            ExecOptions { rules: OptimizerRules::none(), track_lineage: true },
+            ExecOptions { rules: OptimizerRules::none(), track_lineage: true, vectorized: None },
         )
         .unwrap();
         prop_assert_eq!(full.table.num_rows(), naive.table.num_rows());

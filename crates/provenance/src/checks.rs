@@ -12,7 +12,7 @@
 //! * [`check_invertibility`] — recompute an aggregate cell from its
 //!   how-provenance valuation and compare with the reported value.
 
-use crate::semiring::from_lineage;
+use crate::semiring::HowSpan;
 use crate::{ProvenanceError, Result};
 use cda_dataframe::kernels::AggKind;
 use cda_dataframe::{RowId, Table, Value};
@@ -131,9 +131,12 @@ pub fn check_invertibility(
         .filter(|rid| rid.table == entry.tag)
         .copied()
         .collect();
-    // Build the how-polynomial (sum over group members) and evaluate it under
-    // the base-table valuation.
-    let poly = from_lineage(&lineage, true);
+    // Attach the lineage as a lazy how-span (sum over group members; the
+    // vectorized engine hands lineage over morsel-wise, one span each) and
+    // fold directly over it — the canonical polynomial is never
+    // materialized, which keeps this check linear in the group size.
+    let mut span = HowSpan::new(true);
+    span.attach(&lineage);
     let values: std::collections::HashMap<RowId, f64> = lineage
         .iter()
         .map(|rid| {
@@ -147,15 +150,15 @@ pub fn check_invertibility(
         })
         .collect();
     let recomputed = match agg {
-        AggKind::Sum => poly.evaluate(&|rid| values.get(&rid).copied().unwrap_or(0.0)),
-        AggKind::Count => poly.count() as f64,
+        AggKind::Sum => span.evaluate(&|rid| values.get(&rid).copied().unwrap_or(0.0)),
+        AggKind::Count => span.count() as f64,
         AggKind::CountDistinct => {
             let distinct: std::collections::HashSet<u64> =
                 values.values().map(|v| v.to_bits()).collect();
             distinct.len() as f64
         }
         AggKind::Avg => {
-            let sum = poly.evaluate(&|rid| values.get(&rid).copied().unwrap_or(0.0));
+            let sum = span.evaluate(&|rid| values.get(&rid).copied().unwrap_or(0.0));
             if lineage.is_empty() {
                 0.0
             } else {
@@ -296,6 +299,52 @@ mod tests {
             .unwrap();
         let report = check_losslessness(&c, sql, &forged, ge_row).unwrap();
         assert!(!report.lossless);
+    }
+
+    #[test]
+    fn invertibility_check_costs_no_more_than_a_full_table_check() {
+        // Regression guard for the quadratic polynomial attach: checking ONE
+        // aggregate row must not cost more than re-running the whole query
+        // over the full table. With the old fold-of-`plus` construction a
+        // 2k-witness group took ~35 ms (vs ~2 ms for the query itself); the
+        // lazy span fold is linear and sits well under the baseline. Both
+        // sides take the min of several runs to keep CI timing noise out.
+        let n = 2_000usize;
+        let gs: Vec<&str> = vec!["a"; n];
+        let xs: Vec<i64> = (0..n as i64).collect();
+        let t = Table::from_columns(
+            Schema::new(vec![Field::new("g", DataType::Str), Field::new("x", DataType::Int)]),
+            vec![Column::from_strs(&gs), Column::from_ints(&xs)],
+        )
+        .unwrap();
+        let mut c = Catalog::new();
+        c.register("t", t).unwrap();
+        let sql = "SELECT g, SUM(x) AS s FROM t GROUP BY g";
+        let r = execute(&c, sql).unwrap();
+
+        let baseline = (0..5)
+            .map(|_| {
+                let t0 = std::time::Instant::now();
+                let _ = execute(&c, sql).unwrap();
+                t0.elapsed()
+            })
+            .min()
+            .unwrap();
+        let check = (0..5)
+            .map(|_| {
+                let t0 = std::time::Instant::now();
+                let inv =
+                    check_invertibility(&c, &r.table, 0, 1, AggKind::Sum, "t", "x").unwrap();
+                assert!(inv.invertible, "{inv:?}");
+                t0.elapsed()
+            })
+            .min()
+            .unwrap();
+        assert!(
+            check <= baseline.saturating_mul(3),
+            "one-row invertibility check ({check:?}) should not dwarf a full-table \
+             re-execution ({baseline:?}) — quadratic polynomial attach regression?"
+        );
     }
 
     #[test]

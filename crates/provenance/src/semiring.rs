@@ -198,13 +198,115 @@ pub fn from_lineage(witnesses: &[RowId], aggregated: bool) -> HowPolynomial {
         return HowPolynomial::one();
     }
     if aggregated {
-        witnesses
-            .iter()
-            .fold(HowPolynomial::zero(), |acc, &w| acc.plus(&HowPolynomial::var(w)))
+        // One linear pass: count occurrences and emit one monomial per
+        // distinct witness in canonical (BTreeMap) order — the same
+        // polynomial the fold-of-`plus` construction built, without its
+        // quadratic re-merge of the accumulator per witness (the 35 ms
+        // `invertibility_check_one_row` outlier on 2k-row groups).
+        let mut counts: BTreeMap<RowId, u64> = BTreeMap::new();
+        for &w in witnesses {
+            *counts.entry(w).or_insert(0) += 1;
+        }
+        HowPolynomial {
+            monomials: counts
+                .into_iter()
+                .map(|(w, coefficient)| {
+                    let mut vars = BTreeMap::new();
+                    vars.insert(w, 1);
+                    Monomial { vars, coefficient }
+                })
+                .collect(),
+        }
     } else {
-        witnesses
-            .iter()
-            .fold(HowPolynomial::one(), |acc, &w| acc.times(&HowPolynomial::var(w)))
+        // A joint derivation is a single monomial: accumulate exponents.
+        let mut vars: BTreeMap<RowId, u32> = BTreeMap::new();
+        for &w in witnesses {
+            *vars.entry(w).or_insert(0) += 1;
+        }
+        HowPolynomial { monomials: vec![Monomial { vars, coefficient: 1 }] }
+    }
+}
+
+/// A lazily-expanded how-provenance: witness **spans** attached per
+/// execution morsel, with the polynomial itself materialized only on
+/// demand.
+///
+/// The vectorized engine produces lineage in per-morsel segments; the
+/// numeric provenance checks (counting, invertibility evaluation, support)
+/// only need folds over the witnesses, so attaching spans and folding
+/// directly skips building `O(group)` BTreeMap monomials per check.
+/// [`HowSpan::expand`] recovers the exact canonical [`HowPolynomial`]
+/// (pinned by the `span_*` tests) when explanation rendering needs one.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HowSpan {
+    segments: Vec<Vec<RowId>>,
+    aggregated: bool,
+}
+
+impl HowSpan {
+    /// An empty span set; `aggregated` chooses sum (`true`) or product
+    /// semantics, exactly as in [`from_lineage`].
+    pub fn new(aggregated: bool) -> Self {
+        Self { segments: Vec::new(), aggregated }
+    }
+
+    /// Attach one morsel's witnesses as a span (no expansion happens).
+    pub fn attach(&mut self, witnesses: &[RowId]) {
+        if !witnesses.is_empty() {
+            self.segments.push(witnesses.to_vec());
+        }
+    }
+
+    /// Number of attached (non-empty) spans.
+    pub fn num_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Total witnesses across all spans.
+    pub fn num_witnesses(&self) -> usize {
+        self.segments.iter().map(Vec::len).sum()
+    }
+
+    /// Expand into the canonical polynomial — one linear merge over all
+    /// spans, identical to `from_lineage(concat(spans), aggregated)`.
+    pub fn expand(&self) -> HowPolynomial {
+        let all: Vec<RowId> = self.segments.iter().flatten().copied().collect();
+        from_lineage(&all, self.aggregated)
+    }
+
+    /// Derivation count without expanding: total witnesses for a sum, 1 for
+    /// a product (and 1 for the empty span set, whose expansion is `one()`).
+    pub fn count(&self) -> u64 {
+        if self.aggregated {
+            let n = self.num_witnesses() as u64;
+            if n == 0 {
+                1
+            } else {
+                n
+            }
+        } else {
+            1
+        }
+    }
+
+    /// Evaluate under a valuation without expanding: a straight sum (or
+    /// product) fold over the spans in attach order — numerically identical
+    /// to `self.expand().evaluate(valuation)`.
+    pub fn evaluate(&self, valuation: &impl Fn(RowId) -> f64) -> f64 {
+        if self.num_witnesses() == 0 {
+            return 1.0; // the unit polynomial
+        }
+        let flat = self.segments.iter().flatten();
+        if self.aggregated {
+            flat.map(|&w| valuation(w)).sum()
+        } else {
+            flat.map(|&w| valuation(w)).product()
+        }
+    }
+
+    /// All source rows mentioned in any span.
+    pub fn support(&self) -> BTreeSet<RowId> {
+        self.segments.iter().flatten().copied().collect()
     }
 }
 
@@ -301,5 +403,69 @@ mod tests {
     #[test]
     fn empty_lineage_is_unit() {
         assert_eq!(from_lineage(&[], true), HowPolynomial::one());
+    }
+
+    #[test]
+    fn linear_from_lineage_equals_semiring_fold() {
+        // The linear constructions must produce exactly the polynomial the
+        // definitional fold-of-plus / fold-of-times builds — including
+        // duplicate witnesses (coefficients vs exponents) and ordering.
+        let ws = [r(3), r(1), r(2), r(1), r(3), r(3)];
+        let sum_fold =
+            ws.iter().fold(HowPolynomial::zero(), |acc, &w| acc.plus(&HowPolynomial::var(w)));
+        assert_eq!(from_lineage(&ws, true), sum_fold);
+        let prod_fold =
+            ws.iter().fold(HowPolynomial::one(), |acc, &w| acc.times(&HowPolynomial::var(w)));
+        assert_eq!(from_lineage(&ws, false), prod_fold);
+    }
+
+    #[test]
+    fn span_expansion_is_canonical_and_folds_match() {
+        // Spans attached per morsel expand to from_lineage(concat), and the
+        // lazy folds agree with the expanded polynomial exactly.
+        let m0 = [r(0), r(1), r(1)];
+        let m1 = [r(2)];
+        let m2 = [r(0), r(3)];
+        for aggregated in [true, false] {
+            let mut span = HowSpan::new(aggregated);
+            span.attach(&m0);
+            span.attach(&[]);
+            span.attach(&m1);
+            span.attach(&m2);
+            assert_eq!(span.num_segments(), 3);
+            assert_eq!(span.num_witnesses(), 6);
+            let all: Vec<RowId> = m0.iter().chain(&m1).chain(&m2).copied().collect();
+            let expanded = span.expand();
+            assert_eq!(expanded, from_lineage(&all, aggregated));
+            assert_eq!(span.count(), expanded.count());
+            let val = |id: RowId| id.row as f64 + 2.0;
+            assert_eq!(span.evaluate(&val), expanded.evaluate(&val));
+            assert_eq!(span.support(), expanded.support());
+        }
+        // empty span set = unit polynomial
+        let empty = HowSpan::new(true);
+        assert_eq!(empty.expand(), HowPolynomial::one());
+        assert_eq!(empty.count(), 1);
+        assert_eq!(empty.evaluate(&|_| 42.0), 1.0);
+    }
+
+    #[test]
+    fn aggregate_from_lineage_is_linear_not_quadratic() {
+        // Regression guard for the invertibility outlier: building the
+        // polynomial of a 50k-witness aggregate must be a single linear
+        // pass. The old fold-of-plus rebuilt the merged accumulator per
+        // witness (~n²/2 BTreeMap inserts ≈ 1.25e9 for n = 50k), which takes
+        // minutes; the linear pass is well under this generous wall bound
+        // even on debug builds.
+        let witnesses: Vec<RowId> = (0..50_000).map(r).collect();
+        let t0 = std::time::Instant::now();
+        let p = from_lineage(&witnesses, true);
+        let elapsed = t0.elapsed();
+        assert_eq!(p.monomials().len(), 50_000);
+        assert_eq!(p.count(), 50_000);
+        assert!(
+            elapsed < std::time::Duration::from_secs(5),
+            "from_lineage(50k, aggregated) took {elapsed:?} — quadratic regression?"
+        );
     }
 }

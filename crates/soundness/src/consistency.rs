@@ -27,7 +27,7 @@
 //! the clusters (and therefore the confidence) are provably unchanged; the
 //! report's `executions_saved` counts the wall-clock win (E16 measures it).
 
-use crate::verify::execution_signature;
+use crate::verify::execution_signature_with;
 use crate::{Result, SoundnessError};
 use cda_analyzer::equiv::EquivEngine;
 use cda_analyzer::{apply_hints, Analyzer};
@@ -131,13 +131,22 @@ pub struct ConsistencyUq<'a> {
     temperature: f64,
     repair_rounds: usize,
     equivalence: bool,
+    exec_options: cda_sql::ExecOptions,
 }
 
 impl<'a> ConsistencyUq<'a> {
     /// UQ over this model, gated by this analyzer; defaults: 8 samples,
     /// temperature 1.0, repair off, equivalence-aware clustering off.
     pub fn new(lm: &'a SimLm, analyzer: &'a Analyzer<'a>) -> Self {
-        Self { lm, analyzer, samples: 8, temperature: 1.0, repair_rounds: 0, equivalence: false }
+        Self {
+            lm,
+            analyzer,
+            samples: 8,
+            temperature: 1.0,
+            repair_rounds: 0,
+            equivalence: false,
+            exec_options: cda_sql::ExecOptions::default(),
+        }
     }
 
     /// Number of candidates to sample (k).
@@ -155,6 +164,15 @@ impl<'a> ConsistencyUq<'a> {
     /// Hint-apply-regate rounds per statically-doomed sample (0 = off).
     pub fn with_repair(mut self, rounds: usize) -> Self {
         self.repair_rounds = rounds;
+        self
+    }
+
+    /// Execution options for signature runs — `ExecOptions::vectorized()`
+    /// puts every UQ sample on the morsel-parallel engine. Signatures (and
+    /// therefore clusters and confidence) are engine-independent because the
+    /// two paths are differentially certified byte-identical.
+    pub fn with_exec_options(mut self, options: cda_sql::ExecOptions) -> Self {
+        self.exec_options = options;
         self
     }
 
@@ -220,17 +238,18 @@ impl<'a> ConsistencyUq<'a> {
                             shared.clone()
                         }
                         None => {
-                            let sig = execution_signature(catalog, &effective[i]);
+                            let sig =
+                                execution_signature_with(catalog, &effective[i], self.exec_options);
                             sig_by_fp.insert(fp, sig.clone());
                             sig
                         }
                     },
                     // Unfingerprintable (should not pass the gate, but stay
                     // safe): fall back to executing individually.
-                    None => execution_signature(catalog, &effective[i]),
+                    None => execution_signature_with(catalog, &effective[i], self.exec_options),
                 }
             } else {
-                execution_signature(catalog, &effective[i])
+                execution_signature_with(catalog, &effective[i], self.exec_options)
             };
             match sig {
                 Some(sig) => {

@@ -49,7 +49,19 @@ pub fn execution_accuracy(catalog: &Catalog, candidate_sql: &str, gold_sql: &str
 /// multiset. Two programs with the same signature are execution-equivalent —
 /// the clustering key of consistency-based UQ.
 pub fn execution_signature(catalog: &Catalog, sql: &str) -> Option<String> {
-    let result = execute(catalog, sql).ok()?;
+    execution_signature_with(catalog, sql, cda_sql::ExecOptions::default())
+}
+
+/// [`execution_signature`] with explicit execution options, so UQ sampling
+/// can ride the vectorized engine (`ExecOptions::vectorized()`). Both engine
+/// paths produce byte-identical tables, so the signature is independent of
+/// the options — the differential suite pins this.
+pub fn execution_signature_with(
+    catalog: &Catalog,
+    sql: &str,
+    options: cda_sql::ExecOptions,
+) -> Option<String> {
+    let result = cda_sql::execute_with_options(catalog, sql, options).ok()?;
     let t = &result.table;
     let mut rows: Vec<String> = (0..t.num_rows())
         .map(|i| {

@@ -31,11 +31,23 @@ pub struct ExecOptions {
     /// Whether to compute join/aggregate/distinct lineage unions. Disabling
     /// this (experiment E4) measures the cost of provenance tracking.
     pub track_lineage: bool,
+    /// When `Some`, run on the vectorized morsel-parallel engine
+    /// ([`crate::physical`]) with the given scheduler configuration; `None`
+    /// (the default) runs the row-at-a-time reference interpreter. Both paths
+    /// produce byte-identical tables (see `crate::physical` docs).
+    pub vectorized: Option<crate::morsel::MorselConfig>,
 }
 
 impl Default for ExecOptions {
     fn default() -> Self {
-        Self { rules: OptimizerRules::all(), track_lineage: true }
+        Self { rules: OptimizerRules::all(), track_lineage: true, vectorized: None }
+    }
+}
+
+impl ExecOptions {
+    /// Default options, but on the vectorized morsel-parallel engine.
+    pub fn vectorized() -> Self {
+        Self { vectorized: Some(crate::morsel::MorselConfig::default()), ..Self::default() }
     }
 }
 
@@ -72,15 +84,22 @@ pub fn execute_with_options(catalog: &Catalog, sql: &str, options: ExecOptions) 
     let plan = plan_select(catalog, &select)?;
     let plan = optimize(plan, options.rules);
     let mut stats = ExecStats::default();
-    let table = run(catalog, &plan, options, &mut stats)?;
+    let table = dispatch(catalog, &plan, options, &mut stats)?;
     Ok(QueryResult { table, plan, stats })
 }
 
 /// Execute an already-built plan.
 pub fn execute_plan(catalog: &Catalog, plan: &Plan, options: ExecOptions) -> Result<QueryResult> {
     let mut stats = ExecStats::default();
-    let table = run(catalog, plan, options, &mut stats)?;
+    let table = dispatch(catalog, plan, options, &mut stats)?;
     Ok(QueryResult { table, plan: plan.clone(), stats })
+}
+
+fn dispatch(catalog: &Catalog, plan: &Plan, opts: ExecOptions, stats: &mut ExecStats) -> Result<Table> {
+    match opts.vectorized {
+        Some(cfg) => crate::physical::run_vectorized(catalog, plan, opts, cfg, stats),
+        None => run(catalog, plan, opts, stats),
+    }
 }
 
 fn run(catalog: &Catalog, plan: &Plan, opts: ExecOptions, stats: &mut ExecStats) -> Result<Table> {
@@ -140,7 +159,7 @@ fn run(catalog: &Catalog, plan: &Plan, opts: ExecOptions, stats: &mut ExecStats)
 
 /// Build a column from evaluated values, widening the planner's guess when
 /// the actual values require it (e.g. a CASE that mixes INT and FLOAT).
-fn column_from_values(planned: DataType, values: Vec<Value>) -> Result<Column> {
+pub(crate) fn column_from_values(planned: DataType, values: Vec<Value>) -> Result<Column> {
     let mut ty = planned;
     let mut has_any = false;
     for v in &values {
@@ -420,7 +439,7 @@ fn distinct(t: &Table, opts: ExecOptions) -> Result<Table> {
         .map_err(Into::into)
 }
 
-fn sort(t: &Table, keys: &[SortSpec]) -> Result<Table> {
+pub(crate) fn sort(t: &Table, keys: &[SortSpec]) -> Result<Table> {
     let kernel_keys: Vec<SortKey> = keys
         .iter()
         .map(|k| SortKey {
@@ -697,7 +716,7 @@ mod tests {
         let naive = execute_with_options(
             &c,
             sql,
-            ExecOptions { rules: OptimizerRules::none(), track_lineage: true },
+            ExecOptions { rules: OptimizerRules::none(), track_lineage: true, vectorized: None },
         )
         .unwrap();
         assert_eq!(rows(&full), rows(&naive));
@@ -711,7 +730,7 @@ mod tests {
         let r = execute_with_options(
             &c,
             "SELECT canton, SUM(jobs) FROM emp GROUP BY canton",
-            ExecOptions { rules: OptimizerRules::all(), track_lineage: false },
+            ExecOptions { rules: OptimizerRules::all(), track_lineage: false, vectorized: None },
         )
         .unwrap();
         assert!(r.table.lineage(0).unwrap().is_empty());

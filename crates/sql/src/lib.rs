@@ -6,6 +6,15 @@
 //! Pipeline: [`lexer`] → [`parser`] (AST in [`ast`]) → [`planner`] (logical
 //! plan in [`plan`]) → [`optimizer`] → [`exec`].
 //!
+//! Execution has two engines sharing one semantics: the row-at-a-time
+//! interpreter in [`exec`] (the reference oracle) and the vectorized
+//! morsel-parallel engine in [`physical`]/[`morsel`], which lowers plans
+//! onto columnar batch kernels and runs fixed-size morsels on a thread pool
+//! with a deterministic merge order. The vectorized path is differentially
+//! certified byte-identical to the reference — results, lineage, and stats,
+//! at any thread count (DESIGN.md §12, experiment E17) — and is selected via
+//! [`exec::ExecOptions`] / [`MorselConfig`].
+//!
 //! Two design points distinguish it from a generic toy engine and tie it to
 //! the paper:
 //!
@@ -55,14 +64,17 @@ pub mod catalog;
 pub mod error;
 pub mod exec;
 pub mod lexer;
+pub mod morsel;
 pub mod optimizer;
 pub mod parser;
+pub mod physical;
 pub mod plan;
 pub mod planner;
 
 pub use catalog::Catalog;
 pub use error::SqlError;
 pub use exec::{execute, execute_with_options, ExecOptions, QueryResult};
+pub use morsel::MorselConfig;
 pub use optimizer::OptimizerRules;
 
 /// Crate-wide result alias.
