@@ -35,10 +35,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== docs (rustdoc warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
 
-echo "== repolint (in-tree source conventions: R001-R006)"
+echo "== repolint (in-tree source conventions: R001-R007)"
 cargo run --release -q -p cda-analyzer --bin repolint -- .
 
-echo "== static analyzer suite (sqlcheck codes + gate consistency)"
+echo "== static analyzer suite (sqlcheck codes, gate consistency, absint soundness laws)"
 cargo test -q -p cda-analyzer
 
 echo "== optimizer certification (every rewrite rule must certify Equivalent)"
@@ -59,6 +59,9 @@ CDA_BENCH_FAST=1 cargo run --release -q -p cda-bench --bin exp_equiv
 
 echo "== E17: vectorized morsel-parallel engine (>=3x speedup, 0 mismatches)"
 CDA_BENCH_FAST=1 cargo run --release -q -p cda-bench --bin exp_vectorized
+
+echo "== E18: abstract interpretation (catch-rate delta, 0 false rejects, sanitizer <5%)"
+CDA_BENCH_FAST=1 cargo run --release -q -p cda-bench --bin exp_absint
 
 echo "== bench harness smoke (2 samples per bench, JSON artifacts)"
 CDA_BENCH_FAST=1 cargo bench -p cda-bench --bench sql

@@ -244,6 +244,12 @@ impl EquivEngine {
                 }
             }
         };
+        // Domain fast path: when abstract interpretation proves exactly one
+        // side empty on *every* database, a synthesized witness refutes
+        // equivalence without entering the bounded search.
+        if let Some(counterexample) = self.refute_by_domains(left, right) {
+            return EquivResult::NotEquivalent { counterexample };
+        }
         let pools = ValuePools::from_plans(&[left, right]);
         let mut rng = StdRng::seed_from_u64(self.seed);
         for trial in 0..self.trials {
@@ -282,6 +288,133 @@ impl EquivEngine {
             ),
         }
     }
+
+    /// The domain-disjointness fast path of [`check`](Self::check), public
+    /// so its guarantee is directly testable: when [`crate::absint`] proves
+    /// (statistics-free, i.e. on **every** database) that exactly one of
+    /// the two plans returns no rows, the plans can only be equivalent if
+    /// the live one also never returns rows — so any database on which the
+    /// live plan produces output is a concrete counterexample. The live
+    /// plan's own refined filter domains describe such rows, and
+    /// [`cda_dataframe::domain::ColDomain::sample`] turns them into a
+    /// witness database directly instead of searching for one. Returns the
+    /// (re-checkable) counterexample, or `None` when the fast path does not
+    /// apply or witness synthesis failed — never a false refutation, since
+    /// the counterexample is a genuine behavioural divergence by
+    /// construction.
+    pub fn refute_by_domains(&self, left: &Plan, right: &Plan) -> Option<Counterexample> {
+        let l_empty = crate::absint::row_bounds(left, None).1 == 0;
+        let r_empty = crate::absint::row_bounds(right, None).1 == 0;
+        if l_empty == r_empty {
+            return None;
+        }
+        let live = if l_empty { right } else { left };
+        let schemas = scan_schemas(left).and_then(|mut s| {
+            merge_scan_schemas(&mut s, right)?;
+            Some(s)
+        })?;
+        let pools = ValuePools::from_plans(&[left, right]);
+        let tree = crate::absint::domain_tree(live, None);
+        let mut samples: BTreeMap<String, Vec<Value>> = BTreeMap::new();
+        collect_scan_samples(live, &tree, &mut samples);
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xD0BA_51C5);
+        for attempt in 0..4usize {
+            let mut tables = Vec::new();
+            let mut catalog = Catalog::new();
+            let mut ok = true;
+            for (name, schema) in &schemas {
+                // First attempts use the domain-guided witness row; later
+                // ones fall back to pool-generated tables in case a sample
+                // was unavailable or the live plan still returned nothing.
+                let t = match samples.get(name) {
+                    Some(row) if attempt < 2 => table_from_row(schema, row)
+                        .unwrap_or_else(|| gen_table(schema, 1 + attempt, &mut rng, &pools)),
+                    _ => gen_table(schema, 1 + attempt, &mut rng, &pools),
+                };
+                if catalog.register(name, t.clone()).is_err() {
+                    ok = false;
+                    break;
+                }
+                tables.push((name.clone(), t));
+            }
+            if !ok {
+                continue;
+            }
+            let lo = run_outcome(&catalog, left);
+            let ro = run_outcome(&catalog, right);
+            if lo != ro {
+                return Some(Counterexample { tables, left_outcome: lo, right_outcome: ro });
+            }
+        }
+        None
+    }
+}
+
+/// Sample one surviving row per scanned table from the refined domains of
+/// filters sitting directly above scans (where the filter's column space is
+/// the scan's). The row is full-base-schema width; un-projected columns
+/// stay NULL (base-table fields are nullable).
+fn collect_scan_samples(
+    plan: &Plan,
+    tree: &cda_dataframe::DomainTree,
+    out: &mut BTreeMap<String, Vec<Value>>,
+) {
+    if let Plan::Filter { input, .. } = plan {
+        if let Plan::Scan { table, schema, projection } = input.as_ref() {
+            if !out.contains_key(table) {
+                if let Some(row) = row_from_domains(schema, projection, &tree.node.cols) {
+                    out.insert(table.clone(), row);
+                }
+            }
+        }
+    }
+    let children: Vec<&Plan> = match plan {
+        Plan::Filter { input, .. }
+        | Plan::Project { input, .. }
+        | Plan::Aggregate { input, .. }
+        | Plan::Distinct { input }
+        | Plan::Sort { input, .. }
+        | Plan::Limit { input, .. } => vec![input],
+        Plan::Join { left, right, .. } => vec![left, right],
+        Plan::Scan { .. } => vec![],
+    };
+    for (child_plan, child_tree) in children.into_iter().zip(&tree.children) {
+        collect_scan_samples(child_plan, child_tree, out);
+    }
+}
+
+fn row_from_domains(
+    schema: &Schema,
+    projection: &Option<Vec<usize>>,
+    cols: &[cda_dataframe::ColDomain],
+) -> Option<Vec<Value>> {
+    let positions: Vec<usize> = match projection {
+        Some(p) => p.clone(),
+        None => (0..schema.len()).collect(),
+    };
+    let mut row = vec![Value::Null; schema.len()];
+    for (k, &pos) in positions.iter().enumerate() {
+        if pos >= row.len() {
+            return None;
+        }
+        row[pos] = cols.get(k)?.sample()?;
+    }
+    Some(row)
+}
+
+fn table_from_row(schema: &Schema, row: &[Value]) -> Option<Table> {
+    let mut columns = Vec::with_capacity(schema.len());
+    for (i, field) in schema.fields().iter().enumerate() {
+        // Finite value sets track literals as written; coerce the numeric
+        // spellings the executor treats as equal into the column's type.
+        let v = match (field.data_type(), row.get(i)?.clone()) {
+            (DataType::Float, Value::Int(x)) => Value::Float(x as f64),
+            (DataType::Timestamp, Value::Int(x)) => Value::Timestamp(x),
+            (_, v) => v,
+        };
+        columns.push(Column::from_values(field.data_type(), &[v]).ok()?);
+    }
+    Table::from_columns(schema.clone(), columns).ok()
 }
 
 // ------------------------------------------------------------ certification
@@ -1391,6 +1524,32 @@ mod tests {
 
     fn engine() -> EquivEngine {
         EquivEngine::new().with_seed(7)
+    }
+
+    #[test]
+    fn domain_fast_path_refutes_with_genuine_counterexample() {
+        // Left is provably empty on every database (contradictory
+        // equalities); right scans freely. The fast path must refute with
+        // a witness that actually reproduces.
+        let p = plan("SELECT a FROM t WHERE a = 5 AND a = 6");
+        let q = plan("SELECT a FROM t WHERE a = 5");
+        let ce = engine().refute_by_domains(&p, &q).expect("fast path applies");
+        assert!(ce.recheck(&p, &q), "counterexample must reproduce");
+        // The witness is domain-guided: the live side's refined domain
+        // (a = 5) produced a row the dead side provably rejects.
+        assert!(ce.left_outcome != ce.right_outcome);
+        let r = engine().check(&p, &q);
+        assert!(!r.is_equivalent(), "{r:?}");
+        // Symmetric orientation works too.
+        assert!(engine().refute_by_domains(&q, &p).is_some());
+        // Both-live (or both-empty) pairs are out of scope for the fast
+        // path — it must decline rather than guess.
+        let a = plan("SELECT a FROM t WHERE a = 5");
+        let b = plan("SELECT b FROM t WHERE b = 5");
+        assert!(engine().refute_by_domains(&a, &b).is_none());
+        let e1 = plan("SELECT a FROM t WHERE a = 5 AND a = 6");
+        let e2 = plan("SELECT b FROM t WHERE b = 1 AND b = 2");
+        assert!(engine().refute_by_domains(&e1, &e2).is_none());
     }
 
     #[test]

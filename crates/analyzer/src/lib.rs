@@ -27,6 +27,18 @@
 //! name by edit distance, expected type, `LIMIT` injection) that the
 //! constrained decoder in `cda-nlmodel` applies before resampling.
 //!
+//! A fifth pass, [`absint`], is a fixpoint abstract interpreter over bound
+//! plans: per node and per column it computes a product lattice of 3VL
+//! null-ness, numeric intervals, string length/prefix bounds, finite value
+//! sets (seeded from literals and catalog min/max/NDV statistics), and
+//! row-count bounds. Its facts feed four consumers: sqlcheck codes
+//! A015–A018 (provably-empty result, data-grounded tautology,
+//! provably-NULL output column, provable runtime error), interval
+//! sharpening of [`cardest`] bounds, a domain-disjointness fast path in
+//! [`equiv`], and the **sanitizer** in `cda-sql` that re-checks every
+//! materialized node output against its static domain at runtime
+//! (experiment E18; DESIGN.md §13).
+//!
 //! A fourth pass, [`equiv`], decides whether two bound plans *mean the same
 //! thing*: a canonicalization pipeline hashes every plan into a stable
 //! [`PlanFingerprint`], and a bounded refutation search over generated
@@ -39,12 +51,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod absint;
 pub mod cardest;
 pub mod equiv;
 pub mod repair;
 pub mod repolint;
 pub mod sqlcheck;
 
+pub use absint::{abs_eval, abs_truth, analyze, domain_tree, row_bounds, AbsTruth, Analysis};
 pub use cardest::{estimate, q_error, CardEstimate, Statistics, TableStatistics};
 pub use equiv::{
     certify_optimizer, Counterexample, EquivEngine, EquivReport, EquivResult, PlanFingerprint,

@@ -58,6 +58,22 @@ pub enum RepairHint {
         /// The row budget to inject as `LIMIT`.
         rows: u64,
     },
+    /// A016: a `WHERE`/`HAVING` clause is true on every row of the current
+    /// data; dropping it changes nothing about the result and removes the
+    /// misleading condition.
+    DropTautology {
+        /// Which clause to drop: `"WHERE"` or `"HAVING"`.
+        clause: String,
+    },
+    /// A015: the result is provably empty. There is no mechanical rewrite
+    /// that preserves intent — the hint carries the contradiction back to
+    /// the decoder so resampling can steer away from it. [`apply_hints`]
+    /// leaves the SQL untouched.
+    FlagContradiction {
+        /// NL description of the contradiction, for the decoder's feedback
+        /// prompt.
+        detail: String,
+    },
 }
 
 impl RepairHint {
@@ -68,6 +84,8 @@ impl RepairHint {
             RepairHint::ReplaceColumn { .. } => Code::UnknownColumn,
             RepairHint::RetypeColumn { .. } => Code::TypeMismatch,
             RepairHint::InjectLimit { .. } => Code::RowBudgetExceeded,
+            RepairHint::DropTautology { .. } => Code::DataGroundedTautology,
+            RepairHint::FlagContradiction { .. } => Code::ProvablyEmpty,
         }
     }
 }
@@ -86,6 +104,12 @@ impl fmt::Display for RepairHint {
             }
             RepairHint::InjectLimit { rows } => {
                 write!(f, "result over budget -> LIMIT {rows}")
+            }
+            RepairHint::DropTautology { clause } => {
+                write!(f, "tautological {clause} -> drop the clause")
+            }
+            RepairHint::FlagContradiction { detail } => {
+                write!(f, "provably empty result -> resample ({detail})")
             }
         }
     }
@@ -194,6 +218,34 @@ pub fn repair_hints(catalog: &Catalog, sql: &str, report: &Report) -> Vec<Repair
             if select.limit.is_none_or(|l| l as u64 > rows) {
                 hints.push(RepairHint::InjectLimit { rows });
             }
+        }
+    }
+
+    for f in report.findings.iter().filter(|f| f.code == Code::DataGroundedTautology) {
+        // The A016 message names the clause: "the WHERE condition ..." /
+        // "the HAVING condition ...".
+        let clause = if f.message.contains("HAVING") { "HAVING" } else { "WHERE" };
+        let present = match clause {
+            "HAVING" => select.having.is_some(),
+            _ => select.where_clause.is_some(),
+        };
+        if present {
+            let h = RepairHint::DropTautology { clause: clause.to_owned() };
+            if !hints.contains(&h) {
+                hints.push(h);
+            }
+        }
+    }
+
+    for f in report.findings.iter().filter(|f| f.code == Code::ProvablyEmpty) {
+        let detail = f
+            .message
+            .split_once(": ")
+            .map_or(f.message.as_str(), |(_, tail)| tail)
+            .to_owned();
+        let h = RepairHint::FlagContradiction { detail };
+        if !hints.contains(&h) {
+            hints.push(h);
         }
     }
 
@@ -472,6 +524,16 @@ pub fn apply_hints(sql: &str, hints: &[RepairHint]) -> Option<String> {
                     changed = true;
                 }
             }
+            RepairHint::DropTautology { clause } => {
+                if clause.eq_ignore_ascii_case("HAVING") {
+                    changed |= select.having.take().is_some();
+                } else {
+                    changed |= select.where_clause.take().is_some();
+                }
+            }
+            // Contradictions have no mechanical repair: the hint is
+            // feedback for the decoder, not an AST rewrite.
+            RepairHint::FlagContradiction { .. } => {}
         }
     }
     changed.then(|| select.to_string())
@@ -679,6 +741,42 @@ mod tests {
         let hints =
             vec![RepairHint::ReplaceColumn { from: "nope".into(), to: "canton".into() }];
         assert!(apply_hints("SELECT jobs FROM employment", &hints).is_none());
+    }
+
+    #[test]
+    fn tautology_hint_drops_the_clause() {
+        let c = catalog();
+        let stats = crate::Statistics::from_catalog(&c);
+        let a = Analyzer::new(&c).with_stats(&stats);
+        let sql = "SELECT canton FROM employment WHERE canton IS NOT NULL";
+        let report = a.analyze(sql);
+        let hints = a.repair_hints(sql, &report);
+        assert_eq!(hints, vec![RepairHint::DropTautology { clause: "WHERE".into() }]);
+        assert_eq!(hints[0].code(), Code::DataGroundedTautology);
+        let fixed = apply_hints(sql, &hints).unwrap();
+        assert_eq!(fixed, "SELECT canton FROM employment");
+        assert!(a.analyze(&fixed).is_clean());
+        // The dropped clause changed nothing about the result.
+        let before = cda_sql::execute(&c, sql).unwrap();
+        let after = cda_sql::execute(&c, &fixed).unwrap();
+        assert_eq!(before.table.num_rows(), after.table.num_rows());
+    }
+
+    #[test]
+    fn contradiction_hint_is_feedback_only() {
+        let c = catalog();
+        let a = Analyzer::new(&c);
+        let sql = "SELECT canton FROM employment WHERE jobs = 1 AND jobs = 2";
+        let report = a.analyze(sql);
+        let hints = a.repair_hints(sql, &report);
+        assert_eq!(hints.len(), 1, "{hints:?}");
+        let RepairHint::FlagContradiction { detail } = &hints[0] else {
+            panic!("expected FlagContradiction, got {hints:?}");
+        };
+        assert!(detail.contains("selects no row"), "{detail}");
+        assert_eq!(hints[0].code(), Code::ProvablyEmpty);
+        // No AST rewrite: the candidate is returned to the decoder as-is.
+        assert!(apply_hints(sql, &hints).is_none());
     }
 
     #[test]

@@ -25,6 +25,15 @@
 //!   binaries (`src/bin/`), examples, tests, and the bench/testkit crates
 //!   are exempt — printing is their job. A deliberate exception needs
 //!   `// lint: allow(R006)` and a justification.
+//! * **R007** — every public analyzer [`Code`](crate::sqlcheck::Code)
+//!   variant must be exercised by the NL rendering suite
+//!   (`crates/analyzer/tests/render.rs`): both the variant name and its
+//!   stable code string (`"A0xx"`) have to appear there, so a new finding
+//!   code cannot ship without a rendering pin. This is a cross-file rule —
+//!   it reads `sqlcheck.rs` for the `Code::… => "A0xx"` arms of `as_str`
+//!   (the single source of truth the render path goes through) and checks
+//!   the test file covers each one. [`lint_tree`] runs it automatically;
+//!   [`lint_code_coverage`] is the pure core.
 //!
 //! The scanner strips comments and string/char-literal *contents* (keeping
 //! delimiters and line structure) before matching, so a doc comment that
@@ -412,6 +421,71 @@ pub fn lint_source(file: &str, source: &str, kind: FileKind) -> Vec<Violation> {
     out
 }
 
+/// Extract the `(variant, "A0xx")` pairs from `Code::as_str`'s match arms.
+///
+/// Works on the raw source (the code strings live inside string literals,
+/// which [`scrub`] would blank). A line contributes a pair when it contains
+/// `Code::<Ident>`, a `=>`, and a quoted `A`-prefixed three-digit code.
+fn code_pairs(sqlcheck_src: &str) -> Vec<(String, String)> {
+    let mut out: Vec<(String, String)> = Vec::new();
+    for line in sqlcheck_src.lines() {
+        let Some(pos) = line.find("Code::") else { continue };
+        let rest = &line[pos + "Code::".len()..];
+        let ident: String = rest
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        if ident.is_empty() {
+            continue;
+        }
+        let Some(arrow) = rest.find("=>") else { continue };
+        let tail = &rest[arrow + 2..];
+        let Some(q1) = tail.find('"') else { continue };
+        let Some(q2) = tail[q1 + 1..].find('"') else { continue };
+        let code = &tail[q1 + 1..q1 + 1 + q2];
+        if code.len() == 4
+            && code.starts_with('A')
+            && code[1..].chars().all(|c| c.is_ascii_digit())
+            && !out.iter().any(|(_, c)| c == code)
+        {
+            out.push((ident, code.to_owned()));
+        }
+    }
+    out
+}
+
+/// R007 core: every `Code` variant found in `sqlcheck_src` must appear in
+/// `render_src` (the NL rendering suite) both by variant name and by stable
+/// code string. `render_file` is the path reported in violations.
+pub fn lint_code_coverage(
+    sqlcheck_src: &str,
+    render_src: &str,
+    render_file: &str,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (variant, code) in code_pairs(sqlcheck_src) {
+        let by_variant = render_src.contains(&format!("Code::{variant}"));
+        let by_code = render_src.contains(&format!("\"{code}\""));
+        if !(by_variant && by_code) {
+            let missing = match (by_variant, by_code) {
+                (false, false) => "neither the variant nor its code string appears",
+                (false, true) => "the variant name does not appear",
+                _ => "the stable code string does not appear",
+            };
+            out.push(Violation {
+                code: "R007",
+                file: render_file.into(),
+                line: 0,
+                message: format!(
+                    "finding code {code} (`Code::{variant}`) has no NL rendering \
+                     test: {missing} in the render suite"
+                ),
+            });
+        }
+    }
+    out
+}
+
 /// Recursively lint every `.rs` file under `root/crates` (skipping
 /// `target/` and hidden directories). Paths in violations are relative to
 /// `root`, i.e. they start with `crates/`.
@@ -428,6 +502,20 @@ pub fn lint_tree(root: &Path) -> std::io::Result<Vec<Violation>> {
             .replace('\\', "/");
         let source = fs::read_to_string(&f)?;
         out.extend(lint_source(&rel, &source, classify(&rel)));
+    }
+    // R007 is cross-file: the code inventory lives in sqlcheck.rs, the
+    // required coverage in the analyzer's render suite.
+    let sqlcheck = root.join("crates/analyzer/src/sqlcheck.rs");
+    let render = root.join("crates/analyzer/tests/render.rs");
+    if sqlcheck.is_file() {
+        let sqlcheck_src = fs::read_to_string(&sqlcheck)?;
+        let render_src =
+            if render.is_file() { fs::read_to_string(&render)? } else { String::new() };
+        out.extend(lint_code_coverage(
+            &sqlcheck_src,
+            &render_src,
+            "crates/analyzer/tests/render.rs",
+        ));
     }
     Ok(out)
 }
@@ -620,6 +708,67 @@ mod tests {
         assert_eq!(classify("crates/bench/src/bin/exp_decoding.rs"), FileKind::TestOrBench);
         assert_eq!(classify("crates/testkit/src/prop.rs"), FileKind::TestOrBench);
         assert_eq!(classify("crates/core/examples/quickstart.rs"), FileKind::TestOrBench);
+    }
+
+    const SQLCHECK_STUB: &str = "//! stub\nimpl Code {\n    pub fn as_str(self) -> &'static str {\n        match self {\n            Code::SyntaxError => \"A001\",\n            Code::ProvablyEmpty => \"A015\",\n        }\n    }\n}\n";
+
+    #[test]
+    fn r007_passes_when_every_code_is_covered() {
+        let render = "const CODES: &[(Code, &str)] = &[\n    (Code::SyntaxError, \"A001\"),\n    (Code::ProvablyEmpty, \"A015\"),\n];\n";
+        assert!(lint_code_coverage(SQLCHECK_STUB, render, "tests/render.rs").is_empty());
+    }
+
+    #[test]
+    fn r007_flags_a_code_missing_from_the_render_suite() {
+        let render = "const CODES: &[(Code, &str)] = &[(Code::SyntaxError, \"A001\")];\n";
+        let v = lint_code_coverage(SQLCHECK_STUB, render, "tests/render.rs");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].code, "R007");
+        assert!(v[0].message.contains("A015"), "{}", v[0].message);
+        assert!(v[0].message.contains("ProvablyEmpty"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn r007_requires_both_variant_and_code_string() {
+        // Code string present but variant absent still fires…
+        let only_code = "let _ = \"A001\"; let _ = (Code::ProvablyEmpty, \"A015\");\n";
+        let v = lint_code_coverage(SQLCHECK_STUB, only_code, "tests/render.rs");
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("variant name does not appear"), "{}", v[0].message);
+        // …and so does variant present but code string absent.
+        let only_variant = "let _ = Code::SyntaxError; let _ = (Code::ProvablyEmpty, \"A015\");\n";
+        let v = lint_code_coverage(SQLCHECK_STUB, only_variant, "tests/render.rs");
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("code string does not appear"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn r007_ignores_non_code_match_arms_and_missing_suite() {
+        // Arms mapping to severities (no quoted A0xx) contribute nothing.
+        let src = "//! stub\nmatch self {\n    Code::SyntaxError => Severity::Reject,\n}\n";
+        assert!(lint_code_coverage(src, "", "tests/render.rs").is_empty());
+        // With a real inventory, an empty/missing suite flags every code.
+        let v = lint_code_coverage(SQLCHECK_STUB, "", "tests/render.rs");
+        assert_eq!(v.len(), 2);
+        assert!(v.iter().all(|x| x.code == "R007"));
+    }
+
+    #[test]
+    fn r007_holds_on_this_repo() {
+        // The live cross-check that `lint_tree` performs, run in-process so
+        // a missing rendering pin fails the unit suite too, not just CI.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let sqlcheck_src = fs::read_to_string(root.join("crates/analyzer/src/sqlcheck.rs"))
+            .expect("sqlcheck.rs readable");
+        let render_src = fs::read_to_string(root.join("crates/analyzer/tests/render.rs"))
+            .expect("render.rs readable");
+        let v = lint_code_coverage(&sqlcheck_src, &render_src, "crates/analyzer/tests/render.rs");
+        assert!(v.is_empty(), "{v:?}");
+        // Sanity: the inventory actually sees the absint codes.
+        let pairs = code_pairs(&sqlcheck_src);
+        for code in ["A001", "A015", "A016", "A017", "A018"] {
+            assert!(pairs.iter().any(|(_, c)| c == code), "missing {code}");
+        }
     }
 
     #[test]

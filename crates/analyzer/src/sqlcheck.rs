@@ -96,6 +96,22 @@ pub enum Code {
     /// (refuted with a counterexample, or undecided within the equivalence
     /// engine's budget). Raised by [`crate::equiv::EquivReport::findings`].
     UncertifiedRewrite,
+    /// A015 — abstract interpretation proves the result is empty on every
+    /// database consistent with the facts used (contradictory predicates,
+    /// disjoint join keys, statistics-refuted ranges). Strictly deeper than
+    /// A006's constant folding.
+    ProvablyEmpty,
+    /// A016 — a filter is true on every row of the *current* data (e.g.
+    /// `IS NOT NULL` over a column with no NULLs): not wrong, but it has no
+    /// effect and likely misstates the user's intent. Constant tautologies
+    /// stay A007.
+    DataGroundedTautology,
+    /// A017 — an output column is provably NULL in every result row.
+    ProvablyNullColumn,
+    /// A018 — an always-evaluated expression provably raises a runtime
+    /// error under 3VL (e.g. a `NeverNull` numerator divided by a divisor
+    /// whose domain is exactly `{0}`, with at least one guaranteed row).
+    ProvableRuntimeError,
 }
 
 impl Code {
@@ -116,6 +132,10 @@ impl Code {
             Code::SuspiciousComparison => "A012",
             Code::RowBudgetExceeded => "A013",
             Code::UncertifiedRewrite => "A014",
+            Code::ProvablyEmpty => "A015",
+            Code::DataGroundedTautology => "A016",
+            Code::ProvablyNullColumn => "A017",
+            Code::ProvableRuntimeError => "A018",
         }
     }
 
@@ -129,13 +149,17 @@ impl Code {
             | Code::BareColumn
             | Code::UnsatisfiablePredicate
             | Code::DivisionByZero
-            | Code::ColumnOutOfRange => Severity::Reject,
+            | Code::ColumnOutOfRange
+            | Code::ProvableRuntimeError => Severity::Reject,
             Code::TautologicalFilter
             | Code::CartesianJoin
             | Code::LimitZero
             | Code::SuspiciousComparison
             | Code::RowBudgetExceeded
-            | Code::UncertifiedRewrite => Severity::Warn,
+            | Code::UncertifiedRewrite
+            | Code::ProvablyEmpty
+            | Code::DataGroundedTautology
+            | Code::ProvablyNullColumn => Severity::Warn,
         }
     }
 
@@ -153,6 +177,7 @@ impl Code {
                 | Code::BareColumn
                 | Code::DivisionByZero
                 | Code::ColumnOutOfRange
+                | Code::ProvableRuntimeError
         )
     }
 }
@@ -347,13 +372,21 @@ pub struct Analyzer<'a> {
     row_budget: Option<u64>,
     ast_pass: bool,
     plan_pass: bool,
+    absint: bool,
 }
 
 impl<'a> Analyzer<'a> {
     /// An analyzer over `catalog` with both static passes on and no cost
     /// pass (no statistics, no budget).
     pub fn new(catalog: &'a Catalog) -> Self {
-        Self { catalog, stats: None, row_budget: None, ast_pass: true, plan_pass: true }
+        Self {
+            catalog,
+            stats: None,
+            row_budget: None,
+            ast_pass: true,
+            plan_pass: true,
+            absint: true,
+        }
     }
 
     /// Enable the cost pass with these table statistics.
@@ -378,6 +411,15 @@ impl<'a> Analyzer<'a> {
     /// Toggle the plan pass (on by default).
     pub fn with_plan_pass(mut self, on: bool) -> Self {
         self.plan_pass = on;
+        self
+    }
+
+    /// Toggle the abstract-interpretation pass (A015–A018 plus cardinality
+    /// sharpening; on by default). With it off the report — findings,
+    /// estimates, and confidence folding — is byte-identical to the
+    /// pre-absint analyzer.
+    pub fn with_absint(mut self, on: bool) -> Self {
+        self.absint = on;
         self
     }
 
@@ -409,6 +451,7 @@ impl<'a> Analyzer<'a> {
                 if self.plan_pass {
                     check_plan(&plan, &mut report);
                 }
+                self.absint_pass(&plan, &mut report);
                 self.cost_pass(&plan, &mut report);
             }
             Err(e) => report.push(
@@ -428,6 +471,7 @@ impl<'a> Analyzer<'a> {
         if self.plan_pass {
             check_plan(plan, &mut report);
         }
+        self.absint_pass(plan, &mut report);
         self.cost_pass(plan, &mut report);
         report
     }
@@ -438,11 +482,67 @@ impl<'a> Analyzer<'a> {
         self.analyze(sql).dooms_execution()
     }
 
+    /// Abstract-interpretation pass: fold the provable facts of
+    /// [`crate::absint::analyze`] into A015–A018 findings. Facts already
+    /// reported by the shallower constant-folding checks (A006/A008/A011)
+    /// are not re-reported — the deeper code only fires where the shallow
+    /// one is silent.
+    fn absint_pass(&self, plan: &Plan, report: &mut Report) {
+        if !self.absint {
+            return;
+        }
+        let analysis = crate::absint::analyze(plan, self.stats);
+        if let Some(why) = &analysis.provably_empty {
+            let already = report.findings.iter().any(|f| {
+                matches!(f.code, Code::UnsatisfiablePredicate | Code::LimitZero)
+            });
+            if !already {
+                report.push(
+                    Code::ProvablyEmpty,
+                    format!("abstract interpretation proves the result is empty: {why}"),
+                );
+            }
+        }
+        for clause in &analysis.tautologies {
+            report.push(
+                Code::DataGroundedTautology,
+                format!(
+                    "the {clause} condition is true on every row of the current data and \
+                     has no effect"
+                ),
+            );
+        }
+        for name in &analysis.null_columns {
+            report.push(
+                Code::ProvablyNullColumn,
+                format!("output column {name:?} is provably NULL in every result row"),
+            );
+        }
+        if !report.findings.iter().any(|f| f.code == Code::DivisionByZero) {
+            for detail in &analysis.runtime_errors {
+                report.push(
+                    Code::ProvableRuntimeError,
+                    format!("evaluating {detail} provably fails at runtime"),
+                );
+            }
+        }
+    }
+
     /// Cost pass: estimate output cardinality, make A009 quantitative,
     /// raise A013 when the estimate exceeds the row budget.
     fn cost_pass(&self, plan: &Plan, report: &mut Report) {
         let Some(stats) = self.stats else { return };
-        let est = estimate(plan, stats);
+        let mut est = estimate(plan, stats);
+        if self.absint {
+            // Intersect with the abstract interpreter's row bounds: both
+            // are sound, so the tighter of each side stays sound.
+            let (alo, ahi) = crate::absint::row_bounds(plan, Some(stats));
+            est.lo = est.lo.max(alo);
+            est.hi = est.hi.min(ahi);
+            if est.lo <= est.hi {
+                est.est = est.est.clamp(est.lo as f64, est.hi as f64);
+            }
+        }
         report.estimate = Some(est);
         for f in report.findings.iter_mut() {
             if f.code == Code::CartesianJoin && f.estimated_rows.is_none() {
@@ -798,14 +898,43 @@ fn check_expr(expr: &Expr, scope: &TableScope, aliases: &[String], report: &mut 
         }
         Expr::InList { expr, list, .. } => {
             check_expr(expr, scope, aliases, report);
+            // IN is sugar for a chain of equalities: each subject↔item pair
+            // is a comparison and gets the same A012 check as `=`.
+            let et = infer_type(expr, scope);
             for v in list {
                 check_expr(v, scope, aliases, report);
+                if let (Some(a), Some(b)) = (et, infer_type(v, scope)) {
+                    if comparison_never_holds(a, b) {
+                        report.push(
+                            Code::SuspiciousComparison,
+                            format!(
+                                "comparing a {a} with a {b} always yields NULL — this IN \
+                                 list item can never match"
+                            ),
+                        );
+                    }
+                }
             }
         }
         Expr::Between { expr, low, high, .. } => {
             check_expr(expr, scope, aliases, report);
             check_expr(low, scope, aliases, report);
             check_expr(high, scope, aliases, report);
+            // BETWEEN is sugar for two comparisons: subject↔low, subject↔high.
+            let et = infer_type(expr, scope);
+            for bound in [low, high] {
+                if let (Some(a), Some(b)) = (et, infer_type(bound, scope)) {
+                    if comparison_never_holds(a, b) {
+                        report.push(
+                            Code::SuspiciousComparison,
+                            format!(
+                                "comparing a {a} with a {b} always yields NULL — this \
+                                 BETWEEN bound can never hold"
+                            ),
+                        );
+                    }
+                }
+            }
         }
         Expr::Case { branches, else_expr } => {
             for (c, v) in branches {
@@ -1384,13 +1513,156 @@ mod tests {
     }
 
     #[test]
+    fn a012_covers_in_and_between_positions() {
+        // IN list item of an incompatible type (regression: previously the
+        // AST pass recursed into the items but never compared them with
+        // the subject).
+        assert!(codes("SELECT canton FROM emp WHERE canton IN ('ZH', 5)")
+            .contains(&Code::SuspiciousComparison));
+        // BETWEEN bound of an incompatible type.
+        assert!(codes("SELECT canton FROM emp WHERE canton BETWEEN 1 AND 2")
+            .contains(&Code::SuspiciousComparison));
+        assert!(codes("SELECT canton FROM emp WHERE jobs BETWEEN 1 AND canton")
+            .contains(&Code::SuspiciousComparison));
+        // Comparison nested inside a CASE arm (regression pin: recursion
+        // into branches must keep firing the plain-comparison check).
+        assert!(codes("SELECT jobs FROM emp WHERE CASE WHEN canton > 5 THEN 1 = 1 ELSE 1 = 2 END")
+            .contains(&Code::SuspiciousComparison));
+        // Compatible positions stay silent.
+        let r = analyze(&catalog(), "SELECT canton FROM emp WHERE jobs BETWEEN 1 AND 200");
+        assert!(!r.findings.iter().any(|f| f.code == Code::SuspiciousComparison), "{:?}", r.findings);
+        let r = analyze(&catalog(), "SELECT canton FROM emp WHERE canton IN ('ZH', 'GE')");
+        assert!(!r.findings.iter().any(|f| f.code == Code::SuspiciousComparison), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn a015_provably_empty_beyond_constant_folding() {
+        // Contradictory equalities over one column: invisible to constant
+        // folding (A006 silent), proven by domain refinement.
+        let r = analyze(&catalog(), "SELECT canton FROM emp WHERE jobs = 5 AND jobs = 6");
+        assert!(r.findings.iter().any(|f| f.code == Code::ProvablyEmpty), "{:?}", r.findings);
+        assert!(!r.findings.iter().any(|f| f.code == Code::UnsatisfiablePredicate));
+        assert!(!r.dooms_execution(), "empty results still execute");
+        assert!(execute(&catalog(), "SELECT canton FROM emp WHERE jobs = 5 AND jobs = 6").is_ok());
+        // Constant-folded FALSE stays A006 — no A015 double report.
+        let r = analyze(&catalog(), "SELECT canton FROM emp WHERE 1 = 2");
+        assert!(r.findings.iter().any(|f| f.code == Code::UnsatisfiablePredicate));
+        assert!(!r.findings.iter().any(|f| f.code == Code::ProvablyEmpty));
+        // Statistics-refuted range: needs the cost pass's stats.
+        let c = catalog();
+        let stats = Statistics::from_catalog(&c);
+        let r = Analyzer::new(&c)
+            .with_stats(&stats)
+            .analyze("SELECT canton FROM emp WHERE jobs > 100000");
+        assert!(r.findings.iter().any(|f| f.code == Code::ProvablyEmpty), "{:?}", r.findings);
+        assert_eq!(r.estimate.map(|e| (e.lo, e.hi)), Some((0, 0)), "bounds sharpened to empty");
+    }
+
+    #[test]
+    fn a016_data_grounded_tautology() {
+        let c = catalog();
+        let stats = Statistics::from_catalog(&c);
+        let a = Analyzer::new(&c).with_stats(&stats);
+        // No NULLs in canton on this catalog: IS NOT NULL filters nothing.
+        let r = a.analyze("SELECT canton FROM emp WHERE canton IS NOT NULL");
+        assert!(r.findings.iter().any(|f| f.code == Code::DataGroundedTautology), "{:?}", r.findings);
+        assert!(!r.is_rejected());
+        // Constant tautologies remain A007, never A016.
+        let r = a.analyze("SELECT canton FROM emp WHERE 1 = 1");
+        assert!(r.findings.iter().any(|f| f.code == Code::TautologicalFilter));
+        assert!(!r.findings.iter().any(|f| f.code == Code::DataGroundedTautology));
+        // Without statistics there is no data to ground the claim.
+        let r = analyze(&c, "SELECT canton FROM emp WHERE canton IS NOT NULL");
+        assert!(!r.findings.iter().any(|f| f.code == Code::DataGroundedTautology));
+    }
+
+    #[test]
+    fn a017_provably_null_output_column() {
+        let r = analyze(&catalog(), "SELECT jobs + NULL FROM emp");
+        assert!(r.findings.iter().any(|f| f.code == Code::ProvablyNullColumn), "{:?}", r.findings);
+        assert!(!r.is_rejected(), "NULL columns execute fine");
+        assert!(execute(&catalog(), "SELECT jobs + NULL FROM emp").is_ok());
+    }
+
+    #[test]
+    fn a018_provable_runtime_error() {
+        let mut c = catalog();
+        let zt = Table::from_columns(
+            Schema::new(vec![Field::new("n", DataType::Int), Field::new("z", DataType::Int)]),
+            vec![Column::from_ints(&[1, 2]), Column::from_ints(&[0, 0])],
+        )
+        .unwrap();
+        c.register("zt", zt).unwrap();
+        let stats = Statistics::from_catalog(&c);
+        let a = Analyzer::new(&c).with_stats(&stats);
+        // The divisor is a *column* whose domain is exactly {0}: A008's
+        // literal check is silent, the abstract interpreter proves the
+        // error.
+        let r = a.analyze("SELECT n / z FROM zt");
+        assert!(r.findings.iter().any(|f| f.code == Code::ProvableRuntimeError), "{:?}", r.findings);
+        assert!(r.dooms_execution());
+        assert!(execute(&c, "SELECT n / z FROM zt").is_err(), "the doom is real");
+        // Literal zero stays A008; A018 does not double-report.
+        let r = a.analyze("SELECT n / 0 FROM zt");
+        assert!(r.findings.iter().any(|f| f.code == Code::DivisionByZero));
+        assert!(!r.findings.iter().any(|f| f.code == Code::ProvableRuntimeError));
+        // A nullable divisor column never fires: NULL/0 is NULL, not an
+        // error, so the proof obligation fails (zero false rejects).
+        let mut c2 = Catalog::new();
+        let nz = Table::from_columns(
+            Schema::new(vec![Field::new("n", DataType::Int), Field::new("z", DataType::Int)]),
+            vec![
+                Column::from_ints(&[1, 2]),
+                Column::from_opt_ints(&[Some(0), None]),
+            ],
+        )
+        .unwrap();
+        c2.register("nz", nz).unwrap();
+        let stats2 = Statistics::from_catalog(&c2);
+        let r = Analyzer::new(&c2).with_stats(&stats2).analyze("SELECT n / z FROM nz");
+        assert!(!r.findings.iter().any(|f| f.code == Code::ProvableRuntimeError), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn absint_off_is_byte_identical_to_legacy() {
+        let c = catalog();
+        let stats = Statistics::from_catalog(&c);
+        let on = Analyzer::new(&c).with_stats(&stats);
+        let off = on.with_absint(false);
+        let sql = "SELECT canton FROM emp WHERE canton IS NOT NULL";
+        let r_on = on.analyze(sql);
+        let r_off = off.analyze(sql);
+        assert!(r_on.findings.iter().any(|f| f.code == Code::DataGroundedTautology));
+        assert!(r_off.is_clean(), "{:?}", r_off.findings);
+        assert_eq!(r_off.confidence_factor(), 1.0);
+        assert!(r_on.confidence_factor() < 1.0);
+        // Queries absint has nothing to say about are bit-for-bit equal
+        // either way, estimates included.
+        for sql in ["SELECT * FROM emp WHERE jobs > 50", "SELECT COUNT(*) FROM emp"] {
+            assert_eq!(on.analyze(sql), off.analyze(sql), "{sql}");
+        }
+    }
+
+    #[test]
     fn pass_toggles_disable_their_findings() {
         let c = catalog();
-        let no_ast = Analyzer::new(&c).with_ast_pass(false);
-        // A012 comes from the AST pass; with it off the query is clean.
+        let no_ast = Analyzer::new(&c).with_ast_pass(false).with_absint(false);
+        // A012 comes from the AST pass; with it (and the deeper absint
+        // pass, which proves the same mismatch empties the result) off,
+        // the query is clean.
         assert!(no_ast.analyze("SELECT canton FROM emp WHERE canton > 5").is_clean());
-        let no_plan = Analyzer::new(&c).with_plan_pass(false);
+        // With absint alone, the cross-type comparison surfaces as A015.
+        let absint_only = Analyzer::new(&c).with_ast_pass(false);
+        let r = absint_only.analyze("SELECT canton FROM emp WHERE canton > 5");
+        assert!(r.findings.iter().all(|f| f.code == Code::ProvablyEmpty), "{:?}", r.findings);
+        let no_plan = Analyzer::new(&c).with_plan_pass(false).with_absint(false);
         assert!(no_plan.analyze("SELECT canton FROM emp WHERE 1 = 2").is_clean());
+        // With the plan pass off but absint on, the deeper pass still
+        // proves the emptiness (as A015, since A006 never fired).
+        let r = Analyzer::new(&c)
+            .with_plan_pass(false)
+            .analyze("SELECT canton FROM emp WHERE 1 = 2");
+        assert!(r.findings.iter().any(|f| f.code == Code::ProvablyEmpty), "{:?}", r.findings);
     }
 
 }

@@ -24,6 +24,10 @@ const CODES: &[(Code, &str, &str)] = &[
     (Code::SuspiciousComparison, "A012", "warn"),
     (Code::RowBudgetExceeded, "A013", "warn"),
     (Code::UncertifiedRewrite, "A014", "warn"),
+    (Code::ProvablyEmpty, "A015", "warn"),
+    (Code::DataGroundedTautology, "A016", "warn"),
+    (Code::ProvablyNullColumn, "A017", "warn"),
+    (Code::ProvableRuntimeError, "A018", "reject"),
 ];
 
 /// The four payload shapes a finding can carry.
@@ -134,6 +138,43 @@ fn rows_precede_span_when_both_are_attached_and_enabled() {
         .with_estimated_rows((5, 6));
     let r = f.render(&RenderOpts { with_span: true, with_estimated_rows: true });
     assert_eq!(r, "[A009 warn] m (estimated rows 5..6) (span 1..2)");
+}
+
+#[test]
+fn absint_findings_render_pinned() {
+    // The message shapes `Analyzer::absint_pass` produces for A015..A018,
+    // pinned byte for byte under the default options.
+    let opts = RenderOpts::default();
+    let cases = [
+        (
+            Finding::new(
+                Code::ProvablyEmpty,
+                "abstract interpretation proves the result is empty: the WHERE predicate \
+                 (jobs < 10 AND jobs > 20) selects no row",
+            ),
+            "[A015 warn] abstract interpretation proves the result is empty: the WHERE \
+             predicate (jobs < 10 AND jobs > 20) selects no row",
+        ),
+        (
+            Finding::new(
+                Code::DataGroundedTautology,
+                "the WHERE condition is true on every row of the current data and has no effect",
+            ),
+            "[A016 warn] the WHERE condition is true on every row of the current data and \
+             has no effect",
+        ),
+        (
+            Finding::new(Code::ProvablyNullColumn, "output column \"gap\" is provably NULL in every result row"),
+            "[A017 warn] output column \"gap\" is provably NULL in every result row",
+        ),
+        (
+            Finding::new(Code::ProvableRuntimeError, "evaluating n / z provably fails at runtime"),
+            "[A018 reject] evaluating n / z provably fails at runtime",
+        ),
+    ];
+    for (f, want) in cases {
+        assert_eq!(f.render(&opts), want);
+    }
 }
 
 #[test]

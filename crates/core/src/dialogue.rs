@@ -42,6 +42,32 @@ impl CdaSystem {
         }
     }
 
+    /// Execute the chosen SQL, under the absint sanitizer when
+    /// `CdaConfig::absint_check` is on: the optimized plan's static
+    /// [`DomainTree`](cda_dataframe::DomainTree) is computed from the
+    /// catalog statistics first, and every operator output is cross-checked
+    /// against its abstract domain during execution. A violation (an
+    /// analyzer soundness bug, by construction) surfaces as an execution
+    /// error and the turn abstains rather than answering from an unsound
+    /// analysis. With the check off this is exactly
+    /// [`cda_sql::execute_with_options`] — same parse/plan/optimize
+    /// pipeline, no checks. UQ candidate executions stay unchecked either
+    /// way: only the answering execution pays for (and benefits from) the
+    /// cross-check.
+    fn execute_answer(&self, sql: &str) -> cda_sql::Result<cda_sql::QueryResult> {
+        let opts = self.exec_options();
+        if !self.config.absint_check {
+            return cda_sql::execute_with_options(self.catalog.sql(), sql, opts);
+        }
+        let select = cda_sql::parser::parse(sql)?;
+        let plan = cda_sql::planner::plan_select(self.catalog.sql(), &select)?;
+        let plan = cda_sql::optimizer::optimize(plan, opts.rules);
+        // The monitor must describe the exact plan that executes, so it is
+        // built *after* the optimizer ran.
+        let monitor = cda_analyzer::domain_tree(&plan, Some(self.catalog.stats()));
+        cda_sql::execute_plan_checked(self.catalog.sql(), &plan, opts, Some(&monitor))
+    }
+
     /// Process one user utterance and produce the annotated system turn.
     pub fn process(&mut self, utterance: &str) -> AnswerTurn {
         let turn = self.state.turn;
@@ -661,7 +687,7 @@ impl CdaSystem {
                 ));
                 Ok(hit.result)
             }
-            None => cda_sql::execute_with_options(self.catalog.sql(), &sql, self.exec_options()),
+            None => self.execute_answer(&sql),
         };
         let infra_elapsed = t_infra.elapsed();
         if let (Some(fp), None, Ok(result)) = (fingerprint, &cache_note, &executed) {
@@ -1030,6 +1056,25 @@ mod tests {
         assert_eq!(off1.analysis, on1.analysis);
         assert_eq!(off1.confidence, on1.confidence);
         assert_eq!(off1.executed_sql, on1.executed_sql);
+    }
+
+    #[test]
+    fn absint_sanitizer_toggle_is_answer_neutral() {
+        // The sanitizer is a cross-check on the analyzer: when the analyzer
+        // is sound (it is), answers are bit-for-bit identical with the check
+        // on or off — confidence folding included.
+        let q = "What is the total employees in employment_by_type per canton?";
+        let mut on =
+            demo_system(1).with_config(CdaConfig { absint_check: true, ..CdaConfig::default() });
+        let mut off =
+            demo_system(1).with_config(CdaConfig { absint_check: false, ..CdaConfig::default() });
+        let a_on = on.process(q);
+        let a_off = off.process(q);
+        assert_eq!(a_on.status, AnswerStatus::Answered, "{}", a_on.text);
+        assert_eq!(a_on.text, a_off.text);
+        assert_eq!(a_on.confidence, a_off.confidence);
+        assert_eq!(a_on.analysis, a_off.analysis);
+        assert_eq!(a_on.executed_sql, a_off.executed_sql);
     }
 
     #[test]

@@ -50,6 +50,16 @@ pub struct CdaConfig {
     /// performance switch, not a reliability property, so `none()` keeps it
     /// on: dialogue, UQ sampling, and the semantic cache all ride it.
     pub vectorized_exec: bool,
+    /// Sanitizer-style runtime cross-checking of the abstract interpreter
+    /// (`cda_analyzer::absint`): the answering execution runs under
+    /// `cda_sql::exec::execute_plan_checked` with the plan's static
+    /// [`DomainTree`](cda_dataframe::DomainTree), so any materialized value
+    /// outside its per-node abstract domain aborts the turn with a domain
+    /// violation instead of silently answering from an unsound analysis.
+    /// Defaults to on in debug builds (and CI) and off in release builds —
+    /// it is a cross-check on the analyzer, not a user-facing property, and
+    /// a clean release run must stay byte-identical with it off.
+    pub absint_check: bool,
 }
 
 impl Default for CdaConfig {
@@ -69,6 +79,7 @@ impl Default for CdaConfig {
             repair_rounds: 2,
             semantic_cache: true,
             vectorized_exec: true,
+            absint_check: cfg!(debug_assertions),
         }
     }
 }

@@ -16,8 +16,11 @@
 //!   [`kernels`],
 //! * a columnar batch layer ([`batch`]: typed [`batch::Vector`]s, borrowed
 //!   [`batch::Slot`] views, and zero-copy [`batch::ColumnWindow`]s) powering
-//!   the SQL layer's morsel-parallel vectorized engine (DESIGN.md §12), and
-//! * per-column statistics ([`stats`]) consumed by the SQL optimizer.
+//!   the SQL layer's morsel-parallel vectorized engine (DESIGN.md §12),
+//! * per-column statistics ([`stats`]) consumed by the SQL optimizer, and
+//! * abstract value domains with runtime domain-check kernels ([`domain`]):
+//!   the data carrier of the analyzer's abstract interpreter and the
+//!   sanitizer mode that cross-checks it (DESIGN.md §13).
 //!
 //! The crate is deliberately self-contained: the paper's P3 property demands
 //! that *every* answer be traceable to source rows, which requires owning the
@@ -50,6 +53,7 @@
 pub mod batch;
 pub mod column;
 pub mod csv;
+pub mod domain;
 pub mod error;
 pub mod kernels;
 pub mod schema;
@@ -59,6 +63,7 @@ pub mod value;
 
 pub use batch::{Batch, Slot, Vector};
 pub use column::Column;
+pub use domain::{ColDomain, DomainTree, DomainViolation, Interval, NodeDomain, Nullness, StrDomain};
 pub use error::DataFrameError;
 pub use schema::{Field, Schema};
 pub use stats::ColumnStats;

@@ -247,6 +247,52 @@ fn vectorized_engine_matches_reference_on_single_row_tables() {
     }
 }
 
+/// E18's certification half: the absint sanitizer accepts the full
+/// differential corpus — every table either engine materializes, under every
+/// scheduler configuration, lies inside the static domain the abstract
+/// interpreter computed for its plan node. Zero domain violations, and the
+/// runtime-fallible queries still fail with their *own* error on both paths.
+#[test]
+fn absint_sanitizer_accepts_certify_corpus_on_both_engines() {
+    use cda_analyzer::{domain_tree, Statistics};
+    use cda_sql::exec::{execute_plan, execute_plan_checked};
+    use cda_sql::{optimizer, parser, planner, OptimizerRules};
+
+    let catalog = catalog();
+    let stats = Statistics::from_catalog(&catalog);
+    for sql in corpus() {
+        let select = parser::parse(sql).expect(sql);
+        let plan = optimizer::optimize(
+            planner::plan_select(&catalog, &select).expect(sql),
+            OptimizerRules::all(),
+        );
+        // Stats-grounded and stats-free monitors must both hold.
+        for tree in [domain_tree(&plan, Some(&stats)), domain_tree(&plan, None)] {
+            let mut opts_list = vec![ExecOptions::default()];
+            opts_list.extend(configs().into_iter().map(|cfg| ExecOptions {
+                vectorized: Some(cfg),
+                ..ExecOptions::default()
+            }));
+            for opts in opts_list {
+                let plain = execute_plan(&catalog, &plan, opts);
+                let checked = execute_plan_checked(&catalog, &plan, opts, Some(&tree));
+                match (plain, checked) {
+                    (Ok(p), Ok(c)) => {
+                        assert_eq!(p.table, c.table, "sanitizer changed `{sql}`");
+                        assert_eq!(p.stats, c.stats, "sanitizer changed stats of `{sql}`");
+                    }
+                    (Err(_), Err(e)) => assert!(
+                        !e.to_string().contains("absint domain violation"),
+                        "domain violation for `{sql}`: {e}"
+                    ),
+                    (Ok(_), Err(e)) => panic!("sanitizer broke `{sql}`: {e}"),
+                    (Err(e), Ok(_)) => panic!("sanitizer swallowed the error of `{sql}`: {e}"),
+                }
+            }
+        }
+    }
+}
+
 // ------------------------------------------------------------ property tests
 
 fn table_strategy() -> Gen<Table> {

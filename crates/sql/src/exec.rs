@@ -20,7 +20,7 @@ use crate::plan::{AggExpr, BoundExpr, Plan, SortSpec};
 use crate::planner::plan_select;
 use crate::Result;
 use cda_dataframe::kernels::{sort_indices, AggKind, SortKey, SortOrder};
-use cda_dataframe::{Column, DataType, Schema, Table, Value};
+use cda_dataframe::{Column, DataType, DomainTree, Schema, Table, Value};
 use std::collections::HashMap;
 
 /// Execution options.
@@ -84,25 +84,83 @@ pub fn execute_with_options(catalog: &Catalog, sql: &str, options: ExecOptions) 
     let plan = plan_select(catalog, &select)?;
     let plan = optimize(plan, options.rules);
     let mut stats = ExecStats::default();
-    let table = dispatch(catalog, &plan, options, &mut stats)?;
+    let table = dispatch(catalog, &plan, options, None, &mut stats)?;
     Ok(QueryResult { table, plan, stats })
 }
 
 /// Execute an already-built plan.
 pub fn execute_plan(catalog: &Catalog, plan: &Plan, options: ExecOptions) -> Result<QueryResult> {
+    execute_plan_checked(catalog, plan, options, None)
+}
+
+/// Execute an already-built plan under the abstract-interpretation sanitizer.
+///
+/// When `monitor` is `Some`, it must be the [`DomainTree`] that
+/// `cda_analyzer::domain_tree` computed **for this exact plan** (same shape,
+/// post-optimizer): every table an operator materializes is checked against
+/// its node's static domain, and any value, null, or row-count outside the
+/// domain aborts execution with [`SqlError::Eval`] naming the node and the
+/// violating bound. A tree whose shape diverges from the plan fails open
+/// (unmatched children are simply not checked). `None` is exactly
+/// [`execute_plan`].
+pub fn execute_plan_checked(
+    catalog: &Catalog,
+    plan: &Plan,
+    options: ExecOptions,
+    monitor: Option<&DomainTree>,
+) -> Result<QueryResult> {
     let mut stats = ExecStats::default();
-    let table = dispatch(catalog, plan, options, &mut stats)?;
+    let table = dispatch(catalog, plan, options, monitor, &mut stats)?;
     Ok(QueryResult { table, plan: plan.clone(), stats })
 }
 
-fn dispatch(catalog: &Catalog, plan: &Plan, opts: ExecOptions, stats: &mut ExecStats) -> Result<Table> {
+fn dispatch(
+    catalog: &Catalog,
+    plan: &Plan,
+    opts: ExecOptions,
+    monitor: Option<&DomainTree>,
+    stats: &mut ExecStats,
+) -> Result<Table> {
     match opts.vectorized {
-        Some(cfg) => crate::physical::run_vectorized(catalog, plan, opts, cfg, stats),
-        None => run(catalog, plan, opts, stats),
+        Some(cfg) => crate::physical::run_vectorized(catalog, plan, opts, cfg, monitor, stats),
+        None => run(catalog, plan, opts, monitor, stats),
     }
 }
 
-fn run(catalog: &Catalog, plan: &Plan, opts: ExecOptions, stats: &mut ExecStats) -> Result<Table> {
+/// Short operator label for sanitizer violation messages.
+pub(crate) fn node_label(plan: &Plan) -> String {
+    match plan {
+        Plan::Scan { table, .. } => format!("Scan {table}"),
+        Plan::Filter { .. } => "Filter".into(),
+        Plan::Join { kind, .. } => format!("{kind:?} Join"),
+        Plan::Project { .. } => "Project".into(),
+        Plan::Aggregate { .. } => "Aggregate".into(),
+        Plan::Distinct { .. } => "Distinct".into(),
+        Plan::Sort { .. } => "Sort".into(),
+        Plan::Limit { .. } => "Limit".into(),
+    }
+}
+
+/// Check one materialized operator output against its static domain.
+pub(crate) fn sanitize(plan: &Plan, monitor: Option<&DomainTree>, out: &Table) -> Result<()> {
+    if let Some(m) = monitor {
+        m.node
+            .check_table(&node_label(plan), out)
+            .map_err(|v| SqlError::Eval(v.to_string()))?;
+    }
+    Ok(())
+}
+
+fn run(
+    catalog: &Catalog,
+    plan: &Plan,
+    opts: ExecOptions,
+    monitor: Option<&DomainTree>,
+    stats: &mut ExecStats,
+) -> Result<Table> {
+    // The monitor tree mirrors the plan tree; child `i` of this node is
+    // checked by child `i` of the monitor (missing children check nothing).
+    let sub = |i: usize| monitor.and_then(|m| m.children.get(i));
     let out = match plan {
         Plan::Scan { table, projection, .. } => {
             let entry = catalog.get(table)?;
@@ -113,7 +171,7 @@ fn run(catalog: &Catalog, plan: &Plan, opts: ExecOptions, stats: &mut ExecStats)
             }
         }
         Plan::Filter { input, predicate } => {
-            let t = run(catalog, input, opts, stats)?;
+            let t = run(catalog, input, opts, sub(0), stats)?;
             let mut mask = Vec::with_capacity(t.num_rows());
             for r in 0..t.num_rows() {
                 let row = t.row(r)?;
@@ -122,28 +180,28 @@ fn run(catalog: &Catalog, plan: &Plan, opts: ExecOptions, stats: &mut ExecStats)
             t.filter(&mask)?
         }
         Plan::Join { left, right, kind, on } => {
-            let l = run(catalog, left, opts, stats)?;
-            let r = run(catalog, right, opts, stats)?;
+            let l = run(catalog, left, opts, sub(0), stats)?;
+            let r = run(catalog, right, opts, sub(1), stats)?;
             join(&l, &r, *kind, on, opts, stats)?
         }
         Plan::Project { input, exprs, schema } => {
-            let t = run(catalog, input, opts, stats)?;
+            let t = run(catalog, input, opts, sub(0), stats)?;
             project(&t, exprs, schema)?
         }
         Plan::Aggregate { input, group_exprs, aggs, schema } => {
-            let t = run(catalog, input, opts, stats)?;
+            let t = run(catalog, input, opts, sub(0), stats)?;
             aggregate(&t, group_exprs, aggs, schema, opts)?
         }
         Plan::Distinct { input } => {
-            let t = run(catalog, input, opts, stats)?;
+            let t = run(catalog, input, opts, sub(0), stats)?;
             distinct(&t, opts)?
         }
         Plan::Sort { input, keys } => {
-            let t = run(catalog, input, opts, stats)?;
+            let t = run(catalog, input, opts, sub(0), stats)?;
             sort(&t, keys)?
         }
         Plan::Limit { input, limit, offset } => {
-            let t = run(catalog, input, opts, stats)?;
+            let t = run(catalog, input, opts, sub(0), stats)?;
             let start = (*offset).min(t.num_rows());
             let end = match limit {
                 Some(l) => (start + l).min(t.num_rows()),
@@ -153,6 +211,7 @@ fn run(catalog: &Catalog, plan: &Plan, opts: ExecOptions, stats: &mut ExecStats)
             t.take(&indices)?
         }
     };
+    sanitize(plan, monitor, &out)?;
     stats.rows_materialized += out.num_rows();
     Ok(out)
 }
@@ -773,5 +832,70 @@ mod tests {
     fn explain_plan_is_attached() {
         let r = execute(&catalog(), "SELECT canton FROM emp WHERE jobs > 60").unwrap();
         assert!(r.plan.explain().contains("Scan emp"));
+    }
+
+    /// A hand-built monitor for `SELECT jobs FROM emp WHERE jobs > 60`
+    /// (optimized shape: Filter over a pruned Scan), with the given range on
+    /// the filter's output column.
+    fn monitor_for_filtered_jobs(lo: f64, hi: f64) -> DomainTree {
+        use cda_dataframe::{ColDomain, Interval, NodeDomain, Nullness};
+        let jobs = ColDomain {
+            dtype: Some(DataType::Int),
+            nullness: Nullness::NeverNull,
+            range: Interval::new(lo, hi),
+            strs: cda_dataframe::StrDomain::top(),
+            values: None,
+        };
+        let scan = NodeDomain {
+            cols: vec![ColDomain { range: Interval::new(30.0, 200.0), ..jobs.clone() }],
+            rows_lo: 0,
+            rows_hi: u64::MAX,
+        };
+        DomainTree {
+            node: NodeDomain { cols: vec![jobs], rows_lo: 0, rows_hi: u64::MAX },
+            children: vec![DomainTree::leaf(scan)],
+        }
+    }
+
+    #[test]
+    fn sanitizer_accepts_outputs_inside_their_domains() {
+        let c = catalog();
+        let select = parse("SELECT jobs FROM emp WHERE jobs > 60").unwrap();
+        let plan = optimize(plan_select(&c, &select).unwrap(), OptimizerRules::all());
+        let monitor = monitor_for_filtered_jobs(61.0, 200.0);
+        for opts in [ExecOptions::default(), ExecOptions::vectorized()] {
+            let r = execute_plan_checked(&c, &plan, opts, Some(&monitor)).unwrap();
+            assert_eq!(r.table.num_rows(), 3);
+        }
+    }
+
+    #[test]
+    fn sanitizer_rejects_a_tampered_domain_on_both_engines() {
+        let c = catalog();
+        let select = parse("SELECT jobs FROM emp WHERE jobs > 60").unwrap();
+        let plan = optimize(plan_select(&c, &select).unwrap(), OptimizerRules::all());
+        // Deliberately-broken transfer function: claims the filter output is
+        // bounded by 150, but row ZH/200 escapes it.
+        let monitor = monitor_for_filtered_jobs(61.0, 150.0);
+        for opts in [ExecOptions::default(), ExecOptions::vectorized()] {
+            let err = execute_plan_checked(&c, &plan, opts, Some(&monitor)).unwrap_err();
+            let msg = err.to_string();
+            // The plan's root is the final projection of `jobs`; the escaped
+            // value (ZH/200) is caught there.
+            assert!(msg.contains("absint domain violation at Project"), "{msg}");
+            assert!(msg.contains("outside abstract domain"), "{msg}");
+        }
+    }
+
+    #[test]
+    fn sanitizer_none_is_plain_execute_plan() {
+        let c = catalog();
+        let select = parse("SELECT jobs FROM emp WHERE jobs > 60").unwrap();
+        let plan = optimize(plan_select(&c, &select).unwrap(), OptimizerRules::all());
+        let plain = execute_plan(&c, &plan, ExecOptions::default()).unwrap();
+        let checked =
+            execute_plan_checked(&c, &plan, ExecOptions::default(), None).unwrap();
+        assert_eq!(plain.table, checked.table);
+        assert_eq!(plain.stats, checked.stats);
     }
 }

@@ -73,7 +73,9 @@ pub mod planner;
 
 pub use catalog::Catalog;
 pub use error::SqlError;
-pub use exec::{execute, execute_with_options, ExecOptions, QueryResult};
+pub use exec::{
+    execute, execute_plan, execute_plan_checked, execute_with_options, ExecOptions, QueryResult,
+};
 pub use morsel::MorselConfig;
 pub use optimizer::OptimizerRules;
 

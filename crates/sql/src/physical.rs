@@ -35,7 +35,9 @@
 use crate::ast::{BinaryOp, JoinKind};
 use crate::catalog::Catalog;
 use crate::error::SqlError;
-use crate::exec::{agg_over_values, column_from_values, sort as sort_rows, ExecOptions, ExecStats};
+use crate::exec::{
+    agg_over_values, column_from_values, sanitize, sort as sort_rows, ExecOptions, ExecStats,
+};
 use crate::morsel::{first_error, morsel_ranges, run_ordered, MorselConfig};
 use crate::optimizer::split_conjuncts;
 use crate::plan::{like_match, AggExpr, BoundExpr, Plan};
@@ -45,7 +47,7 @@ use cda_dataframe::kernels::{
     build_join_table, compare, group_rows, join_key_hash, join_keys_match, values_group_hash,
     CmpOp,
 };
-use cda_dataframe::{Column, RowId, Schema, Table, Value};
+use cda_dataframe::{Column, DomainTree, RowId, Schema, Table, Value};
 use std::borrow::Cow;
 use std::cmp::Ordering;
 use std::collections::HashMap;
@@ -59,10 +61,11 @@ pub fn run_vectorized(
     plan: &Plan,
     opts: ExecOptions,
     cfg: MorselConfig,
+    monitor: Option<&DomainTree>,
     stats: &mut ExecStats,
 ) -> Result<Table> {
     let threads = cfg.effective_threads();
-    run_node(catalog, plan, opts, cfg, threads, stats).map(Cow::into_owned)
+    run_node(catalog, plan, opts, cfg, threads, monitor, stats).map(Cow::into_owned)
 }
 
 /// Recursive driver. Scans without a projection are *borrowed* from the
@@ -70,14 +73,19 @@ pub fn run_vectorized(
 /// every operator reads its input immutably) — one of the places the
 /// vectorized speedup comes from. Counters are bumped exactly as the row
 /// path bumps them, so `ExecStats` stays comparable.
+#[allow(clippy::too_many_arguments)]
 fn run_node<'a>(
     catalog: &'a Catalog,
     plan: &Plan,
     opts: ExecOptions,
     cfg: MorselConfig,
     threads: usize,
+    monitor: Option<&DomainTree>,
     stats: &mut ExecStats,
 ) -> Result<Cow<'a, Table>> {
+    // Same monitor-tree mirroring as `exec::run`: child `i` of this plan node
+    // is checked by child `i` of the monitor.
+    let sub = |i: usize| monitor.and_then(|m| m.children.get(i));
     let out: Cow<'a, Table> = match plan {
         Plan::Scan { table, projection, .. } => {
             let entry = catalog.get(table)?;
@@ -94,42 +102,45 @@ fn run_node<'a>(
             // borrowed base table (with scan-local column indices remapped to
             // physical ones) and materialize only the surviving rows of the
             // projected columns — the row path clones the pruned table first.
+            // The scan's output is never materialized here, so the sanitizer
+            // checks only the filter's (this node's) domain.
             if let Plan::Scan { table, projection: Some(p), .. } = &**input {
                 let entry = catalog.get(table)?;
                 if !is_identity_projection(p, entry.table.num_columns()) {
                     stats.rows_scanned += entry.table.num_rows();
                     stats.rows_materialized += entry.table.num_rows(); // the scan node's count
                     let out = fused_filter_scan(&entry.table, p, predicate, cfg, threads)?;
+                    sanitize(plan, monitor, &out)?;
                     stats.rows_materialized += out.num_rows();
                     return Ok(Cow::Owned(out));
                 }
             }
-            let t = run_node(catalog, input, opts, cfg, threads, stats)?;
+            let t = run_node(catalog, input, opts, cfg, threads, sub(0), stats)?;
             Cow::Owned(filter_vec(&t, predicate, cfg, threads)?)
         }
         Plan::Join { left, right, kind, on } => {
-            let l = run_node(catalog, left, opts, cfg, threads, stats)?;
-            let r = run_node(catalog, right, opts, cfg, threads, stats)?;
+            let l = run_node(catalog, left, opts, cfg, threads, sub(0), stats)?;
+            let r = run_node(catalog, right, opts, cfg, threads, sub(1), stats)?;
             Cow::Owned(join_vec(&l, &r, *kind, on, opts, cfg, threads, stats)?)
         }
         Plan::Project { input, exprs, schema } => {
-            let t = run_node(catalog, input, opts, cfg, threads, stats)?;
+            let t = run_node(catalog, input, opts, cfg, threads, sub(0), stats)?;
             Cow::Owned(project_vec(&t, exprs, schema, cfg, threads)?)
         }
         Plan::Aggregate { input, group_exprs, aggs, schema } => {
-            let t = run_node(catalog, input, opts, cfg, threads, stats)?;
+            let t = run_node(catalog, input, opts, cfg, threads, sub(0), stats)?;
             Cow::Owned(aggregate_vec(&t, group_exprs, aggs, schema, opts, cfg, threads)?)
         }
         Plan::Distinct { input } => {
-            let t = run_node(catalog, input, opts, cfg, threads, stats)?;
+            let t = run_node(catalog, input, opts, cfg, threads, sub(0), stats)?;
             Cow::Owned(distinct_vec(&t, opts)?)
         }
         Plan::Sort { input, keys } => {
-            let t = run_node(catalog, input, opts, cfg, threads, stats)?;
+            let t = run_node(catalog, input, opts, cfg, threads, sub(0), stats)?;
             Cow::Owned(sort_rows(&t, keys)?)
         }
         Plan::Limit { input, limit, offset } => {
-            let t = run_node(catalog, input, opts, cfg, threads, stats)?;
+            let t = run_node(catalog, input, opts, cfg, threads, sub(0), stats)?;
             let start = (*offset).min(t.num_rows());
             let end = match limit {
                 Some(l) => (start + l).min(t.num_rows()),
@@ -139,6 +150,7 @@ fn run_node<'a>(
             Cow::Owned(t.take(&indices)?)
         }
     };
+    sanitize(plan, monitor, &out)?;
     stats.rows_materialized += out.num_rows();
     Ok(out)
 }
