@@ -35,7 +35,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== docs (rustdoc warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
 
-echo "== repolint (in-tree source conventions: R001-R007)"
+echo "== repolint (in-tree source conventions: R001-R008)"
 cargo run --release -q -p cda-analyzer --bin repolint -- .
 
 echo "== static analyzer suite (sqlcheck codes, gate consistency, absint soundness laws)"
@@ -62,6 +62,12 @@ CDA_BENCH_FAST=1 cargo run --release -q -p cda-bench --bin exp_vectorized
 
 echo "== E18: abstract interpretation (catch-rate delta, 0 false rejects, sanitizer <5%)"
 CDA_BENCH_FAST=1 cargo run --release -q -p cda-bench --bin exp_absint
+
+echo "== server runtime suite (session multiplexing, admission control, loadgen)"
+cargo test -q -p cda-server
+
+echo "== E19: multiplexed server (0 transcript mismatches vs serial, hw-conditional speedup)"
+CDA_BENCH_FAST=1 cargo run --release -q -p cda-bench --bin exp_server
 
 echo "== bench harness smoke (2 samples per bench, JSON artifacts)"
 CDA_BENCH_FAST=1 cargo bench -p cda-bench --bench sql

@@ -34,6 +34,16 @@
 //!   (the single source of truth the render path goes through) and checks
 //!   the test file covers each one. [`lint_tree`] runs it automatically;
 //!   [`lint_code_coverage`] is the pure core.
+//! * **R008** — no construction of the deprecated `CdaSystem` shim
+//!   (`CdaSystem::new` / `CdaSystem::with_config`) on product paths.
+//!   Extends R005: where R005 catches the `allow(deprecated)` escape this
+//!   rule names the one API the escape exists for, so a product path cannot
+//!   reintroduce the pre-snapshot constructor even if the deprecation
+//!   attribute is ever dropped. The shim module itself
+//!   (`crates/core/src/system.rs`) is exempt by path — it is the one place
+//!   allowed to build a `CdaSystem`; tests/benches/examples may keep
+//!   pinning the shim. A deliberate exception needs `// lint: allow(R008)`
+//!   and a justification.
 //!
 //! The scanner strips comments and string/char-literal *contents* (keeping
 //! delimiters and line structure) before matching, so a doc comment that
@@ -242,6 +252,12 @@ const R002_PATTERNS: &[&str] = &[
 /// `println`.
 const R006_MACROS: &[&str] = &["dbg", "print", "println", "eprint", "eprintln"];
 
+/// Shim constructors R008 bans outside the shim module itself.
+const R008_CONSTRUCTORS: &[&str] = &["CdaSystem::new", "CdaSystem::with_config"];
+
+/// The one product path allowed to construct the deprecated shim.
+const R008_SHIM_MODULE: &str = "crates/core/src/system.rs";
+
 fn has_allow(lines: &[&str], idx: usize, code: &str) -> bool {
     let needle = format!("lint: allow({code})");
     let hit = |l: &str| l.contains(&needle);
@@ -264,6 +280,24 @@ fn contains_word(line: &str, word: &str) -> bool {
             return true;
         }
         start = at + word.len();
+    }
+    false
+}
+
+/// True when `line` contains the `::`-qualified path `path` with identifier
+/// boundaries at both ends (so `MyCdaSystem::new` or `CdaSystem::newer`
+/// never match `CdaSystem::new`).
+fn contains_path(line: &str, path: &str) -> bool {
+    let bytes = line.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = line[start..].find(path) {
+        let at = start + pos;
+        let before = at.checked_sub(1).map(|i| bytes[i]);
+        let after = bytes.get(at + path.len()).copied();
+        if ident_boundary(before) && ident_boundary(after) {
+            return true;
+        }
+        start = at + path.len();
     }
     false
 }
@@ -383,6 +417,25 @@ pub fn lint_source(file: &str, source: &str, kind: FileKind) -> Vec<Violation> {
                                 "`{mac}!` on a product path — report through return values \
                                  or the transcript instead, or escape with \
                                  `// lint: allow(R006)` and a justification"
+                            ),
+                        });
+                        break;
+                    }
+                }
+            }
+            if kind != FileKind::TestOrBench && !file.replace('\\', "/").ends_with(R008_SHIM_MODULE)
+            {
+                for ctor in R008_CONSTRUCTORS {
+                    if contains_path(sl, ctor) && !has_allow(&raw_lines, idx, "R008") {
+                        out.push(Violation {
+                            code: "R008",
+                            file: file.into(),
+                            line: idx + 1,
+                            message: format!(
+                                "`{ctor}` on a product path — build a `WorldSnapshot` and open \
+                                 a `Session` instead; only the shim module \
+                                 ({R008_SHIM_MODULE}) may construct `CdaSystem`, or escape \
+                                 with `// lint: allow(R008)` and a justification"
                             ),
                         });
                         break;
@@ -681,6 +734,49 @@ mod tests {
             "{DOC}fn f() {{ pretty_print!(x); my_dbg(); writeln!(out, \"y\").ok(); }}\n"
         );
         assert!(codes("src/m.rs", &idents, FileKind::Product).is_empty(), "{idents}");
+    }
+
+    #[test]
+    fn r008_flags_shim_construction_on_product_paths() {
+        for ctor in ["CdaSystem::new(catalog, kg, vocab, linker, lm, config)", "CdaSystem::with_config(c, k, v, l, m)"] {
+            let src = format!("{DOC}fn f() {{ let _ = {ctor}; }}\n");
+            assert_eq!(codes("crates/core/src/demo.rs", &src, FileKind::Product), vec!["R008"], "{ctor}");
+        }
+    }
+
+    #[test]
+    fn r008_exempts_the_shim_module_tests_and_escapes() {
+        let src = format!("{DOC}fn f() {{ let _ = CdaSystem::new(a, b, c, d, e, g); }}\n");
+        // the shim module is the one product path allowed to build the shim
+        assert!(codes("crates/core/src/system.rs", &src, FileKind::Product).is_empty());
+        // tests, benches, and examples may pin the deprecated API
+        assert!(codes("crates/integration/tests/pin.rs", &src, FileKind::TestOrBench).is_empty());
+        // explicit escape with justification
+        let escaped = format!(
+            "{DOC}// lint: allow(R008) migration scaffolding, removed next release\n\
+             fn f() {{ let _ = CdaSystem::new(a, b, c, d, e, g); }}\n"
+        );
+        assert!(codes("crates/core/src/demo.rs", &escaped, FileKind::Product).is_empty());
+        // #[cfg(test)] modules inside product files are exempt too
+        let in_tests = format!(
+            "{DOC}pub fn f() {{}}\n#[cfg(test)]\nmod tests {{\n    fn t() {{ \
+             CdaSystem::new(a, b, c, d, e, g); }}\n}}\n"
+        );
+        assert!(codes("crates/core/src/demo.rs", &in_tests, FileKind::Product).is_empty());
+    }
+
+    #[test]
+    fn r008_requires_identifier_boundaries_and_real_code() {
+        // similarly-named items never fire
+        let idents = format!(
+            "{DOC}fn f() {{ MyCdaSystem::new(); CdaSystem::newer(); cda_system::new(); }}\n"
+        );
+        assert!(codes("crates/core/src/demo.rs", &idents, FileKind::Product).is_empty(), "{idents}");
+        // mentions in comments and strings never fire
+        let benign = format!(
+            "{DOC}// migrate CdaSystem::new call sites\nfn f() {{ let _ = \"CdaSystem::new\"; }}\n"
+        );
+        assert!(codes("crates/core/src/demo.rs", &benign, FileKind::Product).is_empty(), "{benign}");
     }
 
     #[test]

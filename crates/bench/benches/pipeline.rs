@@ -1,9 +1,13 @@
 //! Criterion bench for experiment E9: full conversation turns through the
-//! compound system, per turn type, plus the soundness-layer cost knob.
+//! compound system, per turn type, plus the soundness-layer cost knob —
+//! and the E19 companion group timing a multiplexed server drain of the
+//! same turn mix, so per-turn and per-server costs sit side by side.
 
 use cda_testkit::bench::{BatchSize, Criterion};
 use cda_testkit::{criterion_group, criterion_main};
-use cda_core::demo::{demo_system, FIGURE1_TURNS};
+use cda_core::demo::{demo_session, demo_world, FIGURE1_TURNS};
+use cda_server::loadgen::{interleave, session_scripts, LoadSpec};
+use cda_server::{Server, ServerConfig};
 
 fn bench_pipeline(c: &mut Criterion) {
     let mut group = c.benchmark_group("pipeline_turn");
@@ -12,7 +16,7 @@ fn bench_pipeline(c: &mut Criterion) {
     // fresh system per iteration so the dialogue state is identical
     group.bench_function("discovery_turn", |b| {
         b.iter_batched(
-            || demo_system(1),
+            || demo_session(1),
             |mut cda| cda.process(FIGURE1_TURNS[0]),
             BatchSize::SmallInput,
         )
@@ -21,7 +25,7 @@ fn bench_pipeline(c: &mut Criterion) {
     group.bench_function("seasonality_turn", |b| {
         b.iter_batched(
             || {
-                let mut cda = demo_system(1);
+                let mut cda = demo_session(1);
                 for t in &FIGURE1_TURNS[..3] {
                     cda.process(t);
                 }
@@ -34,7 +38,7 @@ fn bench_pipeline(c: &mut Criterion) {
 
     group.bench_function("nl2sql_turn_k7", |b| {
         b.iter_batched(
-            || demo_system(1),
+            || demo_session(1),
             |mut cda| cda.process("What is the total employees in employment_by_type per canton?"),
             BatchSize::SmallInput,
         )
@@ -43,7 +47,7 @@ fn bench_pipeline(c: &mut Criterion) {
     group.bench_function("nl2sql_turn_k1", |b| {
         b.iter_batched(
             || {
-                let mut cda = demo_system(1);
+                let mut cda = demo_session(1);
                 cda.config.uq_samples = 1;
                 cda
             },
@@ -54,12 +58,12 @@ fn bench_pipeline(c: &mut Criterion) {
 
     group.bench_function("full_figure1_conversation", |b| {
         b.iter_batched(
-            || demo_system(1),
+            || demo_session(1),
             |mut cda| {
                 for t in FIGURE1_TURNS {
                     cda.process(t);
                 }
-                cda.lineage.len()
+                cda.lineage().len()
             },
             BatchSize::SmallInput,
         )
@@ -67,5 +71,38 @@ fn bench_pipeline(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_pipeline);
+fn bench_server(c: &mut Criterion) {
+    let mut group = c.benchmark_group("server_drain");
+    group.sample_size(10);
+
+    // 16 sessions x 4 turns through the multiplexed runtime, one drain
+    for workers in [1usize, 2] {
+        let name = format!("16x4_turns_w{workers}");
+        group.bench_function(&name, |b| {
+            b.iter_batched(
+                || {
+                    let world = demo_world(1);
+                    let scripts = session_scripts(
+                        &world,
+                        LoadSpec { sessions: 16, turns_per_session: 4, seed: 1 },
+                    );
+                    let mut server = Server::new(
+                        world,
+                        ServerConfig { workers, ..ServerConfig::default() },
+                    );
+                    let ids = server.open_sessions("bench", scripts.len());
+                    for (i, turn) in interleave(&scripts, 1) {
+                        server.submit(ids[i], &turn).unwrap();
+                    }
+                    server
+                },
+                |mut server| server.drain(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline, bench_server);
 criterion_main!(benches);

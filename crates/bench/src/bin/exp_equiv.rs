@@ -23,7 +23,7 @@
 
 use cda_analyzer::{certify_optimizer, Analyzer, EquivEngine};
 use cda_bench::{f, header, row, timed, us};
-use cda_core::demo::demo_system;
+use cda_core::demo::demo_session;
 use cda_core::reliability::CdaConfig;
 use cda_dataframe::kernels::AggKind;
 use cda_dataframe::{Column, DataType, Field, Schema, Table};
@@ -154,7 +154,7 @@ fn main() {
     ];
     let run = |cache: bool| {
         let config = CdaConfig { semantic_cache: cache, ..CdaConfig::default() };
-        let mut s = demo_system(1).with_config(config);
+        let mut s = demo_session(1).with_config(config);
         let mut texts = Vec::new();
         let mut infra = Duration::ZERO;
         for utterance in script {
@@ -162,7 +162,8 @@ fn main() {
             infra += a.timings.infrastructure;
             texts.push(strip_cache_note(&a.text));
         }
-        (texts, infra, s.semantic_cache.hits, s.semantic_cache.misses, s.semantic_cache.hit_rate())
+        let cache = s.stats().cache;
+        (texts, infra, cache.hits, cache.misses, cache.hit_rate)
     };
     let (texts_on, infra_on, hits, misses, hit_rate) = run(true);
     let (texts_off, infra_off, ..) = run(false);

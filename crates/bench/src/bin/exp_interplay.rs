@@ -19,21 +19,21 @@ use cda_bench::{f, header, row};
 use cda_core::answer::{AnswerStatus, PropertyTag};
 use cda_core::demo::{demo_catalog, demo_kg, demo_linker, demo_vocabulary, FIGURE1_TURNS};
 use cda_core::reliability::SessionOutcome;
-use cda_core::{CdaConfig, CdaSystem};
+use cda_core::{CdaConfig, Session, WorldSnapshot};
 use cda_nlmodel::lm::SimLmConfig;
 use cda_nlmodel::nl2sql::Workload;
 use cda_soundness::expected_calibration_error;
 use cda_soundness::verify::execution_accuracy;
 
-fn build(config: CdaConfig) -> CdaSystem {
-    CdaSystem::new(
-        demo_catalog(19),
-        demo_kg(),
-        demo_vocabulary(),
-        demo_linker(),
-        SimLmConfig { hallucination_rate: 0.45, overconfidence: 1.0, seed: 19 },
-        config,
-    )
+fn build(config: CdaConfig) -> Session {
+    let world = WorldSnapshot::builder()
+        .catalog(demo_catalog(19))
+        .kg(demo_kg())
+        .vocab(demo_vocabulary())
+        .linker(demo_linker())
+        .lm(SimLmConfig { hallucination_rate: 0.45, overconfidence: 1.0, seed: 19 })
+        .build_shared();
+    Session::open(world, config)
 }
 
 struct Report {
@@ -49,8 +49,7 @@ struct Report {
 
 fn evaluate(label: &str, config: CdaConfig) -> Report {
     let mut cda = build(config);
-    let tables = cda.workload_tables();
-    let workload = Workload::generate(&tables, 50, 23);
+    let workload = Workload::generate(cda.world().workload_tables(), 50, 23);
     let mut outcome = SessionOutcome::default();
     let mut confidences = Vec::new();
     let mut flags = Vec::new();
@@ -71,7 +70,7 @@ fn evaluate(label: &str, config: CdaConfig) -> Report {
                 let correct = a
                     .executed_sql
                     .as_ref()
-                    .map(|sql| execution_accuracy(cda.catalog.sql(), sql, &task.gold_sql))
+                    .map(|sql| execution_accuracy(cda.catalog().sql(), sql, &task.gold_sql))
                     .unwrap_or(false);
                 if correct {
                     outcome.correct_answers += 1;

@@ -7,7 +7,7 @@
 //! the efficiency/soundness trade-off Figure 2 draws (P1 → enables → P4).
 
 use cda_bench::{header, row, us};
-use cda_core::demo::{demo_system, FIGURE1_TURNS};
+use cda_core::demo::{demo_session, FIGURE1_TURNS};
 use std::time::Duration;
 
 fn main() {
@@ -33,7 +33,7 @@ fn main() {
         let mut sums = [Duration::ZERO; 6];
         for run in 0..RUNS {
             // fresh system per run; replay prior turns to reach this state
-            let mut cda = demo_system(run as u64);
+            let mut cda = demo_session(run as u64);
             for (prior_label, prior_text) in &turns {
                 let a = cda.process(prior_text);
                 if prior_label == label {
@@ -63,7 +63,7 @@ fn main() {
     for k in [1usize, 3, 7, 15] {
         let mut total = Duration::ZERO;
         for run in 0..RUNS {
-            let mut cda = demo_system(run as u64);
+            let mut cda = demo_session(run as u64);
             cda.config.uq_samples = k;
             let a = cda.process("What is the total employees in employment_by_type per canton?");
             total += a.timings.soundness;

@@ -1,0 +1,204 @@
+//! **E19** — multiplexed session runtime at scale: transcript determinism
+//! under concurrency, admission control, and worker-pool throughput.
+//!
+//! Full mode drives >=100k turns across >=1k sessions through the server;
+//! `CDA_BENCH_FAST=1` scales down for CI. Gates:
+//!
+//! * **0 transcript mismatches**: every hosted session's transcript hash
+//!   (FNV-1a over the rendered answers, in turn order) equals a serial
+//!   `Session` replay of the same script with the same seed — for both the
+//!   single-worker and the multi-worker run.
+//! * **throughput** (hardware-conditional): with >=4 cores the multi-worker
+//!   drain must be >=2x the single-worker drain; with 2-3 cores >=1.3x; on
+//!   a single core thread parallelism cannot win, so only the absence of a
+//!   catastrophic regression (>=0.7x, i.e. scheduling overhead under ~30%)
+//!   is required and a waiver is printed.
+//! * **admission**: a row-budget-capped tenant's wide turns are all
+//!   rejected pre-execution (the session's turn counter stays at the
+//!   admitted count) and every rejection is visible in `ServerStats`.
+
+use cda_bench::{f, header, row, timed, us};
+use cda_core::demo::demo_world;
+use cda_core::{CdaConfig, Session};
+use cda_server::loadgen::{interleave, session_scripts, LoadSpec};
+use cda_server::{Server, ServerConfig, TenantQuota, TurnOutcome};
+use std::time::Duration;
+
+/// FNV-1a 64-bit over a byte stream.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+/// Serial reference: replay each script on a bare session (seed = id + 1,
+/// the server's derivation) and hash the transcript.
+fn serial_hashes(scripts: &[Vec<String>]) -> Vec<u64> {
+    scripts
+        .iter()
+        .enumerate()
+        .map(|(i, script)| {
+            let mut s = Session::open_seeded(demo_world(42), CdaConfig::default(), i as u64 + 1);
+            let mut h = Fnv::new();
+            for turn in script {
+                h.write(s.process(turn).render().as_bytes());
+                h.write(b"\n");
+            }
+            h.0
+        })
+        .collect()
+}
+
+/// Hosted run: one drain over all turns with `workers` threads. Returns
+/// per-session transcript hashes, the drain wall time, and p50/p99.
+fn hosted_run(
+    scripts: &[Vec<String>],
+    workers: usize,
+) -> (Vec<u64>, Duration, u64, u64) {
+    let mut server =
+        Server::new(demo_world(42), ServerConfig { workers, ..ServerConfig::default() });
+    let ids = server.open_sessions("load", scripts.len());
+    for (i, turn) in interleave(scripts, 0xE19) {
+        server.submit(ids[i], &turn).expect("unlimited tenant");
+    }
+    let report = server.drain();
+    let mut hashes: Vec<Fnv> = (0..scripts.len()).map(|_| Fnv::new()).collect();
+    for o in &report.outcomes {
+        match o {
+            TurnOutcome::Completed(r) => {
+                let h = &mut hashes[r.session.index()];
+                h.write(r.rendered.as_bytes());
+                h.write(b"\n");
+            }
+            TurnOutcome::Rejected { .. } => unreachable!("unlimited tenant"),
+        }
+    }
+    let stats = server.stats();
+    (hashes.into_iter().map(|h| h.0).collect(), report.wall, stats.p50_us, stats.p99_us)
+}
+
+fn main() {
+    let fast = std::env::var("CDA_BENCH_FAST").is_ok();
+    let (sessions, turns_per_session) = if fast { (80, 16) } else { (1250, 80) };
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let multi_workers = cores.max(2);
+    header(
+        "E19",
+        "multiplexed session runtime: determinism under concurrency + admission control",
+    );
+    println!(
+        "sessions {sessions}  turns/session {turns_per_session}  total {}  cores {cores}",
+        sessions * turns_per_session
+    );
+
+    let world = demo_world(42);
+    let spec = LoadSpec { sessions, turns_per_session, seed: 0xE19 };
+    let scripts = session_scripts(&world, spec);
+
+    let (reference, t_serial) = timed(|| serial_hashes(&scripts));
+    let (single, wall_1, p50_1, p99_1) = hosted_run(&scripts, 1);
+    let (multi, wall_n, p50_n, p99_n) = hosted_run(&scripts, multi_workers);
+
+    let total_turns = (sessions * turns_per_session) as f64;
+    let tps = |wall: Duration| total_turns / wall.as_secs_f64().max(1e-9);
+    let mismatches_1 = reference.iter().zip(&single).filter(|(a, b)| a != b).count();
+    let mismatches_n = reference.iter().zip(&multi).filter(|(a, b)| a != b).count();
+
+    row(&["run".into(), "workers".into(), "wall".into(), "turns/s".into(), "p50".into(), "p99".into(), "mismatches".into()]);
+    row(&[
+        "serial Session".into(),
+        "-".into(),
+        us(t_serial),
+        f(tps(t_serial)),
+        "-".into(),
+        "-".into(),
+        "0 (oracle)".into(),
+    ]);
+    row(&[
+        "server".into(),
+        "1".into(),
+        us(wall_1),
+        f(tps(wall_1)),
+        format!("{p50_1}us"),
+        format!("{p99_1}us"),
+        mismatches_1.to_string(),
+    ]);
+    row(&[
+        "server".into(),
+        multi_workers.to_string(),
+        us(wall_n),
+        f(tps(wall_n)),
+        format!("{p50_n}us"),
+        format!("{p99_n}us"),
+        mismatches_n.to_string(),
+    ]);
+
+    // ---- admission control: row-budget governor + tenant quota ----------
+    println!("\n-- admission control (capped tenant) --");
+    let mut server = Server::new(demo_world(42), ServerConfig::default());
+    server.set_quota("capped", TenantQuota { max_turns: Some(6), max_estimated_rows: Some(1) });
+    let id = server.open_session("capped");
+    let narrow = "How many entries are in employment_by_type where type is part_time?";
+    let wide = "What is the total employees in employment_by_type per canton?";
+    let mut quota_rejects = 0usize;
+    for i in 0..8 {
+        let turn = if i % 2 == 0 { narrow } else { wide };
+        if server.submit(id, turn).is_err() {
+            quota_rejects += 1;
+        }
+    }
+    let report = server.drain();
+    let budget_rejects =
+        report.outcomes.iter().filter(|o| matches!(o, TurnOutcome::Rejected { .. })).count();
+    let executed = server.session_stats(id).map(|s| s.turns).unwrap_or(0);
+    let stats = server.stats();
+    row(&["submitted".into(), "quota-rejected".into(), "budget-rejected".into(), "executed".into()]);
+    row(&[
+        "8".into(),
+        quota_rejects.to_string(),
+        budget_rejects.to_string(),
+        executed.to_string(),
+    ]);
+    let admission_ok = quota_rejects == 2
+        && budget_rejects == 3
+        && executed == 3
+        && stats.rejected_quota == 2
+        && stats.rejected_budget == 3;
+
+    // ---- gates ----------------------------------------------------------
+    let speedup = wall_1.as_secs_f64() / wall_n.as_secs_f64().max(1e-9);
+    let (bound, bound_label) = match cores {
+        0 | 1 => (0.7, "no-regression (single core)"),
+        2 | 3 => (1.3, ">=1.3x (2-3 cores)"),
+        _ => (2.0, ">=2x (>=4 cores)"),
+    };
+    if cores < 4 {
+        println!(
+            "\nnote: {cores} core(s) available — the >=2x multi-worker gate is waived; \
+             requiring {bound}x ({bound_label}) instead"
+        );
+    }
+    let mismatches = mismatches_1 + mismatches_n;
+    let throughput_ok = speedup >= bound;
+    println!(
+        "\nacceptance: mismatches {} (==0: {})  speedup {:.2}x vs bound {}x [{}] (ok: {})  admission (ok: {})",
+        mismatches,
+        mismatches == 0,
+        speedup,
+        bound,
+        bound_label,
+        throughput_ok,
+        admission_ok
+    );
+    if mismatches != 0 || !throughput_ok || !admission_ok {
+        std::process::exit(1);
+    }
+}

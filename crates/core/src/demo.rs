@@ -12,7 +12,10 @@
 use crate::catalog::{Dataset, DatasetCatalog};
 use crate::reliability::CdaConfig;
 use crate::rot::Freshness;
+use crate::session::Session;
 use crate::system::CdaSystem;
+use crate::world::WorldSnapshot;
+use std::sync::Arc;
 use cda_dataframe::{Column, DataType, Field, Schema, Table};
 use cda_kg::linking::{Entity, Linker};
 use cda_kg::vocab::{Concept, Vocabulary};
@@ -306,18 +309,31 @@ pub fn demo_kg() -> TripleStore {
     kg
 }
 
-/// Assemble the fully configured Figure-1 demo system. The simulated LM
-/// hallucinates at a mild 15% base rate (so soundness mechanisms have real
-/// work) with the paper's overconfident self-reporting.
+/// The Figure-1 demo world: catalog + KG + vocabulary + linker + LM config,
+/// frozen at epoch 0 and shared across however many sessions open on it.
+/// The simulated LM hallucinates at a mild 15% base rate (so soundness
+/// mechanisms have real work) with the paper's overconfident
+/// self-reporting.
+pub fn demo_world(seed: u64) -> Arc<WorldSnapshot> {
+    WorldSnapshot::builder()
+        .catalog(demo_catalog(seed))
+        .kg(demo_kg())
+        .vocab(demo_vocabulary())
+        .linker(demo_linker())
+        .lm(SimLmConfig { hallucination_rate: 0.15, overconfidence: 0.8, seed })
+        .build_shared()
+}
+
+/// Open a fully configured Figure-1 demo session (seed 0 — the legacy
+/// single-session LM stream) over a fresh [`demo_world`].
+pub fn demo_session(seed: u64) -> Session {
+    Session::open(demo_world(seed), CdaConfig::default())
+}
+
+/// Assemble the fully configured Figure-1 demo system.
+#[deprecated(since = "0.1.0", note = "use `demo_session` (or `demo_world` + `Session::open`)")]
 pub fn demo_system(seed: u64) -> CdaSystem {
-    CdaSystem::new(
-        demo_catalog(seed),
-        demo_kg(),
-        demo_vocabulary(),
-        demo_linker(),
-        SimLmConfig { hallucination_rate: 0.15, overconfidence: 0.8, seed },
-        CdaConfig::default(),
-    )
+    CdaSystem::from_session(demo_session(seed))
 }
 
 #[cfg(test)]

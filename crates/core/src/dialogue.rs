@@ -1,21 +1,24 @@
 //! Multi-turn dialogue processing — layer ⓐ, the orchestrator.
 //!
-//! [`CdaSystem::process`] routes each utterance through intent
+//! [`Session::process`] routes each utterance through intent
 //! classification and the per-intent handlers, each of which exercises the
 //! reliability mechanisms its answer needs: grounding before retrieval,
 //! consistency-UQ before claiming, provenance before explaining, abstention
 //! below threshold, and guidance suggestions after answering. Every step is
-//! recorded in the lineage and conversation graphs.
+//! recorded in the lineage and conversation graphs. The session only
+//! *reads* the shared [`WorldSnapshot`](crate::world::WorldSnapshot) and
+//! only *writes* its own records, which is what makes concurrent sessions
+//! independent (and their transcripts interleaving-invariant, E19).
 
 use crate::answer::{AnswerStatus, AnswerTurn, PropertyTag};
-use crate::system::{CachedAnswer, CdaSystem};
+use crate::session::{CachedAnswer, Session};
 use cda_guidance::graph::{EdgeKind, NodeRole};
 use cda_guidance::planner::{Action, SpeculativePlanner};
 use cda_kg::linking::LinkerConfig;
 use cda_nlmodel::generation;
 use cda_nlmodel::intent::{classify_intent, Intent};
 use cda_nlmodel::lm::Nl2SqlPrompt;
-use cda_nlmodel::nl2sql::{parse_question, refine_task, WorkloadTable};
+use cda_nlmodel::nl2sql::{parse_question, refine_task};
 use cda_provenance::checks::check_losslessness;
 use cda_provenance::lineage::NodeKind;
 use cda_provenance::Explanation;
@@ -29,7 +32,7 @@ use std::time::Instant;
 /// observations).
 pub const ANALYSIS_WINDOW: usize = 120;
 
-impl CdaSystem {
+impl Session {
     /// Execution options implied by the config: default rules and lineage,
     /// on the vectorized morsel-parallel engine when `vectorized_exec` is on
     /// (both engines produce byte-identical results — E17 / the vectorized
@@ -57,15 +60,15 @@ impl CdaSystem {
     fn execute_answer(&self, sql: &str) -> cda_sql::Result<cda_sql::QueryResult> {
         let opts = self.exec_options();
         if !self.config.absint_check {
-            return cda_sql::execute_with_options(self.catalog.sql(), sql, opts);
+            return cda_sql::execute_with_options(self.world.catalog.sql(), sql, opts);
         }
         let select = cda_sql::parser::parse(sql)?;
-        let plan = cda_sql::planner::plan_select(self.catalog.sql(), &select)?;
+        let plan = cda_sql::planner::plan_select(self.world.catalog.sql(), &select)?;
         let plan = cda_sql::optimizer::optimize(plan, opts.rules);
         // The monitor must describe the exact plan that executes, so it is
         // built *after* the optimizer ran.
-        let monitor = cda_analyzer::domain_tree(&plan, Some(self.catalog.stats()));
-        cda_sql::execute_plan_checked(self.catalog.sql(), &plan, opts, Some(&monitor))
+        let monitor = cda_analyzer::domain_tree(&plan, Some(self.world.catalog.stats()));
+        cda_sql::execute_plan_checked(self.world.catalog.sql(), &plan, opts, Some(&monitor))
     }
 
     /// Process one user utterance and produce the annotated system turn.
@@ -143,10 +146,10 @@ impl CdaSystem {
         for n in (1..=3usize).rev() {
             for window in tokens.windows(n) {
                 let term = window.join(" ");
-                if !self.vocab.knows(&term) {
+                if !self.world.vocab.knows(&term) {
                     continue;
                 }
-                let cands = self.vocab.disambiguate(&term, utterance);
+                let cands = self.world.vocab.disambiguate(&term, utterance);
                 if let Some(top) = cands.into_iter().next() {
                     let better = best
                         .as_ref()
@@ -205,7 +208,7 @@ impl CdaSystem {
         let (assumption, expanded, ground_conf) = self.ground(utterance);
         let nl_elapsed = t_nl.elapsed();
         let t_infra = Instant::now();
-        let hits = self.catalog.discover_with_threshold(
+        let hits = self.world.catalog.discover_with_threshold(
             &expanded,
             2,
             self.config.efficiency,
@@ -226,7 +229,8 @@ impl CdaSystem {
         let options: Vec<(String, String)> = hits
             .iter()
             .filter_map(|h| {
-                self.catalog
+                self.world
+                    .catalog
                     .get(&h.name)
                     .ok()
                     .map(|d| (d.name.clone(), d.description.clone()))
@@ -267,10 +271,12 @@ impl CdaSystem {
     fn handle_description(&mut self, utterance: &str, parent: usize) -> AnswerTurn {
         let t_nl = Instant::now();
         let candidates = if self.config.grounding {
-            let mentions = self.linker.extract(utterance);
+            let mentions = self.world.linker.extract(utterance);
             mentions
                 .iter()
-                .flat_map(|m| self.linker.link(&m.surface, utterance, LinkerConfig::default()))
+                .flat_map(|m| {
+                    self.world.linker.link(&m.surface, utterance, LinkerConfig::default())
+                })
                 .collect::<Vec<_>>()
         } else {
             Vec::new()
@@ -279,10 +285,13 @@ impl CdaSystem {
         // map the best-linked entity to a dataset; fall back to name matching
         let (target, confidence) = candidates
             .first()
-            .and_then(|c| self.catalog.get(&c.entity_id).ok().map(|d| (d.name.clone(), c.score)))
+            .and_then(|c| {
+                self.world.catalog.get(&c.entity_id).ok().map(|d| (d.name.clone(), c.score))
+            })
             .or_else(|| {
                 let lower = utterance.to_lowercase();
-                self.catalog
+                self.world
+                    .catalog
                     .datasets()
                     .iter()
                     .find(|d| {
@@ -301,7 +310,7 @@ impl CdaSystem {
             a.tag(PropertyTag::Guidance);
             return a;
         };
-        let Ok(dataset) = self.catalog.get(&name) else {
+        let Ok(dataset) = self.world.catalog.get(&name) else {
             return Self::missing_dataset_answer(&name);
         };
         let (rows, cols) = dataset
@@ -341,7 +350,7 @@ impl CdaSystem {
             .find(|name| {
                 let words: Vec<String> = name.split('_').map(str::to_owned).collect();
                 words.iter().any(|w| tokens.contains(w))
-                    || self.catalog.get(name).is_ok_and(|d| {
+                    || self.world.catalog.get(name).is_ok_and(|d| {
                         d.keywords.iter().any(|k| tokens.contains(k))
                     })
             })
@@ -357,13 +366,13 @@ impl CdaSystem {
         };
         self.state.focused = Some(name.clone());
         self.state.offered.clear();
-        let Ok(dataset) = self.catalog.get(&name) else {
+        let Ok(dataset) = self.world.catalog.get(&name) else {
             return Self::missing_dataset_answer(&name);
         };
         let t_infra = Instant::now();
         let mut text = format!("Here is an overview of {}.\n", name.replace('_', " "));
         // data rotting (Sec. 3.1): stale data carries a P4 caveat
-        let rot_caveat = dataset.freshness.caveat(self.catalog.clock());
+        let rot_caveat = dataset.freshness.caveat(self.world.catalog.clock());
         if let Some(table) = &dataset.table {
             text.push_str(&generation::tabular_answer(table, &dataset.source_url, 5));
         } else if let Some(series) = &dataset.series {
@@ -403,9 +412,10 @@ impl CdaSystem {
             .state
             .focused
             .clone()
-            .filter(|n| self.catalog.get(n).is_ok_and(|d| d.series.is_some()))
+            .filter(|n| self.world.catalog.get(n).is_ok_and(|d| d.series.is_some()))
             .or_else(|| {
-                self.catalog
+                self.world
+                    .catalog
                     .datasets()
                     .iter()
                     .find(|d| d.series.is_some())
@@ -419,7 +429,7 @@ impl CdaSystem {
             a.tag(PropertyTag::Guidance);
             return a;
         };
-        let Ok(dataset) = self.catalog.get(&name) else {
+        let Ok(dataset) = self.world.catalog.get(&name) else {
             return Self::missing_dataset_answer(&name);
         };
         let Some(series) = dataset.series.clone() else {
@@ -539,26 +549,31 @@ impl CdaSystem {
     }
 
     fn handle_analysis(&mut self, utterance: &str, parent: usize) -> AnswerTurn {
-        let tables = self.workload_tables();
         let t_nl = Instant::now();
         // full parse first; else treat the utterance as an iterative
-        // refinement of the previous task ("and per sector?", "only ZH")
-        let parsed = parse_question(utterance, &tables).or_else(|| {
-            self.state
-                .last_task
-                .as_ref()
-                .and_then(|prev| refine_task(prev, utterance, &tables))
-        });
+        // refinement of the previous task ("and per sector?", "only ZH").
+        // Workload tables are precomputed per world snapshot.
+        let parsed = {
+            let tables = self.world.workload_tables();
+            parse_question(utterance, tables).or_else(|| {
+                self.state
+                    .last_task
+                    .as_ref()
+                    .and_then(|prev| refine_task(prev, utterance, tables))
+            })
+        };
         let Some(task) = parsed else {
             return self.handle_unclear(parent);
         };
         let schema = self
+            .world
             .catalog
             .sql()
             .get(&task.table)
             .map(|e| e.table.schema().clone())
             .unwrap_or_default();
         let other_tables: Vec<String> = self
+            .world
             .catalog
             .sql()
             .table_names()
@@ -572,8 +587,8 @@ impl CdaSystem {
         // The analyzer carries stats + row budget and is shared between the
         // UQ gate (which now sees post-repair candidates) and the static
         // check of the chosen SQL below.
-        let analyzer = cda_analyzer::Analyzer::new(self.catalog.sql())
-            .with_stats(self.catalog.stats())
+        let analyzer = cda_analyzer::Analyzer::new(self.world.catalog.sql())
+            .with_stats(self.world.catalog.stats())
             .with_row_budget(self.config.row_budget);
         let t_sound = Instant::now();
         let (sql, confidence, mut repair_notes) = if self.config.soundness {
@@ -674,8 +689,11 @@ impl CdaSystem {
         // execution, so the served answer is exactly what re-executing would
         // produce (E16 verifies this).
         let t_infra = Instant::now();
-        let fingerprint =
-            if self.config.semantic_cache { plan_fingerprint(self.catalog.sql(), &sql) } else { None };
+        let fingerprint = if self.config.semantic_cache {
+            plan_fingerprint(self.world.catalog.sql(), &sql)
+        } else {
+            None
+        };
         let mut cache_note: Option<String> = None;
         let executed = match fingerprint.and_then(|fp| self.semantic_cache.get(fp).cloned()) {
             Some(hit) => {
@@ -711,6 +729,7 @@ impl CdaSystem {
             return a;
         };
         let source = self
+            .world
             .catalog
             .get(&task.table)
             .map(|d| d.source_url.clone())
@@ -736,7 +755,9 @@ impl CdaSystem {
         let t_expl = Instant::now();
         let explanation = if self.config.explainability {
             let lossless = (result.table.num_rows() > 0)
-                .then(|| check_losslessness(self.catalog.sql(), &sql, &result.table, 0).ok())
+                .then(|| {
+                    check_losslessness(self.world.catalog.sql(), &sql, &result.table, 0).ok()
+                })
                 .flatten();
             let cited = result
                 .table
@@ -806,6 +827,7 @@ impl CdaSystem {
             return a;
         }
         let names: Vec<String> = self
+            .world
             .catalog
             .datasets()
             .iter()
@@ -830,7 +852,7 @@ impl CdaSystem {
         let Some(name) = dataset else {
             return Vec::new();
         };
-        let Ok(ds) = self.catalog.get(name) else {
+        let Ok(ds) = self.world.catalog.get(name) else {
             return Vec::new();
         };
         let mut actions = Vec::new();
@@ -879,39 +901,6 @@ impl CdaSystem {
             .map(|ranked| ranked.into_iter().take(2).map(|r| r.action.description).collect())
             .unwrap_or_default()
     }
-
-    /// Schemas + example string values of all SQL tables, for the parser.
-    pub fn workload_tables(&self) -> Vec<WorkloadTable> {
-        self.catalog
-            .sql()
-            .table_names()
-            .into_iter()
-            .filter_map(|name| {
-                let entry = self.catalog.sql().get(&name).ok()?;
-                let schema = entry.table.schema().clone();
-                let mut string_values = Vec::new();
-                for (i, f) in schema.fields().iter().enumerate() {
-                    if f.data_type() == cda_dataframe::DataType::Str {
-                        let mut vals: Vec<String> = Vec::new();
-                        if let Ok(col) = entry.table.column(i) {
-                            for v in col.iter().take(100) {
-                                if let cda_dataframe::Value::Str(s) = v {
-                                    if !vals.contains(&s) {
-                                        vals.push(s);
-                                    }
-                                }
-                                if vals.len() >= 20 {
-                                    break;
-                                }
-                            }
-                        }
-                        string_values.push((f.name().to_owned(), vals));
-                    }
-                }
-                Some(WorkloadTable { name, schema, string_values })
-            })
-            .collect()
-    }
 }
 
 /// Canonical-plan fingerprint of `sql` against the catalog (`None` when it
@@ -925,12 +914,12 @@ fn plan_fingerprint(catalog: &cda_sql::Catalog, sql: &str) -> Option<u64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::demo::{demo_system, FIGURE1_TURNS};
+    use crate::demo::{demo_session, FIGURE1_TURNS};
     use crate::reliability::CdaConfig;
 
     #[test]
     fn figure1_turn1_discovery_offers_options() {
-        let mut s = demo_system(1);
+        let mut s = demo_session(1);
         let a = s.process(FIGURE1_TURNS[0]);
         assert_eq!(a.status, AnswerStatus::AskedClarification);
         assert!(a.text.contains("I am assuming"));
@@ -943,7 +932,7 @@ mod tests {
 
     #[test]
     fn figure1_turn2_describes_barometer_with_source() {
-        let mut s = demo_system(1);
+        let mut s = demo_session(1);
         s.process(FIGURE1_TURNS[0]);
         let a = s.process(FIGURE1_TURNS[1]);
         assert!(a.text.contains("monthly leading indicator"));
@@ -953,17 +942,17 @@ mod tests {
 
     #[test]
     fn figure1_turn3_selection_focuses_barometer() {
-        let mut s = demo_system(1);
+        let mut s = demo_session(1);
         s.process(FIGURE1_TURNS[0]);
         s.process(FIGURE1_TURNS[1]);
         let a = s.process(FIGURE1_TURNS[2]);
-        assert_eq!(s.state.focused.as_deref(), Some("labour_barometer"));
+        assert_eq!(s.state().focused.as_deref(), Some("labour_barometer"));
         assert!(a.text.contains("overview"));
     }
 
     #[test]
     fn figure1_turn4_seasonality_with_confidence_and_code() {
-        let mut s = demo_system(1);
+        let mut s = demo_session(1);
         for t in &FIGURE1_TURNS[..3] {
             s.process(t);
         }
@@ -980,7 +969,7 @@ mod tests {
 
     #[test]
     fn analysis_turn_executes_sql_with_provenance() {
-        let mut s = demo_system(1);
+        let mut s = demo_session(1);
         let a = s.process("What is the total employees in employment_by_type per canton?");
         assert_eq!(a.status, AnswerStatus::Answered, "{}", a.text);
         assert!(a.confidence.is_some());
@@ -992,7 +981,7 @@ mod tests {
 
     #[test]
     fn follow_up_refinement_regroups_previous_task() {
-        let mut s = demo_system(1);
+        let mut s = demo_session(1);
         let a = s.process("What is the total employees in employment_by_type per canton?");
         assert_eq!(a.status, AnswerStatus::Answered, "{}", a.text);
         // iterative refinement (the paper's follow-up questions): regroup
@@ -1010,16 +999,16 @@ mod tests {
 
     #[test]
     fn repeated_analysis_turn_hits_the_semantic_cache_byte_identically() {
-        let mut s = demo_system(1);
+        let mut s = demo_session(1);
         let q = "What is the total employees in employment_by_type per canton?";
         let first = s.process(q);
         assert_eq!(first.status, AnswerStatus::Answered, "{}", first.text);
-        assert_eq!(s.semantic_cache.hits, 0);
-        assert_eq!(s.semantic_cache.misses, 1);
+        assert_eq!(s.stats().cache.hits, 0);
+        assert_eq!(s.stats().cache.misses, 1);
         assert!(!first.analysis.iter().any(|n| n.starts_with("[cache]")), "{:?}", first.analysis);
         let second = s.process(q);
         assert_eq!(second.status, AnswerStatus::Answered, "{}", second.text);
-        assert_eq!(s.semantic_cache.hits, 1);
+        assert_eq!(s.stats().cache.hits, 1);
         // the cached answer is byte-identical up to the cache note itself
         assert!(second.analysis.iter().any(|n| n.starts_with("[cache]")), "{:?}", second.analysis);
         assert!(second.text.contains("reused that verified result"), "{}", second.text);
@@ -1033,7 +1022,7 @@ mod tests {
         assert_eq!(second.executed_sql, first.executed_sql);
         // and serving it must be exactly what re-executing would produce
         let sql = first.executed_sql.as_deref().unwrap();
-        let fresh = cda_sql::execute(s.catalog.sql(), sql).unwrap();
+        let fresh = cda_sql::execute(s.catalog().sql(), sql).unwrap();
         let cached = &second.explanation.as_ref().unwrap().plan;
         assert_eq!(cached, &fresh.plan.explain());
     }
@@ -1041,14 +1030,14 @@ mod tests {
     #[test]
     fn semantic_cache_off_restores_unconditional_execution() {
         let cfg = CdaConfig { semantic_cache: false, ..CdaConfig::default() };
-        let mut off = demo_system(1).with_config(cfg);
-        let mut on = demo_system(1);
+        let mut off = demo_session(1).with_config(cfg);
+        let mut on = demo_session(1);
         let q = "What is the total employees in employment_by_type per canton?";
         let off1 = off.process(q);
         let off2 = off.process(q);
         let on1 = on.process(q);
-        assert_eq!(off.semantic_cache.hits + off.semantic_cache.misses, 0);
-        assert!(off.semantic_cache.is_empty());
+        assert_eq!(off.stats().cache.hits + off.stats().cache.misses, 0);
+        assert_eq!(off.stats().cache.entries, 0);
         // with the cache off, a repeated turn carries no cache annotation
         assert!(!off2.analysis.iter().any(|n| n.starts_with("[cache]")));
         // and the first turn is bit-for-bit the same with the cache on
@@ -1065,9 +1054,9 @@ mod tests {
         // on or off — confidence folding included.
         let q = "What is the total employees in employment_by_type per canton?";
         let mut on =
-            demo_system(1).with_config(CdaConfig { absint_check: true, ..CdaConfig::default() });
+            demo_session(1).with_config(CdaConfig { absint_check: true, ..CdaConfig::default() });
         let mut off =
-            demo_system(1).with_config(CdaConfig { absint_check: false, ..CdaConfig::default() });
+            demo_session(1).with_config(CdaConfig { absint_check: false, ..CdaConfig::default() });
         let a_on = on.process(q);
         let a_off = off.process(q);
         assert_eq!(a_on.status, AnswerStatus::Answered, "{}", a_on.text);
@@ -1079,17 +1068,17 @@ mod tests {
 
     #[test]
     fn reset_conversation_clears_the_semantic_cache() {
-        let mut s = demo_system(1);
+        let mut s = demo_session(1);
         let q = "What is the total employees in employment_by_type per canton?";
         let _ = s.process(q);
-        assert!(!s.semantic_cache.is_empty());
+        assert!(s.stats().cache.entries > 0);
         s.reset_conversation();
-        assert!(s.semantic_cache.is_empty());
-        assert_eq!(s.semantic_cache.hits + s.semantic_cache.misses, 0);
+        assert_eq!(s.stats().cache.entries, 0);
+        assert_eq!(s.stats().cache.hits + s.stats().cache.misses, 0);
         // after the reset the same question is a miss again, not a hit
         let _ = s.process(q);
-        assert_eq!(s.semantic_cache.hits, 0);
-        assert_eq!(s.semantic_cache.misses, 1);
+        assert_eq!(s.stats().cache.hits, 0);
+        assert_eq!(s.stats().cache.misses, 1);
     }
 
     #[test]
@@ -1097,14 +1086,14 @@ mod tests {
         // Turn 2 regroups, turn 3 regroups back: turn 3's plan is
         // canonically equal to turn 1's, so it must be served from the
         // cache even though the utterance differs.
-        let mut s = demo_system(1);
+        let mut s = demo_session(1);
         let a1 = s.process("What is the total employees in employment_by_type per canton?");
         assert_eq!(a1.status, AnswerStatus::Answered, "{}", a1.text);
         let a2 = s.process("and per type instead?");
         assert_eq!(a2.status, AnswerStatus::Answered, "{}", a2.text);
         let a3 = s.process("and per canton instead?");
         assert_eq!(a3.status, AnswerStatus::Answered, "{}", a3.text);
-        assert_eq!(s.semantic_cache.hits, 1, "turn 3 should reuse turn 1's execution");
+        assert_eq!(s.stats().cache.hits, 1, "turn 3 should reuse turn 1's execution");
         assert!(a3.analysis.iter().any(|n| n.starts_with("[cache]")), "{:?}", a3.analysis);
     }
 
@@ -1112,7 +1101,7 @@ mod tests {
     fn off_topic_discovery_returns_honest_empty_set() {
         // P1's "return an empty set" requirement surfaced conversationally:
         // an off-topic request must not be answered with irrelevant datasets
-        let mut s = demo_system(1);
+        let mut s = demo_session(1);
         let a = s.process("Give me an overview of quantum fluxberry trajectories");
         assert_eq!(a.status, AnswerStatus::AskedClarification);
         assert!(a.text.contains("could not find"), "{}", a.text);
@@ -1121,7 +1110,7 @@ mod tests {
 
     #[test]
     fn unclear_turn_asks_for_clarification() {
-        let mut s = demo_system(1);
+        let mut s = demo_session(1);
         let a = s.process("qwerty zxcv");
         assert_eq!(a.status, AnswerStatus::AskedClarification);
         assert!(a.text.contains("overview"));
@@ -1129,7 +1118,7 @@ mod tests {
 
     #[test]
     fn guidance_off_removes_suggestions_and_help() {
-        let mut s = demo_system(1).with_config(CdaConfig::without(PropertyTag::Guidance));
+        let mut s = demo_session(1).with_config(CdaConfig::without(PropertyTag::Guidance));
         let a = s.process("qwerty zxcv");
         assert!(!a.text.contains("seasonality"));
         let a = s.process("What is the total employees in employment_by_type per canton?");
@@ -1140,14 +1129,14 @@ mod tests {
     fn soundness_off_skips_abstention() {
         // with a maximally hallucinating LM, soundness-off answers anyway or
         // fails loudly, never abstains on low consistency
-        let mut s = demo_system(1).with_config(CdaConfig::without(PropertyTag::Soundness));
+        let mut s = demo_session(1).with_config(CdaConfig::without(PropertyTag::Soundness));
         let a = s.process("What is the total employees in employment_by_type per canton?");
         assert!(!matches!(a.status, AnswerStatus::Abstained(ref r) if r == "low consistency"));
     }
 
     #[test]
     fn explainability_off_drops_explanations() {
-        let mut s = demo_system(1).with_config(CdaConfig::without(PropertyTag::Explainability));
+        let mut s = demo_session(1).with_config(CdaConfig::without(PropertyTag::Explainability));
         let a = s.process("What is the total employees in employment_by_type per canton?");
         assert!(a.explanation.is_none());
     }
@@ -1155,7 +1144,7 @@ mod tests {
     /// Shared assertions for an answered turn that carries repair notes:
     /// transcript annotation, Soundness tag, executable + clean SQL, and the
     /// 0.9-per-hint confidence fold.
-    fn assert_repaired_answer(s: &CdaSystem, a: &AnswerTurn) -> bool {
+    fn assert_repaired_answer(s: &Session, a: &AnswerTurn) -> bool {
         if a.status != AnswerStatus::Answered {
             return false;
         }
@@ -1171,9 +1160,9 @@ mod tests {
         );
         assert!(a.properties.contains(&PropertyTag::Soundness));
         let sql = a.executed_sql.as_deref().unwrap();
-        assert!(cda_sql::execute(s.catalog.sql(), sql).is_ok(), "{sql}");
+        assert!(cda_sql::execute(s.catalog().sql(), sql).is_ok(), "{sql}");
         assert!(
-            !cda_analyzer::Analyzer::new(s.catalog.sql()).execution_doomed(sql),
+            !cda_analyzer::Analyzer::new(s.catalog().sql()).execution_doomed(sql),
             "repaired answer is statically doomed: {sql}"
         );
         // Confidence folding: 0.9 per applied hint keeps it below 1.
@@ -1192,7 +1181,7 @@ mod tests {
         // query, and the folded confidence.
         let mut found = false;
         for seed in 0..80 {
-            let mut s = demo_system(1);
+            let mut s = demo_session(1);
             s.config.answer_threshold = 0.2;
             s.lm = SimLm::new(SimLmConfig {
                 hallucination_rate: 1.0,
@@ -1216,7 +1205,7 @@ mod tests {
         // repaired in place before execution and the annotation surfaces.
         let mut found = false;
         for seed in 0..80 {
-            let mut s = demo_system(1).with_config(CdaConfig::without(PropertyTag::Soundness));
+            let mut s = demo_session(1).with_config(CdaConfig::without(PropertyTag::Soundness));
             s.lm = SimLm::new(SimLmConfig {
                 hallucination_rate: 0.5,
                 overconfidence: 0.8,
@@ -1237,7 +1226,7 @@ mod tests {
         // repair_rounds = 0 must reproduce the pre-repair pipeline: no
         // repair annotations can ever appear.
         for seed in 0..20 {
-            let mut s = demo_system(1);
+            let mut s = demo_session(1);
             s.config.repair_rounds = 0;
             s.lm = SimLm::new(SimLmConfig {
                 hallucination_rate: 0.5,
@@ -1256,31 +1245,18 @@ mod tests {
 
     #[test]
     fn lineage_grows_across_turns() {
-        let mut s = demo_system(1);
+        let mut s = demo_session(1);
         s.process(FIGURE1_TURNS[0]);
-        let after_one = s.lineage.len();
+        let after_one = s.lineage().len();
         s.process(FIGURE1_TURNS[1]);
-        assert!(s.lineage.len() > after_one);
-        assert!(s.conversation.len() >= 4);
+        assert!(s.lineage().len() > after_one);
+        assert!(s.conversation().len() >= 4);
     }
 
     #[test]
     fn timings_are_recorded() {
-        let mut s = demo_system(1);
+        let mut s = demo_session(1);
         let a = s.process("What is the total employees in employment_by_type per canton?");
         assert!(a.timings.total().as_nanos() > 0);
-    }
-
-    #[test]
-    fn workload_tables_extract_string_values() {
-        let s = demo_system(1);
-        let tables = s.workload_tables();
-        let emp = tables.iter().find(|t| t.name == "employment_by_type").unwrap();
-        let (_, cantons) = emp
-            .string_values
-            .iter()
-            .find(|(c, _)| c == "canton")
-            .unwrap();
-        assert!(!cantons.is_empty());
     }
 }

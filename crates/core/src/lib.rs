@@ -22,14 +22,19 @@
 //! ## Quickstart
 //!
 //! ```
-//! use cda_core::demo::demo_system;
+//! use cda_core::demo::demo_session;
 //!
-//! let mut cda = demo_system(42);
+//! let mut cda = demo_session(42);
 //! let turn = cda.process("Give me an overview of the working force in Switzerland");
 //! assert!(turn.text.contains("labour market"));
 //! assert!(turn.confidence.unwrap_or(0.0) > 0.5);
 //! assert!(!turn.properties.is_empty());
 //! ```
+//!
+//! Concurrent conversations share one immutable [`world::WorldSnapshot`]
+//! behind an `Arc` and each open a cheap [`session::Session`] on it —
+//! `cda-server` multiplexes thousands of them over a worker pool. The old
+//! monolithic [`CdaSystem`] remains as a deprecated byte-identical shim.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -41,12 +46,16 @@ pub mod dialogue;
 pub mod log;
 pub mod reliability;
 pub mod rot;
+pub mod session;
 pub mod system;
+pub mod world;
 
 pub use answer::{AnswerTurn, PropertyTag};
 pub use catalog::{Dataset, DatasetCatalog};
 pub use reliability::CdaConfig;
+pub use session::{CacheStats, Session, SessionStats};
 pub use system::CdaSystem;
+pub use world::WorldSnapshot;
 
 use std::fmt;
 

@@ -1,140 +1,60 @@
-//! The compound CDA system: state and construction.
+//! The deprecated single-session shim over the world/session split.
 //!
-//! [`CdaSystem`] owns one instance of every layer (Figure 1-right) plus the
-//! session-level records: the cross-component lineage graph (P3), the
-//! conversation graph (P5), and the user profile. Turn processing lives in
-//! [`crate::dialogue`].
+//! [`CdaSystem`] used to bundle the immutable world (catalog, KG,
+//! vocabulary, linker) with mutable per-conversation state behind a
+//! six-positional-argument constructor. That API is replaced by
+//! [`WorldSnapshot::builder`](crate::world::WorldSnapshot::builder) +
+//! [`Session::open`](crate::session::Session::open); this module keeps the
+//! old entry points as `#[deprecated]` shims whose `process` output is
+//! pinned byte-identical by the integration shim suite (a `CdaSystem` is a
+//! `Session` with seed 0 over a single-owner snapshot — same code path, no
+//! behavioural fork to maintain).
+//!
+//! This module is the one place allowed to construct the shim; repolint
+//! R008 flags `CdaSystem::new` on every other product path.
 
+use crate::answer::AnswerTurn;
 use crate::catalog::DatasetCatalog;
-use crate::log::QueryLog;
 use crate::reliability::CdaConfig;
-use cda_guidance::graph::ConversationGraph;
-use cda_guidance::profile::UserProfile;
+use crate::session::Session;
+use crate::world::WorldSnapshot;
 use cda_kg::linking::Linker;
 use cda_kg::vocab::Vocabulary;
 use cda_kg::TripleStore;
-use cda_nlmodel::lm::{SimLm, SimLmConfig};
-use cda_provenance::lineage::LineageGraph;
-use cda_sql::exec::QueryResult;
-use std::collections::HashMap;
+use cda_nlmodel::lm::SimLmConfig;
 
-/// Mutable per-conversation state.
-#[derive(Debug, Clone, Default)]
-pub struct DialogueState {
-    /// Turn counter.
-    pub turn: usize,
-    /// The dataset the conversation is currently focused on.
-    pub focused: Option<String>,
-    /// Options offered in the previous system turn (for Selection intent).
-    pub offered: Vec<String>,
-    /// The grounding assumption stated in the previous turn, if any.
-    pub assumption: Option<String>,
-    /// The last successfully executed analytic task (iterative refinement).
-    pub last_task: Option<cda_nlmodel::nl2sql::AnalyticTask>,
-}
-
-/// A successfully executed analysis turn stored for semantic reuse.
-#[derive(Debug, Clone)]
-pub struct CachedAnswer {
-    /// The turn that paid for the execution.
-    pub turn: usize,
-    /// The SQL that was executed (the *first* phrasing; later equivalent
-    /// phrasings reuse its result).
-    pub sql: String,
-    /// The stored execution result, served verbatim on a hit.
-    pub result: QueryResult,
-}
-
-/// The semantic answer cache: executed `QueryResult`s keyed by the
-/// canonical-plan fingerprint (`cda_analyzer::equiv::PlanFingerprint`) of
-/// the query that produced them. Equal fingerprints certify equal execution
-/// on the deterministic engine, so a hit is byte-identical to re-executing —
-/// E16 verifies exactly that. Only successful executions are stored (errors
-/// always re-execute: canonicalization preserves *whether* an error fires,
-/// not which message it carries).
-#[derive(Debug, Clone, Default)]
-pub struct SemanticCache {
-    entries: HashMap<u64, CachedAnswer>,
-    /// Turns served from the cache this conversation.
-    pub hits: usize,
-    /// Analysis executions that went to the engine (cacheable misses).
-    pub misses: usize,
-}
-
-impl SemanticCache {
-    /// An empty cache.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Look up a fingerprint, counting a hit.
-    pub fn get(&mut self, fingerprint: u64) -> Option<&CachedAnswer> {
-        let hit = self.entries.get(&fingerprint);
-        if hit.is_some() {
-            self.hits += 1;
-        }
-        hit
-    }
-
-    /// Store an executed answer under its fingerprint, counting a miss.
-    pub fn insert(&mut self, fingerprint: u64, answer: CachedAnswer) {
-        self.misses += 1;
-        self.entries.insert(fingerprint, answer);
-    }
-
-    /// Number of stored answers.
-    pub fn len(&self) -> usize {
-        self.entries.len()
-    }
-
-    /// True when nothing is cached.
-    pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
-    }
-
-    /// Hit rate over all cache-eligible turns so far (0.0 when none).
-    pub fn hit_rate(&self) -> f64 {
-        let total = self.hits + self.misses;
-        if total == 0 {
-            0.0
-        } else {
-            self.hits as f64 / total as f64
-        }
-    }
-}
-
-/// The compound Conversational Data Analytics system.
+/// Deprecated single-session facade over [`WorldSnapshot`] + [`Session`].
+///
+/// Prefer building a shared world and opening sessions on it:
+///
+/// ```
+/// use cda_core::demo::{demo_catalog, demo_kg, demo_linker, demo_vocabulary};
+/// use cda_core::session::Session;
+/// use cda_core::world::WorldSnapshot;
+/// use cda_core::CdaConfig;
+///
+/// let world = WorldSnapshot::builder()
+///     .catalog(demo_catalog(42))
+///     .kg(demo_kg())
+///     .vocab(demo_vocabulary())
+///     .linker(demo_linker())
+///     .build_shared();
+/// let mut session = Session::open(world, CdaConfig::default());
+/// let turn = session.process("Give me an overview of the working force in Switzerland");
+/// assert!(!turn.text.is_empty());
+/// ```
 #[derive(Debug, Clone)]
 pub struct CdaSystem {
-    /// Dataset catalog (ⓑ + ⓓ).
-    pub catalog: DatasetCatalog,
-    /// Domain knowledge graph (ⓓ).
-    pub kg: TripleStore,
-    /// Domain vocabulary (P2).
-    pub vocab: Vocabulary,
-    /// Entity linker (P2).
-    pub linker: Linker,
-    /// The (simulated) language model (ⓒ).
-    pub lm: SimLm,
-    /// Active reliability configuration.
-    pub config: CdaConfig,
-    /// Cross-component lineage of the session (P3).
-    pub lineage: LineageGraph,
-    /// Conversation graph with alternatives (P5).
-    pub conversation: ConversationGraph,
-    /// User expertise profile (P5).
-    pub profile: UserProfile,
-    /// Dialogue state.
-    pub state: DialogueState,
-    /// The session query log (itself a queryable data source, layer ⓓ).
-    pub query_log: QueryLog,
-    /// Semantic answer cache keyed on canonical-plan fingerprints
-    /// (active when [`CdaConfig::semantic_cache`] is set).
-    pub semantic_cache: SemanticCache,
+    session: Session,
 }
 
 impl CdaSystem {
     /// Assemble a system over a catalog and domain knowledge.
+    #[deprecated(
+        since = "0.1.0",
+        note = "build a shared `WorldSnapshot` with `WorldSnapshot::builder()` and open a \
+                `Session` on it"
+    )]
     pub fn new(
         catalog: DatasetCatalog,
         kg: TripleStore,
@@ -143,71 +63,85 @@ impl CdaSystem {
         lm_config: SimLmConfig,
         config: CdaConfig,
     ) -> Self {
-        Self {
-            catalog,
-            kg,
-            vocab,
-            linker,
-            lm: SimLm::new(lm_config),
-            config,
-            lineage: LineageGraph::new(),
-            conversation: ConversationGraph::new(),
-            profile: UserProfile::new(),
-            state: DialogueState::default(),
-            query_log: QueryLog::new(),
-            semantic_cache: SemanticCache::new(),
-        }
+        let world = WorldSnapshot::builder()
+            .catalog(catalog)
+            .kg(kg)
+            .vocab(vocab)
+            .linker(linker)
+            .lm(lm_config)
+            .build_shared();
+        Self { session: Session::open(world, config) }
     }
 
     /// Replace the reliability configuration (used by the F2 ablation).
+    #[deprecated(since = "0.1.0", note = "use `Session::with_config`")]
     pub fn with_config(mut self, config: CdaConfig) -> Self {
-        self.config = config;
+        self.session.config = config;
         self
+    }
+
+    /// Wrap an existing session (crate-internal: lets the deprecated demo
+    /// shim build a system without tripping deprecation warnings).
+    pub(crate) fn from_session(session: Session) -> Self {
+        Self { session }
+    }
+
+    /// Process one user utterance (delegates to [`Session::process`]).
+    pub fn process(&mut self, utterance: &str) -> AnswerTurn {
+        self.session.process(utterance)
     }
 
     /// Reset conversation state while keeping data and knowledge.
     pub fn reset_conversation(&mut self) {
-        self.lineage = LineageGraph::new();
-        self.conversation = ConversationGraph::new();
-        self.profile = UserProfile::new();
-        self.state = DialogueState::default();
-        self.query_log = QueryLog::new();
-        // Cached answers are conversation-scoped: the data survives a reset,
-        // but the turn numbers and transcript references would dangle.
-        self.semantic_cache = SemanticCache::new();
+        self.session.reset_conversation()
+    }
+
+    /// The underlying session (read access for migration-era callers).
+    pub fn session(&self) -> &Session {
+        &self.session
     }
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // lint: allow(R005) shim self-tests exercise the deprecated API
+
     use super::*;
-    use crate::demo::demo_system;
+    use crate::demo::{demo_session, demo_system};
 
     #[test]
-    fn demo_system_assembles() {
-        let s = demo_system(1);
-        assert!(s.catalog.len() >= 3);
-        assert!(!s.kg.is_empty());
-        assert!(!s.vocab.is_empty());
-        assert_eq!(s.state.turn, 0);
+    fn shim_assembles_and_processes() {
+        let mut s = demo_system(1);
+        let a = s.process("Give me an overview of the working force in Switzerland");
+        assert!(!a.text.is_empty());
+        assert_eq!(s.session().state().turn, 1);
+        assert!(s.session().catalog().len() >= 3);
     }
 
     #[test]
-    fn reset_clears_session_state() {
+    fn shim_reset_clears_session_state() {
         let mut s = demo_system(1);
         let _ = s.process("Give me an overview of the working force in Switzerland");
-        assert!(s.state.turn > 0);
-        assert!(!s.lineage.is_empty());
         s.reset_conversation();
-        assert_eq!(s.state.turn, 0);
-        assert!(s.lineage.is_empty());
-        // data survives
-        assert!(s.catalog.len() >= 3);
+        assert_eq!(s.session().state().turn, 0);
+        assert!(s.session().lineage().is_empty());
     }
 
     #[test]
-    fn with_config_swaps_configuration() {
+    fn shim_with_config_swaps_configuration() {
         let s = demo_system(1).with_config(CdaConfig::none());
-        assert!(!s.config.soundness);
+        assert!(!s.session().config.soundness);
+    }
+
+    #[test]
+    fn shim_turn_is_byte_identical_to_a_seed_zero_session() {
+        let q = "What is the total employees in employment_by_type per canton?";
+        let mut shim = demo_system(1);
+        let mut session = demo_session(1);
+        let a = shim.process(q);
+        let b = session.process(q);
+        assert_eq!(a.render(), b.render());
+        assert_eq!(a.executed_sql, b.executed_sql);
+        assert_eq!(a.confidence, b.confidence);
     }
 }

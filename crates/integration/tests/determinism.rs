@@ -4,14 +4,14 @@
 //! through `cda-testkit`'s pinned xoshiro256++/SplitMix64 streams, across
 //! processes and machines too.
 
-use cda_core::demo::{demo_system, FIGURE1_TURNS};
+use cda_core::demo::{demo_session, FIGURE1_TURNS};
 
 /// Serialize one full conversation into a golden transcript: rendered
 /// turns (text, confidence, property tags, suggestions), machine metadata
 /// (status, executed SQL, explanation bundle), and the session lineage
 /// graph. Everything except wall-clock timings.
 fn golden_transcript(seed: u64) -> String {
-    let mut cda = demo_system(seed);
+    let mut cda = demo_session(seed);
     let mut out = String::new();
     for (i, turn) in FIGURE1_TURNS.iter().enumerate() {
         let a = cda.process(turn);
@@ -26,7 +26,7 @@ fn golden_transcript(seed: u64) -> String {
         }
     }
     out.push_str("=== lineage\n");
-    out.push_str(&cda.lineage.to_string());
+    out.push_str(&cda.lineage().to_string());
     out
 }
 
@@ -119,7 +119,7 @@ fn figure1_transcript_is_identical_with_vectorized_exec_on_and_off() {
     use cda_core::reliability::CdaConfig;
 
     let transcript_with = |vectorized_exec: bool| -> String {
-        let mut cda = demo_system(42);
+        let mut cda = demo_session(42);
         cda.config = CdaConfig { vectorized_exec, ..CdaConfig::default() };
         let mut out = String::new();
         for (i, turn) in FIGURE1_TURNS.iter().enumerate() {
@@ -129,7 +129,7 @@ fn figure1_transcript_is_identical_with_vectorized_exec_on_and_off() {
             out.push_str(&format!("status: {:?}\n", a.status));
             out.push_str(&format!("executed_sql: {:?}\n", a.executed_sql));
         }
-        out.push_str(&cda.lineage.to_string());
+        out.push_str(&cda.lineage().to_string());
         out
     };
     let on = transcript_with(true);

@@ -162,8 +162,8 @@ fn kg_empty_and_self_loops() {
 
 #[test]
 fn dialogue_survives_adversarial_inputs() {
-    use cda_core::demo::demo_system;
-    let mut cda = demo_system(5);
+    use cda_core::demo::demo_session;
+    let mut cda = demo_session(5);
     for weird in [
         "",
         "    ",

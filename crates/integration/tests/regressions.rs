@@ -53,7 +53,7 @@ fn discover_on_empty_catalog_returns_empty() {
 /// end-to-end through the orchestrator.
 #[test]
 fn dialogue_survives_malformed_analytical_phrasing() {
-    let mut sys = cda_core::demo::demo_system(7);
+    let mut sys = cda_core::demo::demo_session(7);
     for utterance in [
         "sum the 'unfinished",
         "average of nothing by nothing",

@@ -1,22 +1,22 @@
 //! Session-level data-layer features: the query log as a queryable data
 //! source, bias screening of conversation logs, and data rotting.
 
-use cda_core::demo::{demo_system, FIGURE1_TURNS};
+use cda_core::demo::{demo_session, FIGURE1_TURNS};
 use cda_core::rot::Freshness;
 use cda_nlmodel::bias::BiasScreen;
 use cda_sql::execute;
 
 #[test]
 fn query_log_records_the_session_and_is_sql_queryable() {
-    let mut cda = demo_system(3);
+    let mut cda = demo_session(3);
     for t in FIGURE1_TURNS {
         cda.process(t);
     }
     cda.process("What is the total employees in employment_by_type per canton?");
-    assert_eq!(cda.query_log.len(), 5);
+    assert_eq!(cda.query_log().len(), 5);
     // the log registers like any dataset and is queryable with the engine
     let mut catalog = cda_sql::Catalog::new();
-    catalog.register("query_log", cda.query_log.to_table()).unwrap();
+    catalog.register("query_log", cda.query_log().to_table()).unwrap();
     let r = execute(
         &catalog,
         "SELECT intent, COUNT(*) AS n FROM query_log GROUP BY intent ORDER BY n DESC, intent",
@@ -25,7 +25,7 @@ fn query_log_records_the_session_and_is_sql_queryable() {
     assert!(r.table.num_rows() >= 4, "{}", r.table.render(10));
     // the analysis turn logged its executed SQL
     assert!(cda
-        .query_log
+        .query_log()
         .entries()
         .iter()
         .any(|e| e.code.as_deref().is_some_and(|c| c.contains("SUM(employees)"))));
@@ -33,13 +33,13 @@ fn query_log_records_the_session_and_is_sql_queryable() {
 
 #[test]
 fn bias_screen_runs_over_the_session_log() {
-    let mut cda = demo_system(3);
+    let mut cda = demo_session(3);
     for t in FIGURE1_TURNS {
         cda.process(t);
     }
     // benign conversation: no findings
     let screen = BiasScreen::new(vec!["foreigners", "women"]);
-    let utterances = cda.query_log.utterances();
+    let utterances = cda.query_log().utterances();
     assert!(screen.screen(&utterances).unwrap().is_empty());
 }
 

@@ -1,0 +1,684 @@
+//! The admission-controlled session multiplexer.
+//!
+//! [`Server`] owns a registry of [`Session`]s over one shared
+//! `Arc<WorldSnapshot>`, accepts turns per session, and executes the queued
+//! work across a scoped `std::thread` worker pool via
+//! [`cda_sql::morsel::run_ordered`] — one task per session with pending
+//! turns, per-session turn order preserved, results re-slotted into global
+//! submission order. Sessions are moved out of the registry for the
+//! duration of a drain (each behind its own `Mutex`, locked exactly once)
+//! and reinstalled afterwards, so no mutable state is ever shared between
+//! workers.
+
+use cda_analyzer::sqlcheck::Analyzer;
+use cda_core::{CdaConfig, Session, SessionStats, WorldSnapshot};
+use cda_nlmodel::nl2sql::{parse_question, refine_task};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::stats::ServerStats;
+
+/// Opaque handle to one conversation hosted by a [`Server`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(u64);
+
+impl SessionId {
+    /// The registry index this id refers to.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for SessionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Per-tenant resource limits enforced by admission control.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantQuota {
+    /// Maximum turns a tenant may submit across all its sessions
+    /// (`None` = unlimited). Checked at submit time.
+    pub max_turns: Option<u64>,
+    /// Row budget for analysis turns (`None` = unlimited). At drain time
+    /// the turn's oracle SQL is analyzed with this budget; an A013
+    /// cardinality finding rejects the turn before execution.
+    pub max_estimated_rows: Option<u64>,
+}
+
+/// Server-wide configuration.
+#[derive(Debug, Clone, Default)]
+pub struct ServerConfig {
+    /// Worker threads for [`Server::drain`]. `0` means use
+    /// `std::thread::available_parallelism()`.
+    pub workers: usize,
+    /// Reliability configuration applied to every opened session.
+    pub session_config: CdaConfig,
+    /// Quota applied to tenants without an explicit [`Server::set_quota`].
+    pub default_quota: TenantQuota,
+}
+
+impl ServerConfig {
+    /// The worker count a drain will actually use.
+    pub fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        }
+    }
+}
+
+/// Why admission control refused a turn. Every rejection happens **before**
+/// the turn touches its session: the session's query log, dialogue state,
+/// and caches are exactly as if the turn was never submitted.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdmissionReject {
+    /// The tenant exhausted its turn quota (submit-time gate).
+    QuotaExhausted {
+        /// Tenant whose quota ran out.
+        tenant: String,
+        /// The configured turn budget.
+        max_turns: u64,
+    },
+    /// The cardinality estimator proved the turn's oracle SQL would exceed
+    /// the tenant's row budget (drain-time governor gate, A013).
+    RowBudgetExceeded {
+        /// The configured row budget.
+        budget: u64,
+        /// The estimator's point estimate for the result size.
+        estimated_rows: u64,
+    },
+    /// The session id does not exist in the registry.
+    UnknownSession,
+}
+
+impl std::fmt::Display for AdmissionReject {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::QuotaExhausted { tenant, max_turns } => {
+                write!(f, "tenant {tenant} exhausted its quota of {max_turns} turns")
+            }
+            Self::RowBudgetExceeded { budget, estimated_rows } => write!(
+                f,
+                "estimated {estimated_rows} result rows exceed the {budget}-row budget (A013)"
+            ),
+            Self::UnknownSession => write!(f, "unknown session"),
+        }
+    }
+}
+
+/// One executed turn, as returned by [`Server::drain`].
+#[derive(Debug, Clone)]
+pub struct TurnRecord {
+    /// The session the turn ran in.
+    pub session: SessionId,
+    /// The user utterance.
+    pub utterance: String,
+    /// The rendered system answer (the transcript line).
+    pub rendered: String,
+    /// Confidence of the answer, when one was attached.
+    pub confidence: Option<f64>,
+    /// The SQL that was executed, for analysis turns.
+    pub executed_sql: Option<String>,
+    /// Wall-clock latency of this turn.
+    pub latency: Duration,
+}
+
+/// Outcome of one submitted turn after a drain.
+#[derive(Debug, Clone)]
+pub enum TurnOutcome {
+    /// The turn was admitted and executed.
+    Completed(TurnRecord),
+    /// The governor rejected the turn pre-execution.
+    Rejected {
+        /// The session the turn was queued for.
+        session: SessionId,
+        /// The user utterance.
+        utterance: String,
+        /// Why it was refused.
+        reason: AdmissionReject,
+    },
+}
+
+/// Everything one [`Server::drain`] produced, in global submission order.
+#[derive(Debug, Clone)]
+pub struct DrainReport {
+    /// Per-turn outcomes, ordered by submission sequence.
+    pub outcomes: Vec<TurnOutcome>,
+    /// Wall-clock time of the whole drain.
+    pub wall: Duration,
+    /// Worker threads the drain ran with.
+    pub workers: usize,
+}
+
+impl DrainReport {
+    /// Number of turns that executed.
+    pub fn completed(&self) -> usize {
+        self.outcomes.iter().filter(|o| matches!(o, TurnOutcome::Completed(_))).count()
+    }
+
+    /// Number of turns the governor rejected.
+    pub fn rejected(&self) -> usize {
+        self.outcomes.len() - self.completed()
+    }
+
+    /// Turns per second over the drain's wall-clock time.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.completed() as f64 / secs
+    }
+}
+
+/// Attempting to install a snapshot whose epoch does not advance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorldInstallError {
+    /// Epoch of the currently installed world.
+    pub current_epoch: u64,
+    /// Epoch of the rejected candidate.
+    pub offered_epoch: u64,
+}
+
+impl std::fmt::Display for WorldInstallError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "world epoch must advance: offered {} <= current {}",
+            self.offered_epoch, self.current_epoch
+        )
+    }
+}
+
+impl std::error::Error for WorldInstallError {}
+
+/// A queued turn: global submission sequence number + utterance.
+#[derive(Debug, Clone)]
+struct QueuedTurn {
+    seq: u64,
+    utterance: String,
+}
+
+/// One registry slot: the session plus its queue and tenant binding.
+struct SessionSlot {
+    session: Session,
+    tenant: String,
+    queue: Vec<QueuedTurn>,
+}
+
+/// Work moved out of a slot for one drain: the session, its pending
+/// turns, and the tenant's row budget.
+type ParkedWork = (Session, Vec<QueuedTurn>, Option<u64>);
+
+/// One drain task: registry slot index + parked work behind a `Mutex`
+/// each worker locks exactly once.
+type DrainSlot = (usize, Mutex<Option<ParkedWork>>);
+
+/// One drain task's result: slot index, the returned session, and the
+/// `(submission seq, outcome)` pairs for its turns.
+type TaskResult = (usize, Session, Vec<(u64, TurnOutcome)>);
+
+#[derive(Debug, Default)]
+struct TenantState {
+    quota: TenantQuota,
+    submitted_turns: u64,
+}
+
+/// The multiplexed session runtime. See the crate docs for the model.
+pub struct Server {
+    world: Arc<WorldSnapshot>,
+    config: ServerConfig,
+    slots: Vec<SessionSlot>,
+    tenants: HashMap<String, TenantState>,
+    next_seq: u64,
+    queued: usize,
+    turns_completed: u64,
+    rejected_quota: u64,
+    rejected_budget: u64,
+    latencies_us: Vec<u64>,
+}
+
+impl Server {
+    /// Create a server over a shared world snapshot.
+    pub fn new(world: Arc<WorldSnapshot>, config: ServerConfig) -> Self {
+        Self {
+            world,
+            config,
+            slots: Vec::new(),
+            tenants: HashMap::new(),
+            next_seq: 0,
+            queued: 0,
+            turns_completed: 0,
+            rejected_quota: 0,
+            rejected_budget: 0,
+            latencies_us: Vec::new(),
+        }
+    }
+
+    /// The currently installed world snapshot.
+    pub fn world(&self) -> &Arc<WorldSnapshot> {
+        &self.world
+    }
+
+    /// Swap in a successor snapshot. The epoch must strictly advance;
+    /// sessions opened earlier keep their original snapshot.
+    pub fn install_world(&mut self, world: Arc<WorldSnapshot>) -> Result<(), WorldInstallError> {
+        if world.epoch() <= self.world.epoch() {
+            return Err(WorldInstallError {
+                current_epoch: self.world.epoch(),
+                offered_epoch: world.epoch(),
+            });
+        }
+        self.world = world;
+        Ok(())
+    }
+
+    /// Set (or replace) a tenant's quota. Tenants without an explicit quota
+    /// use [`ServerConfig::default_quota`].
+    pub fn set_quota(&mut self, tenant: &str, quota: TenantQuota) {
+        self.tenant_mut(tenant).quota = quota;
+    }
+
+    fn tenant_mut(&mut self, tenant: &str) -> &mut TenantState {
+        let default_quota = self.config.default_quota;
+        self.tenants.entry(tenant.to_owned()).or_insert_with(|| TenantState {
+            quota: default_quota,
+            submitted_turns: 0,
+        })
+    }
+
+    /// Open a new session for `tenant` over the current world snapshot.
+    ///
+    /// The session's seed is derived from its id (id + 1, so no hosted
+    /// session uses the reserved legacy seed 0), which makes every
+    /// session's transcript a pure function of its own turn sequence.
+    pub fn open_session(&mut self, tenant: &str) -> SessionId {
+        self.tenant_mut(tenant);
+        let id = SessionId(self.slots.len() as u64);
+        let seed = id.0 + 1;
+        let session =
+            Session::open_seeded(self.world.clone(), self.config.session_config, seed);
+        self.slots.push(SessionSlot { session, tenant: tenant.to_owned(), queue: Vec::new() });
+        id
+    }
+
+    /// Open `n` sessions for `tenant`, returning their ids.
+    pub fn open_sessions(&mut self, tenant: &str, n: usize) -> Vec<SessionId> {
+        (0..n).map(|_| self.open_session(tenant)).collect()
+    }
+
+    /// Number of sessions in the registry.
+    pub fn session_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Read-only access to a hosted session.
+    pub fn session(&self, id: SessionId) -> Option<&Session> {
+        self.slots.get(id.index()).map(|s| &s.session)
+    }
+
+    /// Stats snapshot for one hosted session.
+    pub fn session_stats(&self, id: SessionId) -> Option<SessionStats> {
+        self.session(id).map(Session::stats)
+    }
+
+    /// Turns queued and not yet drained.
+    pub fn queue_depth(&self) -> usize {
+        self.queued
+    }
+
+    /// Queue a turn for a session. The **quota gate** runs here: a tenant
+    /// over its turn budget is rejected immediately, before anything is
+    /// queued, and the rejection is counted in [`ServerStats`].
+    pub fn submit(&mut self, id: SessionId, utterance: &str) -> Result<(), AdmissionReject> {
+        let tenant = match self.slots.get(id.index()) {
+            Some(slot) => slot.tenant.clone(),
+            None => return Err(AdmissionReject::UnknownSession),
+        };
+        let state = self.tenant_mut(&tenant);
+        if let Some(max) = state.quota.max_turns {
+            if state.submitted_turns >= max {
+                self.rejected_quota += 1;
+                return Err(AdmissionReject::QuotaExhausted { tenant, max_turns: max });
+            }
+        }
+        state.submitted_turns += 1;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.slots[id.index()].queue.push(QueuedTurn { seq, utterance: to_owned_turn(utterance) });
+        self.queued += 1;
+        Ok(())
+    }
+
+    /// Execute every queued turn across the worker pool and return the
+    /// outcomes in global submission order.
+    ///
+    /// Each session with pending turns becomes one task; tasks are spread
+    /// over the workers with [`cda_sql::morsel::run_ordered`]. Inside a
+    /// task the session's turns run serially in submission order, each
+    /// passing the **governor gate** first: the turn's oracle SQL is
+    /// analyzed against the tenant's row budget and rejected pre-execution
+    /// on an A013 finding, leaving the session untouched.
+    pub fn drain(&mut self) -> DrainReport {
+        let started = Instant::now();
+        let workers = self.config.effective_workers();
+
+        // Move every session with pending work out of the registry; each
+        // worker locks exactly its own slot once, so there is no contention
+        // and no shared mutable state.
+        let mut work: Vec<DrainSlot> = Vec::new();
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            if slot.queue.is_empty() {
+                continue;
+            }
+            let queue = std::mem::take(&mut slot.queue);
+            let budget = self
+                .tenants
+                .get(&slot.tenant)
+                .map(|t| t.quota.max_estimated_rows)
+                .unwrap_or(self.config.default_quota.max_estimated_rows);
+            // Placeholder session: replaced when the drained session returns.
+            let parked = std::mem::replace(
+                &mut slot.session,
+                Session::open(self.world.clone(), self.config.session_config),
+            );
+            work.push((i, Mutex::new(Some((parked, queue, budget)))));
+        }
+        self.queued = 0;
+
+        let world = self.world.clone();
+        let results: Vec<TaskResult> =
+            cda_sql::morsel::run_ordered(work.len(), workers, |task| {
+                let (slot_index, cell) = &work[task];
+                let (mut session, queue, budget) = cell
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner())
+                    .take()
+                    .expect("drain slot taken twice"); // lint: allow(R002)
+                let id = SessionId(*slot_index as u64);
+                let mut outcomes = Vec::with_capacity(queue.len());
+                for turn in queue {
+                    let outcome = run_admitted_turn(&world, &mut session, id, turn, budget);
+                    outcomes.push(outcome);
+                }
+                (*slot_index, session, outcomes)
+            });
+
+        let mut sequenced: Vec<(u64, TurnOutcome)> = Vec::new();
+        for (slot_index, session, outcomes) in results {
+            self.slots[slot_index].session = session;
+            sequenced.extend(outcomes);
+        }
+        sequenced.sort_by_key(|(seq, _)| *seq);
+
+        let mut outcomes = Vec::with_capacity(sequenced.len());
+        for (_, outcome) in sequenced {
+            match &outcome {
+                TurnOutcome::Completed(record) => {
+                    self.turns_completed += 1;
+                    self.latencies_us.push(record.latency.as_micros() as u64);
+                }
+                TurnOutcome::Rejected { .. } => self.rejected_budget += 1,
+            }
+            outcomes.push(outcome);
+        }
+
+        DrainReport { outcomes, wall: started.elapsed(), workers }
+    }
+
+    /// Aggregate server statistics.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats::compute(
+            self.world.epoch(),
+            self.slots.len(),
+            self.next_seq,
+            self.turns_completed,
+            self.rejected_quota,
+            self.rejected_budget,
+            self.queued,
+            &self.latencies_us,
+        )
+    }
+}
+
+/// Run one queued turn through the governor gate and, if admitted, the
+/// session pipeline.
+fn run_admitted_turn(
+    world: &Arc<WorldSnapshot>,
+    session: &mut Session,
+    id: SessionId,
+    turn: QueuedTurn,
+    budget: Option<u64>,
+) -> (u64, TurnOutcome) {
+    if let Some(budget) = budget {
+        if let Some(estimated_rows) = governor_overrun(world, session, &turn.utterance, budget) {
+            return (
+                turn.seq,
+                TurnOutcome::Rejected {
+                    session: id,
+                    utterance: turn.utterance,
+                    reason: AdmissionReject::RowBudgetExceeded { budget, estimated_rows },
+                },
+            );
+        }
+    }
+    let turn_started = Instant::now();
+    let answer = session.process(&turn.utterance);
+    let latency = turn_started.elapsed();
+    (
+        turn.seq,
+        TurnOutcome::Completed(TurnRecord {
+            session: id,
+            utterance: turn.utterance,
+            rendered: answer.render(),
+            confidence: answer.confidence,
+            executed_sql: answer.executed_sql.clone(),
+            latency,
+        }),
+    )
+}
+
+/// The governor gate: parse the utterance as an analytic task (standalone
+/// or as a refinement of the session's last task), derive its oracle SQL,
+/// and ask the cardinality estimator whether the result would exceed the
+/// row budget. Returns the overshooting point estimate, or `None` when the
+/// turn is admitted. Non-analysis turns always pass.
+fn governor_overrun(
+    world: &Arc<WorldSnapshot>,
+    session: &Session,
+    utterance: &str,
+    budget: u64,
+) -> Option<u64> {
+    let tables = world.workload_tables();
+    let task = parse_question(utterance, tables).or_else(|| {
+        session.state().last_task.as_ref().and_then(|prev| refine_task(prev, utterance, tables))
+    })?;
+    let sql = task.to_sql();
+    let report = Analyzer::new(world.catalog().sql())
+        .with_stats(world.catalog().stats())
+        .with_row_budget(budget)
+        .analyze(&sql);
+    if report.exceeds_budget() {
+        let estimated = report.estimate.map(|e| e.est.round() as u64).unwrap_or(u64::MAX);
+        return Some(estimated);
+    }
+    None
+}
+
+/// Normalize a submitted utterance (trim trailing whitespace only — the
+/// dialogue layer owns real normalization).
+fn to_owned_turn(utterance: &str) -> String {
+    utterance.trim_end().to_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cda_core::demo::demo_world;
+
+    fn server() -> Server {
+        Server::new(demo_world(42), ServerConfig { workers: 2, ..ServerConfig::default() })
+    }
+
+    #[test]
+    fn sessions_get_distinct_nonzero_seeds() {
+        let mut s = server();
+        let a = s.open_session("t");
+        let b = s.open_session("t");
+        let sa = s.session(a).unwrap().seed();
+        let sb = s.session(b).unwrap().seed();
+        assert_ne!(sa, 0, "seed 0 is reserved for the legacy stream");
+        assert_ne!(sa, sb);
+        assert_eq!(s.session_count(), 2);
+    }
+
+    #[test]
+    fn drain_matches_a_serial_session_replay() {
+        let mut s = server();
+        let ids = s.open_sessions("t", 3);
+        let scripts = [
+            vec!["Which datasets cover employment by canton?"],
+            vec![
+                "What is the total employees in employment_by_type per canton?",
+                "and per type instead?",
+            ],
+            vec!["What is the average median_wage in wage_stats per sector?"],
+        ];
+        // interleave submissions across sessions
+        for round in 0..2 {
+            for (id, script) in ids.iter().zip(&scripts) {
+                if let Some(turn) = script.get(round) {
+                    s.submit(*id, turn).unwrap();
+                }
+            }
+        }
+        let report = s.drain();
+        assert_eq!(report.completed(), 4);
+        assert_eq!(report.rejected(), 0);
+
+        // serial reference replay: same seed, same world, same turn order
+        for (i, (id, script)) in ids.iter().zip(&scripts).enumerate() {
+            let mut reference = Session::open_seeded(
+                demo_world(42),
+                CdaConfig::default(),
+                i as u64 + 1,
+            );
+            let expected: Vec<String> =
+                script.iter().map(|t| reference.process(t).render()).collect();
+            let hosted: Vec<String> = report
+                .outcomes
+                .iter()
+                .filter_map(|o| match o {
+                    TurnOutcome::Completed(r) if r.session == *id => Some(r.rendered.clone()),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(hosted, expected, "session {id} transcript diverged");
+        }
+    }
+
+    #[test]
+    fn outcomes_come_back_in_submission_order() {
+        let mut s = server();
+        let ids = s.open_sessions("t", 4);
+        let mut expected = Vec::new();
+        for round in 0..3 {
+            for id in ids.iter().rev() {
+                let turn = format!("Which datasets cover employment? round {round}");
+                s.submit(*id, &turn).unwrap();
+                expected.push((*id, turn));
+            }
+        }
+        assert_eq!(s.queue_depth(), 12);
+        let report = s.drain();
+        assert_eq!(s.queue_depth(), 0);
+        let got: Vec<(SessionId, String)> = report
+            .outcomes
+            .iter()
+            .map(|o| match o {
+                TurnOutcome::Completed(r) => (r.session, r.utterance.clone()),
+                TurnOutcome::Rejected { session, utterance, .. } => (*session, utterance.clone()),
+            })
+            .collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn quota_gate_rejects_at_submit_time() {
+        let mut s = server();
+        s.set_quota("small", TenantQuota { max_turns: Some(2), max_estimated_rows: None });
+        let id = s.open_session("small");
+        assert!(s.submit(id, "turn one").is_ok());
+        assert!(s.submit(id, "turn two").is_ok());
+        let err = s.submit(id, "turn three").unwrap_err();
+        assert!(matches!(err, AdmissionReject::QuotaExhausted { max_turns: 2, .. }));
+        // nothing extra was queued and the rejection is counted
+        assert_eq!(s.queue_depth(), 2);
+        assert_eq!(s.stats().rejected_quota, 1);
+    }
+
+    #[test]
+    fn governor_rejects_wide_queries_before_execution() {
+        let mut s = server();
+        s.set_quota("tiny", TenantQuota { max_turns: None, max_estimated_rows: Some(1) });
+        let id = s.open_session("tiny");
+        s.submit(id, "What is the total employees in employment_by_type per canton?").unwrap();
+        let report = s.drain();
+        assert_eq!(report.rejected(), 1, "group-by over cantons estimates > 1 row");
+        match &report.outcomes[0] {
+            TurnOutcome::Rejected { reason: AdmissionReject::RowBudgetExceeded { budget, estimated_rows }, .. } => {
+                assert_eq!(*budget, 1);
+                assert!(*estimated_rows > 1);
+            }
+            other => panic!("expected a row-budget rejection, got {other:?}"),
+        }
+        // the rejected turn never touched the session
+        let st = s.session_stats(id).unwrap();
+        assert_eq!(st.turns, 0);
+        assert_eq!(s.stats().rejected_budget, 1);
+    }
+
+    #[test]
+    fn unknown_session_is_rejected() {
+        let mut s = server();
+        let err = s.submit(SessionId(99), "hello").unwrap_err();
+        assert_eq!(err, AdmissionReject::UnknownSession);
+    }
+
+    #[test]
+    fn install_world_requires_epoch_to_advance() {
+        let mut s = server();
+        let same_epoch = demo_world(42);
+        let err = s.install_world(same_epoch).unwrap_err();
+        assert_eq!(err.current_epoch, 0);
+        assert_eq!(err.offered_epoch, 0);
+
+        let successor = s.world().successor().build_shared();
+        assert_eq!(successor.epoch(), 1);
+        s.install_world(successor).unwrap();
+        assert_eq!(s.world().epoch(), 1);
+        // sessions opened after the swap see the new snapshot
+        let fresh = s.open_session("t");
+        assert_eq!(s.session(fresh).unwrap().epoch(), 1);
+    }
+
+    #[test]
+    fn stats_aggregate_across_drains() {
+        let mut s = server();
+        let id = s.open_session("t");
+        s.submit(id, "Which datasets cover employment?").unwrap();
+        s.drain();
+        s.submit(id, "What is the total employees in employment_by_type per canton?").unwrap();
+        s.drain();
+        let st = s.stats();
+        assert_eq!(st.sessions, 1);
+        assert_eq!(st.turns_submitted, 2);
+        assert_eq!(st.turns_completed, 2);
+        assert_eq!(st.queue_depth, 0);
+        assert!(st.p50_us > 0 && st.p99_us >= st.p50_us);
+    }
+}

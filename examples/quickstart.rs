@@ -7,10 +7,10 @@
 //! selection with guidance (P5), and the seasonality insight with
 //! confidence, sufficiency caveat, and generated code (P3/P4).
 
-use cda_core::demo::{demo_system, FIGURE1_TURNS};
+use cda_core::demo::{demo_session, FIGURE1_TURNS};
 
 fn main() {
-    let mut cda = demo_system(42);
+    let mut cda = demo_session(42);
     println!("=== Reliable Conversational Data Analytics — Figure 1 replay ===\n");
     for (i, user_turn) in FIGURE1_TURNS.iter().enumerate() {
         println!("User ({}): {user_turn}", i + 1);
@@ -22,9 +22,9 @@ fn main() {
         println!();
     }
     println!("=== Session lineage (where-from, all components) ===");
-    println!("{}", cda.lineage);
+    println!("{}", cda.lineage());
     println!("=== Conversation graph (with alternatives) ===");
-    println!("{}", cda.conversation);
+    println!("{}", cda.conversation());
 }
 
 fn indent(text: &str) -> String {

@@ -7,26 +7,25 @@
 use cda_core::answer::{AnswerStatus, PropertyTag};
 use cda_core::demo::{demo_catalog, demo_kg, demo_linker, demo_vocabulary};
 use cda_core::reliability::SessionOutcome;
-use cda_core::{CdaConfig, CdaSystem};
+use cda_core::{CdaConfig, Session, WorldSnapshot};
 use cda_nlmodel::lm::SimLmConfig;
 use cda_nlmodel::nl2sql::Workload;
 use cda_soundness::verify::execution_accuracy;
 
-fn build(config: CdaConfig) -> CdaSystem {
-    CdaSystem::new(
-        demo_catalog(11),
-        demo_kg(),
-        demo_vocabulary(),
-        demo_linker(),
-        SimLmConfig { hallucination_rate: 0.3, overconfidence: 0.9, seed: 11 },
-        config,
-    )
+fn build(config: CdaConfig) -> Session {
+    let world = WorldSnapshot::builder()
+        .catalog(demo_catalog(11))
+        .kg(demo_kg())
+        .vocab(demo_vocabulary())
+        .linker(demo_linker())
+        .lm(SimLmConfig { hallucination_rate: 0.3, overconfidence: 0.9, seed: 11 })
+        .build_shared();
+    Session::open(world, config)
 }
 
 fn evaluate(config: CdaConfig, label: &str) {
     let mut cda = build(config);
-    let tables = cda.workload_tables();
-    let workload = Workload::generate(&tables, 40, 5);
+    let workload = Workload::generate(cda.world().workload_tables(), 40, 5);
     let mut outcome = SessionOutcome::default();
     let mut confidences = Vec::new();
     let mut correct_flags = Vec::new();
@@ -37,7 +36,7 @@ fn evaluate(config: CdaConfig, label: &str) {
                 let correct = a
                     .executed_sql
                     .as_ref()
-                    .map(|sql| execution_accuracy(cda.catalog.sql(), sql, &task.gold_sql))
+                    .map(|sql| execution_accuracy(cda.catalog().sql(), sql, &task.gold_sql))
                     .unwrap_or(false);
                 if correct {
                     outcome.correct_answers += 1;

@@ -8,14 +8,14 @@
 //! — stale datasets demoted in discovery and flagged with caveats.
 
 use cda_core::catalog::{Dataset, DatasetCatalog};
-use cda_core::demo::{demo_system, FIGURE1_TURNS};
+use cda_core::demo::{demo_session, FIGURE1_TURNS};
 use cda_core::rot::Freshness;
 use cda_nlmodel::bias::{keyness, sentiment_score, BiasScreen};
 use cda_sql::execute;
 
 fn main() {
     // --- 1. run a session, then query its own log with SQL ----------------
-    let mut cda = demo_system(42);
+    let mut cda = demo_session(42);
     for t in FIGURE1_TURNS {
         cda.process(t);
     }
@@ -24,7 +24,7 @@ fn main() {
 
     println!("=== the session's query log, queried with the session's own engine ===");
     let mut catalog = cda_sql::Catalog::new();
-    catalog.register("query_log", cda.query_log.to_table()).expect("fresh catalog");
+    catalog.register("query_log", cda.query_log().to_table()).expect("fresh catalog");
     let r = execute(
         &catalog,
         "SELECT intent, outcome, COUNT(*) AS n FROM query_log GROUP BY intent, outcome \
@@ -32,7 +32,7 @@ fn main() {
     )
     .expect("log query executes");
     println!("{}", r.table.render(10));
-    println!("answer rate: {:.0}%\n", cda.query_log.answer_rate() * 100.0);
+    println!("answer rate: {:.0}%\n", cda.query_log().answer_rate() * 100.0);
 
     // --- 2. bias screening over a (synthetic) problematic log -------------
     println!("=== bias screen over a problematic conversation log ===");

@@ -8,8 +8,8 @@
 //! instead of hallucinating — the paper's core P4 behaviour.
 
 use cda_core::answer::AnswerStatus;
-use cda_core::demo::{demo_catalog, demo_kg, demo_linker, demo_system, demo_vocabulary};
-use cda_core::{CdaConfig, CdaSystem};
+use cda_core::demo::{demo_catalog, demo_kg, demo_linker, demo_session, demo_vocabulary};
+use cda_core::{CdaConfig, Session, WorldSnapshot};
 use cda_nlmodel::lm::SimLmConfig;
 
 const QUESTIONS: [&str; 4] = [
@@ -19,7 +19,7 @@ const QUESTIONS: [&str; 4] = [
     "What is the maximum value in labour_barometer?",
 ];
 
-fn run_session(cda: &mut CdaSystem, label: &str) {
+fn run_session(cda: &mut Session, label: &str) {
     println!("--- {label} ---");
     for q in QUESTIONS {
         println!("User: {q}");
@@ -50,28 +50,22 @@ fn run_session(cda: &mut CdaSystem, label: &str) {
 
 fn main() {
     // A mildly unreliable model: soundness mostly passes.
-    let mut cda = demo_system(7);
+    let mut cda = demo_session(7);
     run_session(&mut cda, "reliable model (15% hallucination rate)");
 
     // A badly unreliable model: consistency collapses, the system abstains.
-    let mut cda = CdaSystem::new(
-        demo_catalog(7),
-        demo_kg(),
-        demo_vocabulary(),
-        demo_linker(),
-        SimLmConfig { hallucination_rate: 0.6, overconfidence: 1.0, seed: 7 },
-        CdaConfig::default(),
-    );
+    // One shared immutable world serves both remaining sessions.
+    let world = WorldSnapshot::builder()
+        .catalog(demo_catalog(7))
+        .kg(demo_kg())
+        .vocab(demo_vocabulary())
+        .linker(demo_linker())
+        .lm(SimLmConfig { hallucination_rate: 0.6, overconfidence: 1.0, seed: 7 })
+        .build_shared();
+    let mut cda = Session::open(world.clone(), CdaConfig::default());
     run_session(&mut cda, "unreliable model (60% hallucination, fully overconfident)");
 
     // The same unreliable model with soundness disabled: answers anyway.
-    let mut cda = CdaSystem::new(
-        demo_catalog(7),
-        demo_kg(),
-        demo_vocabulary(),
-        demo_linker(),
-        SimLmConfig { hallucination_rate: 0.6, overconfidence: 1.0, seed: 7 },
-        CdaConfig { soundness: false, ..CdaConfig::default() },
-    );
+    let mut cda = Session::open(world, CdaConfig { soundness: false, ..CdaConfig::default() });
     run_session(&mut cda, "unreliable model, soundness OFF (the paper's status quo)");
 }
