@@ -35,7 +35,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== docs (rustdoc warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
 
-echo "== repolint (in-tree source conventions: R001-R008)"
+echo "== repolint (in-tree source conventions: R001-R009)"
 cargo run --release -q -p cda-analyzer --bin repolint -- .
 
 echo "== static analyzer suite (sqlcheck codes, gate consistency, absint soundness laws)"
@@ -68,6 +68,12 @@ cargo test -q -p cda-server
 
 echo "== E19: multiplexed server (0 transcript mismatches vs serial, hw-conditional speedup)"
 CDA_BENCH_FAST=1 cargo run --release -q -p cda-bench --bin exp_server
+
+echo "== storage layer suite (page codecs, buffer pool, crash-recovery fault sweep)"
+cargo test -q -p cda-storage
+
+echo "== E20: durable storage (restart hit rate > 0, 0 stale hits, 0 torn recoveries)"
+CDA_BENCH_FAST=1 cargo run --release -q -p cda-bench --bin exp_durability
 
 echo "== bench harness smoke (2 samples per bench, JSON artifacts)"
 CDA_BENCH_FAST=1 cargo bench -p cda-bench --bench sql

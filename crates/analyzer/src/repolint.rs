@@ -44,6 +44,14 @@
 //!   allowed to build a `CdaSystem`; tests/benches/examples may keep
 //!   pinning the shim. A deliberate exception needs `// lint: allow(R008)`
 //!   and a justification.
+//! * **R009** — no direct `std::fs` use on product paths outside the
+//!   storage crate. Durable state goes through `cda_storage::StorageBackend`
+//!   (pages, checksums, crash-safe commit); ad-hoc file I/O bypasses all
+//!   three. The storage crate (`crates/storage/`) owns the file system by
+//!   design, and this linter module walks the source tree by design — both
+//!   are exempt by path; tests/benches/examples write scratch files freely.
+//!   A deliberate exception needs `// lint: allow(R009)` and a
+//!   justification.
 //!
 //! The scanner strips comments and string/char-literal *contents* (keeping
 //! delimiters and line structure) before matching, so a doc comment that
@@ -258,6 +266,12 @@ const R008_CONSTRUCTORS: &[&str] = &["CdaSystem::new", "CdaSystem::with_config"]
 /// The one product path allowed to construct the deprecated shim.
 const R008_SHIM_MODULE: &str = "crates/core/src/system.rs";
 
+/// The crate tree that owns file I/O; R009 exempts it by path.
+const R009_STORAGE_TREE: &str = "crates/storage/";
+
+/// This linter reads sources from disk by design; R009 exempts it by path.
+const R009_LINTER_MODULE: &str = "crates/analyzer/src/repolint.rs";
+
 fn has_allow(lines: &[&str], idx: usize, code: &str) -> bool {
     let needle = format!("lint: allow({code})");
     let hit = |l: &str| l.contains(&needle);
@@ -440,6 +454,27 @@ pub fn lint_source(file: &str, source: &str, kind: FileKind) -> Vec<Violation> {
                         });
                         break;
                     }
+                }
+            }
+            {
+                let p = file.replace('\\', "/");
+                if kind != FileKind::TestOrBench
+                    && !p.contains(R009_STORAGE_TREE)
+                    && !p.ends_with(R009_LINTER_MODULE)
+                    && contains_path(sl, "std::fs")
+                    && !has_allow(&raw_lines, idx, "R009")
+                {
+                    out.push(Violation {
+                        code: "R009",
+                        file: file.into(),
+                        line: idx + 1,
+                        message: format!(
+                            "`std::fs` on a product path — durable state goes through \
+                             `cda_storage::StorageBackend`; only the storage crate \
+                             ({R009_STORAGE_TREE}) performs file I/O, or escape with \
+                             `// lint: allow(R009)` and a justification"
+                        ),
+                    });
                 }
             }
             if kind != FileKind::TestOrBench {
@@ -775,6 +810,40 @@ mod tests {
         // mentions in comments and strings never fire
         let benign = format!(
             "{DOC}// migrate CdaSystem::new call sites\nfn f() {{ let _ = \"CdaSystem::new\"; }}\n"
+        );
+        assert!(codes("crates/core/src/demo.rs", &benign, FileKind::Product).is_empty(), "{benign}");
+    }
+
+    #[test]
+    fn r009_flags_direct_fs_use_on_product_paths() {
+        for stmt in ["use std::fs;", "use std::fs::File;", "let _ = std::fs::read(p);"] {
+            let src = format!("{DOC}{stmt}\nfn f() {{}}\n");
+            assert_eq!(
+                codes("crates/core/src/durable.rs", &src, FileKind::Product),
+                vec!["R009"],
+                "{stmt}"
+            );
+        }
+    }
+
+    #[test]
+    fn r009_exempts_the_storage_crate_linter_tests_and_escapes() {
+        let src = format!("{DOC}fn f() {{ let _ = std::fs::read(p); }}\n");
+        // the storage crate owns file I/O
+        assert!(codes("crates/storage/src/disk.rs", &src, FileKind::Product).is_empty());
+        // the linter itself walks the tree by design
+        assert!(codes("crates/analyzer/src/repolint.rs", &src, FileKind::Product).is_empty());
+        // tests, benches, and examples write scratch files freely
+        assert!(codes("crates/integration/tests/storage.rs", &src, FileKind::TestOrBench).is_empty());
+        // explicit escape with justification
+        let escaped = format!(
+            "{DOC}// lint: allow(R009) one-shot config import, not durable state\n\
+             fn f() {{ let _ = std::fs::read(p); }}\n"
+        );
+        assert!(codes("crates/core/src/demo.rs", &escaped, FileKind::Product).is_empty());
+        // mentions in comments and strings never fire
+        let benign = format!(
+            "{DOC}// std::fs is banned here\nfn f() {{ let _ = \"std::fs::read\"; }}\n"
         );
         assert!(codes("crates/core/src/demo.rs", &benign, FileKind::Product).is_empty(), "{benign}");
     }

@@ -1,13 +1,19 @@
 //! Criterion bench for experiment E9: full conversation turns through the
 //! compound system, per turn type, plus the soundness-layer cost knob —
-//! and the E19 companion group timing a multiplexed server drain of the
-//! same turn mix, so per-turn and per-server costs sit side by side.
+//! the E19 companion group timing a multiplexed server drain of the same
+//! turn mix, and the E20 `storage_io` group timing the paged storage layer
+//! (world sync, reopen, durable cache round trips), so per-turn,
+//! per-server, and per-page costs sit side by side.
 
 use cda_testkit::bench::{BatchSize, Criterion};
 use cda_testkit::{criterion_group, criterion_main};
-use cda_core::demo::{demo_session, demo_world, FIGURE1_TURNS};
+use cda_core::demo::{demo_catalog, demo_kg, demo_session, demo_world, FIGURE1_TURNS};
+use cda_core::storage::{FileBackend, MemBackend, StorageBackend, StoreId};
+use cda_core::WorldSnapshot;
 use cda_server::loadgen::{interleave, session_scripts, LoadSpec};
 use cda_server::{Server, ServerConfig};
+use std::path::PathBuf;
+use std::sync::Arc;
 
 fn bench_pipeline(c: &mut Criterion) {
     let mut group = c.benchmark_group("pipeline_turn");
@@ -104,5 +110,83 @@ fn bench_server(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_pipeline, bench_server);
+fn bench_storage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("storage_io");
+    group.sample_size(10);
+
+    let tmp = |name: &str| -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("cda-bench-storage-{}-{name}.db", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    };
+
+    // Persist the full demo world (4 datasets + KG) and commit.
+    group.bench_function("world_sync_file", |b| {
+        let path = tmp("sync");
+        b.iter_batched(
+            || {
+                let _ = std::fs::remove_file(&path);
+                (FileBackend::open(&path).unwrap(), demo_catalog(1), demo_kg())
+            },
+            |(backend, catalog, kg)| {
+                WorldSnapshot::builder()
+                    .catalog(catalog)
+                    .kg(kg)
+                    .with_storage(Arc::new(backend))
+                    .open()
+                    .unwrap()
+            },
+            BatchSize::SmallInput,
+        );
+        let _ = std::fs::remove_file(&path);
+    });
+
+    // Reopen a committed world from pages alone (the restart path).
+    group.bench_function("world_reopen_file", |b| {
+        let path = tmp("reopen");
+        WorldSnapshot::builder()
+            .catalog(demo_catalog(1))
+            .kg(demo_kg())
+            .with_storage(Arc::new(FileBackend::open(&path).unwrap()))
+            .open()
+            .unwrap();
+        b.iter_batched(
+            || FileBackend::open(&path).unwrap(),
+            |backend| {
+                WorldSnapshot::builder().with_storage(Arc::new(backend)).open().unwrap()
+            },
+            BatchSize::SmallInput,
+        );
+        let _ = std::fs::remove_file(&path);
+    });
+
+    // Raw backend put+commit+get round trip, mem vs file.
+    let value = vec![0x5Au8; 16 * 1024];
+    group.bench_function("blob_roundtrip_mem", |b| {
+        let backend = MemBackend::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            backend.put(StoreId::SemanticCache, &i.to_be_bytes(), &value).unwrap();
+            backend.commit(0).unwrap();
+            backend.get(StoreId::SemanticCache, &i.to_be_bytes()).unwrap()
+        })
+    });
+    group.bench_function("blob_roundtrip_file", |b| {
+        let path = tmp("blob");
+        let backend = FileBackend::open(&path).unwrap();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            backend.put(StoreId::SemanticCache, &i.to_be_bytes(), &value).unwrap();
+            backend.commit(0).unwrap();
+            backend.get(StoreId::SemanticCache, &i.to_be_bytes()).unwrap()
+        });
+        let _ = std::fs::remove_file(&path);
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline, bench_server, bench_storage);
 criterion_main!(benches);

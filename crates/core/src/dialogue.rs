@@ -11,7 +11,7 @@
 //! independent (and their transcripts interleaving-invariant, E19).
 
 use crate::answer::{AnswerStatus, AnswerTurn, PropertyTag};
-use crate::session::{CachedAnswer, Session};
+use crate::session::{CacheStore, CachedAnswer, Session};
 use cda_guidance::graph::{EdgeKind, NodeRole};
 use cda_guidance::planner::{Action, SpeculativePlanner};
 use cda_kg::linking::LinkerConfig;
@@ -695,7 +695,7 @@ impl Session {
             None
         };
         let mut cache_note: Option<String> = None;
-        let executed = match fingerprint.and_then(|fp| self.semantic_cache.get(fp).cloned()) {
+        let executed = match fingerprint.and_then(|fp| self.semantic_cache.get(fp)) {
             Some(hit) => {
                 cache_note = Some(format!(
                     "[cache] served from the semantic cache: this request is equivalent to the \
@@ -709,7 +709,7 @@ impl Session {
         };
         let infra_elapsed = t_infra.elapsed();
         if let (Some(fp), None, Ok(result)) = (fingerprint, &cache_note, &executed) {
-            self.semantic_cache.insert(
+            self.semantic_cache.put(
                 fp,
                 CachedAnswer {
                     turn: self.state.turn.saturating_sub(1),

@@ -43,6 +43,7 @@ pub mod answer;
 pub mod catalog;
 pub mod demo;
 pub mod dialogue;
+pub mod durable;
 pub mod log;
 pub mod reliability;
 pub mod rot;
@@ -52,10 +53,16 @@ pub mod world;
 
 pub use answer::{AnswerTurn, PropertyTag};
 pub use catalog::{Dataset, DatasetCatalog};
+pub use durable::DurableCache;
 pub use reliability::CdaConfig;
-pub use session::{CacheStats, Session, SessionStats};
+pub use session::{CacheStats, CacheStore, Session, SessionStats};
 pub use system::CdaSystem;
 pub use world::WorldSnapshot;
+
+/// The storage layer, re-exported so callers assembling a durable world
+/// (`WorldSnapshot::builder().with_storage(..)`) need not depend on
+/// `cda-storage` directly.
+pub use cda_storage as storage;
 
 use std::fmt;
 

@@ -56,6 +56,30 @@ pub struct CachedAnswer {
     pub result: QueryResult,
 }
 
+/// The narrow interface every semantic-cache backend implements — the
+/// in-memory [`SemanticCache`] and the durable
+/// [`DurableCache`](crate::durable::DurableCache) are interchangeable
+/// behind it, and the dialogue layer talks only to this trait. `get`
+/// returns an owned answer (a durable backend decodes it from storage, so
+/// there is no stored value to borrow).
+pub trait CacheStore {
+    /// Look up a fingerprint; counts a hit when found.
+    fn get(&mut self, fingerprint: u64) -> Option<CachedAnswer>;
+    /// Store an executed answer under its fingerprint; counts a miss.
+    fn put(&mut self, fingerprint: u64, answer: CachedAnswer);
+    /// Forget conversation-scoped state (counters always; entries when the
+    /// backend is conversation-scoped, i.e. in-memory).
+    fn clear(&mut self);
+    /// Number of stored answers visible to this store.
+    fn len(&self) -> usize;
+    /// True when no answers are stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Counter snapshot.
+    fn stats(&self) -> CacheStats;
+}
+
 /// The semantic answer cache: executed `QueryResult`s keyed by the
 /// canonical-plan fingerprint (`cda_analyzer::equiv::PlanFingerprint`) of
 /// the query that produced them. Equal fingerprints certify equal execution
@@ -77,21 +101,6 @@ impl SemanticCache {
         Self::default()
     }
 
-    /// Look up a fingerprint, counting a hit.
-    pub(crate) fn get(&mut self, fingerprint: u64) -> Option<&CachedAnswer> {
-        let hit = self.entries.get(&fingerprint);
-        if hit.is_some() {
-            self.hits += 1;
-        }
-        hit
-    }
-
-    /// Store an executed answer under its fingerprint, counting a miss.
-    pub(crate) fn insert(&mut self, fingerprint: u64, answer: CachedAnswer) {
-        self.misses += 1;
-        self.entries.insert(fingerprint, answer);
-    }
-
     /// Number of stored answers.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -110,6 +119,84 @@ impl SemanticCache {
             misses: self.misses,
             entries: self.entries.len(),
             hit_rate: if total == 0 { 0.0 } else { self.hits as f64 / total as f64 },
+        }
+    }
+}
+
+impl CacheStore for SemanticCache {
+    fn get(&mut self, fingerprint: u64) -> Option<CachedAnswer> {
+        let hit = self.entries.get(&fingerprint).cloned();
+        if hit.is_some() {
+            self.hits += 1;
+        }
+        hit
+    }
+
+    fn put(&mut self, fingerprint: u64, answer: CachedAnswer) {
+        self.misses += 1;
+        self.entries.insert(fingerprint, answer);
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+        self.hits = 0;
+        self.misses = 0;
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn stats(&self) -> CacheStats {
+        SemanticCache::stats(self)
+    }
+}
+
+/// The session's cache slot: one of the two [`CacheStore`] backends.
+/// An enum rather than `Box<dyn CacheStore>` because [`Session`] is
+/// `Clone` (the server clones sessions into its runtime) and trait objects
+/// aren't.
+#[derive(Debug, Clone)]
+pub(crate) enum SessionCache {
+    /// Conversation-scoped in-memory cache (the default).
+    Mem(SemanticCache),
+    /// World-scoped durable cache over the storage backend.
+    Durable(crate::durable::DurableCache),
+}
+
+impl CacheStore for SessionCache {
+    fn get(&mut self, fingerprint: u64) -> Option<CachedAnswer> {
+        match self {
+            Self::Mem(c) => c.get(fingerprint),
+            Self::Durable(c) => c.get(fingerprint),
+        }
+    }
+
+    fn put(&mut self, fingerprint: u64, answer: CachedAnswer) {
+        match self {
+            Self::Mem(c) => c.put(fingerprint, answer),
+            Self::Durable(c) => c.put(fingerprint, answer),
+        }
+    }
+
+    fn clear(&mut self) {
+        match self {
+            Self::Mem(c) => CacheStore::clear(c),
+            Self::Durable(c) => c.clear(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Self::Mem(c) => SemanticCache::len(c),
+            Self::Durable(c) => CacheStore::len(c),
+        }
+    }
+
+    fn stats(&self) -> CacheStats {
+        match self {
+            Self::Mem(c) => SemanticCache::stats(c),
+            Self::Durable(c) => CacheStore::stats(c),
         }
     }
 }
@@ -174,7 +261,7 @@ pub struct Session {
     pub(crate) query_log: QueryLog,
     /// Semantic answer cache keyed on canonical-plan fingerprints
     /// (active when [`CdaConfig::semantic_cache`] is set).
-    pub(crate) semantic_cache: SemanticCache,
+    pub(crate) semantic_cache: SessionCache,
 }
 
 /// Derive a session's LM seed from the world's base seed. Seed 0 is the
@@ -215,8 +302,48 @@ impl Session {
             profile: UserProfile::new(),
             state: DialogueState::default(),
             query_log: QueryLog::new(),
-            semantic_cache: SemanticCache::new(),
+            semantic_cache: SessionCache::Mem(SemanticCache::new()),
         }
+    }
+
+    /// Open a conversation whose semantic cache lives in the world's
+    /// storage backend (session seed 0). The world must have been opened
+    /// through [`WorldSnapshotBuilder::open`](crate::world::WorldSnapshotBuilder::open)
+    /// with a backend attached, so that disk and memory agree on the epoch.
+    /// Answers verified by *any* durable session over this world — in this
+    /// process or an earlier one — are served on a fingerprint hit,
+    /// byte-identical to re-executing.
+    pub fn open_durable(world: Arc<WorldSnapshot>, config: CdaConfig) -> crate::Result<Self> {
+        Self::open_durable_seeded(world, config, 0)
+    }
+
+    /// [`Session::open_durable`] with an explicit session seed.
+    pub fn open_durable_seeded(
+        world: Arc<WorldSnapshot>,
+        config: CdaConfig,
+        session_seed: u64,
+    ) -> crate::Result<Self> {
+        let backend = world.storage().cloned().ok_or_else(|| {
+            crate::CdaError::Substrate(
+                "durable session over a world without storage: attach a backend via \
+                 WorldSnapshot::builder().with_storage(..) and open it with .open()"
+                    .into(),
+            )
+        })?;
+        let committed = backend
+            .committed_epoch()
+            .map_err(|e| crate::CdaError::Substrate(format!("storage: {e}")))?;
+        if committed != Some(world.epoch()) {
+            return Err(crate::CdaError::Substrate(format!(
+                "storage backend committed at epoch {committed:?} but the world is at epoch {}: \
+                 open the world with WorldSnapshotBuilder::open(), not build()",
+                world.epoch()
+            )));
+        }
+        let mut session = Self::open_seeded(Arc::clone(&world), config, session_seed);
+        session.semantic_cache =
+            SessionCache::Durable(crate::durable::DurableCache::new(world, backend));
+        Ok(session)
     }
 
     /// Replace the reliability configuration (used by the F2 ablation).
@@ -303,9 +430,11 @@ impl Session {
         self.profile = UserProfile::new();
         self.state = DialogueState::default();
         self.query_log = QueryLog::new();
-        // Cached answers are conversation-scoped: the data survives a reset,
-        // but the turn numbers and transcript references would dangle.
-        self.semantic_cache = SemanticCache::new();
+        // In-memory cached answers are conversation-scoped (the turn numbers
+        // and transcript references would dangle), so the mem backend drops
+        // its entries; the durable backend keeps its world-scoped entries
+        // and resets only the counters.
+        self.semantic_cache.clear();
     }
 }
 

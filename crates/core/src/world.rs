@@ -21,6 +21,7 @@ use cda_kg::vocab::Vocabulary;
 use cda_kg::TripleStore;
 use cda_nlmodel::lm::SimLmConfig;
 use cda_nlmodel::nl2sql::WorkloadTable;
+use cda_storage::StorageBackend;
 use std::sync::Arc;
 
 /// The shared immutable world: catalog + statistics + knowledge graph +
@@ -42,6 +43,13 @@ pub struct WorldSnapshot {
     /// Schemas + example string values of all SQL tables, precomputed once
     /// per snapshot (the catalog is immutable) instead of per turn.
     workload: Vec<WorkloadTable>,
+    /// The storage backend this world was opened against, when opened
+    /// through [`WorldSnapshotBuilder::open`]. Durable sessions persist
+    /// their semantic cache here, keyed by [`WorldSnapshot::epoch`].
+    pub(crate) storage: Option<Arc<dyn StorageBackend>>,
+    /// Stale cache records dropped while opening this snapshot (an epoch
+    /// bump invalidates every record stamped with an older epoch).
+    stale_dropped: usize,
 }
 
 impl WorldSnapshot {
@@ -86,6 +94,17 @@ impl WorldSnapshot {
         &self.workload
     }
 
+    /// The storage backend this world was opened against, if any.
+    pub fn storage(&self) -> Option<&Arc<dyn StorageBackend>> {
+        self.storage.as_ref()
+    }
+
+    /// Stale semantic-cache records dropped while opening this snapshot
+    /// (0 when the world has no storage or nothing was invalidated).
+    pub fn stale_cache_dropped(&self) -> usize {
+        self.stale_dropped
+    }
+
     /// Begin a successor snapshot: same world, epoch + 1. Mutations go
     /// through the builder; the original snapshot is untouched, so sessions
     /// holding it keep a consistent view (swap-on-mutation).
@@ -97,6 +116,7 @@ impl WorldSnapshot {
             vocab: self.vocab.clone(),
             linker: self.linker.clone(),
             lm_config: self.lm_config.clone(),
+            storage: self.storage.clone(),
         }
     }
 
@@ -116,6 +136,7 @@ pub struct WorldSnapshotBuilder {
     vocab: Vocabulary,
     linker: Linker,
     lm_config: SimLmConfig,
+    storage: Option<Arc<dyn StorageBackend>>,
 }
 
 impl Default for WorldSnapshotBuilder {
@@ -127,6 +148,7 @@ impl Default for WorldSnapshotBuilder {
             vocab: Vocabulary::new(),
             linker: Linker::new(Vec::new(), 128),
             lm_config: SimLmConfig::default(),
+            storage: None,
         }
     }
 }
@@ -170,7 +192,33 @@ impl WorldSnapshotBuilder {
         self
     }
 
+    /// Attach a storage backend. The backend does nothing until the
+    /// builder is finished with [`open`](Self::open) (which reconciles it
+    /// with disk) — [`build`](Self::build) carries the handle but performs
+    /// no I/O, and [`Session::open_durable`](crate::session::Session::open_durable)
+    /// rejects a world whose backend was never reconciled.
+    pub fn with_storage(mut self, backend: Arc<dyn StorageBackend>) -> Self {
+        self.storage = Some(backend);
+        self
+    }
+
+    /// Deprecated path-taking convenience: opens a [`cda_storage::FileBackend`]
+    /// at `path` and attaches it. Construct the backend yourself and use
+    /// [`with_storage`](Self::with_storage) — backends carry tuning
+    /// (pool size, fault plans) that a bare path cannot express.
+    #[deprecated(
+        since = "0.9.0",
+        note = "open a cda_storage::FileBackend and pass it to with_storage()"
+    )]
+    pub fn storage_path(self, path: &std::path::Path) -> crate::Result<Self> {
+        let backend = cda_storage::FileBackend::open(path)
+            .map_err(|e| crate::CdaError::Substrate(format!("storage: {e}")))?;
+        Ok(self.with_storage(Arc::new(backend)))
+    }
+
     /// Freeze the snapshot, precomputing the per-snapshot workload tables.
+    /// Performs no storage I/O even when a backend is attached — use
+    /// [`open`](Self::open) to reconcile with disk.
     pub fn build(self) -> WorldSnapshot {
         let workload = compute_workload_tables(&self.catalog);
         WorldSnapshot {
@@ -178,15 +226,65 @@ impl WorldSnapshotBuilder {
             catalog: self.catalog,
             kg: self.kg,
             vocab: self.vocab,
-            linker: self.linker,
             lm_config: self.lm_config,
+            linker: self.linker,
             workload,
+            storage: self.storage,
+            stale_dropped: 0,
         }
     }
 
     /// [`build`](Self::build) and wrap in an `Arc` for sharing.
     pub fn build_shared(self) -> Arc<WorldSnapshot> {
         Arc::new(self.build())
+    }
+
+    /// Freeze the snapshot *and reconcile it with the attached storage
+    /// backend* — the durable counterpart of [`build`](Self::build):
+    ///
+    /// * **No backend attached**: identical to `build()`.
+    /// * **Backend already committed at this epoch or later** (a process
+    ///   restart over an unchanged world): disk wins — the catalog and KG
+    ///   are loaded from storage and the snapshot adopts the committed
+    ///   epoch, so previously persisted cache records stay valid.
+    /// * **Backend empty, or the builder's epoch is newer** (first open, or
+    ///   a [`successor`](WorldSnapshot::successor) rebuild): memory wins —
+    ///   the builder's catalog and KG are persisted and committed under the
+    ///   builder's epoch, and every cache record stamped with a different
+    ///   epoch is dropped ([`WorldSnapshot::stale_cache_dropped`]).
+    ///
+    /// Either way the returned snapshot and the backend agree on the epoch,
+    /// which is what [`Session::open_durable`](crate::session::Session::open_durable)
+    /// requires. Vocabulary, linker, and LM configuration are code-defined,
+    /// not data, and always come from the builder.
+    pub fn open(self) -> crate::Result<WorldSnapshot> {
+        let Some(backend) = self.storage.clone() else {
+            return Ok(self.build());
+        };
+        let committed = backend
+            .committed_epoch()
+            .map_err(|e| crate::CdaError::Substrate(format!("storage: {e}")))?;
+        match committed {
+            Some(disk_epoch) if self.epoch <= disk_epoch => {
+                let (catalog, kg, epoch) = crate::durable::load_world(backend.as_ref())?;
+                let mut world =
+                    Self { catalog, kg, epoch, ..self }.build();
+                world.stale_dropped = 0;
+                Ok(world)
+            }
+            _ => {
+                let dropped =
+                    crate::durable::sync_world(backend.as_ref(), self.epoch, &self.catalog, &self.kg)?;
+                let mut world = self.build();
+                world.stale_dropped = dropped;
+                Ok(world)
+            }
+        }
+    }
+
+    /// [`open`](Self::open) and wrap in an `Arc` for sharing.
+    pub fn open_shared(self) -> crate::Result<Arc<WorldSnapshot>> {
+        Ok(Arc::new(self.open()?))
     }
 }
 

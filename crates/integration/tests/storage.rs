@@ -1,0 +1,294 @@
+//! Durable world storage end-to-end: restart reuse, epoch invalidation,
+//! and the [`CacheStore`] / [`StorageBackend`] swap contracts (the
+//! integration half of experiment E20).
+//!
+//! The headline claim: with a `FileBackend` attached, a *process restart*
+//! over an unchanged world serves previously verified answers from the
+//! durable semantic cache — byte-identical to fresh execution, with zero
+//! re-executions — while a `successor()` epoch bump invalidates every
+//! stored record rather than ever serving a stale one. "Restart" here is
+//! literal within one test process: every handle (session, world, backend)
+//! is dropped, and the world is rebuilt from the file alone.
+
+use cda_core::demo::{demo_catalog, demo_kg, demo_linker, demo_vocabulary};
+use cda_core::session::{CachedAnswer, SemanticCache};
+use cda_core::storage::{FileBackend, MemBackend, StorageBackend, StoreId};
+use cda_core::{CacheStore, CdaConfig, DurableCache, Session, WorldSnapshot};
+use cda_nlmodel::lm::SimLmConfig;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("cda-integration-storage-{}-{name}.db", std::process::id()));
+    p
+}
+
+/// The demo world with a file backend attached and reconciled — what a
+/// deployment's startup path looks like. Calling it twice with the same
+/// path models a process restart: the second call finds the committed
+/// world on disk and adopts it.
+fn durable_world(path: &Path, seed: u64) -> Arc<WorldSnapshot> {
+    let backend = Arc::new(FileBackend::open(path).unwrap());
+    WorldSnapshot::builder()
+        .catalog(demo_catalog(seed))
+        .kg(demo_kg())
+        .vocab(demo_vocabulary())
+        .linker(demo_linker())
+        .lm(SimLmConfig { hallucination_rate: 0.15, overconfidence: 0.8, seed })
+        .with_storage(backend)
+        .open_shared()
+        .unwrap()
+}
+
+/// Strip the cache-note line so a served answer can be compared to the
+/// originally executed one (same discipline as the dialogue unit test).
+fn strip_cache_note(text: &str) -> String {
+    text.lines().filter(|l| !l.contains("reused") && !l.is_empty()).collect::<Vec<_>>().join("\n")
+}
+
+const QUERIES: &[&str] = &[
+    "What is the total employees in employment_by_type per canton?",
+    "and per type instead?",
+];
+
+#[test]
+fn restart_serves_byte_identical_answers_with_zero_reexecutions() {
+    let path = tmp("restart");
+    let _ = std::fs::remove_file(&path);
+
+    // First process: every analysis turn executes and is persisted.
+    let world = durable_world(&path, 1);
+    let mut first = Session::open_durable(Arc::clone(&world), CdaConfig::default()).unwrap();
+    let first_answers: Vec<_> = QUERIES.iter().map(|q| first.process(q)).collect();
+    let stats = first.stats();
+    assert_eq!(stats.cache.hits, 0, "fresh world cannot hit");
+    assert!(stats.cache.misses >= 2, "both turns should execute: {stats:?}");
+    drop(first);
+    drop(world);
+
+    // Process restart: same path, nothing else carried over.
+    let world = durable_world(&path, 1);
+    assert_eq!(world.epoch(), 0, "disk world adopted");
+    assert_eq!(world.catalog().len(), 4, "catalog reloaded from pages");
+    let mut second = Session::open_durable(Arc::clone(&world), CdaConfig::default()).unwrap();
+    let second_answers: Vec<_> = QUERIES.iter().map(|q| second.process(q)).collect();
+    let stats = second.stats();
+    assert!(stats.cache.hits >= 2, "restart must serve from the durable cache: {stats:?}");
+    assert_eq!(stats.cache.misses, 0, "an unchanged world re-executes nothing: {stats:?}");
+
+    for (a, b) in first_answers.iter().zip(&second_answers) {
+        assert_eq!(a.executed_sql, b.executed_sql);
+        assert_eq!(strip_cache_note(&a.text), strip_cache_note(&b.text));
+        assert!(
+            b.analysis.iter().any(|n| n.starts_with("[cache]")),
+            "restart answers carry the cache provenance note: {:?}",
+            b.analysis
+        );
+    }
+
+    // And the served result is exactly what re-executing would produce.
+    let sql = second_answers[0].executed_sql.as_deref().unwrap();
+    let fresh = cda_sql::execute(world.catalog().sql(), sql).unwrap();
+    let served = &second_answers[0].explanation.as_ref().unwrap().plan;
+    assert_eq!(served, &fresh.plan.explain());
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn epoch_bump_invalidates_every_cached_record() {
+    let path = tmp("epoch-bump");
+    let _ = std::fs::remove_file(&path);
+
+    let world = durable_world(&path, 1);
+    let mut s = Session::open_durable(Arc::clone(&world), CdaConfig::default()).unwrap();
+    let _ = s.process(QUERIES[0]);
+    assert!(s.stats().cache.misses >= 1);
+    let backend = Arc::clone(world.storage().unwrap());
+    assert!(backend.len(StoreId::SemanticCache).unwrap() >= 1, "record persisted");
+    drop(s);
+
+    // The world changes: a successor with a different catalog. Epoch 1 is
+    // newer than the committed epoch 0, so memory wins and stale cache
+    // records are purged during the open.
+    let next = world.successor().catalog(demo_catalog(2)).open_shared().unwrap();
+    assert_eq!(next.epoch(), 1);
+    assert!(next.stale_cache_dropped() >= 1, "epoch bump must drop the old records");
+    assert_eq!(
+        backend.len(StoreId::SemanticCache).unwrap(),
+        0,
+        "no record of epoch 0 survives the bump"
+    );
+
+    // Zero stale hits: the same question re-executes under the new world.
+    let mut s = Session::open_durable(Arc::clone(&next), CdaConfig::default()).unwrap();
+    let _ = s.process(QUERIES[0]);
+    let stats = s.stats();
+    assert_eq!(stats.cache.hits, 0, "a dropped record must never be served: {stats:?}");
+    assert!(stats.cache.misses >= 1, "the turn re-executed: {stats:?}");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn reopening_a_successor_world_adopts_the_bumped_epoch() {
+    let path = tmp("successor-reopen");
+    let _ = std::fs::remove_file(&path);
+    let world = durable_world(&path, 1);
+    let next = world.successor().catalog(demo_catalog(2)).open_shared().unwrap();
+    drop(world);
+    drop(next);
+
+    // A restart that still assembles the *old* builder state (epoch 0)
+    // must adopt the committed epoch-1 world from disk — disk wins.
+    let reopened = durable_world(&path, 1);
+    assert_eq!(reopened.epoch(), 1);
+    // demo_catalog(2) differs from demo_catalog(1) in its generated rows;
+    // the reloaded catalog must be the committed one, not the builder's.
+    let committed = demo_catalog(2);
+    let reloaded = reopened.catalog();
+    assert_eq!(reloaded.len(), committed.len());
+    let a = reloaded.get("employment_by_type").unwrap().table.as_ref().unwrap();
+    let b = committed.get("employment_by_type").unwrap().table.as_ref().unwrap();
+    assert_eq!(a, b, "disk catalog wins over the builder's");
+    let _ = std::fs::remove_file(&path);
+}
+
+/// The [`CacheStore`] contract both backends must satisfy behind one
+/// interface: miss on empty, put-then-get round trip, counters.
+fn exercise_cache_store<C: CacheStore>(cache: &mut C, answer: &CachedAnswer) {
+    assert!(cache.get(0xFEED).is_none(), "empty store must miss");
+    cache.put(0xFEED, answer.clone());
+    let got = cache.get(0xFEED).expect("stored answer must be served");
+    assert_eq!(got.sql, answer.sql);
+    assert_eq!(got.turn, answer.turn);
+    assert_eq!(got.result.table, answer.result.table);
+    assert_eq!(got.result.stats, answer.result.stats);
+    assert!(cache.len() >= 1);
+    assert!(!cache.is_empty());
+    let stats = cache.stats();
+    assert_eq!((stats.hits, stats.misses), (1, 1), "{stats:?}");
+    assert!((stats.hit_rate - 0.5).abs() < 1e-12);
+}
+
+#[test]
+fn cache_store_contract_holds_for_memory_and_durable_backends() {
+    let catalog = demo_catalog(1);
+    let sql = "SELECT canton, employees FROM employment_by_type";
+    let result = cda_sql::execute(catalog.sql(), sql).unwrap();
+    let answer = CachedAnswer { turn: 3, sql: sql.into(), result };
+
+    // In-memory backend.
+    let mut mem = SemanticCache::new();
+    exercise_cache_store(&mut mem, &answer);
+    CacheStore::clear(&mut mem);
+    assert_eq!(mem.len(), 0, "mem entries are conversation-scoped");
+
+    // Durable cache over the in-memory storage backend…
+    let world = WorldSnapshot::builder()
+        .catalog(demo_catalog(1))
+        .kg(demo_kg())
+        .with_storage(Arc::new(MemBackend::new()))
+        .open_shared()
+        .unwrap();
+    let backend = Arc::clone(world.storage().unwrap());
+    let mut durable = DurableCache::new(Arc::clone(&world), backend);
+    exercise_cache_store(&mut durable, &answer);
+    durable.clear();
+    assert!(durable.len() >= 1, "durable entries are world-scoped and survive clear");
+    assert_eq!(durable.stats().hits, 0, "clear resets the counters");
+
+    // …and over the file backend, behind the same two interfaces.
+    let path = tmp("swap");
+    let _ = std::fs::remove_file(&path);
+    let world = WorldSnapshot::builder()
+        .catalog(demo_catalog(1))
+        .kg(demo_kg())
+        .with_storage(Arc::new(FileBackend::open(&path).unwrap()))
+        .open_shared()
+        .unwrap();
+    let backend = Arc::clone(world.storage().unwrap());
+    let mut durable = DurableCache::new(world, backend);
+    exercise_cache_store(&mut durable, &answer);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn deprecated_storage_path_shim_is_byte_identical_to_with_storage() {
+    let a_path = tmp("shim-a");
+    let b_path = tmp("shim-b");
+    let _ = std::fs::remove_file(&a_path);
+    let _ = std::fs::remove_file(&b_path);
+
+    let via_builder = durable_world(&a_path, 1);
+    #[allow(deprecated)]
+    let via_shim = WorldSnapshot::builder()
+        .catalog(demo_catalog(1))
+        .kg(demo_kg())
+        .vocab(demo_vocabulary())
+        .linker(demo_linker())
+        .lm(SimLmConfig { hallucination_rate: 0.15, overconfidence: 0.8, seed: 1 })
+        .storage_path(&b_path)
+        .unwrap()
+        .open_shared()
+        .unwrap();
+
+    let mut a = Session::open_durable(via_builder, CdaConfig::default()).unwrap();
+    let mut b = Session::open_durable(via_shim, CdaConfig::default()).unwrap();
+    for q in QUERIES {
+        let ta = a.process(q);
+        let tb = b.process(q);
+        assert_eq!(ta.text, tb.text);
+        assert_eq!(ta.executed_sql, tb.executed_sql);
+        assert_eq!(ta.confidence, tb.confidence);
+        assert_eq!(ta.analysis, tb.analysis);
+    }
+    assert_eq!(a.stats(), b.stats());
+
+    // The two files carry identical logical state.
+    let ba = FileBackend::open(&a_path);
+    drop(a);
+    drop(b);
+    let ba = ba.unwrap();
+    let bb = FileBackend::open(&b_path).unwrap();
+    for &s in StoreId::ALL.iter() {
+        assert_eq!(ba.scan(s).unwrap(), bb.scan(s).unwrap(), "{s:?}");
+    }
+    let _ = std::fs::remove_file(&a_path);
+    let _ = std::fs::remove_file(&b_path);
+}
+
+#[test]
+fn durable_server_restart_reuses_verified_answers() {
+    use cda_server::{Server, ServerConfig};
+    let path = tmp("server");
+    let _ = std::fs::remove_file(&path);
+
+    let config = ServerConfig { workers: 2, durable: true, ..ServerConfig::default() };
+    let world = durable_world(&path, 1);
+    let mut server = Server::new(world, config.clone());
+    let id = server.open_session("tenant");
+    for q in QUERIES {
+        server.submit(id, q).unwrap();
+    }
+    let _ = server.drain();
+    let before = server.session_stats(id).unwrap();
+    assert!(before.cache.misses >= 2, "{before:?}");
+    drop(server);
+
+    // Server restart over the same file.
+    let world = durable_world(&path, 1);
+    let mut server = Server::new(world, config);
+    let id = server.open_session("tenant");
+    for q in QUERIES {
+        server.submit(id, q).unwrap();
+    }
+    let report = server.drain();
+    let after = server.session_stats(id).unwrap();
+    assert!(after.cache.hits >= 2, "restarted server serves from disk: {after:?}");
+    assert_eq!(after.cache.misses, 0, "{after:?}");
+    assert!(report
+        .outcomes
+        .iter()
+        .all(|o| matches!(o, cda_server::TurnOutcome::Completed(r) if !r.rendered.is_empty())));
+    let _ = std::fs::remove_file(&path);
+}

@@ -49,6 +49,14 @@ impl Dictionary {
     pub fn is_empty(&self) -> bool {
         self.to_str.is_empty()
     }
+
+    /// All interned strings in id order (id `i` is the `i`-th item).
+    /// Re-interning them in this order into a fresh dictionary reproduces
+    /// the id assignment exactly — the durable-storage codec relies on
+    /// this for byte-exact round trips.
+    pub fn strings(&self) -> impl Iterator<Item = &str> {
+        self.to_str.iter().map(String::as_str)
+    }
 }
 
 /// An encoded triple.
@@ -128,6 +136,15 @@ impl TripleStore {
     /// Mutable dictionary access (interning terms for encoded queries).
     pub fn dict_mut(&mut self) -> &mut Dictionary {
         &mut self.dict
+    }
+
+    /// All triples in SPO id order, without materializing a `Vec` (unlike
+    /// `scan(None, None, None)`). Replaying them through
+    /// [`TripleStore::insert_ids`] against a dictionary rebuilt from
+    /// [`Dictionary::strings`] reconstructs the store exactly, indexes
+    /// included.
+    pub fn triples(&self) -> impl Iterator<Item = Triple> + '_ {
+        self.spo.iter().copied()
     }
 
     /// Scan triples matching a pattern of optional ids, using the best index.

@@ -58,6 +58,13 @@ pub struct ServerConfig {
     pub session_config: CdaConfig,
     /// Quota applied to tenants without an explicit [`Server::set_quota`].
     pub default_quota: TenantQuota,
+    /// Open sessions durably: their semantic caches live in the world's
+    /// storage backend, so verified answers survive a server restart. When
+    /// the installed world has no reconciled backend (it was built rather
+    /// than opened with storage), sessions fall back to the in-memory
+    /// cache — durability is an attachment property of the world, not a
+    /// capability the server can conjure.
+    pub durable: bool,
 }
 
 impl ServerConfig {
@@ -300,8 +307,17 @@ impl Server {
         self.tenant_mut(tenant);
         let id = SessionId(self.slots.len() as u64);
         let seed = id.0 + 1;
-        let session =
-            Session::open_seeded(self.world.clone(), self.config.session_config, seed);
+        let session = if self.config.durable {
+            Session::open_durable_seeded(self.world.clone(), self.config.session_config, seed)
+                .unwrap_or_else(|_| {
+                    // The world carries no reconciled backend: honor the
+                    // open anyway with the in-memory cache (documented on
+                    // `ServerConfig::durable`).
+                    Session::open_seeded(self.world.clone(), self.config.session_config, seed)
+                })
+        } else {
+            Session::open_seeded(self.world.clone(), self.config.session_config, seed)
+        };
         self.slots.push(SessionSlot { session, tenant: tenant.to_owned(), queue: Vec::new() });
         id
     }

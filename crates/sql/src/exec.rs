@@ -80,12 +80,21 @@ pub fn execute(catalog: &Catalog, sql: &str) -> Result<QueryResult> {
 
 /// Parse, plan, optimize, and execute with explicit options.
 pub fn execute_with_options(catalog: &Catalog, sql: &str, options: ExecOptions) -> Result<QueryResult> {
-    let select = parse(sql)?;
-    let plan = plan_select(catalog, &select)?;
-    let plan = optimize(plan, options.rules);
+    let plan = optimized_plan(catalog, sql, options.rules)?;
     let mut stats = ExecStats::default();
     let table = dispatch(catalog, &plan, options, None, &mut stats)?;
     Ok(QueryResult { table, plan, stats })
+}
+
+/// Parse, plan, and optimize a SELECT without executing it — the exact plan
+/// [`execute_with_options`] would run. Planning is deterministic, so
+/// callers that persist a query's *SQL* (the durable semantic cache) can
+/// reconstruct the plan a stored result was produced by, instead of
+/// serializing plan trees.
+pub fn optimized_plan(catalog: &Catalog, sql: &str, rules: OptimizerRules) -> Result<Plan> {
+    let select = parse(sql)?;
+    let plan = plan_select(catalog, &select)?;
+    Ok(optimize(plan, rules))
 }
 
 /// Execute an already-built plan.

@@ -1,0 +1,262 @@
+//! Bounds-checked little-endian byte readers and writers.
+//!
+//! Every on-disk format in the workspace (page headers, directory entries,
+//! and the domain codecs in `cda-core::durable`) is written with
+//! [`ByteWriter`] and parsed with [`ByteReader`]. The reader never panics:
+//! a truncated or oversized field surfaces as [`StorageError::Codec`], which
+//! the recovery path treats the same as a torn page.
+
+use crate::{Result, StorageError};
+
+/// Growable little-endian byte sink.
+#[derive(Debug, Default, Clone)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty writer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consume the writer, returning the encoded bytes.
+    #[must_use]
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Append a single byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a `u32` (little-endian).
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `u64` (little-endian).
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append an `i64` (little-endian two's complement).
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append an `f64` as its IEEE-754 bit pattern (bit-exact round trip).
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Append a bool as one byte (0 or 1).
+    pub fn bool(&mut self, v: bool) {
+        self.u8(u8::from(v));
+    }
+
+    /// Append a length-prefixed byte slice (`u32` length).
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Append raw bytes with no length prefix (fixed-layout formats).
+    pub fn raw(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Append a length-prefixed UTF-8 string.
+    pub fn str(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+
+    /// Append an optional string (presence byte + payload).
+    pub fn opt_str(&mut self, v: Option<&str>) {
+        match v {
+            Some(s) => {
+                self.u8(1);
+                self.str(s);
+            }
+            None => self.u8(0),
+        }
+    }
+}
+
+/// Bounds-checked reader over an encoded byte slice.
+#[derive(Debug, Clone)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Read from the start of `buf`.
+    #[must_use]
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Error unless every byte has been consumed.
+    pub fn expect_end(&self) -> Result<()> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(StorageError::Codec(format!("{} trailing bytes", self.remaining())))
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(StorageError::Codec(format!(
+                "need {n} bytes, {} left",
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32> {
+        let s = self.take(4)?;
+        Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64> {
+        let s = self.take(8)?;
+        Ok(u64::from_le_bytes([s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7]]))
+    }
+
+    /// Read a little-endian `i64`.
+    pub fn i64(&mut self) -> Result<i64> {
+        let s = self.take(8)?;
+        Ok(i64::from_le_bytes([s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7]]))
+    }
+
+    /// Read an `f64` from its IEEE-754 bit pattern.
+    pub fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Read a bool; any byte other than 0/1 is a codec error.
+    pub fn bool(&mut self) -> Result<bool> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(StorageError::Codec(format!("invalid bool byte {other}"))),
+        }
+    }
+
+    /// Read a length-prefixed byte slice.
+    pub fn bytes(&mut self) -> Result<&'a [u8]> {
+        let n = self.u32()? as usize;
+        self.take(n)
+    }
+
+    /// Read `n` raw bytes with no length prefix.
+    pub fn raw(&mut self, n: usize) -> Result<&'a [u8]> {
+        self.take(n)
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String> {
+        let raw = self.bytes()?;
+        String::from_utf8(raw.to_vec())
+            .map_err(|_| StorageError::Codec("invalid utf-8 string".into()))
+    }
+
+    /// Read an optional string (presence byte + payload).
+    pub fn opt_str(&mut self) -> Result<Option<String>> {
+        if self.bool()? {
+            Ok(Some(self.str()?))
+        } else {
+            Ok(None)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_scalars() {
+        let mut w = ByteWriter::new();
+        w.u8(7);
+        w.u32(123_456);
+        w.u64(u64::MAX - 1);
+        w.i64(-42);
+        w.f64(-0.0);
+        w.bool(true);
+        w.str("grüezi");
+        w.bytes(&[1, 2, 3]);
+        w.opt_str(None);
+        w.opt_str(Some("x"));
+        let buf = w.finish();
+
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 123_456);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.i64().unwrap(), -42);
+        assert_eq!(r.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert!(r.bool().unwrap());
+        assert_eq!(r.str().unwrap(), "grüezi");
+        assert_eq!(r.bytes().unwrap(), &[1, 2, 3]);
+        assert_eq!(r.opt_str().unwrap(), None);
+        assert_eq!(r.opt_str().unwrap(), Some("x".into()));
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn truncated_reads_error_instead_of_panicking() {
+        let mut w = ByteWriter::new();
+        w.u64(9);
+        let buf = w.finish();
+        let mut r = ByteReader::new(&buf[..5]);
+        assert!(matches!(r.u64(), Err(StorageError::Codec(_))));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_a_codec_error() {
+        let mut w = ByteWriter::new();
+        w.u32(1_000_000); // claims a megabyte that is not there
+        let buf = w.finish();
+        let mut r = ByteReader::new(&buf);
+        assert!(matches!(r.bytes(), Err(StorageError::Codec(_))));
+    }
+
+    #[test]
+    fn invalid_bool_is_a_codec_error() {
+        let mut r = ByteReader::new(&[3]);
+        assert!(matches!(r.bool(), Err(StorageError::Codec(_))));
+    }
+}
