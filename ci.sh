@@ -35,7 +35,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== docs (rustdoc warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
 
-echo "== repolint (in-tree source conventions: R001-R009)"
+echo "== repolint (in-tree source conventions: R001-R010)"
 cargo run --release -q -p cda-analyzer --bin repolint -- .
 
 echo "== static analyzer suite (sqlcheck codes, gate consistency, absint soundness laws)"
@@ -74,6 +74,9 @@ cargo test -q -p cda-storage
 
 echo "== E20: durable storage (restart hit rate > 0, 0 stale hits, 0 torn recoveries)"
 CDA_BENCH_FAST=1 cargo run --release -q -p cda-bench --bin exp_durability
+
+echo "== E21: mutation gate (catch rate 1.0, 0 stale serves, retention 1.0, 0 sanitizer hits)"
+CDA_BENCH_FAST=1 cargo run --release -q -p cda-bench --bin exp_dml
 
 echo "== bench harness smoke (2 samples per bench, JSON artifacts)"
 CDA_BENCH_FAST=1 cargo bench -p cda-bench --bench sql

@@ -39,6 +39,15 @@
 //! materialized node output against its static domain at runtime
 //! (experiment E18; DESIGN.md §13).
 //!
+//! A sixth pass, [`effects`], is a static read/write-set analysis over
+//! bound plans and DML statements: per statement it derives
+//! `(table, columns)` read and write sets (sharpened by [`absint`] — a
+//! provably-empty WHERE makes a write a provable no-op, interval analysis
+//! bounds affected-row counts). It powers the DML soundness gate (sqlcheck
+//! A019–A023), provably-precise semantic-cache invalidation in `cda-core`,
+//! effect-overlap write serialization in `cda-server`, and the runtime
+//! effect sanitizer (`cda_sql::WriteGuard`) behind `CdaConfig::effect_check`.
+//!
 //! A fourth pass, [`equiv`], decides whether two bound plans *mean the same
 //! thing*: a canonicalization pipeline hashes every plan into a stable
 //! [`PlanFingerprint`], and a bounded refutation search over generated
@@ -53,12 +62,14 @@
 
 pub mod absint;
 pub mod cardest;
+pub mod effects;
 pub mod equiv;
 pub mod repair;
 pub mod repolint;
 pub mod sqlcheck;
 
 pub use absint::{abs_eval, abs_truth, analyze, domain_tree, row_bounds, AbsTruth, Analysis};
+pub use effects::{dml_effects, plan_effects, plan_reads, statement_effects, ColumnSet, EffectSet};
 pub use cardest::{estimate, q_error, CardEstimate, Statistics, TableStatistics};
 pub use equiv::{
     certify_optimizer, Counterexample, EquivEngine, EquivReport, EquivResult, PlanFingerprint,

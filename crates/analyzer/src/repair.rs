@@ -20,7 +20,7 @@
 
 use crate::sqlcheck::{Analyzer, Code, Report};
 use cda_dataframe::DataType;
-use cda_sql::ast::{Expr, Select};
+use cda_sql::ast::{Expr, Select, Statement};
 use cda_sql::Catalog;
 use std::fmt;
 
@@ -156,7 +156,12 @@ fn quoted_ident(message: &str) -> Option<&str> {
 /// that does not parse has no AST to repair — resampling is the only cure).
 pub fn repair_hints(catalog: &Catalog, sql: &str, report: &Report) -> Vec<RepairHint> {
     let Ok(select) = cda_sql::parser::parse(sql) else {
-        return Vec::new();
+        // Not a SELECT: DML statements get the write-gate hint derivation;
+        // anything unparseable has no AST to repair.
+        return match cda_sql::parser::parse_statement(sql) {
+            Ok(stmt) if stmt.is_write() => dml_hints(catalog, &stmt, report),
+            _ => Vec::new(),
+        };
     };
     let mut hints: Vec<RepairHint> = Vec::new();
 
@@ -246,6 +251,121 @@ pub fn repair_hints(catalog: &Catalog, sql: &str, report: &Report) -> Vec<Repair
         let h = RepairHint::FlagContradiction { detail };
         if !hints.contains(&h) {
             hints.push(h);
+        }
+    }
+
+    hints
+}
+
+/// Hint derivation for the DML write gate (A019/A020): unknown target table
+/// → nearest catalog table; unknown INSERT/SET column → nearest column of
+/// the (possibly repaired) target table; a literal whose type cannot be
+/// stored into its target column → the nearest column *of the value's type*
+/// as a [`RepairHint::RetypeColumn`].
+fn dml_hints(catalog: &Catalog, stmt: &Statement, report: &Report) -> Vec<RepairHint> {
+    let mut hints: Vec<RepairHint> = Vec::new();
+    let Some(target) = stmt.write_target() else { return hints };
+    let mut tables = catalog.table_names();
+    tables.sort();
+
+    // A019 with a table-shaped message: the write target itself is unknown.
+    for f in report.findings.iter().filter(|f| f.code == Code::UnknownWriteTarget) {
+        let Some(from) = quoted_ident(&f.message) else { continue };
+        if !f.message.contains("targets table") {
+            continue;
+        }
+        if tables.iter().any(|t| t.eq_ignore_ascii_case(from)) {
+            continue;
+        }
+        if let Some(to) = nearest_name(from, &tables) {
+            let h = RepairHint::ReplaceTable { from: from.to_owned(), to: to.to_owned() };
+            if !hints.contains(&h) {
+                hints.push(h);
+            }
+        }
+    }
+
+    // Resolve the target through a pending table repair so column hints are
+    // derived against the schema the repaired statement will bind to.
+    let resolved = hints
+        .iter()
+        .find_map(|h| match h {
+            RepairHint::ReplaceTable { from, to } if from.eq_ignore_ascii_case(target) => {
+                Some(to.clone())
+            }
+            _ => None,
+        })
+        .unwrap_or_else(|| target.to_owned());
+    let Ok(entry) = catalog.get(&resolved) else { return hints };
+    let schema = entry.table.schema();
+    let columns: Vec<String> = schema.fields().iter().map(|f| f.name().to_owned()).collect();
+
+    // A019 with a column-shaped message: unknown INSERT / SET column.
+    for f in report.findings.iter().filter(|f| f.code == Code::UnknownWriteTarget) {
+        if !f.message.contains("unknown column") {
+            continue;
+        }
+        let Some(from) = f.message.rsplit('"').nth(1).filter(|s| !s.is_empty()) else {
+            continue;
+        };
+        if columns.iter().any(|c| c.eq_ignore_ascii_case(from)) {
+            continue;
+        }
+        if let Some(to) = nearest_name(from, &columns) {
+            let h = RepairHint::ReplaceColumn { from: from.to_owned(), to: to.to_owned() };
+            if !hints.contains(&h) {
+                hints.push(h);
+            }
+        }
+    }
+
+    // A020 type faults with literal values: the written column is probably
+    // the wrong one — point at the nearest column whose type fits the value.
+    if report.findings.iter().any(|f| f.code == Code::WriteShapeMismatch) {
+        let mut typed: Vec<(&str, DataType)> = Vec::new();
+        match stmt {
+            Statement::Update(u) => {
+                for (c, e) in &u.sets {
+                    if let Expr::Literal(v) = e {
+                        if let (Some(vt), Some(f)) = (v.data_type(), schema.index_of(c)) {
+                            if let Some(field) = schema.field_at(f) {
+                                if field.data_type() != vt {
+                                    typed.push((c.as_str(), vt));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            Statement::Insert(i) if !i.columns.is_empty() => {
+                for row in &i.rows {
+                    for (c, e) in i.columns.iter().zip(row) {
+                        if let Expr::Literal(v) = e {
+                            if let (Some(vt), Some(f)) = (v.data_type(), schema.index_of(c)) {
+                                if let Some(field) = schema.field_at(f) {
+                                    if field.data_type() != vt {
+                                        typed.push((c.as_str(), vt));
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+        for (from, expected) in typed {
+            let fitting: Vec<String> = schema
+                .fields()
+                .iter()
+                .filter(|f| f.data_type() == expected)
+                .map(|f| f.name().to_owned())
+                .collect();
+            let Some(to) = nearest_name(from, &fitting) else { continue };
+            let h = RepairHint::RetypeColumn { from: from.to_owned(), to: to.to_owned(), expected };
+            if !hints.contains(&h) {
+                hints.push(h);
+            }
         }
     }
 
@@ -499,7 +619,9 @@ fn rewrite_select_exprs(select: &mut Select, mut f: impl FnMut(&mut Expr) -> boo
 /// Returns `None` when the SQL does not parse or no hint changed anything
 /// (so callers never re-gate an identical candidate).
 pub fn apply_hints(sql: &str, hints: &[RepairHint]) -> Option<String> {
-    let mut select = cda_sql::parser::parse(sql).ok()?;
+    let Ok(mut select) = cda_sql::parser::parse(sql) else {
+        return apply_hints_dml(sql, hints);
+    };
     let mut changed = false;
     for h in hints {
         match h {
@@ -537,6 +659,72 @@ pub fn apply_hints(sql: &str, hints: &[RepairHint]) -> Option<String> {
         }
     }
     changed.then(|| select.to_string())
+}
+
+/// The DML half of [`apply_hints`]: rewrite an INSERT/UPDATE/DELETE AST.
+/// Table hints rename the write target; column hints rewrite INSERT column
+/// lists, UPDATE `SET` targets, and every expression position. `LIMIT`
+/// injection and clause drops have no DML position and are skipped.
+fn apply_hints_dml(sql: &str, hints: &[RepairHint]) -> Option<String> {
+    let mut stmt = cda_sql::parser::parse_statement(sql).ok()?;
+    if !stmt.is_write() {
+        return None;
+    }
+    let mut changed = false;
+    for h in hints {
+        match h {
+            RepairHint::ReplaceTable { from, to } => {
+                let target = match &mut stmt {
+                    Statement::Insert(i) => &mut i.table,
+                    Statement::Update(u) => &mut u.table,
+                    Statement::Delete(d) => &mut d.table,
+                    Statement::Select(_) => return None,
+                };
+                if target.eq_ignore_ascii_case(from) {
+                    *target = to.clone();
+                    changed = true;
+                }
+            }
+            RepairHint::ReplaceColumn { from, to }
+            | RepairHint::RetypeColumn { from, to, .. } => match &mut stmt {
+                Statement::Insert(i) => {
+                    for c in &mut i.columns {
+                        if c.eq_ignore_ascii_case(from) {
+                            *c = to.clone();
+                            changed = true;
+                        }
+                    }
+                    for row in &mut i.rows {
+                        for e in row {
+                            changed |= rewrite_columns(e, from, to);
+                        }
+                    }
+                }
+                Statement::Update(u) => {
+                    for (c, e) in &mut u.sets {
+                        if c.eq_ignore_ascii_case(from) {
+                            *c = to.clone();
+                            changed = true;
+                        }
+                        changed |= rewrite_columns(e, from, to);
+                    }
+                    if let Some(w) = &mut u.filter {
+                        changed |= rewrite_columns(w, from, to);
+                    }
+                }
+                Statement::Delete(d) => {
+                    if let Some(w) = &mut d.filter {
+                        changed |= rewrite_columns(w, from, to);
+                    }
+                }
+                Statement::Select(_) => {}
+            },
+            RepairHint::InjectLimit { .. }
+            | RepairHint::DropTautology { .. }
+            | RepairHint::FlagContradiction { .. } => {}
+        }
+    }
+    changed.then(|| stmt.to_string())
 }
 
 impl<'a> Analyzer<'a> {
@@ -777,6 +965,72 @@ mod tests {
         assert_eq!(hints[0].code(), Code::ProvablyEmpty);
         // No AST rewrite: the candidate is returned to the decoder as-is.
         assert!(apply_hints(sql, &hints).is_none());
+    }
+
+    fn dml_hints_for(c: &Catalog, sql: &str) -> Vec<RepairHint> {
+        let a = Analyzer::new(c);
+        let report = a.analyze_statement(sql);
+        a.repair_hints(sql, &report)
+    }
+
+    #[test]
+    fn dml_unknown_table_hint_repairs_the_write_target() {
+        let c = catalog();
+        let a = Analyzer::new(&c);
+        let sql = "DELETE FROM employmet WHERE jobs < 10";
+        let report = a.analyze_statement(sql);
+        assert!(report.dooms_execution());
+        let hints = a.repair_hints(sql, &report);
+        assert_eq!(
+            hints,
+            vec![RepairHint::ReplaceTable { from: "employmet".into(), to: "employment".into() }]
+        );
+        let fixed = apply_hints(sql, &hints).unwrap();
+        assert!(fixed.starts_with("DELETE FROM employment"), "{fixed}");
+        assert!(!a.analyze_statement(&fixed).dooms_execution());
+    }
+
+    #[test]
+    fn dml_unknown_column_hint_composes_across_rounds() {
+        // Round one repairs the table; the SET column only becomes
+        // diagnosable once the target schema is known.
+        let c = catalog();
+        let a = Analyzer::new(&c);
+        let sql = "UPDATE employmet SET jbs = 5";
+        let fixed = apply_hints(sql, &a.repair_hints(sql, &a.analyze_statement(sql))).unwrap();
+        let hints = a.repair_hints(&fixed, &a.analyze_statement(&fixed));
+        assert!(
+            hints.contains(&RepairHint::ReplaceColumn { from: "jbs".into(), to: "jobs".into() }),
+            "{hints:?}"
+        );
+        let fixed = apply_hints(&fixed, &hints).unwrap();
+        assert!(!a.analyze_statement(&fixed).dooms_execution(), "{fixed}");
+    }
+
+    #[test]
+    fn dml_fractional_literal_into_int_yields_retype_hint() {
+        let c = catalog();
+        let hints = dml_hints_for(&c, "UPDATE employment SET jobs = 1.5");
+        assert_eq!(
+            hints,
+            vec![RepairHint::RetypeColumn {
+                from: "jobs".into(),
+                to: "rate".into(),
+                expected: DataType::Float,
+            }]
+        );
+        let fixed = apply_hints("UPDATE employment SET jobs = 1.5", &hints).unwrap();
+        let a = Analyzer::new(&c);
+        assert!(!a.analyze_statement(&fixed).dooms_execution(), "{fixed}");
+        assert!(fixed.contains("rate"), "{fixed}");
+    }
+
+    #[test]
+    fn clean_dml_yields_no_hints_and_no_rewrite() {
+        let c = catalog();
+        let sql = "INSERT INTO employment (canton, sector, jobs, rate) VALUES ('BE', 'edu', 3, 0.3)";
+        assert!(dml_hints_for(&c, sql).is_empty());
+        assert!(apply_hints(sql, &[RepairHint::InjectLimit { rows: 1 }]).is_none());
     }
 
     #[test]

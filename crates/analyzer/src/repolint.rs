@@ -52,6 +52,16 @@
 //!   are exempt by path; tests/benches/examples write scratch files freely.
 //!   A deliberate exception needs `// lint: allow(R009)` and a
 //!   justification.
+//! * **R010** — no direct `.replace_table(` calls on product paths outside
+//!   the mutation gate. Every catalog/dataset mutation must flow through
+//!   the DML effects gate (`cda_core::mutation`): analyze → effect
+//!   derivation → write-guarded execution → precise cache invalidation.
+//!   A bare `Catalog::replace_table` call skips all four. The gate modules
+//!   (`crates/core/src/mutation.rs`, `crates/core/src/catalog.rs`) commit
+//!   replacements by design and are exempt by path; tests/benches/examples
+//!   mutate scratch catalogs freely. A deliberate exception needs
+//!   `// lint: allow(R010)` and a justification. The pattern is
+//!   dot-prefixed, so the method's own definition never matches.
 //!
 //! The scanner strips comments and string/char-literal *contents* (keeping
 //! delimiters and line structure) before matching, so a doc comment that
@@ -272,6 +282,14 @@ const R009_STORAGE_TREE: &str = "crates/storage/";
 /// This linter reads sources from disk by design; R009 exempts it by path.
 const R009_LINTER_MODULE: &str = "crates/analyzer/src/repolint.rs";
 
+/// The call pattern R010 bans: dot-prefixed so the method's definition in
+/// `crates/sql/src/catalog.rs` never matches, only call sites do.
+const R010_PATTERN: &str = ".replace_table(";
+
+/// The product paths allowed to commit table replacements: the effects-gated
+/// mutation pipeline and the world-catalog layer it commits through.
+const R010_GATE_MODULES: &[&str] = &["crates/core/src/mutation.rs", "crates/core/src/catalog.rs"];
+
 fn has_allow(lines: &[&str], idx: usize, code: &str) -> bool {
     let needle = format!("lint: allow({code})");
     let hit = |l: &str| l.contains(&needle);
@@ -473,6 +491,27 @@ pub fn lint_source(file: &str, source: &str, kind: FileKind) -> Vec<Violation> {
                              `cda_storage::StorageBackend`; only the storage crate \
                              ({R009_STORAGE_TREE}) performs file I/O, or escape with \
                              `// lint: allow(R009)` and a justification"
+                        ),
+                    });
+                }
+            }
+            {
+                let p = file.replace('\\', "/");
+                if kind != FileKind::TestOrBench
+                    && !R010_GATE_MODULES.iter().any(|m| p.ends_with(m))
+                    && sl.contains(R010_PATTERN)
+                    && !has_allow(&raw_lines, idx, "R010")
+                {
+                    out.push(Violation {
+                        code: "R010",
+                        file: file.into(),
+                        line: idx + 1,
+                        message: format!(
+                            "`{R010_PATTERN}` on a product path — catalog mutation must flow \
+                             through the effects gate (`cda_core::mutation`: analyze, derive \
+                             effects, write-guarded execute, precise invalidation); only the \
+                             gate modules commit replacements, or escape with \
+                             `// lint: allow(R010)` and a justification"
                         ),
                     });
                 }
@@ -846,6 +885,41 @@ mod tests {
             "{DOC}// std::fs is banned here\nfn f() {{ let _ = \"std::fs::read\"; }}\n"
         );
         assert!(codes("crates/core/src/demo.rs", &benign, FileKind::Product).is_empty(), "{benign}");
+    }
+
+    #[test]
+    fn r010_flags_direct_replace_table_on_product_paths() {
+        let src = format!("{DOC}fn f() {{ catalog.replace_table(\"emp\", t)?; }}\n");
+        assert_eq!(codes("crates/core/src/dialogue.rs", &src, FileKind::Product), vec!["R010"]);
+        assert_eq!(codes("crates/server/src/server.rs", &src, FileKind::Product), vec!["R010"]);
+    }
+
+    #[test]
+    fn r010_exempts_gate_modules_tests_and_escapes() {
+        let src = format!("{DOC}fn f() {{ catalog.replace_table(\"emp\", t)?; }}\n");
+        // the mutation gate and the world-catalog layer commit by design
+        assert!(codes("crates/core/src/mutation.rs", &src, FileKind::Product).is_empty());
+        assert!(codes("crates/core/src/catalog.rs", &src, FileKind::Product).is_empty());
+        // tests, benches, and examples mutate scratch catalogs freely
+        assert!(codes("crates/sql/tests/dml.rs", &src, FileKind::TestOrBench).is_empty());
+        // explicit escape with justification
+        let escaped = format!(
+            "{DOC}// lint: allow(R010) fixture reset path, not a user write\n\
+             fn f() {{ catalog.replace_table(\"emp\", t)?; }}\n"
+        );
+        assert!(codes("crates/core/src/demo.rs", &escaped, FileKind::Product).is_empty());
+        // #[cfg(test)] modules inside product files are exempt too
+        let in_tests = format!(
+            "{DOC}pub fn f() {{}}\n#[cfg(test)]\nmod tests {{\n    fn t() {{ \
+             c.replace_table(\"emp\", t); }}\n}}\n"
+        );
+        assert!(codes("crates/core/src/demo.rs", &in_tests, FileKind::Product).is_empty());
+        // the definition itself (no leading dot) and mentions never fire
+        let benign = format!(
+            "{DOC}// call .replace_table( via the gate\npub fn replace_table(x: T) {{ \
+             let _ = \".replace_table(\"; }}\n"
+        );
+        assert!(codes("crates/sql/src/catalog.rs", &benign, FileKind::Product).is_empty(), "{benign}");
     }
 
     #[test]

@@ -31,8 +31,9 @@
 
 use crate::cardest::{estimate, CardEstimate, Statistics};
 use cda_dataframe::kernels::AggKind;
-use cda_dataframe::{DataType, Schema, Value};
-use cda_sql::ast::{BinaryOp, Expr, Select, SelectItem};
+use cda_dataframe::{DataType, Field, Schema, Value};
+use cda_sql::ast::{BinaryOp, Expr, Select, SelectItem, Statement};
+use cda_sql::dml::plan_dml;
 use cda_sql::optimizer::fold_expr;
 use cda_sql::plan::{BoundExpr, Plan};
 use cda_sql::planner::plan_select;
@@ -112,6 +113,24 @@ pub enum Code {
     /// error under 3VL (e.g. a `NeverNull` numerator divided by a divisor
     /// whose domain is exactly `{0}`, with at least one guaranteed row).
     ProvableRuntimeError,
+    /// A019 — a DML statement targets an unknown table or column
+    /// (INSERT column list, UPDATE SET target, or the statement's table).
+    UnknownWriteTarget,
+    /// A020 — a DML statement's shape cannot execute: INSERT row arity
+    /// differs from its column list, a non-constant INSERT value, or a
+    /// value whose type cannot be written into the target column.
+    WriteShapeMismatch,
+    /// A021 — the write is a provable no-op: its WHERE clause is provably
+    /// empty (constant-folded or refuted by abstract interpretation), so no
+    /// row can match.
+    ProvablyNoopWrite,
+    /// A022 — a DELETE provably removes every row of the table (no WHERE
+    /// clause, or one that is provably true on all current rows).
+    FullTableDelete,
+    /// A023 — a write narrows the stored type (FLOAT value into an INT
+    /// column): it only succeeds for lossless values and will abort on any
+    /// fractional one.
+    NarrowingWrite,
 }
 
 impl Code {
@@ -136,6 +155,11 @@ impl Code {
             Code::DataGroundedTautology => "A016",
             Code::ProvablyNullColumn => "A017",
             Code::ProvableRuntimeError => "A018",
+            Code::UnknownWriteTarget => "A019",
+            Code::WriteShapeMismatch => "A020",
+            Code::ProvablyNoopWrite => "A021",
+            Code::FullTableDelete => "A022",
+            Code::NarrowingWrite => "A023",
         }
     }
 
@@ -150,7 +174,9 @@ impl Code {
             | Code::UnsatisfiablePredicate
             | Code::DivisionByZero
             | Code::ColumnOutOfRange
-            | Code::ProvableRuntimeError => Severity::Reject,
+            | Code::ProvableRuntimeError
+            | Code::UnknownWriteTarget
+            | Code::WriteShapeMismatch => Severity::Reject,
             Code::TautologicalFilter
             | Code::CartesianJoin
             | Code::LimitZero
@@ -159,7 +185,10 @@ impl Code {
             | Code::UncertifiedRewrite
             | Code::ProvablyEmpty
             | Code::DataGroundedTautology
-            | Code::ProvablyNullColumn => Severity::Warn,
+            | Code::ProvablyNullColumn
+            | Code::ProvablyNoopWrite
+            | Code::FullTableDelete
+            | Code::NarrowingWrite => Severity::Warn,
         }
     }
 
@@ -178,6 +207,8 @@ impl Code {
                 | Code::DivisionByZero
                 | Code::ColumnOutOfRange
                 | Code::ProvableRuntimeError
+                | Code::UnknownWriteTarget
+                | Code::WriteShapeMismatch
         )
     }
 }
@@ -462,6 +493,175 @@ impl<'a> Analyzer<'a> {
         report
     }
 
+    /// Statically analyze any supported statement. SELECTs get the full
+    /// query gate ([`analyze`](Self::analyze)); INSERT/UPDATE/DELETE get the
+    /// DML write gate ([`analyze_dml`](Self::analyze_dml)). Never executes.
+    pub fn analyze_statement(&self, sql: &str) -> Report {
+        match cda_sql::parser::parse_statement(sql) {
+            Ok(Statement::Select(_)) => self.analyze(sql),
+            Ok(stmt) => self.analyze_dml(&stmt),
+            Err(e) => {
+                let mut report = Report { row_budget: self.row_budget, ..Report::default() };
+                report.push(Code::SyntaxError, format!("the statement is not valid SQL ({e})"));
+                report
+            }
+        }
+    }
+
+    /// The DML soundness gate: statically analyze a parsed
+    /// INSERT/UPDATE/DELETE against the catalog, raising A019–A023 plus the
+    /// plan, abstract-interpretation, and cost passes over the statement's
+    /// read side (so a filtered write still gets A006/A007/A008 checks and
+    /// an A013 affected-row governor). Never executes.
+    pub fn analyze_dml(&self, stmt: &Statement) -> Report {
+        let mut report = Report { row_budget: self.row_budget, ..Report::default() };
+        let Some(target) = stmt.write_target() else {
+            report.push(
+                Code::SyntaxError,
+                "the statement is a SELECT, not DML — use the query gate",
+            );
+            return report;
+        };
+        let Ok(entry) = self.catalog.get(target) else {
+            report.push(
+                Code::UnknownWriteTarget,
+                format!(
+                    "the write targets table {target:?}, which does not exist (available: {})",
+                    self.catalog.table_names().join(", ")
+                ),
+            );
+            return report;
+        };
+        let schema = entry.table.schema().clone();
+        let scope = TableScope { entries: vec![(target.to_owned(), schema.clone())] };
+        let no_aliases: [String; 0] = [];
+        if self.ast_pass {
+            match stmt {
+                Statement::Select(_) => return report,
+                Statement::Insert(i) => {
+                    for c in &i.columns {
+                        if schema.index_of(c).is_none() {
+                            report.push(
+                                Code::UnknownWriteTarget,
+                                format!("INSERT into {target:?} names unknown column {c:?}"),
+                            );
+                        }
+                    }
+                    let width =
+                        if i.columns.is_empty() { schema.len() } else { i.columns.len() };
+                    for row in &i.rows {
+                        if row.len() != width {
+                            report.push(
+                                Code::WriteShapeMismatch,
+                                format!(
+                                    "an INSERT row supplies {} values for {} columns",
+                                    row.len(),
+                                    width
+                                ),
+                            );
+                            continue;
+                        }
+                        for (k, expr) in row.iter().enumerate() {
+                            check_expr(expr, &scope, &no_aliases, &mut report);
+                            let idx = if i.columns.is_empty() {
+                                Some(k)
+                            } else {
+                                i.columns.get(k).and_then(|c| schema.index_of(c))
+                            };
+                            if let (Some(field), Some(vt)) =
+                                (idx.and_then(|i| schema.field_at(i)), infer_type(expr, &scope))
+                            {
+                                check_write_type(target, field, vt, expr, &mut report);
+                            }
+                        }
+                    }
+                }
+                Statement::Update(u) => {
+                    for (c, expr) in &u.sets {
+                        check_expr(expr, &scope, &no_aliases, &mut report);
+                        match schema.index_of(c) {
+                            None => report.push(
+                                Code::UnknownWriteTarget,
+                                format!("UPDATE {target:?} SET names unknown column {c:?}"),
+                            ),
+                            Some(idx) => {
+                                if let (Some(field), Some(vt)) =
+                                    (schema.field_at(idx), infer_type(expr, &scope))
+                                {
+                                    check_write_type(target, field, vt, expr, &mut report);
+                                }
+                            }
+                        }
+                    }
+                    if let Some(w) = &u.filter {
+                        check_expr(w, &scope, &no_aliases, &mut report);
+                    }
+                }
+                Statement::Delete(d) => {
+                    if let Some(w) = &d.filter {
+                        check_expr(w, &scope, &no_aliases, &mut report);
+                    }
+                }
+            }
+        }
+        if report.dooms_execution() {
+            return report;
+        }
+        // Deep pass: bind the statement; residual errors (non-constant
+        // INSERT values, values that can never be stored) are shape faults.
+        let plan = match plan_dml(self.catalog, stmt) {
+            Ok(p) => p,
+            Err(e) => {
+                report.push(
+                    Code::WriteShapeMismatch,
+                    format!("the write cannot be bound to a plan ({e})"),
+                );
+                return report;
+            }
+        };
+        if let Some(read) = plan.read_plan() {
+            if self.plan_pass {
+                check_plan(&read, &mut report);
+            }
+            let analysis = self.absint.then(|| crate::absint::analyze(&read, self.stats));
+            let provably_empty = analysis.as_ref().and_then(|a| a.provably_empty.clone());
+            let shallow_empty =
+                report.findings.iter().any(|f| f.code == Code::UnsatisfiablePredicate);
+            let noop = provably_empty.is_some() || shallow_empty;
+            if noop {
+                let verb = if matches!(stmt, Statement::Delete(_)) { "DELETE" } else { "UPDATE" };
+                let why = provably_empty
+                    .unwrap_or_else(|| "its WHERE clause constant-folds to FALSE".to_owned());
+                report.push(
+                    Code::ProvablyNoopWrite,
+                    format!("the {verb} provably affects no rows: {why}"),
+                );
+            }
+            if let Statement::Delete(d) = stmt {
+                let full = if noop {
+                    None
+                } else if d.filter.is_none() {
+                    Some("it has no WHERE clause".to_owned())
+                } else if report.findings.iter().any(|f| f.code == Code::TautologicalFilter)
+                    || analysis.as_ref().is_some_and(|a| !a.tautologies.is_empty())
+                {
+                    Some("its WHERE clause is true on every current row".to_owned())
+                } else {
+                    None
+                };
+                if let Some(why) = full {
+                    report.push(
+                        Code::FullTableDelete,
+                        format!("the DELETE provably removes every row of {target:?} ({why})"),
+                    );
+                }
+            }
+            // A013 governor over the affected-row bound.
+            self.cost_pass(&read, &mut report);
+        }
+        report
+    }
+
     /// Statically analyze an already-bound logical plan: the plan pass
     /// (constant-folded predicates, cartesian joins, division by literal
     /// zero, out-of-range columns, `LIMIT 0`) plus the cost pass when
@@ -579,6 +779,43 @@ fn attach_spans(report: &mut Report, sql: &str) {
             f.span = Some(pos..pos + ident.len());
         }
     }
+}
+
+/// A020/A023: can a value of inferred type `vt` be stored into `field`?
+/// Mirrors the runtime coercion rules of `cda_sql::dml` (NULL is universal,
+/// INT widens to FLOAT/TIMESTAMP, FLOAT narrows to INT only when lossless).
+fn check_write_type(target: &str, field: &Field, vt: DataType, expr: &Expr, report: &mut Report) {
+    let col = field.name();
+    let ct = field.data_type();
+    let compatible = ct == vt
+        || (ct == DataType::Float && vt == DataType::Int)
+        || (ct == DataType::Timestamp && vt == DataType::Int);
+    if compatible {
+        return;
+    }
+    if ct == DataType::Int && vt == DataType::Float {
+        if let Expr::Literal(Value::Float(x)) = expr {
+            if x.fract() != 0.0 {
+                report.push(
+                    Code::WriteShapeMismatch,
+                    format!("value {x} can never be stored into INT column {target}.{col}"),
+                );
+                return;
+            }
+        }
+        report.push(
+            Code::NarrowingWrite,
+            format!(
+                "writing a FLOAT value into INT column {target}.{col} narrows the stored \
+                 type and aborts on any fractional value"
+            ),
+        );
+        return;
+    }
+    report.push(
+        Code::WriteShapeMismatch,
+        format!("a {vt} value cannot be written into column {target}.{col} of type {ct}"),
+    );
 }
 
 fn map_plan_error(e: &SqlError) -> Code {

@@ -28,6 +28,11 @@ const CODES: &[(Code, &str, &str)] = &[
     (Code::DataGroundedTautology, "A016", "warn"),
     (Code::ProvablyNullColumn, "A017", "warn"),
     (Code::ProvableRuntimeError, "A018", "reject"),
+    (Code::UnknownWriteTarget, "A019", "reject"),
+    (Code::WriteShapeMismatch, "A020", "reject"),
+    (Code::ProvablyNoopWrite, "A021", "warn"),
+    (Code::FullTableDelete, "A022", "warn"),
+    (Code::NarrowingWrite, "A023", "warn"),
 ];
 
 /// The four payload shapes a finding can carry.
@@ -170,6 +175,58 @@ fn absint_findings_render_pinned() {
         (
             Finding::new(Code::ProvableRuntimeError, "evaluating n / z provably fails at runtime"),
             "[A018 reject] evaluating n / z provably fails at runtime",
+        ),
+    ];
+    for (f, want) in cases {
+        assert_eq!(f.render(&opts), want);
+    }
+}
+
+#[test]
+fn dml_gate_findings_render_pinned() {
+    // The message shapes `Analyzer::analyze_dml` produces for A019..A023,
+    // pinned byte for byte under the default options.
+    let opts = RenderOpts::default();
+    let cases = [
+        (
+            Finding::new(
+                Code::UnknownWriteTarget,
+                "the write targets table \"emp2\", which does not exist (available: emp)",
+            ),
+            "[A019 reject] the write targets table \"emp2\", which does not exist \
+             (available: emp)",
+        ),
+        (
+            Finding::new(
+                Code::WriteShapeMismatch,
+                "an INSERT row supplies 2 values for 3 columns",
+            ),
+            "[A020 reject] an INSERT row supplies 2 values for 3 columns",
+        ),
+        (
+            Finding::new(
+                Code::ProvablyNoopWrite,
+                "the UPDATE provably affects no rows: its WHERE clause constant-folds to FALSE",
+            ),
+            "[A021 warn] the UPDATE provably affects no rows: its WHERE clause \
+             constant-folds to FALSE",
+        ),
+        (
+            Finding::new(
+                Code::FullTableDelete,
+                "the DELETE provably removes every row of \"emp\" (it has no WHERE clause)",
+            ),
+            "[A022 warn] the DELETE provably removes every row of \"emp\" (it has no \
+             WHERE clause)",
+        ),
+        (
+            Finding::new(
+                Code::NarrowingWrite,
+                "writing a FLOAT value into INT column emp.id narrows the stored type and \
+                 aborts on any fractional value",
+            ),
+            "[A023 warn] writing a FLOAT value into INT column emp.id narrows the stored \
+             type and aborts on any fractional value",
         ),
     ];
     for (f, want) in cases {

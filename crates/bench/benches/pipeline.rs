@@ -1,9 +1,12 @@
 //! Criterion bench for experiment E9: full conversation turns through the
 //! compound system, per turn type, plus the soundness-layer cost knob —
 //! the E19 companion group timing a multiplexed server drain of the same
-//! turn mix, and the E20 `storage_io` group timing the paged storage layer
-//! (world sync, reopen, durable cache round trips), so per-turn,
-//! per-server, and per-page costs sit side by side.
+//! turn mix, the E20 `storage_io` group timing the paged storage layer
+//! (world sync, reopen, durable cache round trips), and the E21
+//! `dml_invalidation` group timing the mutation gate (static effect
+//! derivation, gate rejection, and a full guarded write committing a
+//! successor world over a warm cache), so per-turn, per-server, per-page,
+//! and per-write costs sit side by side.
 
 use cda_testkit::bench::{BatchSize, Criterion};
 use cda_testkit::{criterion_group, criterion_main};
@@ -188,5 +191,52 @@ fn bench_storage(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_pipeline, bench_server, bench_storage);
+fn bench_dml(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dml_invalidation");
+    group.sample_size(20);
+
+    const UPDATE: &str =
+        "UPDATE employment_by_type SET employees = employees + 1 WHERE canton = 'ZH'";
+    const DOOMED: &str = "UPDATE employment_by_type SET missing_col = 1";
+
+    // Static effect derivation alone (parse + bind + absint sharpening).
+    group.bench_function("statement_effects", |b| {
+        let catalog = demo_catalog(1);
+        let stmt = cda_sql::parser::parse_statement(UPDATE).unwrap();
+        b.iter(|| cda_analyzer::statement_effects(catalog.sql(), &stmt, None).unwrap())
+    });
+
+    // The static gate rejecting a doomed write — nothing executes.
+    group.bench_function("gate_reject", |b| {
+        b.iter_batched(
+            || {
+                let mut s = demo_session(1);
+                s.config.repair_rounds = 0;
+                s
+            },
+            |mut s| s.apply_sql(DOOMED),
+            BatchSize::SmallInput,
+        )
+    });
+
+    // A full gated write: analyze, derive effects, execute under the
+    // guard, commit a successor world, and precisely invalidate a warm
+    // cache holding one intersecting and one disjoint answer.
+    group.bench_function("gated_update_commit", |b| {
+        b.iter_batched(
+            || {
+                let mut s = demo_session(1);
+                s.config.effect_check = true;
+                s.process("What is the total employees in employment_by_type per canton?");
+                s.process("What is the average median_wage in wage_stats per canton?");
+                s
+            },
+            |mut s| s.apply_sql(UPDATE),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline, bench_server, bench_storage, bench_dml);
 criterion_main!(benches);

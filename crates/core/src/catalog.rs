@@ -86,13 +86,39 @@ impl DatasetCatalog {
             self.sql
                 .register_with_description(&dataset.name, table.clone(), &dataset.description)
                 .map_err(|e| CdaError::Substrate(e.to_string()))?;
-            // Tables are immutable once registered, so one collection pass
-            // keeps the cardinality estimator's bounds sound forever.
+            // One collection pass here keeps the cardinality estimator's
+            // bounds sound until the table's data changes; DML commits go
+            // through `replace_table`, which re-collects for the new data.
             self.stats.insert(&dataset.name, table);
         }
         self.embeddings.push(hash_embed(&dataset.discovery_text(), EMBED_DIM));
         self.datasets.push(dataset);
         self.rebuild_index();
+        Ok(())
+    }
+
+    /// Replace a registered dataset's tabular data in place — the commit
+    /// half of the DML gate (`crate::mutation`): the SQL catalog swaps the
+    /// table under its preserved provenance tag, and the per-table
+    /// statistics are re-collected so the cardinality estimator's bounds
+    /// stay sound for the new data. The replacement must keep the exact
+    /// schema (DML rewrites data, not shape); discovery embeddings and the
+    /// vector index describe the dataset's *description*, which is
+    /// unchanged, so neither is rebuilt.
+    pub fn replace_table(&mut self, name: &str, table: Table) -> Result<()> {
+        let ds = self
+            .datasets
+            .iter_mut()
+            .find(|d| d.name.eq_ignore_ascii_case(name))
+            .ok_or_else(|| CdaError::UnknownDataset(name.to_owned()))?;
+        if ds.table.is_none() {
+            return Err(CdaError::Substrate(format!("dataset {name:?} holds no tabular data")));
+        }
+        self.sql
+            .replace_table(name, table.clone())
+            .map_err(|e| CdaError::Substrate(e.to_string()))?;
+        self.stats.insert(&ds.name, &table);
+        ds.table = Some(table);
         Ok(())
     }
 

@@ -37,7 +37,7 @@ impl Session {
     /// on the vectorized morsel-parallel engine when `vectorized_exec` is on
     /// (both engines produce byte-identical results — E17 / the vectorized
     /// differential suite — so this only moves wall-clock).
-    fn exec_options(&self) -> cda_sql::ExecOptions {
+    pub(crate) fn exec_options(&self) -> cda_sql::ExecOptions {
         if self.config.vectorized_exec {
             cda_sql::ExecOptions::vectorized()
         } else {
@@ -80,26 +80,43 @@ impl Session {
         let utt_lin = self.lineage_node(NodeKind::Utterance(utterance.to_owned()), &[]);
 
         let t_nl = Instant::now();
-        let intent = classify_intent(utterance, !self.state.offered.is_empty());
-        let nl_elapsed = t_nl.elapsed();
-        let intent_lin = self.lineage_node(
-            NodeKind::ModelCall(format!(
-                "intent={} confidence={:.2}",
-                intent.intent.label(),
-                intent.confidence
-            )),
-            &[utt_lin],
-        );
-
-        let mut answer = match intent.intent {
-            Intent::DatasetDiscovery => self.handle_discovery(utterance, intent_lin),
-            Intent::DatasetDescription => self.handle_description(utterance, intent_lin),
-            Intent::Selection => self.handle_selection(utterance, intent_lin),
-            Intent::TimeSeriesInsight => self.handle_timeseries(intent_lin),
-            Intent::Analysis => self.handle_analysis(utterance, intent_lin),
-            Intent::Unclear => self.handle_unclear(intent_lin),
+        // SQL DML typed at the prompt is unambiguous — a parseable write
+        // routes straight to the mutation gate (`crate::mutation`), before
+        // the probabilistic intent classifier gets a say.
+        let is_dml = cda_sql::parser::parse_statement(utterance)
+            .map(|s| s.is_write())
+            .unwrap_or(false);
+        let (intent_label, answer) = if is_dml {
+            let nl_elapsed = t_nl.elapsed();
+            let intent_lin = self.lineage_node(
+                NodeKind::ModelCall("intent=mutation confidence=1.00".to_owned()),
+                &[utt_lin],
+            );
+            let mut a = self.handle_mutation(utterance, intent_lin);
+            a.timings.nl_model += nl_elapsed;
+            ("mutation", a)
+        } else {
+            let intent = classify_intent(utterance, !self.state.offered.is_empty());
+            let nl_elapsed = t_nl.elapsed();
+            let intent_lin = self.lineage_node(
+                NodeKind::ModelCall(format!(
+                    "intent={} confidence={:.2}",
+                    intent.intent.label(),
+                    intent.confidence
+                )),
+                &[utt_lin],
+            );
+            let mut a = match intent.intent {
+                Intent::DatasetDiscovery => self.handle_discovery(utterance, intent_lin),
+                Intent::DatasetDescription => self.handle_description(utterance, intent_lin),
+                Intent::Selection => self.handle_selection(utterance, intent_lin),
+                Intent::TimeSeriesInsight => self.handle_timeseries(intent_lin),
+                Intent::Analysis => self.handle_analysis(utterance, intent_lin),
+                Intent::Unclear => self.handle_unclear(intent_lin),
+            };
+            a.timings.nl_model += nl_elapsed;
+            (intent.intent.label(), a)
         };
-        answer.timings.nl_model += nl_elapsed;
 
         // Conversation graph bookkeeping, including alternatives (P5).
         let sys_node = self.conversation.add_node(
@@ -122,7 +139,7 @@ impl Session {
         self.query_log.record(crate::log::LogEntry {
             turn,
             utterance: utterance.to_owned(),
-            intent: intent.intent.label().to_owned(),
+            intent: intent_label.to_owned(),
             code: answer.executed_sql.clone(),
             outcome: match answer.status {
                 AnswerStatus::Answered => crate::log::LoggedOutcome::Answered,
@@ -201,6 +218,72 @@ impl Session {
         a.status = AnswerStatus::AskedClarification;
         a.tag(PropertyTag::Guidance);
         a
+    }
+
+    /// A DML utterance, routed through the mutation gate
+    /// ([`Session::apply_sql`](crate::mutation)). The gate stages static
+    /// analysis → repair → effect derivation → guarded execution → precise
+    /// invalidation; this handler only renders the decision as a turn.
+    fn handle_mutation(&mut self, sql: &str, parent: usize) -> AnswerTurn {
+        let t_sound = Instant::now();
+        let decision = self.apply_sql(sql);
+        let elapsed = t_sound.elapsed();
+        let mut answer = match decision {
+            Ok(crate::mutation::WriteDecision::Applied(o)) => {
+                let text = if o.committed {
+                    format!(
+                        "Applied: {} row(s) affected in {}. The world advanced to epoch {} \
+                         and {} cached answer(s) touching the written data were invalidated; \
+                         everything else stays warm.",
+                        o.affected,
+                        o.table.replace('_', " "),
+                        o.epoch,
+                        o.cache_invalidated
+                    )
+                } else {
+                    format!(
+                        "The statement matched no rows in {} — nothing was modified, so the \
+                         world stays at epoch {} and every cached answer remains valid.",
+                        o.table.replace('_', " "),
+                        o.epoch
+                    )
+                };
+                let query_lin = self.lineage_node(NodeKind::Query(o.sql.clone()), &[parent]);
+                let _ = self.lineage_node(
+                    NodeKind::Computation(format!(
+                        "mutation: {} row(s), epoch {}, effects {}",
+                        o.affected, o.epoch, o.effects
+                    )),
+                    &[query_lin],
+                );
+                let mut a = AnswerTurn::answered(text).with_confidence(1.0);
+                a.executed_sql = Some(o.sql);
+                a.analysis.push(format!("[effects] {}", o.effects));
+                a.analysis.extend(o.repairs);
+                a
+            }
+            Ok(crate::mutation::WriteDecision::Rejected { annotations, summary }) => {
+                let mut a = AnswerTurn::answered(format!(
+                    "Static analysis rejected the write before execution: {summary}. \
+                     Nothing was modified."
+                ));
+                a.status = AnswerStatus::Abstained("write rejected by the DML gate".into());
+                a.analysis = annotations;
+                a.tag(PropertyTag::Soundness);
+                a
+            }
+            Err(e) => {
+                // Execution or sanitizer failure: the write did not commit.
+                let mut a = AnswerTurn::answered(format!(
+                    "The write failed during execution and was not committed: {e}."
+                ));
+                a.status = AnswerStatus::Abstained(format!("DML execution error: {e}"));
+                a.tag(PropertyTag::Soundness);
+                a
+            }
+        };
+        answer.timings.soundness += elapsed;
+        answer
     }
 
     fn handle_discovery(&mut self, utterance: &str, parent: usize) -> AnswerTurn {
@@ -1258,5 +1341,46 @@ mod tests {
         let mut s = demo_session(1);
         let a = s.process("What is the total employees in employment_by_type per canton?");
         assert!(a.timings.total().as_nanos() > 0);
+    }
+
+    #[test]
+    fn dml_utterance_routes_through_the_mutation_gate() {
+        let mut s = demo_session(1);
+        let epoch0 = s.epoch();
+        let a = s.process(
+            "INSERT INTO employment_by_type (canton, type, year, employees) \
+             VALUES ('ZH', 'full_time', 2025, 41000)",
+        );
+        assert_eq!(a.status, AnswerStatus::Answered, "{}", a.text);
+        assert!(a.text.contains("Applied: 1 row(s)"), "{}", a.text);
+        assert!(a.executed_sql.is_some());
+        assert!(a.properties.contains(&PropertyTag::Soundness));
+        assert!(
+            a.analysis.iter().any(|n| n.starts_with("[effects]")),
+            "the turn must carry the effect annotation: {:?}",
+            a.analysis
+        );
+        assert_eq!(s.epoch(), epoch0 + 1, "the commit advances the session's world");
+        // The query log records the deterministic mutation intent.
+        let entry = s.query_log().entries().last().unwrap();
+        assert_eq!(entry.intent, "mutation");
+        // And a follow-up analysis turn answers over the new data.
+        let after = s.process("What is the total employees in employment_by_type per canton?");
+        assert_eq!(after.status, AnswerStatus::Answered, "{}", after.text);
+    }
+
+    #[test]
+    fn doomed_dml_utterance_abstains_with_annotations() {
+        let mut s = demo_session(1);
+        s.config.repair_rounds = 0;
+        let epoch0 = s.epoch();
+        let a = s.process("DELETE FROM employment_by_type WHERE no_such_column = 3");
+        assert!(
+            matches!(a.status, AnswerStatus::Abstained(_)),
+            "a doomed write must abstain: {}",
+            a.text
+        );
+        assert!(!a.analysis.is_empty(), "gate findings must reach the transcript");
+        assert_eq!(s.epoch(), epoch0, "nothing committed");
     }
 }

@@ -26,9 +26,13 @@
 //!
 //! Epoch invalidation: every cache record carries the epoch it was
 //! executed under. A `successor()` rebuild commits the world under
-//! `epoch + 1`; on the next open `purge_stale_cache` drops every record
-//! whose stamp differs, and [`DurableCache::get`] re-checks the stamp on
-//! every hit as defense in depth — a stale entry is *never served*.
+//! `epoch + 1`; what happens to the records is decided by the builder's
+//! [`WorldDelta`](crate::world::WorldDelta): a `Schema` delta drops every
+//! record whose stamp differs (`purge_stale_cache`), a `Data` delta drops
+//! exactly the records whose re-derived read set intersects the committed
+//! write's effect set and re-stamps the survivors, and a `Statistics`
+//! delta re-stamps everything. [`DurableCache::get`] re-checks the stamp
+//! on every hit as defense in depth — a stale entry is *never served*.
 
 use crate::catalog::{Dataset, DatasetCatalog};
 use crate::rot::{Freshness, UpdateCadence};
@@ -325,6 +329,16 @@ fn cached_epoch(bytes: &[u8]) -> Result<u64> {
     ByteReader::new(bytes).u64().map_err(serr)
 }
 
+/// The epoch stamp and stored SQL of an encoded cache record — a prefix
+/// read that skips the result table, for effect-set intersection checks.
+fn cached_sql(bytes: &[u8]) -> Result<(u64, String)> {
+    let mut r = ByteReader::new(bytes);
+    let epoch = r.u64().map_err(serr)?;
+    let _turn = r.u64().map_err(serr)?;
+    let sql = r.str().map_err(serr)?;
+    Ok((epoch, sql))
+}
+
 /// Decode a cache record, re-deriving the plan from the stored SQL against
 /// `catalog` (which must be the epoch-matched catalog the record was
 /// executed under).
@@ -348,14 +362,17 @@ fn decode_cached(bytes: &[u8], catalog: &cda_sql::Catalog) -> Result<(u64, Cache
 
 // ------------------------------------------------------------ world sync --
 
-/// Persist the builder's catalog and KG under `epoch`, drop cache records
-/// stamped with any other epoch, and commit — one atomic transition.
-/// Returns the number of stale cache records dropped.
-pub(crate) fn sync_world(
+/// Persist the builder's catalog and KG under `epoch`, reconcile the
+/// semantic-cache records per `delta`
+/// ([`WorldDelta`](crate::world::WorldDelta) selects the invalidation
+/// policy), and commit — one atomic transition. Returns the number of
+/// cache records dropped.
+pub(crate) fn sync_world_delta(
     backend: &dyn StorageBackend,
     epoch: u64,
     catalog: &DatasetCatalog,
     kg: &cda_kg::TripleStore,
+    delta: &crate::world::WorldDelta,
 ) -> Result<usize> {
     backend.clear(StoreId::Datasets).map_err(serr)?;
     for (i, ds) in catalog.datasets().iter().enumerate() {
@@ -370,7 +387,13 @@ pub(crate) fn sync_world(
     let mut w = ByteWriter::new();
     w.u32(FORMAT_VERSION);
     backend.put(StoreId::Meta, META_FORMAT_KEY, &w.finish()).map_err(serr)?;
-    let dropped = purge_stale_cache(backend, epoch)?;
+    let dropped = match delta {
+        crate::world::WorldDelta::Schema => purge_stale_cache(backend, epoch)?,
+        crate::world::WorldDelta::Data(effects) => {
+            restamp_cache(backend, epoch, Some((effects, catalog.sql())))?
+        }
+        crate::world::WorldDelta::Statistics => restamp_cache(backend, epoch, None)?,
+    };
     backend.commit(epoch).map_err(serr)?;
     Ok(dropped)
 }
@@ -401,6 +424,55 @@ pub(crate) fn load_world(
         None => cda_kg::TripleStore::new(),
     };
     Ok((catalog, kg, epoch))
+}
+
+/// Precise (or data-preserving) cache reconciliation for an epoch bump
+/// whose delta proves the catalog *shape* is unchanged. With
+/// `invalidated = Some((effects, catalog))`, a record is dropped exactly
+/// when the read set of its stored SQL — re-derived by replanning against
+/// the successor catalog, sound because the schema is identical —
+/// intersects the committed write set; with `None` (statistics-only
+/// rebuild) nothing is dropped. Every surviving record stamped with an
+/// older epoch is rewritten under `epoch` (the stamp is the first 8 bytes,
+/// so the rewrite is a prefix splice). Undecodable or unplannable records
+/// are dropped conservatively. Does not commit. Returns the drop count.
+fn restamp_cache(
+    backend: &dyn StorageBackend,
+    epoch: u64,
+    invalidated: Option<(&cda_analyzer::EffectSet, &cda_sql::Catalog)>,
+) -> Result<usize> {
+    let mut stale: Vec<Vec<u8>> = Vec::new();
+    let mut restamp: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+    for (key, value) in backend.scan(StoreId::SemanticCache).map_err(serr)? {
+        let Ok((stamp, sql)) = cached_sql(&value) else {
+            stale.push(key);
+            continue;
+        };
+        if let Some((effects, catalog)) = invalidated {
+            let reads = cda_sql::exec::optimized_plan(catalog, &sql, cda_sql::OptimizerRules::all())
+                .map(|plan| cda_analyzer::plan_reads(&plan));
+            match reads {
+                Ok(reads) if !effects.invalidates(&reads) => {}
+                _ => {
+                    stale.push(key);
+                    continue;
+                }
+            }
+        }
+        if stamp != epoch {
+            let mut value = value;
+            value[..8].copy_from_slice(&epoch.to_le_bytes());
+            restamp.push((key, value));
+        }
+    }
+    let dropped = stale.len();
+    for key in stale {
+        backend.remove(StoreId::SemanticCache, &key).map_err(serr)?;
+    }
+    for (key, value) in restamp {
+        backend.put(StoreId::SemanticCache, &key, &value).map_err(serr)?;
+    }
+    Ok(dropped)
 }
 
 /// Drop every cache record whose epoch stamp differs from `epoch`.
@@ -455,6 +527,15 @@ impl DurableCache {
         self.write_errors
     }
 
+    /// Re-point the cache at a successor world (same backend). Storage-side
+    /// invalidation already happened when the successor was opened — records
+    /// the write touched are gone, survivors are re-stamped — so the cache
+    /// only has to decode against the successor catalog and epoch from now
+    /// on. Counters carry over: the conversation did not restart.
+    pub(crate) fn set_world(&mut self, world: Arc<WorldSnapshot>) {
+        self.world = world;
+    }
+
     fn entries(&self) -> usize {
         self.backend.len(StoreId::SemanticCache).unwrap_or(0)
     }
@@ -483,6 +564,16 @@ impl CacheStore for DurableCache {
         if written.is_err() {
             self.write_errors += 1;
         }
+    }
+
+    fn invalidate(&mut self, _effects: &cda_analyzer::EffectSet) -> usize {
+        // Durable records are reconciled storage-side when the successor
+        // world is opened (`sync_world_delta`): intersecting readers are
+        // removed there and survivors re-stamped, shared by every durable
+        // session over the backend. Nothing is left for this handle to do —
+        // and the epoch check in `get` keeps any record the reconciliation
+        // missed from ever being served.
+        0
     }
 
     fn clear(&mut self) {
@@ -572,7 +663,9 @@ mod tests {
         let backend = MemBackend::new();
         let catalog = demo_catalog(7);
         let kg = demo_kg();
-        let dropped = sync_world(&backend, 3, &catalog, &kg).unwrap();
+        let dropped =
+            sync_world_delta(&backend, 3, &catalog, &kg, &crate::world::WorldDelta::Schema)
+                .unwrap();
         assert_eq!(dropped, 0);
         let (cat2, kg2, epoch) = load_world(&backend).unwrap();
         assert_eq!(epoch, 3);

@@ -45,6 +45,7 @@ pub mod demo;
 pub mod dialogue;
 pub mod durable;
 pub mod log;
+pub mod mutation;
 pub mod reliability;
 pub mod rot;
 pub mod session;
@@ -54,10 +55,11 @@ pub mod world;
 pub use answer::{AnswerTurn, PropertyTag};
 pub use catalog::{Dataset, DatasetCatalog};
 pub use durable::DurableCache;
+pub use mutation::{WriteDecision, WriteOutcome};
 pub use reliability::CdaConfig;
 pub use session::{CacheStats, CacheStore, Session, SessionStats};
 pub use system::CdaSystem;
-pub use world::WorldSnapshot;
+pub use world::{WorldDelta, WorldSnapshot};
 
 /// The storage layer, re-exported so callers assembling a durable world
 /// (`WorldSnapshot::builder().with_storage(..)`) need not depend on

@@ -60,6 +60,16 @@ pub struct CdaConfig {
     /// it is a cross-check on the analyzer, not a user-facing property, and
     /// a clean release run must stay byte-identical with it off.
     pub absint_check: bool,
+    /// Runtime cross-checking of the static effect analysis
+    /// (`cda_analyzer::effects`): DML applied through the mutation gate
+    /// (`crate::mutation`) executes under a `cda_sql::WriteGuard` built from
+    /// the statement's static write set, so a write that escapes it aborts
+    /// loudly instead of silently corrupting state the invalidation logic
+    /// believes untouched. Like [`absint_check`](Self::absint_check) it is a
+    /// cross-check on the analyzer, not a user-facing property: on in debug
+    /// builds (and CI), off in release builds, and answer-neutral when the
+    /// analyzer is sound.
+    pub effect_check: bool,
 }
 
 impl Default for CdaConfig {
@@ -80,6 +90,7 @@ impl Default for CdaConfig {
             semantic_cache: true,
             vectorized_exec: true,
             absint_check: cfg!(debug_assertions),
+            effect_check: cfg!(debug_assertions),
         }
     }
 }

@@ -67,6 +67,13 @@ pub trait CacheStore {
     fn get(&mut self, fingerprint: u64) -> Option<CachedAnswer>;
     /// Store an executed answer under its fingerprint; counts a miss.
     fn put(&mut self, fingerprint: u64, answer: CachedAnswer);
+    /// Drop exactly the stored answers a committed write invalidates —
+    /// those whose plan read set intersects `effects`
+    /// ([`EffectSet::invalidates`](cda_analyzer::EffectSet::invalidates)).
+    /// Returns the number dropped. The durable backend returns 0 here: its
+    /// records were already reconciled storage-side when the successor
+    /// world was opened.
+    fn invalidate(&mut self, effects: &cda_analyzer::EffectSet) -> usize;
     /// Forget conversation-scoped state (counters always; entries when the
     /// backend is conversation-scoped, i.e. in-memory).
     fn clear(&mut self);
@@ -137,6 +144,16 @@ impl CacheStore for SemanticCache {
         self.entries.insert(fingerprint, answer);
     }
 
+    fn invalidate(&mut self, effects: &cda_analyzer::EffectSet) -> usize {
+        let before = self.entries.len();
+        // Each entry's read set comes from the executed plan it stores, so
+        // the intersection check is exact: a retained answer provably reads
+        // no (table, column) the write touched.
+        self.entries
+            .retain(|_, e| !effects.invalidates(&cda_analyzer::plan_reads(&e.result.plan)));
+        before - self.entries.len()
+    }
+
     fn clear(&mut self) {
         self.entries.clear();
         self.hits = 0;
@@ -176,6 +193,13 @@ impl CacheStore for SessionCache {
         match self {
             Self::Mem(c) => c.put(fingerprint, answer),
             Self::Durable(c) => c.put(fingerprint, answer),
+        }
+    }
+
+    fn invalidate(&mut self, effects: &cda_analyzer::EffectSet) -> usize {
+        match self {
+            Self::Mem(c) => c.invalidate(effects),
+            Self::Durable(c) => c.invalidate(effects),
         }
     }
 
@@ -421,6 +445,40 @@ impl Session {
             conversation_nodes: self.conversation.len(),
             cache: self.semantic_cache.stats(),
         }
+    }
+
+    /// Re-point the session at a successor world snapshot after a write
+    /// committed elsewhere (the server's write lane, or another session
+    /// over the same durable backend). `effects` is the committed write's
+    /// static effect set when known: the in-memory semantic cache then
+    /// drops exactly the intersecting answers; without it the cache is
+    /// cleared conservatively. The durable cache only re-points — its
+    /// records were reconciled storage-side when the successor was opened.
+    /// Conversation state (lineage, dialogue, log, seed) is untouched: the
+    /// conversation continues, over newer data. Returns the number of
+    /// in-memory cached answers dropped.
+    pub fn adopt_world(
+        &mut self,
+        world: Arc<WorldSnapshot>,
+        effects: Option<&cda_analyzer::EffectSet>,
+    ) -> usize {
+        if Arc::ptr_eq(&self.world, &world) {
+            return 0;
+        }
+        let dropped = match (&mut self.semantic_cache, effects) {
+            (SessionCache::Mem(c), Some(e)) => c.invalidate(e),
+            (SessionCache::Mem(c), None) => {
+                let n = c.len();
+                CacheStore::clear(c);
+                n
+            }
+            (SessionCache::Durable(c), _) => {
+                c.set_world(Arc::clone(&world));
+                0
+            }
+        };
+        self.world = world;
+        dropped
     }
 
     /// Reset conversation state while keeping the shared world.

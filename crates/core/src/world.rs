@@ -16,6 +16,7 @@
 //! cloning the catalog, index, and knowledge graph.
 
 use crate::catalog::DatasetCatalog;
+use cda_analyzer::EffectSet;
 use cda_kg::linking::Linker;
 use cda_kg::vocab::Vocabulary;
 use cda_kg::TripleStore;
@@ -23,6 +24,36 @@ use cda_nlmodel::lm::SimLmConfig;
 use cda_nlmodel::nl2sql::WorkloadTable;
 use cda_storage::StorageBackend;
 use std::sync::Arc;
+
+/// What changed between a snapshot and its successor — the invalidation
+/// policy [`WorldSnapshotBuilder::open`] applies to durable semantic-cache
+/// records when memory wins the reconciliation.
+///
+/// The default, [`Schema`](WorldDelta::Schema), is the conservative
+/// pre-effects behaviour: every record stamped with another epoch is
+/// dropped. The two refinements exist because an epoch bump alone does not
+/// mean cached answers went stale:
+///
+/// * [`Data`](WorldDelta::Data) carries the committed write's static
+///   [`EffectSet`]; only records whose read set intersects the write set
+///   are dropped, and every survivor is re-stamped under the new epoch —
+///   provably precise invalidation (a cached answer reads only tables and
+///   columns, and untouched `(table, column)` pairs execute identically).
+/// * [`Statistics`](WorldDelta::Statistics) declares that no table data
+///   changed at all (a statistics-only or metadata rebuild): every record
+///   survives, re-stamped.
+#[derive(Debug, Clone, Default)]
+pub enum WorldDelta {
+    /// Catalog shape changed (registration, schema change): purge every
+    /// cache record stamped with another epoch.
+    #[default]
+    Schema,
+    /// Table data changed with these statically-derived effects: drop
+    /// exactly the intersecting readers, re-stamp the rest.
+    Data(EffectSet),
+    /// No table data changed: keep and re-stamp every record.
+    Statistics,
+}
 
 /// The shared immutable world: catalog + statistics + knowledge graph +
 /// vocabulary + linker + LM configuration, frozen at an epoch.
@@ -108,6 +139,10 @@ impl WorldSnapshot {
     /// Begin a successor snapshot: same world, epoch + 1. Mutations go
     /// through the builder; the original snapshot is untouched, so sessions
     /// holding it keep a consistent view (swap-on-mutation).
+    /// The builder's delta defaults to [`WorldDelta::Schema`] (purge-on-
+    /// mismatch); callers that know what changed narrow it with
+    /// [`WorldSnapshotBuilder::delta`] so unrelated cached answers survive
+    /// the epoch bump.
     pub fn successor(&self) -> WorldSnapshotBuilder {
         WorldSnapshotBuilder {
             epoch: self.epoch + 1,
@@ -117,6 +152,7 @@ impl WorldSnapshot {
             linker: self.linker.clone(),
             lm_config: self.lm_config.clone(),
             storage: self.storage.clone(),
+            delta: WorldDelta::Schema,
         }
     }
 
@@ -137,6 +173,7 @@ pub struct WorldSnapshotBuilder {
     linker: Linker,
     lm_config: SimLmConfig,
     storage: Option<Arc<dyn StorageBackend>>,
+    delta: WorldDelta,
 }
 
 impl Default for WorldSnapshotBuilder {
@@ -149,6 +186,7 @@ impl Default for WorldSnapshotBuilder {
             linker: Linker::new(Vec::new(), 128),
             lm_config: SimLmConfig::default(),
             storage: None,
+            delta: WorldDelta::Schema,
         }
     }
 }
@@ -181,6 +219,17 @@ impl WorldSnapshotBuilder {
     /// Set the simulated-LM configuration.
     pub fn lm(mut self, lm_config: SimLmConfig) -> Self {
         self.lm_config = lm_config;
+        self
+    }
+
+    /// Declare what changed relative to the predecessor snapshot. The
+    /// delta drives [`open`](Self::open)'s durable-cache invalidation:
+    /// [`WorldDelta::Schema`] (the default) purges by epoch,
+    /// [`WorldDelta::Data`] drops exactly the cached answers the write's
+    /// effect set intersects, and [`WorldDelta::Statistics`] keeps
+    /// everything. [`build`](Self::build) ignores it (no storage I/O).
+    pub fn delta(mut self, delta: WorldDelta) -> Self {
+        self.delta = delta;
         self
     }
 
@@ -250,8 +299,12 @@ impl WorldSnapshotBuilder {
     /// * **Backend empty, or the builder's epoch is newer** (first open, or
     ///   a [`successor`](WorldSnapshot::successor) rebuild): memory wins —
     ///   the builder's catalog and KG are persisted and committed under the
-    ///   builder's epoch, and every cache record stamped with a different
-    ///   epoch is dropped ([`WorldSnapshot::stale_cache_dropped`]).
+    ///   builder's epoch, and cache records are reconciled per the declared
+    ///   [`delta`](Self::delta): dropped on another epoch stamp for
+    ///   [`WorldDelta::Schema`], dropped precisely (intersecting readers
+    ///   only, survivors re-stamped) for [`WorldDelta::Data`], all kept and
+    ///   re-stamped for [`WorldDelta::Statistics`]. The drop count is
+    ///   reported by [`WorldSnapshot::stale_cache_dropped`].
     ///
     /// Either way the returned snapshot and the backend agree on the epoch,
     /// which is what [`Session::open_durable`](crate::session::Session::open_durable)
@@ -273,8 +326,13 @@ impl WorldSnapshotBuilder {
                 Ok(world)
             }
             _ => {
-                let dropped =
-                    crate::durable::sync_world(backend.as_ref(), self.epoch, &self.catalog, &self.kg)?;
+                let dropped = crate::durable::sync_world_delta(
+                    backend.as_ref(),
+                    self.epoch,
+                    &self.catalog,
+                    &self.kg,
+                    &self.delta,
+                )?;
                 let mut world = self.build();
                 world.stale_dropped = dropped;
                 Ok(world)

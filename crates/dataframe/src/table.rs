@@ -242,6 +242,93 @@ impl Table {
         })
     }
 
+    /// Append literal rows to the end of the table, checking arity and types
+    /// per [`Column::push`]. Appended rows receive identity lineage with
+    /// table tag 0; callers that hold a tagged base table are expected to
+    /// re-tag via [`Table::with_table_tag`] (the catalog does this when the
+    /// table is re-registered after a write).
+    pub fn append_rows(&self, rows: &[Vec<Value>]) -> Result<Self> {
+        let mut columns = self.columns.clone();
+        for row in rows {
+            if row.len() != columns.len() {
+                return Err(DataFrameError::LengthMismatch {
+                    expected: columns.len(),
+                    actual: row.len(),
+                });
+            }
+            for (c, v) in columns.iter_mut().zip(row.iter()) {
+                c.push(v.clone())?;
+            }
+        }
+        let mut lineage = self.lineage.clone();
+        for k in 0..rows.len() {
+            lineage.push(vec![RowId { table: 0, row: (self.num_rows + k) as u64 }]);
+        }
+        Ok(Self {
+            schema: self.schema.clone(),
+            columns,
+            lineage,
+            num_rows: self.num_rows + rows.len(),
+        })
+    }
+
+    /// Overwrite individual cells: for each row index `rows[k]`, column
+    /// `cols[j]` receives `values[k][j]`. Row and column indices must be in
+    /// range and every replacement value must be `Null` or match the column
+    /// type per [`Column::push`]. Schema, row count, and lineage are
+    /// unchanged — this is the apply step for UPDATE.
+    pub fn update_cells(&self, rows: &[usize], cols: &[usize], values: &[Vec<Value>]) -> Result<Self> {
+        if values.len() != rows.len() {
+            return Err(DataFrameError::LengthMismatch { expected: rows.len(), actual: values.len() });
+        }
+        for &r in rows {
+            if r >= self.num_rows {
+                return Err(DataFrameError::IndexOutOfBounds { kind: "row", index: r, len: self.num_rows });
+            }
+        }
+        for &c in cols {
+            if c >= self.columns.len() {
+                return Err(DataFrameError::IndexOutOfBounds {
+                    kind: "column",
+                    index: c,
+                    len: self.columns.len(),
+                });
+            }
+        }
+        // Map each targeted row to its position in `rows`.
+        let mut slot = vec![usize::MAX; self.num_rows];
+        for (k, &r) in rows.iter().enumerate() {
+            slot[r] = k;
+        }
+        let mut columns = self.columns.clone();
+        for (j, &c) in cols.iter().enumerate() {
+            let old = &self.columns[c];
+            let mut rebuilt = Column::with_capacity(old.data_type(), self.num_rows);
+            for r in 0..self.num_rows {
+                let v = if slot[r] != usize::MAX {
+                    let row_vals = &values[slot[r]];
+                    if row_vals.len() != cols.len() {
+                        return Err(DataFrameError::LengthMismatch {
+                            expected: cols.len(),
+                            actual: row_vals.len(),
+                        });
+                    }
+                    row_vals[j].clone()
+                } else {
+                    old.value(r)?
+                };
+                rebuilt.push(v)?;
+            }
+            columns[c] = rebuilt;
+        }
+        Ok(Self {
+            schema: self.schema.clone(),
+            columns,
+            lineage: self.lineage.clone(),
+            num_rows: self.num_rows,
+        })
+    }
+
     /// Approximate heap footprint in bytes (columns + lineage).
     pub fn heap_bytes(&self) -> usize {
         let cols: usize = self.columns.iter().map(Column::heap_bytes).sum();

@@ -257,6 +257,153 @@ fn deprecated_storage_path_shim_is_byte_identical_to_with_storage() {
     let _ = std::fs::remove_file(&b_path);
 }
 
+/// The wage question reads `wage_stats`; the employment questions read
+/// `employment_by_type` — disjoint tables, so a write to one must leave
+/// the other's cached answers untouched.
+const WAGE_QUERY: &str = "What is the average median_wage in wage_stats per canton?";
+
+#[test]
+fn statistics_only_rebuild_retains_every_durable_record() {
+    // Regression: successor() used to force a full cache purge even when
+    // the rebuild changed only derived statistics. With WorldDelta::
+    // Statistics the records survive, re-stamped under the new epoch.
+    let backend: Arc<dyn StorageBackend> = Arc::new(MemBackend::new());
+    let world = WorldSnapshot::builder()
+        .catalog(demo_catalog(1))
+        .kg(demo_kg())
+        .vocab(demo_vocabulary())
+        .linker(demo_linker())
+        .lm(SimLmConfig { hallucination_rate: 0.15, overconfidence: 0.8, seed: 1 })
+        .with_storage(Arc::clone(&backend))
+        .open_shared()
+        .unwrap();
+    let mut s = Session::open_durable(Arc::clone(&world), CdaConfig::default()).unwrap();
+    let first = s.process(QUERIES[0]);
+    assert!(first.executed_sql.is_some(), "{}", first.text);
+    let records = backend.len(StoreId::SemanticCache).unwrap();
+    assert!(records >= 1, "the answer must persist");
+    drop(s);
+
+    let next = world
+        .successor()
+        .delta(cda_core::WorldDelta::Statistics)
+        .open_shared()
+        .unwrap();
+    assert_eq!(next.epoch(), 1);
+    assert_eq!(next.stale_cache_dropped(), 0, "statistics-only rebuild keeps every record");
+    assert_eq!(backend.len(StoreId::SemanticCache).unwrap(), records);
+
+    // And the retained records are served under the new epoch.
+    let mut s = Session::open_durable(next, CdaConfig::default()).unwrap();
+    let again = s.process(QUERIES[0]);
+    let stats = s.stats();
+    assert!(stats.cache.hits >= 1, "re-stamped record must hit: {stats:?}");
+    assert_eq!(stats.cache.misses, 0, "{stats:?}");
+    assert_eq!(again.executed_sql, first.executed_sql);
+    assert_eq!(strip_cache_note(&again.text), strip_cache_note(&first.text));
+}
+
+#[test]
+fn dml_commit_drops_only_intersecting_durable_records() {
+    let backend: Arc<dyn StorageBackend> = Arc::new(MemBackend::new());
+    let world = WorldSnapshot::builder()
+        .catalog(demo_catalog(1))
+        .kg(demo_kg())
+        .vocab(demo_vocabulary())
+        .linker(demo_linker())
+        .lm(SimLmConfig { hallucination_rate: 0.15, overconfidence: 0.8, seed: 1 })
+        .with_storage(Arc::clone(&backend))
+        .open_shared()
+        .unwrap();
+    let mut s = Session::open_durable(Arc::clone(&world), CdaConfig::default()).unwrap();
+    let emp = s.process(QUERIES[0]);
+    assert!(emp.executed_sql.is_some(), "{}", emp.text);
+    let wage = s.process(WAGE_QUERY);
+    assert!(wage.executed_sql.is_some(), "{}", wage.text);
+    let records = backend.len(StoreId::SemanticCache).unwrap();
+    assert!(records >= 2, "both answers persisted: {records}");
+
+    // A write to wage_stats commits through the mutation gate.
+    let d = s
+        .apply_sql(
+            "INSERT INTO wage_stats (canton, sector, median_wage) \
+             VALUES ('ZH', 'construction', 6100.0)",
+        )
+        .unwrap();
+    let cda_core::WriteDecision::Applied(o) = d else { panic!("gate rejected: {d:?}") };
+    assert!(o.committed);
+    assert!(o.cache_invalidated >= 1, "the wage answer must drop: {o:?}");
+    assert_eq!(
+        backend.len(StoreId::SemanticCache).unwrap(),
+        records - 1,
+        "exactly the intersecting record is gone"
+    );
+
+    // A fresh durable session over the successor: the employment answer is
+    // served (retained + re-stamped), the wage answer re-executes — and
+    // its re-executed result reflects the committed write.
+    let mut s2 = Session::open_durable(s.world().clone(), CdaConfig::default()).unwrap();
+    let emp2 = s2.process(QUERIES[0]);
+    let stats = s2.stats();
+    assert!(stats.cache.hits >= 1, "unrelated-table answer survives the write: {stats:?}");
+    assert_eq!(strip_cache_note(&emp2.text), strip_cache_note(&emp.text));
+    let wage2 = s2.process(WAGE_QUERY);
+    assert_eq!(s2.stats().cache.misses, 1, "the invalidated answer re-executes");
+    assert_ne!(
+        strip_cache_note(&wage2.text),
+        strip_cache_note(&wage.text),
+        "the re-executed wage answer must see the inserted row"
+    );
+}
+
+#[test]
+fn cross_session_write_never_serves_stale_durable_answers() {
+    let backend: Arc<dyn StorageBackend> = Arc::new(MemBackend::new());
+    let world = WorldSnapshot::builder()
+        .catalog(demo_catalog(1))
+        .kg(demo_kg())
+        .vocab(demo_vocabulary())
+        .linker(demo_linker())
+        .lm(SimLmConfig { hallucination_rate: 0.15, overconfidence: 0.8, seed: 1 })
+        .with_storage(Arc::clone(&backend))
+        .open_shared()
+        .unwrap();
+    let mut reader = Session::open_durable(Arc::clone(&world), CdaConfig::default()).unwrap();
+    let before = reader.process(QUERIES[0]);
+    assert!(before.executed_sql.is_some(), "{}", before.text);
+
+    // Another session over the same backend commits a write that touches
+    // the reader's cached table.
+    let mut writer = Session::open_durable(Arc::clone(&world), CdaConfig::default()).unwrap();
+    let d = writer
+        .apply_sql(
+            "INSERT INTO employment_by_type (canton, type, year, employees) \
+             VALUES ('ZH', 'full_time', 2024, 9999)",
+        )
+        .unwrap();
+    let cda_core::WriteDecision::Applied(o) = d else { panic!("{d:?}") };
+    assert!(o.committed);
+
+    // The reader still holds the pre-write world: its durable cache is
+    // epoch-gated, so the now-reconciled records are never served stale.
+    let stale = reader.process(QUERIES[0]);
+    assert!(
+        stale.analysis.iter().all(|n| !n.starts_with("[cache]")),
+        "a pre-write record must not be served after the commit: {:?}",
+        stale.analysis
+    );
+
+    // Adopting the writer's world with the committed effects re-points the
+    // reader; the next turn answers over the new data.
+    reader.adopt_world(writer.world().clone(), Some(&o.effects));
+    assert_eq!(reader.epoch(), writer.epoch());
+    let fresh = reader.process(QUERIES[0]);
+    assert!(
+        fresh.text.contains("9999") || fresh.text != before.text,
+        "the adopted world must reflect the write"
+    );
+}
+
 #[test]
 fn durable_server_restart_reuses_verified_answers() {
     use cda_server::{Server, ServerConfig};

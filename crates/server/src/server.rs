@@ -11,6 +11,7 @@
 //! workers.
 
 use cda_analyzer::sqlcheck::Analyzer;
+use cda_analyzer::EffectSet;
 use cda_core::{CdaConfig, Session, SessionStats, WorldSnapshot};
 use cda_nlmodel::nl2sql::{parse_question, refine_task};
 use std::collections::HashMap;
@@ -159,6 +160,9 @@ pub struct DrainReport {
     pub wall: Duration,
     /// Worker threads the drain ran with.
     pub workers: usize,
+    /// Sessions serialized into the write lane by effect-set overlap
+    /// (0 when the drain carried no writes — every session ran parallel).
+    pub serialized: usize,
 }
 
 impl DrainReport {
@@ -217,17 +221,20 @@ struct SessionSlot {
     queue: Vec<QueuedTurn>,
 }
 
-/// Work moved out of a slot for one drain: the session, its pending
-/// turns, and the tenant's row budget.
-type ParkedWork = (Session, Vec<QueuedTurn>, Option<u64>);
+/// Work moved out of a slot for one drain: the session, its pending turns
+/// (each with its statically derived effect set), and the tenant's row
+/// budget.
+type ParkedWork = (Session, Vec<(QueuedTurn, EffectSet)>, Option<u64>);
 
-/// One drain task: registry slot index + parked work behind a `Mutex`
-/// each worker locks exactly once.
+/// One parked slot: registry slot index + work behind a `Mutex` each
+/// worker locks exactly once.
 type DrainSlot = (usize, Mutex<Option<ParkedWork>>);
 
-/// One drain task's result: slot index, the returned session, and the
-/// `(submission seq, outcome)` pairs for its turns.
-type TaskResult = (usize, Session, Vec<(u64, TurnOutcome)>);
+/// One drain task's result: the returned sessions (slot index + session),
+/// the `(submission seq, outcome)` pairs for its turns, and — for the
+/// write lane — the advanced world plus the union of committed effects.
+type TaskResult =
+    (Vec<(usize, Session)>, Vec<(u64, TurnOutcome)>, Option<(Arc<WorldSnapshot>, EffectSet)>);
 
 #[derive(Debug, Default)]
 struct TenantState {
@@ -373,20 +380,39 @@ impl Server {
     /// Execute every queued turn across the worker pool and return the
     /// outcomes in global submission order.
     ///
-    /// Each session with pending turns becomes one task; tasks are spread
-    /// over the workers with [`cda_sql::morsel::run_ordered`]. Inside a
-    /// task the session's turns run serially in submission order, each
-    /// passing the **governor gate** first: the turn's oracle SQL is
-    /// analyzed against the tenant's row budget and rejected pre-execution
-    /// on an A013 finding, leaving the session untouched.
+    /// **Write admission** happens here, on the statically derived effect
+    /// sets of the queued turns (`cda_analyzer::effects`): every session
+    /// whose queue carries a write — plus every session whose effect set
+    /// conflicts with the union of those writes — is serialized into one
+    /// **write lane**, a single task that runs the merged turns in global
+    /// submission order and threads each commit's successor world into the
+    /// following turns ([`Session::adopt_world`]). The world's lineage and
+    /// its storage backend are single-writer resources, so conflicting
+    /// writers cannot drain in parallel; sessions whose effect sets are
+    /// disjoint from every queued write keep full parallelism, one task
+    /// each. A turn whose effects cannot be derived (a refinement of an
+    /// earlier queued turn, free-form dialogue) gets a conservative
+    /// whole-catalog read set — it serializes behind writers only when a
+    /// writer is actually queued. With no writes queued the partition is
+    /// the identity and the drain is exactly the all-parallel one.
+    ///
+    /// Each task runs its turns serially in submission order, each passing
+    /// the **governor gate** first: the turn's oracle SQL is analyzed
+    /// against the tenant's row budget and rejected pre-execution on an
+    /// A013 finding, leaving the session untouched. After the drain, a
+    /// world advanced by the write lane is installed and every hosted
+    /// session is re-pointed at it, with the lane's accumulated effect
+    /// union driving precise cache invalidation.
     pub fn drain(&mut self) -> DrainReport {
         let started = Instant::now();
         let workers = self.config.effective_workers();
 
         // Move every session with pending work out of the registry; each
-        // worker locks exactly its own slot once, so there is no contention
-        // and no shared mutable state.
+        // cell is locked exactly once across all tasks, so there is no
+        // contention and no shared mutable state. Per-turn effect sets are
+        // derived now, against the pre-drain world.
         let mut work: Vec<DrainSlot> = Vec::new();
+        let mut slot_effects: Vec<EffectSet> = Vec::new();
         for (i, slot) in self.slots.iter_mut().enumerate() {
             if slot.queue.is_empty() {
                 continue;
@@ -397,37 +423,77 @@ impl Server {
                 .get(&slot.tenant)
                 .map(|t| t.quota.max_estimated_rows)
                 .unwrap_or(self.config.default_quota.max_estimated_rows);
+            let effects: Vec<(QueuedTurn, EffectSet)> = queue
+                .into_iter()
+                .map(|t| {
+                    let e = turn_effects(&self.world, &slot.session, &t.utterance);
+                    (t, e)
+                })
+                .collect();
+            let mut union = EffectSet::default();
+            for (_, e) in &effects {
+                union.union(e);
+            }
             // Placeholder session: replaced when the drained session returns.
             let parked = std::mem::replace(
                 &mut slot.session,
                 Session::open(self.world.clone(), self.config.session_config),
             );
-            work.push((i, Mutex::new(Some((parked, queue, budget)))));
+            work.push((i, Mutex::new(Some((parked, effects, budget)))));
+            slot_effects.push(union);
         }
         self.queued = 0;
 
+        // Partition: one serial write lane (writers + transitively
+        // conflicting readers), everything else a parallel singleton.
+        let lane_union = slot_effects
+            .iter()
+            .filter(|e| e.is_write())
+            .fold(EffectSet::default(), |mut acc, e| {
+                acc.union(e);
+                acc
+            });
+        let mut tasks: Vec<Vec<usize>> = Vec::new();
+        let mut serialized = 0usize;
+        if lane_union.is_write() {
+            let lane: Vec<usize> = (0..work.len())
+                .filter(|&i| slot_effects[i].is_write() || slot_effects[i].conflicts_with(&lane_union))
+                .collect();
+            serialized = lane.len();
+            let singles: Vec<Vec<usize>> =
+                (0..work.len()).filter(|i| !lane.contains(i)).map(|i| vec![i]).collect();
+            tasks.push(lane);
+            tasks.extend(singles);
+        } else {
+            tasks.extend((0..work.len()).map(|i| vec![i]));
+        }
+
         let world = self.world.clone();
         let results: Vec<TaskResult> =
-            cda_sql::morsel::run_ordered(work.len(), workers, |task| {
-                let (slot_index, cell) = &work[task];
-                let (mut session, queue, budget) = cell
-                    .lock()
-                    .unwrap_or_else(|poisoned| poisoned.into_inner())
-                    .take()
-                    .expect("drain slot taken twice"); // lint: allow(R002)
-                let id = SessionId(*slot_index as u64);
-                let mut outcomes = Vec::with_capacity(queue.len());
-                for turn in queue {
-                    let outcome = run_admitted_turn(&world, &mut session, id, turn, budget);
-                    outcomes.push(outcome);
-                }
-                (*slot_index, session, outcomes)
+            cda_sql::morsel::run_ordered(tasks.len(), workers, |task| {
+                run_drain_task(&world, &work, &tasks[task])
             });
 
         let mut sequenced: Vec<(u64, TurnOutcome)> = Vec::new();
-        for (slot_index, session, outcomes) in results {
-            self.slots[slot_index].session = session;
+        let mut advanced: Option<(Arc<WorldSnapshot>, EffectSet)> = None;
+        for (sessions, outcomes, lane_world) in results {
+            for (slot_index, session) in sessions {
+                self.slots[slot_index].session = session;
+            }
             sequenced.extend(outcomes);
+            if lane_world.is_some() {
+                advanced = lane_world;
+            }
+        }
+        // A write lane advanced the world: install the successor and
+        // re-point every hosted session, invalidating precisely by the
+        // lane's committed effect union. Sessions already on the successor
+        // (the lane's own) no-op on the pointer check.
+        if let Some((next, delta)) = advanced {
+            for slot in &mut self.slots {
+                slot.session.adopt_world(Arc::clone(&next), Some(&delta));
+            }
+            self.world = next;
         }
         sequenced.sort_by_key(|(seq, _)| *seq);
 
@@ -443,7 +509,7 @@ impl Server {
             outcomes.push(outcome);
         }
 
-        DrainReport { outcomes, wall: started.elapsed(), workers }
+        DrainReport { outcomes, wall: started.elapsed(), workers, serialized }
     }
 
     /// Aggregate server statistics.
@@ -459,6 +525,115 @@ impl Server {
             &self.latencies_us,
         )
     }
+}
+
+/// Execute one drain task: `members` indexes into `work`. A singleton task
+/// is the ordinary parallel case — one session, its turns in order. The
+/// write lane (more than one member, or a single member with writes) merges
+/// its members' turns into global submission order and threads the world:
+/// after a turn commits (the session's epoch advanced), every following
+/// turn — whichever session it belongs to — first adopts the successor
+/// snapshot, invalidated precisely by the union of effects committed so
+/// far. That is what makes the lane's transcript equal to a serial replay
+/// of the same turns in submission order.
+fn run_drain_task(
+    world: &Arc<WorldSnapshot>,
+    work: &[DrainSlot],
+    members: &[usize],
+) -> TaskResult {
+    // Collect the members' parked work (each cell locked exactly once).
+    let mut sessions: Vec<(usize, Session)> = Vec::with_capacity(members.len());
+    let mut budgets: Vec<Option<u64>> = Vec::with_capacity(members.len());
+    let mut merged: Vec<(usize, QueuedTurn, EffectSet)> = Vec::new();
+    for (m, &w) in members.iter().enumerate() {
+        let (slot_index, cell) = &work[w];
+        let (session, queue, budget) = cell
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .take()
+            .expect("drain slot taken twice"); // lint: allow(R002)
+        sessions.push((*slot_index, session));
+        budgets.push(budget);
+        merged.extend(queue.into_iter().map(|(t, e)| (m, t, e)));
+    }
+    merged.sort_by_key(|(_, t, _)| t.seq);
+
+    let mut lane_world = Arc::clone(world);
+    let mut lane_delta: Option<EffectSet> = None;
+    let mut outcomes = Vec::with_capacity(merged.len());
+    for (m, turn, effects) in merged {
+        let (slot_index, session) = &mut sessions[m];
+        let id = SessionId(*slot_index as u64);
+        if !Arc::ptr_eq(session.world(), &lane_world) {
+            session.adopt_world(Arc::clone(&lane_world), lane_delta.as_ref());
+        }
+        let epoch_before = session.epoch();
+        outcomes.push(run_admitted_turn(&lane_world, session, id, turn, budgets[m]));
+        if session.epoch() > epoch_before {
+            // The turn committed a write: its successor world carries the
+            // invalidation forward for the rest of the lane.
+            lane_world = Arc::clone(session.world());
+            match &mut lane_delta {
+                Some(d) => d.union(&effects),
+                None => lane_delta = Some(effects),
+            }
+        }
+    }
+    let advanced = (lane_world.epoch() > world.epoch())
+        .then(|| (lane_world, lane_delta.unwrap_or_else(EffectSet::schema_change)));
+    (sessions, outcomes, advanced)
+}
+
+/// Statically derive one queued turn's effect set against the pre-drain
+/// world — the write-admission signal. DML parses directly and gets its
+/// read/write sets from `cda_analyzer::statement_effects`; analysis turns
+/// get the read set of their oracle plan; anything underivable (a
+/// refinement of a turn still queued ahead of it, free-form dialogue) is
+/// treated as reading the whole catalog, which serializes it behind
+/// writers only when a writer is actually queued. Derivation failures fall
+/// back to the conservative schema-change effect (conflicts with
+/// everything) for writes and the whole-catalog read set for reads —
+/// admission must never be *under*-conservative.
+fn turn_effects(world: &Arc<WorldSnapshot>, session: &Session, utterance: &str) -> EffectSet {
+    let catalog = world.catalog();
+    if let Ok(stmt) = cda_sql::parser::parse_statement(utterance) {
+        if stmt.is_write() {
+            return cda_analyzer::statement_effects(catalog.sql(), &stmt, Some(catalog.stats()))
+                .unwrap_or_else(|_| EffectSet::schema_change());
+        }
+    }
+    let tables = world.workload_tables();
+    let task = parse_question(utterance, tables).or_else(|| {
+        session.state().last_task.as_ref().and_then(|prev| refine_task(prev, utterance, tables))
+    });
+    task.and_then(|t| {
+        cda_sql::exec::optimized_plan(catalog.sql(), &t.to_sql(), cda_sql::OptimizerRules::all())
+            .ok()
+            .map(|p| EffectSet::read_only(cda_analyzer::plan_reads(&p)))
+    })
+    .unwrap_or_else(|| full_read_effects(world))
+}
+
+/// The conservative ⊤ read set: every column of every table in the world's
+/// catalog.
+fn full_read_effects(world: &Arc<WorldSnapshot>) -> EffectSet {
+    let sql = world.catalog().sql();
+    let reads = sql
+        .table_names()
+        .into_iter()
+        .filter_map(|name| {
+            let entry = sql.get(&name).ok()?;
+            let cols = entry
+                .table
+                .schema()
+                .fields()
+                .iter()
+                .map(|f| f.name().to_ascii_lowercase())
+                .collect();
+            Some((name.to_ascii_lowercase(), cols))
+        })
+        .collect();
+    EffectSet::read_only(reads)
 }
 
 /// Run one queued turn through the governor gate and, if admitted, the
@@ -696,5 +871,104 @@ mod tests {
         assert_eq!(st.turns_completed, 2);
         assert_eq!(st.queue_depth, 0);
         assert!(st.p50_us > 0 && st.p99_us >= st.p50_us);
+    }
+
+    const DML: &str = "INSERT INTO employment_by_type (canton, type, year, employees) \
+                       VALUES ('ZH', 'full_time', 2024, 9999)";
+    const EMPLOYMENT_Q: &str = "What is the total employees in employment_by_type per canton?";
+    const WAGE_Q: &str = "What is the average median_wage in wage_stats per canton?";
+
+    #[test]
+    fn write_lane_makes_dml_visible_to_later_conflicting_turns() {
+        let mut s = server();
+        let writer = s.open_session("t");
+        let reader = s.open_session("t");
+        s.submit(writer, DML).unwrap();
+        s.submit(reader, EMPLOYMENT_Q).unwrap();
+        let report = s.drain();
+        assert_eq!(report.completed(), 2);
+        assert_eq!(report.serialized, 2, "reader conflicts with the write, joins the lane");
+        assert_eq!(s.world().epoch(), 1, "the committed write advanced the hosted world");
+        assert_eq!(s.session(reader).unwrap().epoch(), 1);
+        assert_eq!(s.session(writer).unwrap().epoch(), 1);
+
+        // Serial reference: a writer session applies the DML, then a reader
+        // session opened over the writer's successor world answers the
+        // question. The hosted transcript must match byte for byte.
+        let mut ref_writer = Session::open_seeded(demo_world(42), CdaConfig::default(), 1);
+        let expect_write = ref_writer.process(DML).render();
+        let mut ref_reader =
+            Session::open_seeded(ref_writer.world().clone(), CdaConfig::default(), 2);
+        let expect_read = ref_reader.process(EMPLOYMENT_Q).render();
+        let rendered: Vec<&str> = report
+            .outcomes
+            .iter()
+            .map(|o| match o {
+                TurnOutcome::Completed(r) => r.rendered.as_str(),
+                other => panic!("unexpected rejection: {other:?}"),
+            })
+            .collect();
+        assert_eq!(rendered, vec![expect_write.as_str(), expect_read.as_str()]);
+    }
+
+    #[test]
+    fn disjoint_reader_stays_parallel_and_keeps_its_cache() {
+        let mut s = server();
+        let writer = s.open_session("t");
+        let reader = s.open_session("t");
+
+        // Warm the reader's cache with a wage question.
+        s.submit(reader, WAGE_Q).unwrap();
+        assert_eq!(s.drain().serialized, 0, "no writes queued, nothing serialized");
+
+        // A write on employment_by_type does not touch wage_stats: the
+        // reader runs outside the lane and its cached answer survives.
+        s.submit(writer, DML).unwrap();
+        s.submit(reader, WAGE_Q).unwrap();
+        let report = s.drain();
+        assert_eq!(report.completed(), 2);
+        assert_eq!(report.serialized, 1, "only the writer is in the lane");
+        assert_eq!(s.session(reader).unwrap().epoch(), 1, "reader re-pointed post-drain");
+
+        // Third drain: the reader is on the successor world, and the
+        // precisely-invalidated cache still holds the wage entry.
+        s.submit(reader, WAGE_Q).unwrap();
+        s.drain();
+        let st = s.session_stats(reader).unwrap();
+        assert!(st.cache.hits >= 2, "wage entry survived the unrelated write: {:?}", st.cache);
+    }
+
+    #[test]
+    fn write_lane_transcripts_are_deterministic_across_worker_counts() {
+        let transcript = |workers: usize| -> Vec<String> {
+            let mut s = Server::new(
+                demo_world(42),
+                ServerConfig { workers, ..ServerConfig::default() },
+            );
+            let ids = s.open_sessions("t", 3);
+            s.submit(ids[0], EMPLOYMENT_Q).unwrap();
+            s.submit(ids[1], DML).unwrap();
+            s.submit(ids[2], WAGE_Q).unwrap();
+            s.submit(ids[0], EMPLOYMENT_Q).unwrap();
+            let mut out: Vec<String> = s
+                .drain()
+                .outcomes
+                .iter()
+                .map(|o| match o {
+                    TurnOutcome::Completed(r) => r.rendered.clone(),
+                    other => panic!("unexpected rejection: {other:?}"),
+                })
+                .collect();
+            // Second drain proves the post-drain world install converges.
+            s.submit(ids[2], EMPLOYMENT_Q).unwrap();
+            out.extend(s.drain().outcomes.iter().map(|o| match o {
+                TurnOutcome::Completed(r) => r.rendered.clone(),
+                other => panic!("unexpected rejection: {other:?}"),
+            }));
+            out
+        };
+        let serial = transcript(1);
+        assert_eq!(serial, transcript(2));
+        assert_eq!(serial, transcript(8));
     }
 }

@@ -427,6 +427,117 @@ impl fmt::Display for Select {
     }
 }
 
+/// A parsed `INSERT INTO t [(c1, …)] VALUES (v1, …), …` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Insert {
+    /// Target table name as written.
+    pub table: String,
+    /// Explicit column list; empty means "all columns in schema order".
+    pub columns: Vec<String>,
+    /// One expression list per inserted row.
+    pub rows: Vec<Vec<Expr>>,
+}
+
+/// A parsed `UPDATE t SET c = e, … [WHERE p]` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Update {
+    /// Target table name as written.
+    pub table: String,
+    /// `SET` assignments in source order.
+    pub sets: Vec<(String, Expr)>,
+    /// Optional `WHERE` predicate; `None` updates every row.
+    pub filter: Option<Expr>,
+}
+
+/// A parsed `DELETE FROM t [WHERE p]` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delete {
+    /// Target table name as written.
+    pub table: String,
+    /// Optional `WHERE` predicate; `None` deletes every row.
+    pub filter: Option<Expr>,
+}
+
+/// Any statement of the supported subset: one query form and three DML forms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// A read-only query.
+    Select(Select),
+    /// Row insertion.
+    Insert(Insert),
+    /// In-place row updates.
+    Update(Update),
+    /// Row deletion.
+    Delete(Delete),
+}
+
+impl Statement {
+    /// True for the DML forms (INSERT/UPDATE/DELETE), false for SELECT.
+    pub fn is_write(&self) -> bool {
+        !matches!(self, Statement::Select(_))
+    }
+
+    /// The written table for DML forms, `None` for SELECT.
+    pub fn write_target(&self) -> Option<&str> {
+        match self {
+            Statement::Select(_) => None,
+            Statement::Insert(i) => Some(&i.table),
+            Statement::Update(u) => Some(&u.table),
+            Statement::Delete(d) => Some(&d.table),
+        }
+    }
+}
+
+impl fmt::Display for Insert {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "INSERT INTO {}", self.table)?;
+        if !self.columns.is_empty() {
+            write!(f, " ({})", self.columns.join(", "))?;
+        }
+        f.write_str(" VALUES ")?;
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            let vals: Vec<String> = row.iter().map(|e| e.to_string()).collect();
+            write!(f, "({})", vals.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Update {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sets: Vec<String> = self.sets.iter().map(|(c, e)| format!("{c} = {e}")).collect();
+        write!(f, "UPDATE {} SET {}", self.table, sets.join(", "))?;
+        if let Some(p) = &self.filter {
+            write!(f, " WHERE {p}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Delete {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DELETE FROM {}", self.table)?;
+        if let Some(p) = &self.filter {
+            write!(f, " WHERE {p}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Statement::Select(s) => s.fmt(f),
+            Statement::Insert(i) => i.fmt(f),
+            Statement::Update(u) => u.fmt(f),
+            Statement::Delete(d) => d.fmt(f),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

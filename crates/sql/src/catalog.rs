@@ -56,6 +56,32 @@ impl Catalog {
         Ok(tag)
     }
 
+    /// Replace a registered table's data in place, preserving its tag and
+    /// description; the new table is re-tagged so row lineage stays identity.
+    ///
+    /// The replacement must have the exact same schema — DML never changes
+    /// table shape; schema changes go through a fresh registration (and an
+    /// epoch-wide cache purge) instead. Returns the preserved tag.
+    ///
+    /// Product-path callers must route through the effects gate
+    /// (`cda_core::mutation`); repolint R010 enforces this.
+    pub fn replace_table(&mut self, name: &str, table: Table) -> Result<u32> {
+        let key = name.to_ascii_lowercase();
+        let entry = self
+            .entries
+            .get_mut(&key)
+            .ok_or_else(|| SqlError::Binding(format!("unknown table {name:?}")))?;
+        if entry.table.schema() != table.schema() {
+            return Err(SqlError::Binding(format!(
+                "replacement for table {name:?} changes its schema ({} vs {})",
+                entry.table.schema(),
+                table.schema()
+            )));
+        }
+        entry.table = table.with_table_tag(entry.tag);
+        Ok(entry.tag)
+    }
+
     /// Look up a table by name.
     pub fn get(&self, name: &str) -> Result<&CatalogEntry> {
         self.entries

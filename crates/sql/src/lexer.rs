@@ -43,7 +43,7 @@ pub const KEYWORDS: &[&str] = &[
     "SELECT", "DISTINCT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT", "OFFSET",
     "AS", "AND", "OR", "NOT", "IN", "BETWEEN", "LIKE", "IS", "NULL", "TRUE", "FALSE", "JOIN",
     "INNER", "LEFT", "ON", "ASC", "DESC", "CASE", "WHEN", "THEN", "ELSE", "END", "COUNT", "SUM",
-    "AVG", "MIN", "MAX", "STDDEV",
+    "AVG", "MIN", "MAX", "STDDEV", "INSERT", "INTO", "VALUES", "UPDATE", "SET", "DELETE",
 ];
 
 fn is_keyword(word: &str) -> bool {

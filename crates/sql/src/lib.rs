@@ -40,6 +40,14 @@
 //! `CASE WHEN`, unary minus, and the aggregates `COUNT(*) COUNT SUM AVG MIN
 //! MAX STDDEV`.
 //!
+//! DML ([`dml`]): `INSERT INTO t [(cols)] VALUES (…), …`,
+//! `UPDATE t SET col = expr, … [WHERE expr]`, and
+//! `DELETE FROM t [WHERE expr]` — parsed by [`parser::parse_statement`],
+//! bound by [`dml::plan_dml`], executed by [`dml::execute_dml`]. Row
+//! matching for UPDATE/DELETE reuses both query engines via lineage, so the
+//! write path inherits their differential certification; execution returns a
+//! replacement table committed through [`Catalog::replace_table`].
+//!
 //! ## Example
 //!
 //! ```
@@ -61,6 +69,7 @@
 
 pub mod ast;
 pub mod catalog;
+pub mod dml;
 pub mod error;
 pub mod exec;
 pub mod lexer;
@@ -72,6 +81,9 @@ pub mod plan;
 pub mod planner;
 
 pub use catalog::Catalog;
+pub use dml::{
+    execute_dml, execute_dml_checked, plan_dml, DmlKind, DmlPlan, DmlResult, WriteGuard,
+};
 pub use error::SqlError;
 pub use exec::{
     execute, execute_plan, execute_plan_checked, execute_with_options, ExecOptions, QueryResult,

@@ -36,6 +36,31 @@ pub fn parse(sql: &str) -> Result<Select> {
     Ok(select)
 }
 
+/// Parse any supported statement: SELECT, INSERT, UPDATE, or DELETE.
+pub fn parse_statement(sql: &str) -> Result<Statement> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = if p.peek_keyword("SELECT") {
+        Statement::Select(p.parse_select()?)
+    } else if p.peek_keyword("INSERT") {
+        Statement::Insert(p.parse_insert()?)
+    } else if p.peek_keyword("UPDATE") {
+        Statement::Update(p.parse_update()?)
+    } else if p.peek_keyword("DELETE") {
+        Statement::Delete(p.parse_delete()?)
+    } else {
+        return Err(p.error(format!(
+            "expected SELECT, INSERT, UPDATE, or DELETE, found {}",
+            p.describe_current()
+        )));
+    };
+    p.eat_symbol(";");
+    if !p.at_end() {
+        return Err(p.error("unexpected trailing tokens"));
+    }
+    Ok(stmt)
+}
+
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
@@ -186,6 +211,66 @@ impl Parser {
             limit,
             offset,
         })
+    }
+
+    fn parse_insert(&mut self) -> Result<Insert> {
+        self.expect_keyword("INSERT")?;
+        self.expect_keyword("INTO")?;
+        let table = self.parse_ident()?;
+        let mut columns = Vec::new();
+        if self.eat_symbol("(") {
+            loop {
+                columns.push(self.parse_ident()?);
+                if !self.eat_symbol(",") {
+                    break;
+                }
+            }
+            self.expect_symbol(")")?;
+        }
+        self.expect_keyword("VALUES")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect_symbol("(")?;
+            let mut row = Vec::new();
+            loop {
+                row.push(self.parse_expr()?);
+                if !self.eat_symbol(",") {
+                    break;
+                }
+            }
+            self.expect_symbol(")")?;
+            rows.push(row);
+            if !self.eat_symbol(",") {
+                break;
+            }
+        }
+        Ok(Insert { table, columns, rows })
+    }
+
+    fn parse_update(&mut self) -> Result<Update> {
+        self.expect_keyword("UPDATE")?;
+        let table = self.parse_ident()?;
+        self.expect_keyword("SET")?;
+        let mut sets = Vec::new();
+        loop {
+            let column = self.parse_ident()?;
+            self.expect_symbol("=")?;
+            let value = self.parse_expr()?;
+            sets.push((column, value));
+            if !self.eat_symbol(",") {
+                break;
+            }
+        }
+        let filter = if self.eat_keyword("WHERE") { Some(self.parse_expr()?) } else { None };
+        Ok(Update { table, sets, filter })
+    }
+
+    fn parse_delete(&mut self) -> Result<Delete> {
+        self.expect_keyword("DELETE")?;
+        self.expect_keyword("FROM")?;
+        let table = self.parse_ident()?;
+        let filter = if self.eat_keyword("WHERE") { Some(self.parse_expr()?) } else { None };
+        Ok(Delete { table, filter })
     }
 
     fn parse_usize(&mut self) -> Result<usize> {

@@ -416,6 +416,16 @@ impl AggContext {
     }
 }
 
+/// Bind an expression against a single table's schema (no aggregates).
+///
+/// Used by the DML planner for WHERE predicates and SET expressions, where
+/// the scope is always exactly the target table.
+pub(crate) fn bind_single(expr: &Expr, table: &str, schema: &Schema) -> Result<BoundExpr> {
+    let mut scope = Scope::new();
+    scope.push(table, schema.clone())?;
+    bind(expr, &scope)
+}
+
 /// Bind an AST expression against a scope (no aggregates allowed).
 fn bind(expr: &Expr, scope: &Scope) -> Result<BoundExpr> {
     match expr {
